@@ -1,0 +1,134 @@
+//! Criterion benchmarks of the substrate kernels: the PHY waterfalls, the
+//! channel sampler, the probe engine, the codec, and the core statistics —
+//! the building blocks every figure regeneration spends its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mesh11_channel::{ChannelParams, LinkModel, RadioHardware};
+use mesh11_phy::{BitRate, CalibratedPhy, Phy, SuccessTable};
+use mesh11_sim::SimConfig;
+use mesh11_topo::CampaignSpec;
+use std::hint::black_box;
+
+fn bench_phy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phy");
+    let phy = CalibratedPhy::new();
+    let table = SuccessTable::new(&phy);
+    let r24 = BitRate::bg_mbps(24.0).unwrap();
+
+    g.bench_function("calibrate", |b| b.iter(|| black_box(CalibratedPhy::new())));
+    g.bench_function("success-direct", |b| {
+        b.iter(|| black_box(phy.success(black_box(r24), black_box(17.3))))
+    });
+    g.bench_function("success-table", |b| {
+        b.iter(|| black_box(table.success(black_box(r24), black_box(17.3))))
+    });
+    g.bench_function("best-rate-bg", |b| {
+        b.iter(|| black_box(phy.best_rate(Phy::Bg, black_box(22.0))))
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("link-build", |b| {
+        b.iter(|| {
+            black_box(LinkModel::new(
+                ChannelParams::indoor(),
+                black_box(7),
+                1,
+                2,
+                (0.0, 0.0),
+                (25.0, 0.0),
+                RadioHardware::nominal(),
+                RadioHardware::nominal(),
+            ))
+        })
+    });
+    let mut link = LinkModel::new(
+        ChannelParams::indoor(),
+        7,
+        1,
+        2,
+        (0.0, 0.0),
+        (25.0, 0.0),
+        RadioHardware::nominal(),
+        RadioHardware::nominal(),
+    );
+    let mut t = 0.0;
+    g.bench_function("link-sample", |b| {
+        b.iter(|| {
+            t += 40.0;
+            black_box(link.sample(t, true))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    let campaign = CampaignSpec::scaled(3, 4).generate();
+    let spec = campaign
+        .networks
+        .iter()
+        .find(|n| n.size() >= 7)
+        .expect("scaled(,4) includes a mid-size network")
+        .clone();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 1_200.0;
+    cfg.client_horizon_s = 1_200.0;
+    // Report probe-set production rate.
+    let probes = cfg.run_network(&spec).probes.len() as u64;
+    g.throughput(Throughput::Elements(probes));
+    g.bench_function("network-20min", |b| {
+        b.iter(|| black_box(cfg.run_network(black_box(&spec))))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    let campaign = CampaignSpec::scaled(5, 6).generate();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 1_800.0;
+    cfg.client_horizon_s = 1_800.0;
+    let ds = cfg.run_campaign(&campaign);
+    let bytes = mesh11_trace::codec::encode(&ds);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(mesh11_trace::codec::encode(black_box(&ds))))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(mesh11_trace::codec::decode(black_box(bytes.clone()))).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let xs: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 2_654_435_761u64 as usize) % 1_000) as f64)
+        .collect();
+    g.bench_function("cdf-build-10k", |b| {
+        b.iter(|| black_box(mesh11_stats::Cdf::from_samples(xs.iter().copied())))
+    });
+    let cdf = mesh11_stats::Cdf::from_samples(xs.iter().copied()).unwrap();
+    g.bench_function("cdf-eval", |b| {
+        b.iter(|| black_box(cdf.eval(black_box(500.0))))
+    });
+    g.bench_function("summary-10k", |b| {
+        b.iter(|| black_box(mesh11_stats::Summary::of(black_box(&xs))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_phy,
+    bench_channel,
+    bench_sim,
+    bench_codec,
+    bench_stats
+);
+criterion_main!(substrate);

@@ -1,0 +1,118 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale quick|standard|paper] [--seed N] [--out DIR] [--rows N] [--plot] <id>... | --all
+//! ```
+//!
+//! Prints each figure as an aligned text table (with the paper-expected
+//! values as `#` notes; add `--plot` for ASCII curve renderings) and writes
+//! the full series as JSON under `--out` (default `out/`). Experiment ids:
+//! fig1-1, fig3-1, fig4-1 … fig7-5, tab4-1, sec6-3, and the ext-* extension
+//! studies; see `DESIGN.md` §3 for the index.
+
+use mesh11_bench::figures::{build, ALL_IDS};
+use mesh11_bench::{ReproContext, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    rows: usize,
+    plot: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Standard,
+        seed: 42,
+        out: PathBuf::from("out"),
+        rows: 16,
+        plot: false,
+        ids: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--rows" => {
+                let v = it.next().ok_or("--rows needs a value")?;
+                args.rows = v.parse().map_err(|e| format!("bad rows: {e}"))?;
+            }
+            "--plot" => args.plot = true,
+            "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale quick|standard|paper] [--seed N] [--out DIR] [--rows N] [--plot] <id>... | --all\nids: {}",
+                    ALL_IDS.join(" ")
+                );
+                std::process::exit(0);
+            }
+            id if !id.starts_with('-') => args.ids.push(id.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.ids.is_empty() {
+        return Err("no experiment ids given (try --all or --help)".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "# building {:?}-scale campaign (seed {}) …",
+        args.scale, args.seed
+    );
+    let t0 = Instant::now();
+    let ctx = ReproContext::build(args.scale, args.seed);
+    eprintln!(
+        "# simulated {} networks / {} APs: {} probe sets, {} client samples in {:.1}s",
+        ctx.dataset.networks.len(),
+        ctx.dataset.total_aps(),
+        ctx.dataset.probes.len(),
+        ctx.dataset.clients.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let mut failures = 0;
+    for id in &args.ids {
+        let Some(figs) = build(&ctx, id) else {
+            eprintln!("repro: unknown experiment id '{id}'");
+            failures += 1;
+            continue;
+        };
+        for fig in figs {
+            if args.plot {
+                println!("{}", fig.render_plot(72, 18));
+            }
+            println!("{}", fig.render_table(args.rows));
+            let path = args.out.join(format!("{}.json", fig.id));
+            std::fs::write(&path, fig.to_json()).expect("write figure json");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

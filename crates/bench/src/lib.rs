@@ -1,0 +1,20 @@
+//! # mesh11-bench
+//!
+//! The benchmark and reproduction harness.
+//!
+//! * [`setup`] — builds the seeded campaign + dataset a reproduction run
+//!   operates on, at three scales (quick / standard / paper).
+//! * [`figures`] — one builder per paper table/figure, each returning a
+//!   [`mesh11_core::report::FigureData`] with the paper-expected values
+//!   recorded as notes. The `repro` binary prints them; `EXPERIMENTS.md`
+//!   records a full run.
+//! * `benches/` — Criterion benchmarks of every analysis kernel (one bench
+//!   group per table/figure family) plus the simulator hot loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod setup;
+
+pub use setup::{ReproContext, Scale};

@@ -1,0 +1,119 @@
+//! Reproduction-run setup: campaign, simulation, shared heavy analyses.
+
+use mesh11_core::routing::improvement::{analyze_dataset, OpportunisticAnalysis};
+use mesh11_phy::Phy;
+use mesh11_sim::SimConfig;
+use mesh11_topo::{Campaign, CampaignSpec};
+use mesh11_trace::Dataset;
+use std::sync::OnceLock;
+
+/// How big a reproduction run to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 12 networks, 1 h probes — seconds; for tests and smoke runs.
+    Quick,
+    /// The full 110-network ensemble with 4 h probes / 6 h clients —
+    /// minutes; the default for `repro`.
+    Standard,
+    /// The paper's 24 h probes / 11 h clients over all 110 networks.
+    Paper,
+}
+
+impl Scale {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "standard" => Some(Scale::Standard),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// A materialized reproduction run: the dataset plus lazily computed heavy
+/// analyses shared across figures.
+pub struct ReproContext {
+    /// The simulated dataset.
+    pub dataset: Dataset,
+    /// The simulation configuration used.
+    pub config: SimConfig,
+    /// Campaign seed.
+    pub seed: u64,
+    /// The generated campaign, when this context was built by simulation
+    /// (absent for contexts wrapping a loaded dataset). Extension
+    /// experiments that need topology ground truth (e.g. client probing)
+    /// use it; the paper figures never do.
+    campaign: Option<Campaign>,
+    routing_bg: OnceLock<Vec<OpportunisticAnalysis>>,
+}
+
+impl ReproContext {
+    /// Generates and simulates a campaign.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let (spec, config) = match scale {
+            Scale::Quick => (CampaignSpec::small(seed), SimConfig::quick()),
+            Scale::Standard => (CampaignSpec::paper(seed), SimConfig::standard()),
+            Scale::Paper => (CampaignSpec::paper(seed), SimConfig::paper()),
+        };
+        let campaign = spec.generate();
+        let dataset = config.run_campaign(&campaign);
+        Self {
+            dataset,
+            config,
+            seed,
+            campaign: Some(campaign),
+            routing_bg: OnceLock::new(),
+        }
+    }
+
+    /// Wraps an existing dataset (e.g. loaded from disk).
+    pub fn from_dataset(dataset: Dataset, config: SimConfig, seed: u64) -> Self {
+        Self {
+            dataset,
+            config,
+            seed,
+            campaign: None,
+            routing_bg: OnceLock::new(),
+        }
+    }
+
+    /// The campaign this context simulated, when known.
+    pub fn scale_campaign(&self) -> Option<&Campaign> {
+        self.campaign.as_ref()
+    }
+
+    /// The §5 per-(network, rate) routing analyses over b/g networks with
+    /// ≥5 APs — computed once, shared by Figs 5.1 and 5.3–5.5.
+    pub fn routing_bg(&self) -> &[OpportunisticAnalysis] {
+        self.routing_bg
+            .get_or_init(|| analyze_dataset(&self.dataset, Phy::Bg, 5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("standard"), Some(Scale::Standard));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = ReproContext::build(Scale::Quick, 1);
+        assert_eq!(ctx.dataset.networks.len(), 12);
+        assert!(!ctx.dataset.probes.is_empty());
+        assert!(!ctx.dataset.clients.is_empty());
+        // Routing bundle is lazy and cached.
+        let a = ctx.routing_bg().len();
+        let b = ctx.routing_bg().len();
+        assert_eq!(a, b);
+        assert!(a > 0, "quick campaign has ≥5-AP b/g networks");
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-radio hardware variation.
+//!
+//! Real APs differ: transmit chains are a dB or two apart, receiver noise
+//! figures vary with temperature and silicon lottery. These static per-radio
+//! offsets are what make link delivery rates *asymmetric* (paper Fig 5.2) —
+//! shadowing is reciprocal, so without hardware variation a→b and b→a would
+//! be statistically identical.
+
+use mesh11_stats::dist::derive_seed_str;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::params::ChannelParams;
+
+/// Static per-radio calibration offsets (dB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioHardware {
+    /// Deviation of this radio's actual EIRP from nominal.
+    pub tx_offset_db: f64,
+    /// Deviation of this radio's noise figure from nominal (added to the
+    /// noise floor when this radio receives).
+    pub nf_offset_db: f64,
+}
+
+impl RadioHardware {
+    /// A nominal radio with no offsets (useful in unit tests).
+    pub fn nominal() -> Self {
+        Self {
+            tx_offset_db: 0.0,
+            nf_offset_db: 0.0,
+        }
+    }
+
+    /// Draws a radio's offsets deterministically from `(seed, radio_id)`.
+    pub fn draw(params: &ChannelParams, seed: u64, radio_id: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(derive_seed_str(
+            mesh11_stats::dist::derive_seed(seed, radio_id),
+            "hardware",
+        ));
+        Self {
+            tx_offset_db: params.tx_offset.sample(&mut rng),
+            nf_offset_db: params.nf_offset.sample(&mut rng),
+        }
+    }
+}
+
+/// Draws the static interference floor (dB) of a *directed* link.
+///
+/// With probability `1 − interference_prob` the link is clean (0 dB); the
+/// afflicted remainder draw from `interference_db`, capped. The draw is
+/// keyed by `(seed, from, to)` so it is stable across a simulation and
+/// differs per direction — interference lives at the receiver's location.
+pub fn interference_floor_db(params: &ChannelParams, seed: u64, from: u64, to: u64) -> f64 {
+    use mesh11_stats::dist::derive_seed;
+    let key = derive_seed(
+        derive_seed(seed, from.wrapping_mul(0x10001).wrapping_add(7)),
+        to,
+    );
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(key, "interference"));
+    let u: f64 = {
+        use rand::RngExt;
+        rng.random()
+    };
+    if u >= params.interference_prob {
+        0.0
+    } else {
+        params
+            .interference_db
+            .sample(&mut rng)
+            .min(params.interference_cap_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_zero() {
+        let h = RadioHardware::nominal();
+        assert_eq!(h.tx_offset_db, 0.0);
+        assert_eq!(h.nf_offset_db, 0.0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_distinct() {
+        let p = ChannelParams::indoor();
+        let a = RadioHardware::draw(&p, 42, 1);
+        let b = RadioHardware::draw(&p, 42, 2);
+        assert_eq!(a, RadioHardware::draw(&p, 42, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, RadioHardware::draw(&p, 43, 1));
+    }
+
+    #[test]
+    fn offsets_have_expected_spread() {
+        let p = ChannelParams::indoor();
+        let offsets: Vec<f64> = (0..2000)
+            .map(|i| RadioHardware::draw(&p, 7, i).tx_offset_db)
+            .collect();
+        let m = mesh11_stats::mean(&offsets).unwrap();
+        let s = mesh11_stats::stddev(&offsets).unwrap();
+        assert!(m.abs() < 0.15, "mean {m}");
+        assert!((s - 1.5).abs() < 0.15, "sd {s}");
+    }
+
+    #[test]
+    fn interference_is_directional_and_stable() {
+        let p = ChannelParams::indoor();
+        let fwd = interference_floor_db(&p, 9, 1, 2);
+        let rev = interference_floor_db(&p, 9, 2, 1);
+        assert_eq!(fwd, interference_floor_db(&p, 9, 1, 2));
+        assert_eq!(rev, interference_floor_db(&p, 9, 2, 1));
+        // Not asserting fwd != rev for one pair (both may be clean); check
+        // over many pairs that directions differ somewhere.
+        let mut differs = false;
+        for i in 0..200u64 {
+            if interference_floor_db(&p, 9, i, i + 1) != interference_floor_db(&p, 9, i + 1, i) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn interference_frequency_matches_param() {
+        let p = ChannelParams::indoor();
+        let afflicted = (0..4000u64)
+            .filter(|&i| interference_floor_db(&p, 5, i, i + 10_000) > 0.0)
+            .count() as f64
+            / 4000.0;
+        assert!(
+            (afflicted - p.interference_prob).abs() < 0.04,
+            "afflicted fraction {afflicted} vs {}",
+            p.interference_prob
+        );
+    }
+
+    #[test]
+    fn interference_respects_cap() {
+        let p = ChannelParams::indoor();
+        for i in 0..2000u64 {
+            let v = interference_floor_db(&p, 11, i, i * 3 + 1);
+            assert!((0.0..=p.interference_cap_db).contains(&v));
+        }
+    }
+}

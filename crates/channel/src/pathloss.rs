@@ -1,0 +1,135 @@
+//! Log-distance path loss.
+//!
+//! `PL(d) = PL₀ + 10·n·log₁₀(d/d₀)` with `d₀ = 1 m`, clamped at the
+//! reference distance. The exponent `n` comes from [`crate::ChannelParams`]
+//! (3.3 indoor, 2.9 outdoor — standard 2.4 GHz obstructed values).
+
+use crate::params::ChannelParams;
+
+/// Reference distance (metres).
+pub const D0_M: f64 = 1.0;
+
+/// Path loss (dB) at distance `d_m` metres: log-distance plus the capped
+/// linear wall term (indoors).
+///
+/// Distances at or below the reference return `pl0_db` (free-space inside
+/// one metre is not modelled; APs are never co-located in practice).
+pub fn pathloss_db(params: &ChannelParams, d_m: f64) -> f64 {
+    let d = d_m.max(D0_M);
+    params.pl0_db + 10.0 * params.pathloss_exponent * (d / D0_M).log10() + wall_loss_db(params, d)
+}
+
+/// The obstruction component of the path loss: `wall_db` per
+/// `wall_every_m` metres beyond the first wall-free stretch, capped at
+/// `wall_cap_db`. Continuous in `d` so inverses are well defined.
+pub fn wall_loss_db(params: &ChannelParams, d_m: f64) -> f64 {
+    if params.wall_every_m <= 0.0 {
+        return 0.0;
+    }
+    ((d_m - params.wall_every_m).max(0.0) / params.wall_every_m * params.wall_db)
+        .min(params.wall_cap_db)
+}
+
+/// Inverse: the distance at which path loss equals `pl_db`. With the wall
+/// term the loss is piecewise, so the inverse is found by bisection over
+/// the (monotone) forward function.
+pub fn distance_for_pathloss(params: &ChannelParams, pl_db: f64) -> f64 {
+    if pathloss_db(params, D0_M) >= pl_db {
+        return D0_M;
+    }
+    let (mut lo, mut hi) = (D0_M, 1.0e6);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if pathloss_db(params, mid) < pl_db {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Euclidean distance between two 2-D points (metres).
+pub fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_distance_behaviour() {
+        let p = ChannelParams::indoor();
+        assert_eq!(pathloss_db(&p, 1.0), p.pl0_db);
+        assert_eq!(pathloss_db(&p, 0.1), p.pl0_db); // clamped
+        assert_eq!(pathloss_db(&p, 0.0), p.pl0_db); // clamped, no -inf
+    }
+
+    #[test]
+    fn decade_slope_without_walls() {
+        let p = ChannelParams::outdoor();
+        let slope = pathloss_db(&p, 100.0) - pathloss_db(&p, 10.0);
+        assert!((slope - 10.0 * p.pathloss_exponent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_term_shape() {
+        let p = ChannelParams::indoor();
+        // No walls within the first wall-free stretch.
+        assert_eq!(wall_loss_db(&p, 5.0), 0.0);
+        assert_eq!(wall_loss_db(&p, p.wall_every_m), 0.0);
+        // One wall-spacing beyond: exactly one wall's worth.
+        assert!((wall_loss_db(&p, 2.0 * p.wall_every_m) - p.wall_db).abs() < 1e-12);
+        // Far away: capped.
+        assert_eq!(wall_loss_db(&p, 1e5), p.wall_cap_db);
+        // Outdoor: disabled.
+        assert_eq!(wall_loss_db(&ChannelParams::outdoor(), 1e5), 0.0);
+    }
+
+    #[test]
+    fn indoor_falls_faster_than_log_distance() {
+        let p = ChannelParams::indoor();
+        let slope = pathloss_db(&p, 100.0) - pathloss_db(&p, 10.0);
+        assert!(slope > 10.0 * p.pathloss_exponent, "walls must add loss");
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = ChannelParams::outdoor();
+        for d in [2.0, 17.0, 240.0] {
+            let pl = pathloss_db(&p, d);
+            assert!((distance_for_pathloss(&p, pl) - d).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_at_reference() {
+        let p = ChannelParams::indoor();
+        assert_eq!(distance_for_pathloss(&p, p.pl0_db - 20.0), D0_M);
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        assert_eq!(distance((0.0, 0.0), (3.0, 4.0)), 5.0);
+        assert_eq!(distance((1.0, 1.0), (1.0, 1.0)), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_in_distance(d1 in 1.0f64..1e4, d2 in 1.0f64..1e4) {
+            let p = ChannelParams::indoor();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(pathloss_db(&p, lo) <= pathloss_db(&p, hi));
+        }
+
+        #[test]
+        fn distance_symmetric(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                              bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            prop_assert_eq!(distance((ax, ay), (bx, by)), distance((bx, by), (ax, ay)));
+        }
+    }
+}

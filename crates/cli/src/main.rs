@@ -1,0 +1,235 @@
+//! `mesh11` — the toolkit's command-line face.
+//!
+//! ```text
+//! mesh11 simulate --seed 42 --scale standard --out dataset.m11t [--json] [--spec campaign.json]
+//! mesh11 inspect  dataset.m11t
+//! mesh11 analyze  dataset.m11t [bitrate|routing|triples|mobility|all]
+//! mesh11 figures  dataset.m11t <experiment-id>... | --all
+//! ```
+//!
+//! `simulate` writes a dataset (compact binary by default, `--json` for the
+//! interchange format); `inspect` prints its structural summary; `analyze`
+//! runs the paper's analyses against it. Because the analyses consume only
+//! the dataset, `analyze` works identically on any file with the right
+//! shape — including one converted from a real deployment's logs.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod commands;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mesh11 simulate [--seed N] [--scale quick|standard|paper] [--networks N] [--spec FILE] [--json] --out FILE\n  mesh11 inspect FILE\n  mesh11 analyze FILE [bitrate|routing|triples|mobility|all]\n  mesh11 figures FILE <experiment-id>... | --all"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let result = match cmd.as_str() {
+        "simulate" => commands::simulate(&args[1..]),
+        "inspect" => match args.get(1) {
+            Some(path) => commands::inspect(Path::new(path)),
+            None => usage(),
+        },
+        "analyze" => match args.get(1) {
+            Some(path) => {
+                let what = args.get(2).map(String::as_str).unwrap_or("all");
+                commands::analyze(Path::new(path), what)
+            }
+            None => usage(),
+        },
+        "figures" => match args.get(1) {
+            Some(path) => commands::figures(Path::new(path), &args[2..]),
+            None => usage(),
+        },
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("mesh11: unknown command '{other}'");
+            usage()
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mesh11: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a dataset by extension: `.json` via serde, anything else via the
+/// binary codec.
+pub fn load_dataset(path: &Path) -> Result<mesh11_trace::Dataset, String> {
+    if path.extension().is_some_and(|e| e == "json") {
+        mesh11_trace::Dataset::load_json(path).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        mesh11_trace::codec::load(path).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Parsed `simulate` flags.
+pub struct SimulateArgs {
+    pub seed: u64,
+    pub scale: String,
+    pub networks: Option<usize>,
+    pub json: bool,
+    pub out: PathBuf,
+    /// Custom campaign specification (JSON-serialized `CampaignSpec`);
+    /// overrides `--scale`/`--networks` sizing when given.
+    pub spec: Option<PathBuf>,
+}
+
+impl SimulateArgs {
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = None;
+        let mut parsed = SimulateArgs {
+            seed: 42,
+            scale: "quick".into(),
+            networks: None,
+            json: false,
+            out: PathBuf::new(),
+            spec: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    parsed.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--scale" => {
+                    parsed.scale = it.next().ok_or("--scale needs a value")?.clone();
+                }
+                "--networks" => {
+                    parsed.networks = Some(
+                        it.next()
+                            .ok_or("--networks needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad network count: {e}"))?,
+                    );
+                }
+                "--json" => parsed.json = true,
+                "--spec" => {
+                    parsed.spec = Some(PathBuf::from(it.next().ok_or("--spec needs a value")?));
+                }
+                "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        parsed.out = out.ok_or("simulate requires --out FILE")?;
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let a = SimulateArgs::parse(&args(&["--out", "x.m11t"])).unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.scale, "quick");
+        assert_eq!(a.networks, None);
+        assert!(!a.json);
+        assert_eq!(a.out, PathBuf::from("x.m11t"));
+    }
+
+    #[test]
+    fn parse_full() {
+        let a = SimulateArgs::parse(&args(&[
+            "--seed",
+            "7",
+            "--scale",
+            "standard",
+            "--networks",
+            "5",
+            "--json",
+            "--out",
+            "d.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scale, "standard");
+        assert_eq!(a.networks, Some(5));
+        assert!(a.json);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(SimulateArgs::parse(&args(&[])).is_err(), "missing --out");
+        assert!(SimulateArgs::parse(&args(&["--seed"])).is_err());
+        assert!(SimulateArgs::parse(&args(&["--seed", "x", "--out", "f"])).is_err());
+        assert!(SimulateArgs::parse(&args(&["--bogus", "--out", "f"])).is_err());
+    }
+
+    #[test]
+    fn load_dataset_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join("mesh11-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = mesh11_trace::Dataset::default();
+
+        let json_path = dir.join("ds.json");
+        ds.save_json(&json_path).unwrap();
+        assert_eq!(load_dataset(&json_path).unwrap(), ds);
+
+        let bin_path = dir.join("ds.m11t");
+        mesh11_trace::codec::save(&ds, &bin_path).unwrap();
+        assert_eq!(load_dataset(&bin_path).unwrap(), ds);
+
+        assert!(load_dataset(Path::new("/nonexistent.m11t")).is_err());
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn spec_file_round_trip() {
+        let dir = std::env::temp_dir().join("mesh11-cli-spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("campaign.json");
+        let spec = mesh11_topo::CampaignSpec::scaled(5, 4);
+        std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let out = dir.join("spec.m11t");
+        crate::commands::simulate(&args(&[
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let ds = load_dataset(&out).unwrap();
+        assert_eq!(ds.networks.len(), 4);
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&spec_path).ok();
+    }
+
+    #[test]
+    fn simulate_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("mesh11-cli-e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("tiny.m11t");
+        crate::commands::simulate(&args(&[
+            "--seed",
+            "3",
+            "--networks",
+            "3",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        crate::commands::inspect(&out).unwrap();
+        crate::commands::analyze(&out, "all").unwrap();
+        assert!(crate::commands::analyze(&out, "nonsense").is_err());
+        std::fs::remove_file(&out).ok();
+    }
+}

@@ -1,0 +1,170 @@
+//! §4.4 — how throughput varies with SNR (Fig 4.5).
+//!
+//! For every (probe set, rate observation), one `(SNR, throughput)` point.
+//! The figure plots, per rate, the median with quartile error bars over SNR
+//! bins; the section also quotes correlation coefficients, which we compute
+//! both linearly (Pearson) and by rank (Spearman — more honest given the
+//! saturating shape).
+
+use std::collections::BTreeMap;
+
+use mesh11_phy::{BitRate, Phy};
+use mesh11_stats::{pearson, spearman, BinnedStats};
+use mesh11_trace::Dataset;
+
+/// Per-rate binned SNR → throughput statistics.
+#[derive(Debug, Clone)]
+pub struct SnrThroughputCurves {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Per rate: throughput samples binned by integer SNR.
+    pub per_rate: BTreeMap<BitRate, BinnedStats>,
+    /// Raw `(snr, throughput)` pooled across rates, for the correlation
+    /// coefficients.
+    snr: Vec<f64>,
+    thr: Vec<f64>,
+}
+
+impl SnrThroughputCurves {
+    /// Builds the curves from every probe set of `phy`.
+    pub fn build(ds: &Dataset, phy: Phy) -> Self {
+        let mut per_rate: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
+        let mut snr = Vec::new();
+        let mut thr = Vec::new();
+        for p in ds.probes_for_phy(phy) {
+            let key = p.snr_key();
+            for o in &p.obs {
+                per_rate
+                    .entry(o.rate)
+                    .or_default()
+                    .push(key, o.throughput_mbps());
+                snr.push(key as f64);
+                thr.push(o.throughput_mbps());
+            }
+        }
+        Self {
+            phy,
+            per_rate,
+            snr,
+            thr,
+        }
+    }
+
+    /// The envelope the paper's Fig 4.5 eye traces: per SNR bin, the best
+    /// median throughput across rates.
+    pub fn envelope(&self) -> BTreeMap<i64, f64> {
+        let mut out: BTreeMap<i64, f64> = BTreeMap::new();
+        for stats in self.per_rate.values() {
+            for (snr, summary) in stats.rows() {
+                let e = out.entry(snr).or_insert(0.0);
+                *e = e.max(summary.median);
+            }
+        }
+        out
+    }
+
+    /// Pearson correlation of SNR and throughput over all samples.
+    pub fn pearson(&self) -> Option<f64> {
+        pearson(&self.snr, &self.thr)
+    }
+
+    /// Spearman rank correlation of SNR and throughput.
+    pub fn spearman(&self) -> Option<f64> {
+        spearman(&self.snr, &self.thr)
+    }
+
+    /// The SNR (dB) beyond which the envelope stops growing (within
+    /// `slack`, e.g. 0.95): the paper observes ≈30 dB for b/g, ≈15 dB for n.
+    pub fn saturation_snr_db(&self, slack: f64) -> Option<i64> {
+        let env = self.envelope();
+        let peak = env.values().copied().fold(0.0, f64::max);
+        if peak <= 0.0 {
+            return None;
+        }
+        env.iter()
+            .find(|(_, &v)| v >= slack * peak)
+            .map(|(&snr, _)| snr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_trace::{ApId, NetworkId, ProbeSet, RateObs};
+
+    fn r(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn probe(snr: f64, obs: Vec<(f64, f64)>) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(0),
+            phy: Phy::Bg,
+            time_s: 0.0,
+            sender: ApId(0),
+            receiver: ApId(1),
+            obs: obs
+                .into_iter()
+                .map(|(mbps, loss)| RateObs {
+                    rate: r(mbps),
+                    loss,
+                    snr_db: snr,
+                })
+                .collect(),
+        }
+    }
+
+    fn ds(probes: Vec<ProbeSet>) -> Dataset {
+        Dataset {
+            probes,
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn collects_per_rate_bins() {
+        let d = ds(vec![
+            probe(10.0, vec![(1.0, 0.0), (6.0, 0.5)]),
+            probe(30.0, vec![(1.0, 0.0), (6.0, 0.0)]),
+        ]);
+        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        assert_eq!(c.per_rate.len(), 2);
+        let six = &c.per_rate[&r(6.0)];
+        assert_eq!(six.bin(10), Some(&[3.0][..]));
+        assert_eq!(six.bin(30), Some(&[6.0][..]));
+    }
+
+    #[test]
+    fn envelope_takes_best_rate() {
+        let d = ds(vec![probe(30.0, vec![(1.0, 0.0), (24.0, 0.0)])]);
+        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        assert_eq!(c.envelope()[&30], 24.0);
+    }
+
+    #[test]
+    fn correlation_positive_for_rising_data() {
+        let d = ds(vec![
+            probe(5.0, vec![(6.0, 0.9)]),
+            probe(15.0, vec![(6.0, 0.5)]),
+            probe(25.0, vec![(6.0, 0.1)]),
+            probe(35.0, vec![(6.0, 0.0)]),
+        ]);
+        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        assert!(c.pearson().unwrap() > 0.9);
+        assert!(c.spearman().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn saturation_point() {
+        let d = ds(vec![
+            probe(10.0, vec![(24.0, 0.8)]),
+            probe(20.0, vec![(24.0, 0.2)]),
+            probe(30.0, vec![(24.0, 0.0)]),
+            probe(40.0, vec![(24.0, 0.0)]),
+        ]);
+        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        assert_eq!(c.saturation_snr_db(0.95), Some(30));
+        let empty = SnrThroughputCurves::build(&ds(vec![]), Phy::Bg);
+        assert_eq!(empty.saturation_snr_db(0.95), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! §4.3 — the throughput cost of table-driven rate selection (Fig 4.4).
+//!
+//! For every probe set, compare the throughput of the rate the lookup table
+//! would have picked against the throughput of the set's actual optimum.
+//! A rate the table picks but the set never heard (no observation) scores
+//! zero throughput — exactly the punishment a real sender would take.
+
+use mesh11_phy::Phy;
+use mesh11_stats::Cdf;
+use mesh11_trace::Dataset;
+
+use crate::bitrate::lookup::{LookupTableSet, Scope};
+
+/// Throughput-difference distribution for one scope.
+#[derive(Debug, Clone)]
+pub struct ThroughputPenalty {
+    /// Training scope.
+    pub scope: Scope,
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// One difference (Mbit/s, ≥ 0) per predicted probe set.
+    pub diffs_mbps: Vec<f64>,
+    /// Probe sets for which the table had no entry (excluded from the CDF).
+    pub unpredicted: usize,
+}
+
+impl ThroughputPenalty {
+    /// Evaluates a trained table set against the dataset it describes.
+    pub fn evaluate(ds: &Dataset, table: &LookupTableSet) -> Self {
+        let mut diffs = Vec::new();
+        let mut unpredicted = 0usize;
+        for p in ds.probes_for_phy(table.phy()) {
+            let Some(pick) = table.predict(p) else {
+                unpredicted += 1;
+                continue;
+            };
+            let best = p.optimal().throughput_mbps();
+            let got = p.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+            diffs.push((best - got).max(0.0));
+        }
+        Self {
+            scope: table.scope(),
+            phy: table.phy(),
+            diffs_mbps: diffs,
+            unpredicted,
+        }
+    }
+
+    /// Convenience: build the table at `scope` then evaluate.
+    pub fn for_scope(ds: &Dataset, scope: Scope, phy: Phy) -> Self {
+        Self::evaluate(ds, &LookupTableSet::build(ds, scope, phy))
+    }
+
+    /// CDF of the differences (the Fig 4.4 curve). `None` when nothing was
+    /// predicted.
+    pub fn cdf(&self) -> Option<Cdf> {
+        Cdf::from_samples(self.diffs_mbps.iter().copied())
+    }
+
+    /// Fraction of predictions with zero throughput loss — §4.3's "chooses
+    /// the correct answer" number (≈90% b/g, ≈75% n for link scope).
+    pub fn frac_exact(&self) -> f64 {
+        if self.diffs_mbps.is_empty() {
+            return 0.0;
+        }
+        self.diffs_mbps.iter().filter(|&&d| d < 1e-9).count() as f64 / self.diffs_mbps.len() as f64
+    }
+
+    /// Mean throughput loss (Mbit/s).
+    pub fn mean_loss_mbps(&self) -> f64 {
+        mesh11_stats::mean(&self.diffs_mbps).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::{ApId, NetworkId, ProbeSet, RateObs};
+
+    fn r(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn probe(s: u32, rx: u32, snr: f64, obs: Vec<(f64, f64)>) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(0),
+            phy: Phy::Bg,
+            time_s: 0.0,
+            sender: ApId(s),
+            receiver: ApId(rx),
+            obs: obs
+                .into_iter()
+                .map(|(mbps, loss)| RateObs {
+                    rate: r(mbps),
+                    loss,
+                    snr_db: snr,
+                })
+                .collect(),
+        }
+    }
+
+    fn ds(probes: Vec<ProbeSet>) -> Dataset {
+        Dataset {
+            probes,
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn perfect_table_zero_penalty() {
+        let d = ds(vec![
+            probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
+            probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
+        ]);
+        let p = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        assert_eq!(p.diffs_mbps.len(), 2);
+        assert_eq!(p.frac_exact(), 1.0);
+        assert_eq!(p.mean_loss_mbps(), 0.0);
+        assert_eq!(p.unpredicted, 0);
+    }
+
+    #[test]
+    fn conflicting_links_cost_global_table() {
+        // Link A: optimal 12 (24 is lossy); link B: optimal 24. Global
+        // training at the shared SNR must err on one of them.
+        let d = ds(vec![
+            probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
+            probe(0, 2, 20.0, vec![(12.0, 0.0), (24.0, 0.0)]),
+        ]);
+        let global = ThroughputPenalty::for_scope(&d, Scope::Global, Phy::Bg);
+        let link = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        assert!(global.frac_exact() < 1.0);
+        assert_eq!(link.frac_exact(), 1.0);
+        assert!(global.mean_loss_mbps() > link.mean_loss_mbps());
+    }
+
+    #[test]
+    fn unheard_pick_scores_zero() {
+        // Train the table toward 48 via one link, then evaluate a set that
+        // never heard 48: penalty is the full optimal throughput.
+        let d = ds(vec![
+            probe(0, 1, 25.0, vec![(48.0, 0.0)]),
+            probe(0, 2, 25.0, vec![(12.0, 0.0)]),
+        ]);
+        let g = ThroughputPenalty::for_scope(&d, Scope::Global, Phy::Bg);
+        // One of the two sets is mispredicted with an unheard rate.
+        let max = g.diffs_mbps.iter().copied().fold(0.0, f64::max);
+        assert!(max >= 12.0 - 1e-9, "diffs {:?}", g.diffs_mbps);
+    }
+
+    #[test]
+    fn cdf_export() {
+        let d = ds(vec![probe(0, 1, 20.0, vec![(12.0, 0.0)])]);
+        let p = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        let cdf = p.cdf().unwrap();
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.eval(0.0), 1.0);
+        let empty = ThroughputPenalty::for_scope(&ds(vec![]), Scope::Link, Phy::Bg);
+        assert!(empty.cdf().is_none());
+    }
+}

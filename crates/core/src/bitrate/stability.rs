@@ -1,0 +1,201 @@
+//! Temporal stability of the per-link optimal rate (§4.6 diagnostics).
+//!
+//! The paper's §4 rests on the optimum being stable *given the SNR* on a
+//! link. This module measures that directly:
+//!
+//! * **churn** — how often `P_opt` differs between consecutive probe sets
+//!   on a link;
+//! * **same-SNR churn** — churn restricted to consecutive sets whose
+//!   integer SNR key is identical. This is the irreducible error floor of
+//!   *any* SNR-keyed lookup table (no table can distinguish two sets with
+//!   the same key), and explains the gap between Fig 4.2's ≥95% cells and
+//!   Fig 4.6's 80–90% online accuracy;
+//! * **SNR drift** — mean |ΔSNR| between consecutive sets, the channel's
+//!   report-to-report wander.
+
+use std::collections::HashMap;
+
+use mesh11_phy::Phy;
+use mesh11_trace::{Dataset, ProbeSet};
+use serde::{Deserialize, Serialize};
+
+/// Pooled stability statistics over every link of a PHY.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkStability {
+    /// Links with at least two probe sets.
+    pub links: usize,
+    /// Per link: fraction of consecutive set pairs where the optimum
+    /// changed.
+    pub churn_per_link: Vec<f64>,
+    /// Per link: mean |ΔSNR| (dB) between consecutive sets.
+    pub snr_drift_per_link: Vec<f64>,
+    /// Pooled churn over pairs whose SNR key matched.
+    pub churn_same_snr: f64,
+    /// Pooled churn over pairs whose SNR key differed.
+    pub churn_diff_snr: f64,
+    /// Consecutive-set pairs examined (same-SNR, diff-SNR).
+    pub pairs: (u64, u64),
+}
+
+impl LinkStability {
+    /// Median per-link churn.
+    pub fn median_churn(&self) -> Option<f64> {
+        mesh11_stats::median(&self.churn_per_link)
+    }
+
+    /// Median per-link SNR drift (dB).
+    pub fn median_drift_db(&self) -> Option<f64> {
+        mesh11_stats::median(&self.snr_drift_per_link)
+    }
+}
+
+/// Measures optimal-rate stability over every directed link of `phy`.
+pub fn link_stability(ds: &Dataset, phy: Phy) -> LinkStability {
+    let mut per_link: HashMap<(u32, u32, u32), Vec<&ProbeSet>> = HashMap::new();
+    for p in ds.probes_for_phy(phy) {
+        per_link
+            .entry((p.network.0, p.sender.0, p.receiver.0))
+            .or_default()
+            .push(p);
+    }
+    let mut churn_per_link = Vec::new();
+    let mut snr_drift_per_link = Vec::new();
+    let mut same = (0u64, 0u64); // (changed, total)
+    let mut diff = (0u64, 0u64);
+    for sets in per_link.values_mut() {
+        if sets.len() < 2 {
+            continue;
+        }
+        sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+        let mut changed = 0usize;
+        let mut drift = 0.0;
+        for w in sets.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            let flipped = prev.optimal().rate != next.optimal().rate;
+            changed += usize::from(flipped);
+            drift += (next.snr_db() - prev.snr_db()).abs();
+            let bucket = if prev.snr_key() == next.snr_key() {
+                &mut same
+            } else {
+                &mut diff
+            };
+            bucket.0 += u64::from(flipped);
+            bucket.1 += 1;
+        }
+        let n_pairs = (sets.len() - 1) as f64;
+        churn_per_link.push(changed as f64 / n_pairs);
+        snr_drift_per_link.push(drift / n_pairs);
+    }
+    LinkStability {
+        links: churn_per_link.len(),
+        churn_per_link,
+        snr_drift_per_link,
+        churn_same_snr: if same.1 > 0 {
+            same.0 as f64 / same.1 as f64
+        } else {
+            0.0
+        },
+        churn_diff_snr: if diff.1 > 0 {
+            diff.0 as f64 / diff.1 as f64
+        } else {
+            0.0
+        },
+        pairs: (same.1, diff.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::{ApId, NetworkId, RateObs};
+
+    fn r(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn probe(t: f64, snr: f64, opt: f64) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(0),
+            phy: Phy::Bg,
+            time_s: t,
+            sender: ApId(0),
+            receiver: ApId(1),
+            obs: vec![RateObs {
+                rate: r(opt),
+                loss: 0.0,
+                snr_db: snr,
+            }],
+        }
+    }
+
+    fn ds(probes: Vec<ProbeSet>) -> Dataset {
+        Dataset {
+            probes,
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn stable_link_zero_churn() {
+        let d = ds((0..10)
+            .map(|k| probe(k as f64 * 300.0, 20.0, 24.0))
+            .collect());
+        let s = link_stability(&d, Phy::Bg);
+        assert_eq!(s.links, 1);
+        assert_eq!(s.median_churn(), Some(0.0));
+        assert_eq!(s.churn_same_snr, 0.0);
+        assert_eq!(s.pairs, (9, 0));
+        assert_eq!(s.median_drift_db(), Some(0.0));
+    }
+
+    #[test]
+    fn alternating_optimum_full_churn() {
+        let d = ds((0..10)
+            .map(|k| probe(k as f64 * 300.0, 20.0, if k % 2 == 0 { 24.0 } else { 12.0 }))
+            .collect());
+        let s = link_stability(&d, Phy::Bg);
+        assert_eq!(s.median_churn(), Some(1.0));
+        assert_eq!(
+            s.churn_same_snr, 1.0,
+            "all flips happened at the same SNR key"
+        );
+    }
+
+    #[test]
+    fn snr_tracked_flips_are_diff_snr_churn() {
+        // Optimum flips only when the SNR moves: a perfect table would
+        // still be perfect.
+        let d = ds(vec![
+            probe(0.0, 15.0, 12.0),
+            probe(300.0, 25.0, 24.0),
+            probe(600.0, 15.0, 12.0),
+            probe(900.0, 25.0, 24.0),
+        ]);
+        let s = link_stability(&d, Phy::Bg);
+        assert_eq!(s.churn_same_snr, 0.0);
+        assert_eq!(s.churn_diff_snr, 1.0);
+        assert_eq!(s.pairs, (0, 3));
+        assert_eq!(s.median_drift_db(), Some(10.0));
+    }
+
+    #[test]
+    fn single_set_links_ignored() {
+        let d = ds(vec![probe(0.0, 20.0, 24.0)]);
+        let s = link_stability(&d, Phy::Bg);
+        assert_eq!(s.links, 0);
+        assert_eq!(s.median_churn(), None);
+    }
+
+    #[test]
+    fn out_of_order_input_is_sorted() {
+        let d = ds(vec![
+            probe(600.0, 20.0, 24.0),
+            probe(0.0, 20.0, 24.0),
+            probe(300.0, 20.0, 24.0),
+        ]);
+        let s = link_stability(&d, Phy::Bg);
+        assert_eq!(s.median_churn(), Some(0.0));
+        assert_eq!(s.pairs.0 + s.pairs.1, 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mesh11-core
+//!
+//! The analysis toolkit — the paper's contribution. Four analysis families,
+//! one per evaluation chapter, all consuming only the [`mesh11_trace`] data
+//! model (never simulator ground truth):
+//!
+//! * [`bitrate`] (§4) — how well does the SNR predict the optimal bit rate?
+//!   SNR-keyed lookup tables at four training scopes (global / network / AP
+//!   / link), the number of rates needed per accuracy percentile
+//!   (Figs 4.2–4.3), the throughput penalty of table-driven selection
+//!   (Fig 4.4), SNR↔throughput correlation (Fig 4.5), and online
+//!   table-maintenance strategies with measured costs (Fig 4.6, Table 4.1).
+//! * [`routing`] (§5) — expected-transmission-count routing: ETX1/ETX2 link
+//!   metrics, shortest paths, the idealized opportunistic (ExOR-without-
+//!   overhead) cost, and the improvement analysis (Figs 5.1–5.5).
+//! * [`triples`] (§6) — hearing graphs, relevant/hidden triple counting
+//!   (Fig 6.1), and bit-rate-dependent range (Fig 6.2, §6.3).
+//! * [`mobility`] (§7) — client session reconstruction from 5-minute
+//!   aggregate data, prevalence and persistence (Figs 7.1–7.5).
+//!
+//! [`report`] holds the figure-series containers every analysis exports and
+//! the ASCII/JSON renderers the `repro` harness prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitrate;
+pub mod mobility;
+pub mod report;
+pub mod routing;
+pub mod triples;

@@ -1,0 +1,221 @@
+//! §7 metrics over reconstructed sessions (Figs 7.1–7.5).
+
+use std::collections::BTreeMap;
+
+use mesh11_trace::{Dataset, EnvLabel};
+use serde::{Deserialize, Serialize};
+
+use crate::mobility::sessions::ClientSessions;
+
+/// Everything §7 reports, computed in one pass over the sessions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityReport {
+    /// Bin width (seconds).
+    pub bin_s: f64,
+    /// Fig 7.1: number of distinct APs visited, one value per session.
+    pub aps_visited: Vec<u64>,
+    /// Fig 7.2: connection length (hours), one value per session.
+    pub connection_hours: Vec<f64>,
+    /// Fig 7.3: non-zero prevalence values by environment (pure envs only).
+    pub prevalence: BTreeMap<EnvLabel, Vec<f64>>,
+    /// Fig 7.4: persistence values (minutes) by environment.
+    pub persistence_min: BTreeMap<EnvLabel, Vec<f64>>,
+    /// Fig 7.5: `(median persistence [min], max prevalence)` per session.
+    pub prevalence_vs_persistence: Vec<(f64, f64)>,
+}
+
+impl MobilityReport {
+    /// Builds the report from a dataset's client samples.
+    pub fn build(ds: &Dataset) -> Self {
+        Self::from_sessions(&ClientSessions::build(ds))
+    }
+
+    /// Builds the report from already-reconstructed sessions.
+    pub fn from_sessions(cs: &ClientSessions) -> Self {
+        let bin_s = cs.bin_s;
+        let mut aps_visited = Vec::with_capacity(cs.sessions.len());
+        let mut connection_hours = Vec::with_capacity(cs.sessions.len());
+        let mut prevalence: BTreeMap<EnvLabel, Vec<f64>> = BTreeMap::new();
+        let mut persistence_min: BTreeMap<EnvLabel, Vec<f64>> = BTreeMap::new();
+        let mut scatter = Vec::with_capacity(cs.sessions.len());
+
+        for s in &cs.sessions {
+            aps_visited.push(s.aps_visited() as u64);
+            connection_hours.push(s.duration_s(bin_s) / 3_600.0);
+
+            let prev: Vec<f64> = s.prevalence().into_iter().map(|p| p.1).collect();
+            let pers: Vec<f64> = s
+                .persistence_runs()
+                .into_iter()
+                .map(|(_, bins)| bins as f64 * bin_s / 60.0)
+                .collect();
+
+            if s.env.is_pure() {
+                prevalence
+                    .entry(s.env)
+                    .or_default()
+                    .extend(prev.iter().copied());
+                persistence_min
+                    .entry(s.env)
+                    .or_default()
+                    .extend(pers.iter().copied());
+            }
+
+            let max_prev = prev.iter().copied().fold(0.0, f64::max);
+            if let Some(med_pers) = mesh11_stats::median(&pers) {
+                scatter.push((med_pers, max_prev));
+            }
+        }
+
+        Self {
+            bin_s,
+            aps_visited,
+            connection_hours,
+            prevalence,
+            persistence_min,
+            prevalence_vs_persistence: scatter,
+        }
+    }
+
+    /// Fraction of sessions spanning the full client horizon (Fig 7.2's
+    /// right edge: ≈60% in the paper).
+    pub fn frac_full_duration(&self, horizon_s: f64) -> f64 {
+        if self.connection_hours.is_empty() {
+            return 0.0;
+        }
+        let full = horizon_s / 3_600.0 - self.bin_s / 3_600.0; // tolerance of one bin
+        self.connection_hours.iter().filter(|&&h| h >= full).count() as f64
+            / self.connection_hours.len() as f64
+    }
+
+    /// Fraction of sessions visiting exactly one AP (Fig 7.1's mode).
+    pub fn frac_single_ap(&self) -> f64 {
+        if self.aps_visited.is_empty() {
+            return 0.0;
+        }
+        self.aps_visited.iter().filter(|&&n| n == 1).count() as f64 / self.aps_visited.len() as f64
+    }
+
+    /// Mean and median of an environment's prevalence values.
+    pub fn prevalence_stats(&self, env: EnvLabel) -> Option<(f64, f64)> {
+        let v = self.prevalence.get(&env)?;
+        Some((mesh11_stats::mean(v)?, mesh11_stats::median(v)?))
+    }
+
+    /// Mean and median of an environment's persistence values (minutes).
+    pub fn persistence_stats(&self, env: EnvLabel) -> Option<(f64, f64)> {
+        let v = self.persistence_min.get(&env)?;
+        Some((mesh11_stats::mean(v)?, mesh11_stats::median(v)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_trace::{ApId, ClientId, ClientSample, NetworkId, NetworkMeta};
+
+    fn sample(net: u32, client: u32, ap: u32, bin: u64) -> ClientSample {
+        ClientSample {
+            network: NetworkId(net),
+            ap: ApId(ap),
+            client: ClientId(client),
+            bin_start_s: bin as f64 * 300.0,
+            assoc_requests: 0,
+            data_pkts: 10,
+        }
+    }
+
+    fn meta(net: u32, env: EnvLabel) -> NetworkMeta {
+        NetworkMeta {
+            id: NetworkId(net),
+            env,
+            n_aps: 4,
+            radios: vec![mesh11_phy::Phy::Bg],
+            location: String::new(),
+        }
+    }
+
+    fn ds(networks: Vec<NetworkMeta>, clients: Vec<ClientSample>) -> Dataset {
+        Dataset {
+            networks,
+            clients,
+            client_horizon_s: 3_000.0,
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn basic_report() {
+        // One indoor client at AP1 for 10 bins (the full 3000 s horizon).
+        let d = ds(
+            vec![meta(0, EnvLabel::Indoor)],
+            (0..10).map(|b| sample(0, 0, 1, b)).collect(),
+        );
+        let r = MobilityReport::build(&d);
+        assert_eq!(r.aps_visited, vec![1]);
+        assert_eq!(r.frac_single_ap(), 1.0);
+        assert!((r.connection_hours[0] - 3000.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(r.frac_full_duration(3_000.0), 1.0);
+        // One AP the whole time: prevalence 1, persistence = 50 min.
+        assert_eq!(r.prevalence[&EnvLabel::Indoor], vec![1.0]);
+        assert_eq!(r.persistence_min[&EnvLabel::Indoor], vec![50.0]);
+        assert_eq!(r.prevalence_vs_persistence, vec![(50.0, 1.0)]);
+    }
+
+    #[test]
+    fn switching_client_metrics() {
+        // Alternates AP1/AP2 each bin for 4 bins.
+        let d = ds(
+            vec![meta(0, EnvLabel::Indoor)],
+            (0..4)
+                .map(|b| sample(0, 0, 1 + (b % 2) as u32, b))
+                .collect(),
+        );
+        let r = MobilityReport::build(&d);
+        assert_eq!(r.aps_visited, vec![2]);
+        // Four runs of one bin each → persistence 5 min each.
+        assert_eq!(r.persistence_min[&EnvLabel::Indoor], vec![5.0; 4]);
+        // Prevalence 0.5 at each AP.
+        assert_eq!(r.prevalence[&EnvLabel::Indoor], vec![0.5, 0.5]);
+        // Scatter: low persistence, low max prevalence — Fig 7.5's lower
+        // left quadrant.
+        assert_eq!(r.prevalence_vs_persistence, vec![(5.0, 0.5)]);
+    }
+
+    #[test]
+    fn mixed_env_excluded_from_env_splits() {
+        let d = ds(vec![meta(0, EnvLabel::Mixed)], vec![sample(0, 0, 1, 0)]);
+        let r = MobilityReport::build(&d);
+        assert_eq!(r.aps_visited.len(), 1, "still counted overall");
+        assert!(r.prevalence.is_empty(), "but not in the env split");
+        assert!(r.persistence_min.is_empty());
+    }
+
+    #[test]
+    fn env_stats() {
+        let d = ds(
+            vec![meta(0, EnvLabel::Indoor), meta(1, EnvLabel::Outdoor)],
+            vec![
+                sample(0, 0, 1, 0),
+                sample(0, 0, 2, 1),
+                sample(1, 0, 1, 0),
+                sample(1, 0, 1, 1),
+            ],
+        );
+        let r = MobilityReport::build(&d);
+        let (in_mean, _) = r.prevalence_stats(EnvLabel::Indoor).unwrap();
+        let (out_mean, _) = r.prevalence_stats(EnvLabel::Outdoor).unwrap();
+        assert!((in_mean - 0.5).abs() < 1e-12);
+        assert!((out_mean - 1.0).abs() < 1e-12);
+        let (_, out_med_pers) = r.persistence_stats(EnvLabel::Outdoor).unwrap();
+        assert_eq!(out_med_pers, 10.0);
+        assert!(r.prevalence_stats(EnvLabel::Mixed).is_none());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = MobilityReport::build(&ds(vec![], vec![]));
+        assert_eq!(r.frac_single_ap(), 0.0);
+        assert_eq!(r.frac_full_duration(1_000.0), 0.0);
+    }
+}

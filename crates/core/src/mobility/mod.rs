@@ -1,0 +1,15 @@
+//! §7 — Client mobility: prevalence and persistence.
+//!
+//! The input is the 5-minute aggregate client data; nothing finer exists
+//! (the paper: "we cannot perceive a client disconnecting and reconnecting
+//! within a five-minute period"). [`sessions`] reconstructs per-client AP
+//! timelines and applies the paper's client-splitting rule; [`metrics`]
+//! computes the number of APs visited (Fig 7.1), connection lengths
+//! (Fig 7.2), prevalence (Fig 7.3), persistence (Fig 7.4), and the
+//! prevalence-vs-persistence scatter (Fig 7.5).
+
+pub mod metrics;
+pub mod sessions;
+
+pub use metrics::MobilityReport;
+pub use sessions::{ClientSessions, Session};

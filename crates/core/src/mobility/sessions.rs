@@ -1,0 +1,290 @@
+//! Session reconstruction from 5-minute aggregate client data.
+//!
+//! Rules, mirroring §7:
+//!
+//! * A client's AP in a bin is the AP where it moved the most data packets
+//!   (ties: more association requests, then the lower AP id) — the data
+//!   gives per-(AP, client, bin) counters, and a client that switched
+//!   mid-bin appears at several APs.
+//! * A client absent for **more than five minutes** becomes a new client.
+//!   At 5-minute granularity, one missing bin bounds the disconnect in
+//!   (0, 10) minutes — unobservable either way — so a single missing bin is
+//!   bridged (the previous AP carries over) and two or more missing bins
+//!   split the session.
+
+use std::collections::BTreeMap;
+
+use mesh11_trace::{ApId, ClientId, Dataset, EnvLabel, NetworkId};
+
+/// One reconstructed client session: a maximal run of (near-)consecutive
+/// bins for one underlying client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The network.
+    pub network: NetworkId,
+    /// The environment of the network (for §7's indoor/outdoor split).
+    pub env: EnvLabel,
+    /// The underlying client this session was cut from.
+    pub original_client: ClientId,
+    /// `(bin_index, ap)` — strictly increasing consecutive bins.
+    pub bins: Vec<(u64, ApId)>,
+}
+
+impl Session {
+    /// Connection length in seconds.
+    pub fn duration_s(&self, bin_s: f64) -> f64 {
+        self.bins.len() as f64 * bin_s
+    }
+
+    /// Number of distinct APs visited.
+    pub fn aps_visited(&self) -> usize {
+        let mut aps: Vec<ApId> = self.bins.iter().map(|b| b.1).collect();
+        aps.sort_unstable();
+        aps.dedup();
+        aps.len()
+    }
+
+    /// Prevalence values: for each visited AP, the fraction of the
+    /// session's bins spent there. Sums to 1 across APs.
+    pub fn prevalence(&self) -> Vec<(ApId, f64)> {
+        let mut counts: BTreeMap<ApId, usize> = BTreeMap::new();
+        for &(_, ap) in &self.bins {
+            *counts.entry(ap).or_insert(0) += 1;
+        }
+        let total = self.bins.len() as f64;
+        counts
+            .into_iter()
+            .map(|(ap, c)| (ap, c as f64 / total))
+            .collect()
+    }
+
+    /// Persistence runs: each maximal run of consecutive bins at the same
+    /// AP, as `(ap, run_length_bins)`.
+    pub fn persistence_runs(&self) -> Vec<(ApId, usize)> {
+        let mut out = Vec::new();
+        let mut iter = self.bins.iter();
+        let Some(&(_, mut cur_ap)) = iter.next() else {
+            return out;
+        };
+        let mut len = 1usize;
+        for &(_, ap) in iter {
+            if ap == cur_ap {
+                len += 1;
+            } else {
+                out.push((cur_ap, len));
+                cur_ap = ap;
+                len = 1;
+            }
+        }
+        out.push((cur_ap, len));
+        out
+    }
+}
+
+/// All sessions of a dataset.
+#[derive(Debug, Clone)]
+pub struct ClientSessions {
+    /// Every reconstructed session.
+    pub sessions: Vec<Session>,
+    /// Bin width (seconds).
+    pub bin_s: f64,
+}
+
+impl ClientSessions {
+    /// Reconstructs sessions from the dataset's client samples.
+    pub fn build(ds: &Dataset) -> Self {
+        let bin_s = mesh11_trace::client::CLIENT_BIN_S;
+        // (network, client) → bin → best (pkts, assoc, ap)
+        type BinWinners = BTreeMap<u64, (u32, u32, ApId)>;
+        let mut per_client: BTreeMap<(NetworkId, ClientId), BinWinners> = BTreeMap::new();
+        for s in &ds.clients {
+            if !s.is_active() {
+                continue;
+            }
+            let bin = s.bin_index();
+            let entry = per_client.entry((s.network, s.client)).or_default();
+            let cand = (s.data_pkts, s.assoc_requests, s.ap);
+            entry
+                .entry(bin)
+                .and_modify(|best| {
+                    // More packets wins; then more association requests;
+                    // then the lower AP id (note: inverted compare on id).
+                    if (cand.0, cand.1, std::cmp::Reverse(cand.2))
+                        > (best.0, best.1, std::cmp::Reverse(best.2))
+                    {
+                        *best = cand;
+                    }
+                })
+                .or_insert(cand);
+        }
+
+        let mut sessions = Vec::new();
+        for ((network, client), bins) in per_client {
+            let env = ds.meta(network).map(|m| m.env).unwrap_or(EnvLabel::Mixed);
+            let mut cur: Vec<(u64, ApId)> = Vec::new();
+            let mut prev_bin: Option<u64> = None;
+            for (bin, (_, _, ap)) in bins {
+                match prev_bin {
+                    Some(p) if bin == p + 2 => {
+                        // Single missing bin: bridge it with the previous AP.
+                        let carry = cur.last().expect("cur non-empty when prev set").1;
+                        cur.push((p + 1, carry));
+                        cur.push((bin, ap));
+                    }
+                    Some(p) if bin > p + 2 => {
+                        // ≥2 missing bins: definitely >5 min away — split.
+                        sessions.push(Session {
+                            network,
+                            env,
+                            original_client: client,
+                            bins: std::mem::take(&mut cur),
+                        });
+                        cur.push((bin, ap));
+                    }
+                    _ => cur.push((bin, ap)),
+                }
+                prev_bin = Some(bin);
+            }
+            if !cur.is_empty() {
+                sessions.push(Session {
+                    network,
+                    env,
+                    original_client: client,
+                    bins: cur,
+                });
+            }
+        }
+        Self { sessions, bin_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_trace::{ClientSample, NetworkMeta};
+
+    fn sample(client: u32, ap: u32, bin: u64, pkts: u32, assoc: u32) -> ClientSample {
+        ClientSample {
+            network: NetworkId(0),
+            ap: ApId(ap),
+            client: ClientId(client),
+            bin_start_s: bin as f64 * 300.0,
+            assoc_requests: assoc,
+            data_pkts: pkts,
+        }
+    }
+
+    fn ds(clients: Vec<ClientSample>) -> Dataset {
+        Dataset {
+            networks: vec![NetworkMeta {
+                id: NetworkId(0),
+                env: EnvLabel::Indoor,
+                n_aps: 4,
+                radios: vec![mesh11_phy::Phy::Bg],
+                location: String::new(),
+            }],
+            clients,
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn contiguous_bins_one_session() {
+        let d = ds(vec![
+            sample(0, 1, 0, 10, 1),
+            sample(0, 1, 1, 10, 0),
+            sample(0, 2, 2, 10, 1),
+        ]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions.len(), 1);
+        let s = &cs.sessions[0];
+        assert_eq!(s.bins, vec![(0, ApId(1)), (1, ApId(1)), (2, ApId(2))]);
+        assert_eq!(s.duration_s(300.0), 900.0);
+        assert_eq!(s.aps_visited(), 2);
+    }
+
+    #[test]
+    fn per_bin_ap_choice_by_traffic() {
+        // In bin 0 the client shows at two APs; AP2 carried more packets.
+        let d = ds(vec![sample(0, 1, 0, 5, 1), sample(0, 2, 0, 50, 0)]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions[0].bins, vec![(0, ApId(2))]);
+    }
+
+    #[test]
+    fn tie_breaks_to_assoc_then_low_id() {
+        let d = ds(vec![sample(0, 3, 0, 5, 0), sample(0, 1, 0, 5, 0)]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions[0].bins, vec![(0, ApId(1))], "low id wins ties");
+        let d2 = ds(vec![sample(0, 3, 0, 5, 2), sample(0, 1, 0, 5, 0)]);
+        let cs2 = ClientSessions::build(&d2);
+        assert_eq!(cs2.sessions[0].bins, vec![(0, ApId(3))], "assoc beats id");
+    }
+
+    #[test]
+    fn single_missing_bin_bridged() {
+        let d = ds(vec![sample(0, 1, 0, 10, 0), sample(0, 2, 2, 10, 0)]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions.len(), 1);
+        assert_eq!(
+            cs.sessions[0].bins,
+            vec![(0, ApId(1)), (1, ApId(1)), (2, ApId(2))],
+            "hole carries the previous AP"
+        );
+    }
+
+    #[test]
+    fn long_gap_splits_client() {
+        let d = ds(vec![sample(0, 1, 0, 10, 0), sample(0, 1, 5, 10, 0)]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions.len(), 2, "paper: >5 min away ⇒ new client");
+        assert_eq!(cs.sessions[0].bins, vec![(0, ApId(1))]);
+        assert_eq!(cs.sessions[1].bins, vec![(5, ApId(1))]);
+    }
+
+    #[test]
+    fn prevalence_sums_to_one() {
+        let d = ds(vec![
+            sample(0, 1, 0, 10, 0),
+            sample(0, 1, 1, 10, 0),
+            sample(0, 2, 2, 10, 0),
+            sample(0, 2, 3, 10, 0),
+        ]);
+        let s = &ClientSessions::build(&d).sessions[0];
+        let prev = s.prevalence();
+        let total: f64 = prev.iter().map(|p| p.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(prev, vec![(ApId(1), 0.5), (ApId(2), 0.5)]);
+    }
+
+    #[test]
+    fn persistence_runs_split_on_switch() {
+        let d = ds(vec![
+            sample(0, 1, 0, 10, 0),
+            sample(0, 1, 1, 10, 0),
+            sample(0, 2, 2, 10, 0),
+            sample(0, 1, 3, 10, 0),
+        ]);
+        let s = &ClientSessions::build(&d).sessions[0];
+        assert_eq!(
+            s.persistence_runs(),
+            vec![(ApId(1), 2), (ApId(2), 1), (ApId(1), 1)]
+        );
+    }
+
+    #[test]
+    fn inactive_samples_ignored() {
+        let mut inert = sample(0, 1, 0, 0, 0);
+        inert.data_pkts = 0;
+        inert.assoc_requests = 0;
+        let d = ds(vec![inert]);
+        assert!(ClientSessions::build(&d).sessions.is_empty());
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let d = ds(vec![sample(0, 1, 0, 10, 0), sample(1, 2, 0, 10, 0)]);
+        let cs = ClientSessions::build(&d);
+        assert_eq!(cs.sessions.len(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Figure-series containers and renderers.
+//!
+//! Every analysis exports its figure as a [`FigureData`]: labelled series of
+//! `(x, y)` points plus axis metadata. The `repro` harness prints them as
+//! aligned text tables (and optionally quick ASCII plots) and dumps JSON for
+//! external plotting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labelled series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"1 Mbit/s"`, `"Link"`).
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from an iterator of points.
+    pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// Downsamples a CDF to `n` quantile points and wraps it as a series.
+    pub fn from_cdf(label: impl Into<String>, cdf: &mesh11_stats::Cdf, n: usize) -> Self {
+        Self::new(label, cdf.points(n))
+    }
+}
+
+/// A complete figure: id, axes, series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Paper artifact id, e.g. `"fig5-1a"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (paper-expected values, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// An empty figure shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Adds a note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Pretty JSON for external plotting.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigureData serializes")
+    }
+
+    /// Renders the figure as an aligned text table: one x column, one y
+    /// column per series (blank where a series has no point at that x).
+    pub fn render_table(&self, max_rows: usize) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        // Thin to at most max_rows evenly spaced x values.
+        let rows: Vec<f64> = if xs.len() <= max_rows || max_rows == 0 {
+            xs
+        } else {
+            (0..max_rows)
+                .map(|i| xs[i * (xs.len() - 1) / (max_rows - 1)])
+                .collect()
+        };
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "#   {note}");
+        }
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", truncate(&s.label, 14));
+        }
+        let _ = writeln!(out, "   ({})", self.ylabel);
+        for x in rows {
+            let _ = write!(out, "{x:>12.3}");
+            for s in &self.series {
+                match lookup(&s.points, x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>14.4}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&', '~', '^'];
+
+impl FigureData {
+    /// Renders a quick character plot: all series scattered on one grid,
+    /// one glyph per series, with numeric axis extents. Meant for terminal
+    /// eyeballing (`repro --plot`), not publication.
+    pub fn render_plot(&self, width: usize, height: usize) -> String {
+        let width = width.clamp(16, 240);
+        let height = height.clamp(6, 80);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|p| p.0.is_finite() && p.1.is_finite())
+            .collect();
+        let Some(((min_x, max_x), (min_y, max_y))) = extents(&all) else {
+            return format!("# {} — (no finite points)\n", self.id);
+        };
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = scale(x, min_x, max_x, width - 1);
+                let cy = height - 1 - scale(y, min_y, max_y, height - 1);
+                grid[cy][cx] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+            .collect();
+        let _ = writeln!(out, "#   {}", legend.join("   "));
+        let _ = writeln!(out, "{max_y:>10.3} ┐");
+        for row in grid {
+            let _ = writeln!(out, "{:>10} │{}", "", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{min_y:>10.3} ┘");
+        let _ = writeln!(
+            out,
+            "{:>11}{min_x:<12.3}{:>width$.3}",
+            "",
+            max_x,
+            width = width.saturating_sub(12)
+        );
+        let _ = writeln!(out, "{:>11}({} → {})", "", self.xlabel, self.ylabel);
+        out
+    }
+}
+
+fn extents(points: &[(f64, f64)]) -> Option<((f64, f64), (f64, f64))> {
+    if points.is_empty() {
+        return None;
+    }
+    let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    Some(((min_x, max_x), (min_y, max_y)))
+}
+
+/// Maps `v ∈ [lo, hi]` onto `0..=cells`; degenerate ranges land at 0.
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    (((v - lo) / (hi - lo)) * cells as f64)
+        .round()
+        .clamp(0.0, cells as f64) as usize
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+fn lookup(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    points.iter().find(|p| (p.0 - x).abs() < 1e-9).map(|p| p.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData::new("fig0-0", "Test figure", "x", "y")
+            .with_series(Series::new("a", [(1.0, 10.0), (2.0, 20.0)]))
+            .with_series(Series::new("b", [(2.0, 5.0)]))
+            .with_note("paper expects monotone growth")
+    }
+
+    #[test]
+    fn table_includes_all_series() {
+        let t = fig().render_table(10);
+        assert!(t.contains("fig0-0"));
+        assert!(t.contains("paper expects"));
+        assert!(t.contains("10.0000"));
+        assert!(t.contains("5.0000"));
+        // Missing cell rendered as '-'.
+        assert!(t.lines().any(|l| l.contains('-') && l.contains("10.0000")));
+    }
+
+    #[test]
+    fn table_thins_rows() {
+        let many = FigureData::new("f", "t", "x", "y")
+            .with_series(Series::new("s", (0..1000).map(|i| (i as f64, i as f64))));
+        let t = many.render_table(10);
+        // Header + note lines + ≤10 data rows.
+        assert!(t.lines().count() <= 13, "{t}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = fig();
+        let back: FigureData = serde_json::from_str(&f.to_json()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn cdf_series() {
+        let cdf = mesh11_stats::Cdf::from_samples([1.0, 2.0, 3.0]).unwrap();
+        let s = Series::from_cdf("cdf", &cdf, 3);
+        assert_eq!(s.points, vec![(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn truncate_utf8_safe() {
+        assert_eq!(truncate("héllo wörld", 5), "héllo");
+        assert_eq!(truncate("ab", 5), "ab");
+    }
+
+    #[test]
+    fn plot_renders_every_series() {
+        let p = fig().render_plot(40, 10);
+        assert!(p.contains("fig0-0"));
+        assert!(p.contains("* a"));
+        assert!(p.contains("+ b"));
+        // Extents appear on the axes.
+        assert!(p.contains("20.000"));
+        assert!(p.contains("5.000"));
+        // Grid rows have the expected width-ish shape.
+        assert!(p.lines().count() >= 12);
+    }
+
+    #[test]
+    fn plot_handles_degenerate_inputs() {
+        let flat = FigureData::new("f", "t", "x", "y").with_series(Series::new("s", [(1.0, 2.0)]));
+        let p = flat.render_plot(40, 8);
+        assert!(p.contains('*'), "single point still plots: {p}");
+
+        let empty = FigureData::new("f", "t", "x", "y").with_series(Series::new("s", []));
+        assert!(empty.render_plot(40, 8).contains("no finite points"));
+
+        let nan =
+            FigureData::new("f", "t", "x", "y").with_series(Series::new("s", [(f64::NAN, 1.0)]));
+        assert!(nan.render_plot(40, 8).contains("no finite points"));
+    }
+
+    #[test]
+    fn scale_maps_endpoints() {
+        assert_eq!(scale(0.0, 0.0, 1.0, 10), 0);
+        assert_eq!(scale(1.0, 0.0, 1.0, 10), 10);
+        assert_eq!(scale(0.5, 0.0, 1.0, 10), 5);
+        assert_eq!(scale(7.0, 7.0, 7.0, 10), 0, "degenerate range");
+        assert_eq!(scale(-5.0, 0.0, 1.0, 10), 0, "clamped below");
+        assert_eq!(scale(5.0, 0.0, 1.0, 10), 10, "clamped above");
+    }
+}

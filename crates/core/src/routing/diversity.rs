@@ -1,0 +1,149 @@
+//! §5.2.2's unpictured result: path diversity vs opportunistic improvement.
+//!
+//! The paper: "We also see a similar result regarding path diversity (not
+//! pictured): the median improvement increases as the number of diverse
+//! paths from the source to the destination increases, but the maximum
+//! improvement tends to decrease."
+//!
+//! Diversity here is measured the way opportunism consumes it: the number
+//! of usable first hops that make progress toward the destination (the
+//! source's ExOR candidate-set size). A pair with one candidate is a
+//! corridor; a pair with five is a mesh.
+
+use mesh11_trace::{ApId, DeliveryMatrix};
+
+use crate::routing::etx::{EtxVariant, MIN_DELIVERY};
+use crate::routing::improvement::OpportunisticAnalysis;
+use crate::routing::shortest::PathTable;
+
+/// Number of usable neighbours of `s` strictly closer (by ETX1) to `d` —
+/// the source's forwarding-candidate count.
+pub fn candidate_count(m: &DeliveryMatrix, paths: &PathTable, s: ApId, d: ApId) -> usize {
+    let n = m.n_aps();
+    let ds = paths.cost(s, d);
+    if !ds.is_finite() {
+        return 0;
+    }
+    (0..n)
+        .filter(|&v| {
+            let v_id = ApId(v as u32);
+            v_id != s && m.get(s, v_id) >= MIN_DELIVERY && paths.cost(v_id, d) < ds
+        })
+        .count()
+}
+
+/// Pools `(diversity, improvement)` pairs across analyses and reduces them
+/// to `(diversity, median, max, count)` rows — the §5.2.2 result.
+pub fn improvement_by_diversity(
+    matrices: &[(DeliveryMatrix, OpportunisticAnalysis)],
+    variant: EtxVariant,
+) -> Vec<(usize, f64, f64, usize)> {
+    let mut by_div = mesh11_stats::BinnedStats::new();
+    for (m, analysis) in matrices {
+        let paths = PathTable::compute(m, EtxVariant::Etx1);
+        for p in &analysis.pairs {
+            let Some(imp) = p.improvement(variant) else {
+                continue;
+            };
+            let div = candidate_count(m, &paths, p.s, p.d);
+            by_div.push(div as i64, imp);
+        }
+    }
+    by_div
+        .rows()
+        .into_iter()
+        .map(|(d, s)| (d as usize, s.median, s.max, s.count))
+        .collect()
+}
+
+/// Convenience: builds matrices + analyses for one rate over a dataset and
+/// reduces them. `min_aps` mirrors the §5 population (5).
+pub fn analyze_diversity(
+    ds: &mesh11_trace::Dataset,
+    phy: mesh11_phy::Phy,
+    rate: mesh11_phy::BitRate,
+    min_aps: usize,
+    variant: EtxVariant,
+) -> Vec<(usize, f64, f64, usize)> {
+    let mut pairs = Vec::new();
+    for meta in ds.networks_with_at_least(min_aps) {
+        if !meta.radios.contains(&phy) {
+            continue;
+        }
+        let probes: Vec<_> = ds
+            .probes_for_network(meta.id)
+            .filter(|p| p.phy == phy)
+            .collect();
+        let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes);
+        let a = OpportunisticAnalysis::compute(&m);
+        pairs.push((m, a));
+    }
+    improvement_by_diversity(&pairs, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::NetworkId;
+
+    fn rate() -> BitRate {
+        BitRate::bg_mbps(1.0).unwrap()
+    }
+
+    /// Source 0 with `k` parallel relays to destination `k+1`.
+    fn fan(k: usize) -> DeliveryMatrix {
+        let n = k + 2;
+        let dst = (n - 1) as u32;
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), rate(), n);
+        for r in 1..=k as u32 {
+            m.set(ApId(0), ApId(r), 0.7);
+            m.set(ApId(r), ApId(0), 0.7);
+            m.set(ApId(r), ApId(dst), 0.9);
+            m.set(ApId(dst), ApId(r), 0.9);
+        }
+        m
+    }
+
+    #[test]
+    fn candidate_count_matches_fan_width() {
+        for k in 1..5 {
+            let m = fan(k);
+            let paths = PathTable::compute(&m, EtxVariant::Etx1);
+            let dst = ApId((k + 1) as u32);
+            assert_eq!(candidate_count(&m, &paths, ApId(0), dst), k, "fan {k}");
+            // The relays themselves have exactly one candidate (the dst).
+            assert_eq!(candidate_count(&m, &paths, ApId(1), dst), 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_have_zero_candidates() {
+        let m = DeliveryMatrix::new_zero(NetworkId(0), rate(), 3);
+        let paths = PathTable::compute(&m, EtxVariant::Etx1);
+        assert_eq!(candidate_count(&m, &paths, ApId(0), ApId(2)), 0);
+    }
+
+    #[test]
+    fn median_improvement_grows_with_diversity() {
+        // Pool fans of width 1..4: wider fans give opportunism more to eat.
+        let pool: Vec<(DeliveryMatrix, OpportunisticAnalysis)> = (1..=4)
+            .map(|k| {
+                let m = fan(k);
+                let a = OpportunisticAnalysis::compute(&m);
+                (m, a)
+            })
+            .collect();
+        let rows = improvement_by_diversity(&pool, EtxVariant::Etx1);
+        // Extract the rows for diversity 1 and the largest diversity seen.
+        let med_at = |d: usize| rows.iter().find(|r| r.0 == d).map(|r| r.1);
+        let lo = med_at(1).expect("diversity-1 pairs exist");
+        let hi = med_at(4).expect("diversity-4 pairs exist");
+        assert!(
+            hi > lo,
+            "median improvement should grow with diversity: {lo} → {hi}"
+        );
+        // Diversity-1 pairs see exactly zero (no opportunism possible).
+        assert!(lo < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! ETX link metrics (§5.1).
+//!
+//! * **ETX1** — `1 / P(s→d)`: the ACK channel is assumed perfect (ACKs ride
+//!   the lowest rate and almost always arrive). The paper argues this is
+//!   what real networks should deploy.
+//! * **ETX2** — `1 / (P(s→d) · P(d→s))`: the original De Couto et al.
+//!   metric, charging the reverse direction for the ACK.
+
+use mesh11_trace::{ApId, DeliveryMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Which ETX formulation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtxVariant {
+    /// Perfect-ACK: cost `1/P(s→d)`.
+    Etx1,
+    /// Lossy-ACK: cost `1/(P(s→d)·P(d→s))`.
+    Etx2,
+}
+
+impl EtxVariant {
+    /// Both variants.
+    pub const ALL: [EtxVariant; 2] = [EtxVariant::Etx1, EtxVariant::Etx2];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EtxVariant::Etx1 => "ETX1",
+            EtxVariant::Etx2 => "ETX2",
+        }
+    }
+}
+
+/// Links below this delivery probability are unusable for routing. One
+/// reception out of a 20-probe window is 0.05; anything below that is
+/// statistical noise around "never heard".
+pub const MIN_DELIVERY: f64 = 0.05;
+
+/// ETX cost of the directed link `from → to`; `None` when unusable.
+pub fn link_cost(m: &DeliveryMatrix, variant: EtxVariant, from: ApId, to: ApId) -> Option<f64> {
+    let fwd = m.get(from, to);
+    if fwd < MIN_DELIVERY {
+        return None;
+    }
+    match variant {
+        EtxVariant::Etx1 => Some(1.0 / fwd),
+        EtxVariant::Etx2 => {
+            let rev = m.get(to, from);
+            if rev < MIN_DELIVERY {
+                None
+            } else {
+                Some(1.0 / (fwd * rev))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::NetworkId;
+
+    fn matrix() -> DeliveryMatrix {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 3);
+        m.set(ApId(0), ApId(1), 0.8);
+        m.set(ApId(1), ApId(0), 0.5);
+        m.set(ApId(0), ApId(2), 0.02); // below floor
+        m
+    }
+
+    #[test]
+    fn etx1_uses_forward_only() {
+        let m = matrix();
+        let c = link_cost(&m, EtxVariant::Etx1, ApId(0), ApId(1)).unwrap();
+        assert!((c - 1.25).abs() < 1e-12);
+        // Asymmetric: the reverse direction costs more.
+        let rev = link_cost(&m, EtxVariant::Etx1, ApId(1), ApId(0)).unwrap();
+        assert!((rev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn etx2_charges_the_ack() {
+        let m = matrix();
+        let c = link_cost(&m, EtxVariant::Etx2, ApId(0), ApId(1)).unwrap();
+        assert!((c - 1.0 / 0.4).abs() < 1e-12);
+        // ETX2 is symmetric by construction.
+        let rev = link_cost(&m, EtxVariant::Etx2, ApId(1), ApId(0)).unwrap();
+        assert!((c - rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn etx2_at_least_etx1() {
+        let m = matrix();
+        for (a, b) in [(ApId(0), ApId(1)), (ApId(1), ApId(0))] {
+            let e1 = link_cost(&m, EtxVariant::Etx1, a, b).unwrap();
+            let e2 = link_cost(&m, EtxVariant::Etx2, a, b).unwrap();
+            assert!(e2 >= e1);
+        }
+    }
+
+    #[test]
+    fn floor_rejects_dead_links() {
+        let m = matrix();
+        assert_eq!(link_cost(&m, EtxVariant::Etx1, ApId(0), ApId(2)), None);
+        assert_eq!(link_cost(&m, EtxVariant::Etx2, ApId(0), ApId(2)), None);
+        // ETX2 also dies when only the reverse is dead.
+        let mut m2 = matrix();
+        m2.set(ApId(1), ApId(0), 0.01);
+        assert!(link_cost(&m2, EtxVariant::Etx1, ApId(0), ApId(1)).is_some());
+        assert_eq!(link_cost(&m2, EtxVariant::Etx2, ApId(0), ApId(1)), None);
+    }
+
+    #[test]
+    fn perfect_link_costs_one() {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 2);
+        m.set(ApId(0), ApId(1), 1.0);
+        m.set(ApId(1), ApId(0), 1.0);
+        assert_eq!(link_cost(&m, EtxVariant::Etx1, ApId(0), ApId(1)), Some(1.0));
+        assert_eq!(link_cost(&m, EtxVariant::Etx2, ApId(0), ApId(1)), Some(1.0));
+    }
+}

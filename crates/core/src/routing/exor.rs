@@ -1,0 +1,196 @@
+//! The idealized opportunistic routing cost (§5.1).
+//!
+//! Models MORE-style opportunism with zero coordination overhead. For a
+//! source `s` and destination `d`, let `C` be the neighbours of `s` strictly
+//! closer to `d` under the ETX metric. When `s` broadcasts:
+//!
+//! ```text
+//! r(n) = P(s→n) · Π_{m ∈ C closer than n} (1 − P(s→m))   (n relays)
+//! r(s) = Π_{n ∈ C} (1 − P(s→n))                          (nobody heard)
+//! ExOR(s→d) = (1 + Σ_n r(n)·ExOR(n→d)) / (1 − r(s))
+//! ```
+//!
+//! Nodes are processed in ascending ETX-to-destination order, so every
+//! `ExOR(n→d)` on the right-hand side is already final. A source with a
+//! single usable closer neighbour reduces exactly to the ETX path cost —
+//! which is why diversity-free pairs show *precisely* zero improvement in
+//! Fig 5.1.
+
+use mesh11_trace::{ApId, DeliveryMatrix};
+
+use crate::routing::etx::{EtxVariant, MIN_DELIVERY};
+use crate::routing::shortest::PathTable;
+
+/// All-pairs idealized opportunistic costs for one delivery matrix.
+#[derive(Debug, Clone)]
+pub struct ExorTable {
+    n: usize,
+    /// `cost[s * n + d]`; ∞ when `d` is unreachable from `s`.
+    cost: Vec<f64>,
+}
+
+impl ExorTable {
+    /// Computes opportunistic costs, ordering candidates by the given ETX
+    /// variant's shortest paths (the paper uses the same metric for routing
+    /// and for candidate ordering; broadcast data frames carry no ACKs, so
+    /// ETX1 ordering is the physically sensible default).
+    pub fn compute(m: &DeliveryMatrix, ordering: &PathTable, _variant: EtxVariant) -> Self {
+        let n = m.n_aps();
+        let mut cost = vec![f64::INFINITY; n * n];
+        for d in 0..n {
+            Self::one_destination(m, ordering, d, n, &mut cost);
+        }
+        Self { n, cost }
+    }
+
+    fn one_destination(
+        m: &DeliveryMatrix,
+        ordering: &PathTable,
+        d: usize,
+        n: usize,
+        cost: &mut [f64],
+    ) {
+        let dist = |s: usize| ordering.cost(ApId(s as u32), ApId(d as u32));
+        // Ascending ETX-to-d; unreachable nodes sort last and stay ∞.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("no NaN costs"));
+
+        cost[d * n + d] = 0.0;
+        for &s in &order {
+            if s == d || !dist(s).is_finite() {
+                continue;
+            }
+            // Candidates: usable neighbours strictly closer to d.
+            let mut cands: Vec<(usize, f64)> = (0..n)
+                .filter(|&v| v != s)
+                .filter_map(|v| {
+                    let p = m.get(ApId(s as u32), ApId(v as u32));
+                    (p >= MIN_DELIVERY && dist(v) < dist(s)).then_some((v, p))
+                })
+                .collect();
+            if cands.is_empty() {
+                // §5.1: no closer node ⇒ ExOR(s→d) = ETX(s→d).
+                cost[s * n + d] = dist(s);
+                continue;
+            }
+            cands.sort_by(|a, b| dist(a.0).partial_cmp(&dist(b.0)).expect("no NaN costs"));
+            let mut numer = 0.0;
+            let mut none_heard = 1.0;
+            for &(v, p) in &cands {
+                let r_v = p * none_heard;
+                numer += r_v * cost[v * n + d];
+                none_heard *= 1.0 - p;
+            }
+            cost[s * n + d] = (1.0 + numer) / (1.0 - none_heard);
+        }
+    }
+
+    /// Opportunistic cost `s → d`; ∞ when unreachable.
+    pub fn cost(&self, s: ApId, d: ApId) -> f64 {
+        self.cost[s.idx() * self.n + d.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::NetworkId;
+    use proptest::prelude::*;
+
+    fn matrix(n: usize) -> DeliveryMatrix {
+        DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), n)
+    }
+
+    fn exor_and_etx(m: &DeliveryMatrix) -> (ExorTable, PathTable) {
+        let paths = PathTable::compute(m, EtxVariant::Etx1);
+        let exor = ExorTable::compute(m, &paths, EtxVariant::Etx1);
+        (exor, paths)
+    }
+
+    #[test]
+    fn single_link_equals_etx() {
+        let mut m = matrix(2);
+        m.set(ApId(0), ApId(1), 0.5);
+        m.set(ApId(1), ApId(0), 0.5);
+        let (exor, etx) = exor_and_etx(&m);
+        assert!((exor.cost(ApId(0), ApId(1)) - etx.cost(ApId(0), ApId(1))).abs() < 1e-12);
+        assert_eq!(exor.cost(ApId(0), ApId(0)), 0.0);
+    }
+
+    #[test]
+    fn diversity_free_chain_equals_etx() {
+        // 0 — 1 — 2 with no 0↔2 reception: no opportunism possible.
+        let mut m = matrix(3);
+        for (a, b) in [(0u32, 1u32), (1, 2)] {
+            m.set(ApId(a), ApId(b), 0.8);
+            m.set(ApId(b), ApId(a), 0.8);
+        }
+        let (exor, etx) = exor_and_etx(&m);
+        assert!(
+            (exor.cost(ApId(0), ApId(2)) - etx.cost(ApId(0), ApId(2))).abs() < 1e-12,
+            "no diversity ⇒ no improvement"
+        );
+    }
+
+    #[test]
+    fn paper_example_path() {
+        // §5.2.2's example: A→B→C at 0.9/0.9 with a 0.3 lucky A→C hop.
+        // ETX ≈ 2.22; ExOR should land visibly below.
+        let mut m = matrix(3);
+        m.set(ApId(0), ApId(1), 0.9);
+        m.set(ApId(1), ApId(0), 0.9);
+        m.set(ApId(1), ApId(2), 0.9);
+        m.set(ApId(2), ApId(1), 0.9);
+        m.set(ApId(0), ApId(2), 0.3);
+        m.set(ApId(2), ApId(0), 0.3);
+        let (exor, etx) = exor_and_etx(&m);
+        let e = etx.cost(ApId(0), ApId(2));
+        let x = exor.cost(ApId(0), ApId(2));
+        assert!((e - 2.0 / 0.9).abs() < 1e-9, "ETX {e}");
+        assert!(x < e, "opportunism must help: {x} vs {e}");
+        // By hand: candidates of 0 are {2 (dist 0), 1 (dist 1.11)}.
+        // r(2)=0.3, r(1)=0.9·0.7=0.63, r(0)=0.7·0.1=0.07.
+        // ExOR = (1 + 0.63·(1/0.9)) / 0.93 ≈ 1.828.
+        assert!((x - (1.0 + 0.63 / 0.9) / 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut m = matrix(3);
+        m.set(ApId(0), ApId(1), 0.9);
+        m.set(ApId(1), ApId(0), 0.9);
+        let (exor, _) = exor_and_etx(&m);
+        assert!(exor.cost(ApId(0), ApId(2)).is_infinite());
+    }
+
+    proptest! {
+        /// The central §5 inequality: idealized opportunism never does worse
+        /// than ETX1 shortest-path routing, on any topology.
+        #[test]
+        fn exor_never_exceeds_etx1(
+            n in 3usize..7,
+            links in proptest::collection::vec((0usize..7, 0usize..7, 0.05f64..1.0), 4..24)
+        ) {
+            let mut m = matrix(n);
+            for (a, b, p) in links {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    m.set(ApId(a as u32), ApId(b as u32), p);
+                }
+            }
+            let (exor, etx) = exor_and_etx(&m);
+            for s in 0..n {
+                for d in 0..n {
+                    let (s, d) = (ApId(s as u32), ApId(d as u32));
+                    let e = etx.cost(s, d);
+                    if e.is_finite() {
+                        let x = exor.cost(s, d);
+                        prop_assert!(x <= e + 1e-9, "{s}→{d}: exor {x} > etx {e}");
+                        prop_assert!(x >= 1.0 - 1e-9 || s == d, "cost below 1 transmission");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! §5 — Opportunistic routing vs ETX shortest-path routing.
+//!
+//! Inputs are per-(network, rate) [`mesh11_trace::DeliveryMatrix`] values.
+//! The pipeline: ETX link costs ([`etx`]) → all-pairs shortest paths
+//! ([`shortest`]) → idealized opportunistic cost ([`exor`]) → improvement
+//! distributions, path-length effects, and network-size effects
+//! ([`improvement`]); link asymmetry lives in [`asymmetry`].
+
+pub mod ablation;
+pub mod asymmetry;
+pub mod diversity;
+pub mod ett;
+pub mod etx;
+pub mod exor;
+pub mod improvement;
+pub mod shortest;
+
+pub use etx::EtxVariant;
+pub use exor::ExorTable;
+pub use improvement::OpportunisticAnalysis;
+pub use shortest::PathTable;

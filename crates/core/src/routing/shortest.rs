@@ -1,0 +1,229 @@
+//! All-pairs shortest ETX paths (Dijkstra).
+//!
+//! Networks top out at 203 APs, so a per-source Dijkstra over the dense
+//! delivery matrix (O(n² log n) total per source) is comfortably fast. The
+//! table keeps both the path cost (expected transmissions) and the hop
+//! count of the min-cost path — Figs 5.3–5.4 need hops, not cost.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mesh11_trace::{ApId, DeliveryMatrix};
+
+use crate::routing::etx::{link_cost, EtxVariant};
+
+/// All-pairs shortest-path table for one (matrix, ETX variant).
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    n: usize,
+    /// `cost[s * n + d]`: expected transmissions along the min-ETX path;
+    /// `f64::INFINITY` when unreachable; 0 on the diagonal.
+    cost: Vec<f64>,
+    /// `hops[s * n + d]`: hop count of that path; `u32::MAX` if unreachable.
+    hops: Vec<u32>,
+}
+
+/// Min-heap entry.
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; costs are finite and non-NaN.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are never NaN")
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PathTable {
+    /// Computes shortest paths from every source under an ETX variant.
+    pub fn compute(m: &DeliveryMatrix, variant: EtxVariant) -> Self {
+        Self::compute_with(m.n_aps(), |u, v| {
+            link_cost(m, variant, ApId(u as u32), ApId(v as u32))
+        })
+    }
+
+    /// Computes shortest paths over an arbitrary directed link-cost
+    /// function (`None` = no usable link). This is how the ETT metric and
+    /// the ablations reuse the machinery.
+    pub fn compute_with(n: usize, link: impl Fn(usize, usize) -> Option<f64>) -> Self {
+        let mut cost = vec![f64::INFINITY; n * n];
+        let mut hops = vec![u32::MAX; n * n];
+        for s in 0..n {
+            Self::dijkstra(
+                n,
+                &link,
+                s,
+                &mut cost[s * n..(s + 1) * n],
+                &mut hops[s * n..(s + 1) * n],
+            );
+        }
+        Self { n, cost, hops }
+    }
+
+    fn dijkstra(
+        n: usize,
+        link: &impl Fn(usize, usize) -> Option<f64>,
+        src: usize,
+        cost: &mut [f64],
+        hops: &mut [u32],
+    ) {
+        cost[src] = 0.0;
+        hops[src] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            cost: 0.0,
+            node: src,
+        });
+        while let Some(HeapItem { cost: c, node: u }) = heap.pop() {
+            if c > cost[u] {
+                continue; // stale entry
+            }
+            for v in 0..n {
+                if v == u {
+                    continue;
+                }
+                let Some(w) = link(u, v) else {
+                    continue;
+                };
+                debug_assert!(w >= 0.0, "negative link cost");
+                let next = c + w;
+                if next < cost[v] - 1e-15 {
+                    cost[v] = next;
+                    hops[v] = hops[u] + 1;
+                    heap.push(HeapItem {
+                        cost: next,
+                        node: v,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_aps(&self) -> usize {
+        self.n
+    }
+
+    /// Path cost `s → d` (expected transmissions); ∞ when unreachable.
+    pub fn cost(&self, s: ApId, d: ApId) -> f64 {
+        self.cost[s.idx() * self.n + d.idx()]
+    }
+
+    /// Hop count of the min-cost path; `None` when unreachable.
+    pub fn hops(&self, s: ApId, d: ApId) -> Option<u32> {
+        let h = self.hops[s.idx() * self.n + d.idx()];
+        (h != u32::MAX).then_some(h)
+    }
+
+    /// Whether `d` is reachable from `s`.
+    pub fn reachable(&self, s: ApId, d: ApId) -> bool {
+        self.cost(s, d).is_finite()
+    }
+
+    /// Iterates over every ordered reachable pair `(s, d)`, s ≠ d.
+    pub fn reachable_pairs(&self) -> impl Iterator<Item = (ApId, ApId)> + '_ {
+        (0..self.n).flat_map(move |s| {
+            (0..self.n).filter_map(move |d| {
+                let (s, d) = (ApId(s as u32), ApId(d as u32));
+                (s != d && self.reachable(s, d)).then_some((s, d))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::NetworkId;
+
+    fn chain(ps: &[f64]) -> DeliveryMatrix {
+        // Line topology 0 — 1 — 2 … with symmetric delivery ps[i] on hop i.
+        let n = ps.len() + 1;
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), n);
+        for (i, &p) in ps.iter().enumerate() {
+            m.set(ApId(i as u32), ApId(i as u32 + 1), p);
+            m.set(ApId(i as u32 + 1), ApId(i as u32), p);
+        }
+        m
+    }
+
+    #[test]
+    fn direct_link() {
+        let m = chain(&[0.5]);
+        let t = PathTable::compute(&m, EtxVariant::Etx1);
+        assert!((t.cost(ApId(0), ApId(1)) - 2.0).abs() < 1e-12);
+        assert_eq!(t.hops(ApId(0), ApId(1)), Some(1));
+        assert_eq!(t.cost(ApId(0), ApId(0)), 0.0);
+        assert_eq!(t.hops(ApId(0), ApId(0)), Some(0));
+    }
+
+    #[test]
+    fn multi_hop_sums_etx() {
+        let m = chain(&[0.5, 0.8]);
+        let t = PathTable::compute(&m, EtxVariant::Etx1);
+        assert!((t.cost(ApId(0), ApId(2)) - (2.0 + 1.25)).abs() < 1e-12);
+        assert_eq!(t.hops(ApId(0), ApId(2)), Some(2));
+    }
+
+    #[test]
+    fn longer_path_can_beat_lossy_shortcut() {
+        // 0→2 direct at 0.25 (ETX 4) vs 0→1→2 at 0.9 each (ETX ≈ 2.22).
+        let mut m = chain(&[0.9, 0.9]);
+        m.set(ApId(0), ApId(2), 0.25);
+        m.set(ApId(2), ApId(0), 0.25);
+        let t = PathTable::compute(&m, EtxVariant::Etx1);
+        assert_eq!(
+            t.hops(ApId(0), ApId(2)),
+            Some(2),
+            "two good hops beat one bad"
+        );
+        assert!(t.cost(ApId(0), ApId(2)) < 4.0);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 3);
+        m.set(ApId(0), ApId(1), 0.9);
+        m.set(ApId(1), ApId(0), 0.9);
+        // Node 2 is isolated.
+        let t = PathTable::compute(&m, EtxVariant::Etx1);
+        assert!(!t.reachable(ApId(0), ApId(2)));
+        assert_eq!(t.hops(ApId(0), ApId(2)), None);
+        assert_eq!(t.reachable_pairs().count(), 2);
+    }
+
+    #[test]
+    fn asymmetric_costs_with_etx1() {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 2);
+        m.set(ApId(0), ApId(1), 1.0);
+        m.set(ApId(1), ApId(0), 0.5);
+        let t = PathTable::compute(&m, EtxVariant::Etx1);
+        assert!((t.cost(ApId(0), ApId(1)) - 1.0).abs() < 1e-12);
+        assert!((t.cost(ApId(1), ApId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn etx2_penalizes_asymmetry() {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 2);
+        m.set(ApId(0), ApId(1), 1.0);
+        m.set(ApId(1), ApId(0), 0.5);
+        let t1 = PathTable::compute(&m, EtxVariant::Etx1);
+        let t2 = PathTable::compute(&m, EtxVariant::Etx2);
+        assert!(t2.cost(ApId(0), ApId(1)) > t1.cost(ApId(0), ApId(1)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Hearing graphs (§6's neighbourhood predicate).
+//!
+//! The paper: "if we observe that AP₁ and AP₂ could hear more than t percent
+//! of the probes sent between them at bit rate b, then AP₁ and AP₂ can hear
+//! each other". "Between them" pools both directions — our default
+//! [`HearRule::Mean`]; `Min` and `Max` are ablations (a `Min` rule demands
+//! both directions clear the threshold, `Max` either).
+
+use mesh11_trace::{ApId, DeliveryMatrix};
+use serde::{Deserialize, Serialize};
+
+/// How the two directed delivery rates combine into the hearing statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HearRule {
+    /// Mean of the two directions (paper reading; default).
+    Mean,
+    /// Both directions must clear the threshold.
+    Min,
+    /// Either direction clearing suffices.
+    Max,
+}
+
+impl HearRule {
+    fn combine(self, fwd: f64, rev: f64) -> f64 {
+        match self {
+            HearRule::Mean => 0.5 * (fwd + rev),
+            HearRule::Min => fwd.min(rev),
+            HearRule::Max => fwd.max(rev),
+        }
+    }
+}
+
+/// Symmetric hearing relation over a network's APs, stored as per-node
+/// bitsets (64 nodes per word) for fast triple counting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HearingGraph {
+    n: usize,
+    words: usize,
+    /// `adj[node * words ..][..]`: bitset of neighbours.
+    adj: Vec<u64>,
+}
+
+impl HearingGraph {
+    /// Thresholds a delivery matrix into a hearing graph.
+    pub fn build(m: &DeliveryMatrix, threshold: f64, rule: HearRule) -> Self {
+        let n = m.n_aps();
+        let words = n.div_ceil(64);
+        let mut g = Self {
+            n,
+            words,
+            adj: vec![0; n * words],
+        };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let fwd = m.get(ApId(a as u32), ApId(b as u32));
+                let rev = m.get(ApId(b as u32), ApId(a as u32));
+                if rule.combine(fwd, rev) >= threshold {
+                    g.connect(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// An empty graph over `n` nodes (for tests and synthetic topologies).
+    pub fn empty(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        Self {
+            n,
+            words,
+            adj: vec![0; n * words],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the symmetric edge `(a, b)`.
+    pub fn connect(&mut self, a: usize, b: usize) {
+        assert!(a != b && a < self.n && b < self.n);
+        self.adj[a * self.words + b / 64] |= 1 << (b % 64);
+        self.adj[b * self.words + a / 64] |= 1 << (a % 64);
+    }
+
+    /// Whether `a` and `b` hear each other.
+    pub fn hears(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        self.adj[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// The neighbour bitset of a node.
+    pub fn neighbours(&self, a: usize) -> &[u64] {
+        &self.adj[a * self.words..(a + 1) * self.words]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, a: usize) -> usize {
+        self.neighbours(a)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of unordered hearing pairs — the §6.2 "range" of the network
+    /// at this rate.
+    pub fn edge_count(&self) -> usize {
+        (0..self.n).map(|a| self.degree(a)).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::BitRate;
+    use mesh11_trace::NetworkId;
+
+    fn matrix_with(fwd: f64, rev: f64) -> DeliveryMatrix {
+        let mut m = DeliveryMatrix::new_zero(NetworkId(0), BitRate::bg_mbps(1.0).unwrap(), 2);
+        m.set(ApId(0), ApId(1), fwd);
+        m.set(ApId(1), ApId(0), rev);
+        m
+    }
+
+    #[test]
+    fn rules_differ_on_asymmetric_links() {
+        let m = matrix_with(0.3, 0.0);
+        // Mean = 0.15, Min = 0, Max = 0.3 at threshold 0.1:
+        assert!(HearingGraph::build(&m, 0.1, HearRule::Mean).hears(0, 1));
+        assert!(!HearingGraph::build(&m, 0.1, HearRule::Min).hears(0, 1));
+        assert!(HearingGraph::build(&m, 0.1, HearRule::Max).hears(0, 1));
+        // At threshold 0.2 the mean rule drops it too.
+        assert!(!HearingGraph::build(&m, 0.2, HearRule::Mean).hears(0, 1));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let m = matrix_with(0.1, 0.1);
+        assert!(HearingGraph::build(&m, 0.1, HearRule::Mean).hears(0, 1));
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let m = matrix_with(0.9, 0.9);
+        let g = HearingGraph::build(&m, 0.1, HearRule::Mean);
+        assert!(g.hears(0, 1) && g.hears(1, 0));
+        assert!(!g.hears(0, 0), "no self-hearing");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn bitsets_span_multiple_words() {
+        // 130 nodes forces 3 words per row.
+        let mut g = HearingGraph::empty(130);
+        g.connect(0, 129);
+        g.connect(64, 65);
+        assert!(g.hears(129, 0));
+        assert!(g.hears(65, 64));
+        assert!(!g.hears(0, 64));
+        assert_eq!(g.edge_count(), 2);
+    }
+}

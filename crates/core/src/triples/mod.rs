@@ -1,0 +1,17 @@
+//! §6 — Hidden triples and radio range.
+//!
+//! A triple `(A, B, C)` is *relevant* at bit rate `b` when `A` and `C` can
+//! both hear `B`; it is *hidden* when additionally `A` and `C` cannot hear
+//! each other — the precondition for a hidden-terminal collision at `B`.
+//! Hearing is thresholded delivery over the probe data ([`hearing`]);
+//! counting is bitset-based ([`hidden`]); the bit-rate-dependent range
+//! analysis lives in [`range`].
+
+pub mod hearing;
+pub mod hidden;
+pub mod range;
+pub mod sweep;
+
+pub use hearing::{HearRule, HearingGraph};
+pub use hidden::{TripleAnalysis, TripleCounts};
+pub use range::{range_by_rate, range_change_by_rate};

@@ -1,0 +1,171 @@
+//! §6.2–6.3 — bit-rate-dependent range.
+//!
+//! "Range" of a network at rate `b` := the number of unordered AP pairs that
+//! hear each other at `b`. Because absolute range scales with network size,
+//! Fig 6.2 plots each network's ratio to its own 1 Mbit/s range; §6.3's
+//! environment comparison uses `range / size²` instead.
+
+use std::collections::BTreeMap;
+
+use mesh11_phy::{BitRate, Phy};
+use mesh11_trace::{Dataset, DeliveryMatrix, EnvLabel, NetworkId};
+
+use crate::triples::hearing::{HearRule, HearingGraph};
+
+/// Per-network range (hearing-pair count) at every probed rate.
+pub fn range_by_rate(
+    ds: &Dataset,
+    phy: Phy,
+    threshold: f64,
+    rule: HearRule,
+) -> BTreeMap<(NetworkId, BitRate), usize> {
+    let mut out = BTreeMap::new();
+    for meta in &ds.networks {
+        if !meta.radios.contains(&phy) || meta.n_aps < 2 {
+            continue;
+        }
+        let probes: Vec<_> = ds
+            .probes_for_network(meta.id)
+            .filter(|p| p.phy == phy)
+            .collect();
+        for &rate in phy.probed_rates() {
+            let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
+            let g = HearingGraph::build(&m, threshold, rule);
+            out.insert((meta.id, rate), g.edge_count());
+        }
+    }
+    out
+}
+
+/// Fig 6.2's sample: per rate, each network's `range(rate) / range(base)`,
+/// where base is the PHY's most robust rate (1 Mbit/s for b/g). Networks
+/// with zero base range are excluded (the ratio is undefined).
+pub fn range_change_by_rate(
+    ranges: &BTreeMap<(NetworkId, BitRate), usize>,
+    phy: Phy,
+) -> BTreeMap<BitRate, Vec<f64>> {
+    let base_rate = phy.probed_rates()[0];
+    let mut out: BTreeMap<BitRate, Vec<f64>> = BTreeMap::new();
+    // Collect base ranges per network first.
+    let bases: BTreeMap<NetworkId, usize> = ranges
+        .iter()
+        .filter(|((_, r), _)| *r == base_rate)
+        .map(|((n, _), &v)| (*n, v))
+        .collect();
+    for ((net, rate), &v) in ranges {
+        let Some(&base) = bases.get(net) else {
+            continue;
+        };
+        if base == 0 {
+            continue;
+        }
+        out.entry(*rate).or_default().push(v as f64 / base as f64);
+    }
+    out
+}
+
+/// §6.3's density-normalized range, `range / size²`, per environment at one
+/// rate. Returns `(env, values)` for the two pure environments.
+pub fn normalized_range_by_env(
+    ds: &Dataset,
+    ranges: &BTreeMap<(NetworkId, BitRate), usize>,
+    rate: BitRate,
+) -> BTreeMap<EnvLabel, Vec<f64>> {
+    let mut out: BTreeMap<EnvLabel, Vec<f64>> = BTreeMap::new();
+    for ((net, r), &v) in ranges {
+        if *r != rate {
+            continue;
+        }
+        let Some(meta) = ds.meta(*net) else { continue };
+        if !meta.env.is_pure() || meta.n_aps == 0 {
+            continue;
+        }
+        out.entry(meta.env)
+            .or_default()
+            .push(v as f64 / (meta.n_aps * meta.n_aps) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_trace::{ApId, NetworkMeta, ProbeSet, RateObs};
+
+    fn r(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    /// A dataset where AP0–AP1 hear each other at 1 and 11 Mbit/s but only
+    /// marginally at 48.
+    fn tiny_ds() -> Dataset {
+        let probe = |rate: BitRate, loss: f64| ProbeSet {
+            network: NetworkId(0),
+            phy: Phy::Bg,
+            time_s: 300.0,
+            sender: ApId(0),
+            receiver: ApId(1),
+            obs: vec![RateObs {
+                rate,
+                loss,
+                snr_db: 15.0,
+            }],
+        };
+        let rev = |rate: BitRate, loss: f64| ProbeSet {
+            sender: ApId(1),
+            receiver: ApId(0),
+            ..probe(rate, loss)
+        };
+        Dataset {
+            networks: vec![NetworkMeta {
+                id: NetworkId(0),
+                env: EnvLabel::Indoor,
+                n_aps: 2,
+                radios: vec![Phy::Bg],
+                location: String::new(),
+            }],
+            probes: vec![
+                probe(r(1.0), 0.0),
+                rev(r(1.0), 0.0),
+                probe(r(11.0), 0.2),
+                rev(r(11.0), 0.2),
+                probe(r(48.0), 0.95),
+                rev(r(48.0), 0.95),
+            ],
+            clients: vec![],
+            probe_horizon_s: 600.0,
+            client_horizon_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn ranges_reflect_thresholded_hearing() {
+        let ds = tiny_ds();
+        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        assert_eq!(ranges[&(NetworkId(0), r(1.0))], 1);
+        assert_eq!(ranges[&(NetworkId(0), r(11.0))], 1);
+        // 5% delivery misses the 10% threshold.
+        assert_eq!(ranges[&(NetworkId(0), r(48.0))], 0);
+        // Rates never probed successfully have zero range.
+        assert_eq!(ranges[&(NetworkId(0), r(24.0))], 0);
+    }
+
+    #[test]
+    fn change_normalizes_to_base() {
+        let ds = tiny_ds();
+        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        let change = range_change_by_rate(&ranges, Phy::Bg);
+        assert_eq!(change[&r(1.0)], vec![1.0], "base normalizes to itself");
+        assert_eq!(change[&r(11.0)], vec![1.0]);
+        assert_eq!(change[&r(48.0)], vec![0.0]);
+    }
+
+    #[test]
+    fn env_normalized_range() {
+        let ds = tiny_ds();
+        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        let by_env = normalized_range_by_env(&ds, &ranges, r(1.0));
+        assert_eq!(by_env[&EnvLabel::Indoor], vec![0.25]); // 1 pair / 2²
+        assert!(!by_env.contains_key(&EnvLabel::Outdoor));
+    }
+}

@@ -1,0 +1,130 @@
+//! Frame airtime: how long one transmission occupies the medium.
+//!
+//! Needed by the ETT (expected transmission time) routing metric — the
+//! second traditional-routing baseline the paper's question 2 names (De
+//! Couto's ETX counts transmissions; Bicket's ETT weighs them by duration,
+//! so a 1 Mbit/s hop is 48× more expensive than a 48 Mbit/s hop of equal
+//! delivery).
+//!
+//! Timings follow the 802.11 PLCP formats:
+//!
+//! * DSSS/CCK: 192 µs long preamble + header, payload at the data rate;
+//! * OFDM (11g): 20 µs preamble + SIGNAL, payload in 4 µs symbols;
+//! * HT (11n mixed format): 36 µs preamble, payload in 3.6/4 µs symbols
+//!   (short/long GI) carrying the MCS's bits per symbol.
+
+use crate::rate::{BitRate, RateClass};
+
+/// Transmit duration (µs) of a frame with `payload_bytes` of MAC payload at
+/// `rate`, preamble included.
+pub fn tx_time_us(rate: BitRate, payload_bytes: usize) -> f64 {
+    let bits = (payload_bytes * 8) as f64;
+    match rate.class() {
+        RateClass::Dsss | RateClass::Cck => {
+            // Long PLCP preamble + header: 144 + 48 = 192 µs.
+            192.0 + bits / (rate.kbps() as f64 / 1000.0)
+        }
+        RateClass::Ofdm => {
+            // 16 µs preamble + 4 µs SIGNAL; then 4 µs symbols.
+            let bits_per_symbol = rate.kbps() as f64 / 1000.0 * 4.0;
+            // 16 service + 6 tail bits ride along.
+            let symbols = ((bits + 22.0) / bits_per_symbol).ceil();
+            20.0 + 4.0 * symbols
+        }
+        RateClass::Ht => {
+            // HT-mixed preamble ≈ 36 µs (L-STF+L-LTF+L-SIG+HT-SIG+HT-STF+HT-LTF).
+            let symbol_us = if rate.short_gi() { 3.6 } else { 4.0 };
+            let bits_per_symbol = rate.kbps() as f64 / 1000.0 * symbol_us;
+            let symbols = ((bits + 22.0) / bits_per_symbol).ceil();
+            36.0 + symbol_us * symbols
+        }
+    }
+}
+
+/// Airtime of the toolkit's standard probe/data frame (µs).
+pub fn frame_time_us(rate: BitRate) -> f64 {
+    tx_time_us(rate, crate::per::DEFAULT_FRAME_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{BG_ALL, HT_ALL};
+
+    fn r(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    #[test]
+    fn dsss_is_preamble_plus_linear_payload() {
+        // 1500 B at 1 Mbit/s: 192 + 12000 = 12192 µs.
+        assert_eq!(tx_time_us(r(1.0), 1500), 12_192.0);
+        // At 11 Mbit/s: 192 + 12000/11 ≈ 1282.9 µs.
+        assert!((tx_time_us(r(11.0), 1500) - (192.0 + 12_000.0 / 11.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ofdm_rounds_to_symbols() {
+        // 6 Mbit/s: 24 bits/symbol; (12000+22)/24 = 500.9 → 501 symbols.
+        assert_eq!(tx_time_us(r(6.0), 1500), 20.0 + 4.0 * 501.0);
+        // 54 Mbit/s: 216 bits/symbol; (12022)/216 = 55.7 → 56 symbols.
+        assert_eq!(tx_time_us(r(54.0), 1500), 20.0 + 4.0 * 56.0);
+    }
+
+    #[test]
+    fn faster_rates_are_faster_within_a_family() {
+        // Within OFDM and within DSSS/CCK, airtime strictly falls with rate.
+        let ofdm: Vec<f64> = [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0]
+            .iter()
+            .map(|&m| frame_time_us(r(m)))
+            .collect();
+        assert!(ofdm.windows(2).all(|w| w[1] < w[0]), "{ofdm:?}");
+        let dsss: Vec<f64> = [1.0, 2.0, 5.5, 11.0]
+            .iter()
+            .map(|&m| frame_time_us(r(m)))
+            .collect();
+        assert!(dsss.windows(2).all(|w| w[1] < w[0]), "{dsss:?}");
+    }
+
+    #[test]
+    fn one_mbps_dominates_everything() {
+        let slowest = frame_time_us(r(1.0));
+        for &rate in BG_ALL.iter().chain(HT_ALL) {
+            assert!(frame_time_us(rate) <= slowest);
+        }
+    }
+
+    #[test]
+    fn short_gi_is_faster() {
+        for mcs in 0..16 {
+            let lgi = frame_time_us(BitRate::ht_mcs(mcs, false).unwrap());
+            let sgi = frame_time_us(BitRate::ht_mcs(mcs, true).unwrap());
+            assert!(sgi < lgi, "MCS{mcs}: sgi {sgi} vs lgi {lgi}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_just_overhead() {
+        assert_eq!(tx_time_us(r(1.0), 0), 192.0);
+        // OFDM still sends one symbol for service+tail bits.
+        assert_eq!(tx_time_us(r(54.0), 0), 20.0 + 4.0);
+    }
+
+    #[test]
+    fn airtime_monotone_in_payload() {
+        use proptest::prelude::*;
+        proptest!(|(rate_idx in 0usize..12, a in 0usize..3000, b in 0usize..3000)| {
+            let rate = BG_ALL[rate_idx];
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(tx_time_us(rate, lo) <= tx_time_us(rate, hi));
+        });
+    }
+
+    #[test]
+    fn airtime_positive_and_finite_for_all_rates() {
+        for &rate in BG_ALL.iter().chain(HT_ALL) {
+            let t = frame_time_us(rate);
+            assert!(t.is_finite() && t > 0.0, "{rate}: {t}");
+        }
+    }
+}

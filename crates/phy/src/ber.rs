@@ -1,0 +1,368 @@
+//! Bit-error-rate curves per modulation, with convolutional coding.
+//!
+//! The OFDM path follows the NIST error-rate model (the one ns-3 ships as
+//! `NistErrorRateModel`): closed-form uncoded BER per constellation, then a
+//! union bound over the K=7 convolutional code's distance spectrum for the
+//! coded BER. The DSSS/CCK path uses the standard differential/spread
+//! approximations with the 802.11b processing gains.
+//!
+//! **Calibration note.** These curves supply the *shape* of each rate's
+//! waterfall (how steep, how coding bends it). Their absolute *position* is
+//! corrected by [`crate::per::CalibratedPhy`], which aligns each rate's 50%
+//! point with a documented sensitivity table — see `DESIGN.md` §5 for why
+//! (field measurements, including the paper's §6.1, show orderings that pure
+//! AWGN theory does not, e.g. 11 Mbit/s CCK outliving 6 Mbit/s OFDM).
+
+use crate::math::{binomial, q};
+use crate::rate::{BitRate, RateClass};
+use serde::{Deserialize, Serialize};
+
+/// Convolutional code rate (802.11 uses the K=7 (171,133) code, punctured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Coding {
+    /// Rate 1/2 (mother code).
+    Half,
+    /// Rate 2/3.
+    TwoThirds,
+    /// Rate 3/4.
+    ThreeQuarters,
+    /// Rate 5/6 (802.11n only).
+    FiveSixths,
+}
+
+/// Constellation / spreading scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// Differential BPSK with 11-chip Barker spreading (1 Mbit/s).
+    Dbpsk,
+    /// Differential QPSK with 11-chip Barker spreading (2 Mbit/s).
+    Dqpsk,
+    /// Complementary code keying, 5.5 Mbit/s.
+    Cck55,
+    /// Complementary code keying, 11 Mbit/s.
+    Cck11,
+    /// OFDM BPSK.
+    Bpsk,
+    /// OFDM QPSK.
+    Qpsk,
+    /// OFDM 16-QAM.
+    Qam16,
+    /// OFDM 64-QAM.
+    Qam64,
+}
+
+/// The modulation and coding of a transmit configuration.
+pub fn modulation_of(rate: BitRate) -> (Modulation, Option<Coding>) {
+    match rate.class() {
+        RateClass::Dsss => {
+            if rate.kbps() <= 1_000 {
+                (Modulation::Dbpsk, None)
+            } else {
+                (Modulation::Dqpsk, None)
+            }
+        }
+        RateClass::Cck => {
+            if rate.kbps() <= 5_500 {
+                (Modulation::Cck55, None)
+            } else {
+                (Modulation::Cck11, None)
+            }
+        }
+        RateClass::Ofdm => match rate.kbps() {
+            6_000 => (Modulation::Bpsk, Some(Coding::Half)),
+            9_000 => (Modulation::Bpsk, Some(Coding::ThreeQuarters)),
+            12_000 => (Modulation::Qpsk, Some(Coding::Half)),
+            18_000 => (Modulation::Qpsk, Some(Coding::ThreeQuarters)),
+            24_000 => (Modulation::Qam16, Some(Coding::Half)),
+            36_000 => (Modulation::Qam16, Some(Coding::ThreeQuarters)),
+            48_000 => (Modulation::Qam64, Some(Coding::TwoThirds)),
+            54_000 => (Modulation::Qam64, Some(Coding::ThreeQuarters)),
+            other => unreachable!("unknown OFDM rate {other} kbps"),
+        },
+        RateClass::Ht => {
+            let mcs = rate.mcs().expect("HT rates carry an MCS") % 8;
+            match mcs {
+                0 => (Modulation::Bpsk, Some(Coding::Half)),
+                1 => (Modulation::Qpsk, Some(Coding::Half)),
+                2 => (Modulation::Qpsk, Some(Coding::ThreeQuarters)),
+                3 => (Modulation::Qam16, Some(Coding::Half)),
+                4 => (Modulation::Qam16, Some(Coding::ThreeQuarters)),
+                5 => (Modulation::Qam64, Some(Coding::TwoThirds)),
+                6 => (Modulation::Qam64, Some(Coding::ThreeQuarters)),
+                7 => (Modulation::Qam64, Some(Coding::FiveSixths)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Uncoded bit error rate for a modulation at linear SNR `snr`
+/// (signal power over noise power in the channel bandwidth).
+///
+/// DSSS rates fold in the 802.11b processing gain (22 MHz chips over the
+/// data rate); OFDM constellations use the NIST closed forms.
+pub fn uncoded_ber(modulation: Modulation, snr: f64) -> f64 {
+    let snr = snr.max(0.0);
+    let ber = match modulation {
+        // Eb/N0 = SNR * (chip bandwidth / bit rate). 22 MHz / 1 Mbit/s = 22.
+        Modulation::Dbpsk => {
+            let ebn0 = snr * 22.0;
+            0.5 * (-ebn0).exp()
+        }
+        Modulation::Dqpsk => {
+            // Asymptotic DQPSK expression (as used by ns-3's DSSS model).
+            let ebn0 = snr * 11.0;
+            if ebn0 <= 0.0 {
+                0.5
+            } else {
+                let c = (std::f64::consts::SQRT_2 + 1.0)
+                    / (8.0 * std::f64::consts::PI * std::f64::consts::SQRT_2).sqrt();
+                c / ebn0.sqrt() * (-(2.0 - std::f64::consts::SQRT_2) * ebn0).exp()
+            }
+        }
+        // CCK: QPSK-like waterfall with the residual spreading gain
+        // (22/5.5 = 4 and 22/11 = 2).
+        Modulation::Cck55 => q((2.0 * snr * 4.0).sqrt()),
+        Modulation::Cck11 => q((2.0 * snr * 2.0).sqrt()),
+        // NIST closed forms; `snr` here is the per-symbol SNR.
+        Modulation::Bpsk => q((2.0 * snr).sqrt()),
+        Modulation::Qpsk => q(snr.sqrt()),
+        Modulation::Qam16 => 0.375 * crate::math::erfc((snr / 10.0).sqrt()),
+        Modulation::Qam64 => (7.0 / 24.0) * crate::math::erfc((snr / 42.0).sqrt()),
+    };
+    ber.clamp(0.0, 0.5)
+}
+
+/// Distance spectrum (information-bit error weights `c_d` starting at the
+/// free distance) of the punctured K=7 (171,133) convolutional code.
+fn distance_spectrum(coding: Coding) -> (u32, &'static [f64]) {
+    match coding {
+        Coding::Half => (
+            10,
+            &[
+                36.0, 0.0, 211.0, 0.0, 1404.0, 0.0, 11633.0, 0.0, 77433.0, 0.0,
+            ],
+        ),
+        Coding::TwoThirds => (
+            6,
+            &[
+                3.0, 70.0, 285.0, 1276.0, 6160.0, 27128.0, 117019.0, 498860.0, 2103891.0, 8784123.0,
+            ],
+        ),
+        Coding::ThreeQuarters => (
+            5,
+            &[
+                42.0,
+                201.0,
+                1492.0,
+                10469.0,
+                62935.0,
+                379644.0,
+                2253373.0,
+                13073811.0,
+                75152755.0,
+                428005675.0,
+            ],
+        ),
+        Coding::FiveSixths => (
+            4,
+            &[
+                92.0,
+                528.0,
+                8694.0,
+                79453.0,
+                792114.0,
+                7375573.0,
+                67884974.0,
+                610875423.0,
+                5427275376.0,
+                47664215639.0,
+            ],
+        ),
+    }
+}
+
+/// Probability that a weight-`d` error event wins the Viterbi comparison,
+/// given channel bit error probability `p` (hard-decision bound).
+fn event_error_prob(d: u32, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let p = p.min(0.5);
+    let mut sum = 0.0;
+    if d.is_multiple_of(2) {
+        let half = d / 2;
+        sum += 0.5 * binomial(d, half) * p.powi(half as i32) * (1.0 - p).powi(half as i32);
+        for k in (half + 1)..=d {
+            sum += binomial(d, k) * p.powi(k as i32) * (1.0 - p).powi((d - k) as i32);
+        }
+    } else {
+        for k in (d / 2 + 1)..=d {
+            sum += binomial(d, k) * p.powi(k as i32) * (1.0 - p).powi((d - k) as i32);
+        }
+    }
+    sum.min(1.0)
+}
+
+/// Coded bit error rate: union bound over the first ten spectrum terms.
+pub fn coded_ber(uncoded: f64, coding: Coding) -> f64 {
+    let (dfree, cs) = distance_spectrum(coding);
+    let mut ber = 0.0;
+    for (i, &c) in cs.iter().enumerate() {
+        ber += c * event_error_prob(dfree + i as u32, uncoded);
+    }
+    ber.clamp(0.0, 0.5)
+}
+
+/// End-to-end bit error rate for a rate at linear SNR: uncoded curve plus
+/// coding where the rate uses it.
+pub fn ber(rate: BitRate, snr_linear: f64) -> f64 {
+    let (modulation, coding) = modulation_of(rate);
+    let raw = uncoded_ber(modulation, snr_linear);
+    match coding {
+        Some(c) => coded_ber(raw, c),
+        None => raw,
+    }
+}
+
+/// Convenience: dB → linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convenience: linear power ratio → dB.
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{BG_ALL, HT_ALL};
+    use proptest::prelude::*;
+
+    #[test]
+    fn modulation_assignments_bg() {
+        let m = |mbps: f64| modulation_of(BitRate::bg_mbps(mbps).unwrap());
+        assert_eq!(m(1.0), (Modulation::Dbpsk, None));
+        assert_eq!(m(2.0), (Modulation::Dqpsk, None));
+        assert_eq!(m(5.5), (Modulation::Cck55, None));
+        assert_eq!(m(11.0), (Modulation::Cck11, None));
+        assert_eq!(m(6.0), (Modulation::Bpsk, Some(Coding::Half)));
+        assert_eq!(m(54.0), (Modulation::Qam64, Some(Coding::ThreeQuarters)));
+    }
+
+    #[test]
+    fn modulation_assignments_ht() {
+        let m = |mcs| modulation_of(BitRate::ht_mcs(mcs, false).unwrap());
+        assert_eq!(m(0), (Modulation::Bpsk, Some(Coding::Half)));
+        assert_eq!(m(7), (Modulation::Qam64, Some(Coding::FiveSixths)));
+        // Dual-stream MCS shares the single-stream constellation.
+        assert_eq!(m(8), m(0));
+        assert_eq!(m(15), m(7));
+    }
+
+    #[test]
+    fn uncoded_ber_limits() {
+        for &m in &[
+            Modulation::Dbpsk,
+            Modulation::Dqpsk,
+            Modulation::Cck55,
+            Modulation::Cck11,
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            assert!(
+                uncoded_ber(m, 0.0) >= 0.2,
+                "{m:?} should be ~0.5 at zero SNR"
+            );
+            assert!(
+                uncoded_ber(m, 1e6) < 1e-12,
+                "{m:?} should vanish at huge SNR"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_order_modulation_is_worse() {
+        // At a fixed mid-range SNR the constellations order by density.
+        let snr = db_to_linear(12.0);
+        let bpsk = uncoded_ber(Modulation::Bpsk, snr);
+        let qpsk = uncoded_ber(Modulation::Qpsk, snr);
+        let qam16 = uncoded_ber(Modulation::Qam16, snr);
+        let qam64 = uncoded_ber(Modulation::Qam64, snr);
+        assert!(bpsk < qpsk && qpsk < qam16 && qam16 < qam64);
+    }
+
+    #[test]
+    fn coding_helps_at_moderate_ber() {
+        let p = 1e-3;
+        for &c in &[
+            Coding::Half,
+            Coding::TwoThirds,
+            Coding::ThreeQuarters,
+            Coding::FiveSixths,
+        ] {
+            assert!(coded_ber(p, c) < p, "{c:?} failed to improve on p={p}");
+        }
+    }
+
+    #[test]
+    fn stronger_codes_win() {
+        let p = 5e-3;
+        let half = coded_ber(p, Coding::Half);
+        let two3 = coded_ber(p, Coding::TwoThirds);
+        let three4 = coded_ber(p, Coding::ThreeQuarters);
+        let five6 = coded_ber(p, Coding::FiveSixths);
+        assert!(half < two3 && two3 < three4 && three4 < five6);
+    }
+
+    #[test]
+    fn event_error_prob_properties() {
+        assert_eq!(event_error_prob(10, 0.0), 0.0);
+        assert!(event_error_prob(10, 0.5) > 0.1);
+        // More errors required => less likely.
+        assert!(event_error_prob(12, 0.01) < event_error_prob(10, 0.01));
+    }
+
+    #[test]
+    fn db_conversions_round_trip() {
+        for &db in &[-20.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+        assert!((db_to_linear(3.0) - 1.995).abs() < 0.01);
+    }
+
+    #[test]
+    fn ber_is_finite_for_all_rates() {
+        for &r in BG_ALL.iter().chain(HT_ALL) {
+            for snr_db in -20..50 {
+                let b = ber(r, db_to_linear(snr_db as f64));
+                assert!(
+                    b.is_finite() && (0.0..=0.5).contains(&b),
+                    "{r} @ {snr_db} dB: {b}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ber_monotone_in_snr(rate_idx in 0usize..12, lo in -10.0f64..40.0, delta in 0.01f64..10.0) {
+            let rate = BG_ALL[rate_idx];
+            let b_lo = ber(rate, db_to_linear(lo));
+            let b_hi = ber(rate, db_to_linear(lo + delta));
+            prop_assert!(b_hi <= b_lo + 1e-12, "{}: ber({})={} < ber({})={}", rate, lo, b_lo, lo + delta, b_hi);
+        }
+
+        #[test]
+        fn coded_ber_bounded(p in 0.0f64..0.5) {
+            for &c in &[Coding::Half, Coding::TwoThirds, Coding::ThreeQuarters, Coding::FiveSixths] {
+                let b = coded_ber(p, c);
+                prop_assert!((0.0..=0.5).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Special functions needed by the error-rate models.
+//!
+//! `std` does not expose `erfc`, so we carry the classic Abramowitz–Stegun
+//! 7.1.26 rational approximation (|ε| ≤ 1.5·10⁻⁷ over ℝ), which is accurate
+//! far beyond what packet-level simulation needs.
+
+/// Complementary error function, `erfc(x) = 1 − erf(x)`.
+///
+/// Abramowitz & Stegun 7.1.26 with the odd-symmetry extension
+/// `erfc(−x) = 2 − erfc(x)`.
+///
+/// ```
+/// use mesh11_phy::math::erfc;
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+/// assert!(erfc(3.0) < 3e-5);
+/// assert!((erfc(-3.0) - 2.0).abs() < 3e-5);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    // A&S 7.1.26 coefficients.
+    const P: f64 = 0.327_591_1;
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = t * (A1 + t * (A2 + t * (A3 + t * (A4 + t * A5))));
+    poly * (-x * x).exp()
+}
+
+/// Error function, `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Gaussian tail probability `Q(x) = P(N(0,1) > x) = erfc(x/√2)/2`.
+pub fn q(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small arguments
+/// the union bound uses; saturating smoothly for large ones).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_known_values() {
+        // Reference values (Wolfram): erfc(0.5)=0.4795001..., erfc(1)=0.1572992...,
+        // erfc(2)=0.00467773...
+        assert!((erfc(0.5) - 0.479_500_1).abs() < 2e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 2e-7);
+        assert!((erfc(2.0) - 0.004_677_73).abs() < 2e-7);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for &x in &[0.1, 0.7, 1.3, 2.5] {
+            assert!((erfc(-x) + erfc(x) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_monotone_decreasing() {
+        let mut prev = erfc(-5.0);
+        let mut x = -5.0;
+        while x < 5.0 {
+            x += 0.05;
+            let v = erfc(x);
+            assert!(v <= prev + 1e-7, "erfc not decreasing at {x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn q_function_anchors() {
+        assert!((q(0.0) - 0.5).abs() < 1e-9);
+        // Q(1.96) ≈ 0.025 (the 95% two-tailed z)
+        assert!((q(1.96) - 0.025).abs() < 1e-4);
+        // Q(3) ≈ 1.3499e-3
+        assert!((q(3.0) - 1.3499e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erf_complements() {
+        for &x in &[0.0, 0.3, 1.0, 2.2] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_small_exact() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 5), 252.0);
+        assert_eq!(binomial(3, 4), 0.0);
+        // The multiplicative form accumulates float error; demand 1e-9 relative.
+        assert!((binomial(20, 10) - 184_756.0).abs() / 184_756.0 < 1e-9);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..20u32 {
+            for k in 0..=n {
+                let (a, b) = (binomial(n, k), binomial(n, n - k));
+                assert!((a - b).abs() <= 1e-9 * a.max(1.0), "C({n},{k})");
+            }
+        }
+    }
+}

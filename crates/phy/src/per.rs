@@ -1,0 +1,500 @@
+//! Frame success probability and the calibrated PHY.
+//!
+//! Two layers:
+//!
+//! * [`PerModel`] — the *raw* physics: payload success `(1 − BER)^(8L)` and a
+//!   preamble-detection stage (b/g frames carry a 1 Mbit/s DSSS preamble —
+//!   §6.1 of the paper builds its hidden-terminal argument on this; HT frames
+//!   carry an MCS0-robustness preamble).
+//! * [`CalibratedPhy`] — the raw curves shifted per rate so that each rate's
+//!   50%-success SNR (1500-byte payload) lands exactly on
+//!   [`default_sensitivity_db`]. Modulation theory gives the waterfall
+//!   *shape*; the sensitivity table gives its *position*, encoding the field
+//!   orderings the paper observed (notably 11 Mbit/s CCK ahead of 6 Mbit/s
+//!   OFDM).
+
+use crate::ber::{ber, db_to_linear};
+use crate::rate::{BitRate, Phy};
+use serde::{Deserialize, Serialize};
+
+/// Probe/data frame size used throughout the toolkit (bytes).
+///
+/// Roofnet-style broadcast probes are full-size frames; the paper's
+/// throughput definition (§3.1.2) is agnostic to the exact size as long as
+/// it is held constant.
+pub const DEFAULT_FRAME_BYTES: usize = 1500;
+
+/// PLCP preamble + header, expressed as an equivalent payload length at the
+/// base rate (192 µs long preamble at 1 Mbit/s ≈ 24 bytes).
+const PREAMBLE_BYTES: usize = 24;
+
+/// Raw (uncalibrated) frame-success model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerModel {
+    /// Payload size in bytes.
+    pub frame_bytes: usize,
+    /// Whether reception requires detecting the base-rate preamble first.
+    pub with_preamble: bool,
+}
+
+impl Default for PerModel {
+    fn default() -> Self {
+        Self {
+            frame_bytes: DEFAULT_FRAME_BYTES,
+            with_preamble: true,
+        }
+    }
+}
+
+impl PerModel {
+    /// Payload-only success probability at `snr_db` for `rate`.
+    pub fn payload_success(&self, rate: BitRate, snr_db: f64) -> f64 {
+        success_for_len(rate, snr_db, self.frame_bytes)
+    }
+
+    /// Preamble detection probability at `snr_db` (uses the PHY's base rate
+    /// over the short preamble length).
+    pub fn preamble_success(&self, phy: Phy, snr_db: f64) -> f64 {
+        success_for_len(phy.base_rate(), snr_db, PREAMBLE_BYTES)
+    }
+
+    /// Full frame success: preamble (if enabled) × payload.
+    pub fn success(&self, rate: BitRate, snr_db: f64) -> f64 {
+        let payload = self.payload_success(rate, snr_db);
+        if self.with_preamble {
+            self.preamble_success(rate.phy(), snr_db) * payload
+        } else {
+            payload
+        }
+    }
+}
+
+/// `(1 − BER(rate, snr))^(8·len)`.
+fn success_for_len(rate: BitRate, snr_db: f64, len_bytes: usize) -> f64 {
+    let b = ber(rate, db_to_linear(snr_db));
+    (1.0 - b).powi((8 * len_bytes) as i32)
+}
+
+/// The documented sensitivity table: SNR (dB) at which a 1500-byte payload
+/// succeeds 50% of the time, per rate.
+///
+/// Sources: Atheros AR5213/AR9280-era receive-sensitivity tables shifted to
+/// an SNR axis (noise floor ≈ −95 dBm), adjusted so the *orderings* match
+/// the paper's field observations: DSSS/CCK rates (1, 2, 5.5, 11 Mbit/s) are
+/// more robust than their nominal-rate OFDM neighbours — the paper's §6.1
+/// explanation for 11 Mbit/s showing *fewer* hidden triples than 6 Mbit/s.
+/// HT dual-stream MCS pay ≈3.5 dB over single-stream; short-GI pays 0.5 dB
+/// over long-GI at equal MCS.
+pub fn default_sensitivity_db(rate: BitRate) -> f64 {
+    if let Some(mcs) = rate.mcs() {
+        let single = [5.0, 8.0, 11.0, 14.0, 18.0, 22.0, 24.0, 26.0][usize::from(mcs % 8)];
+        let stream_penalty = if mcs >= 8 { 3.5 } else { 0.0 };
+        let gi_penalty = if rate.short_gi() { 0.5 } else { 0.0 };
+        return single + stream_penalty + gi_penalty;
+    }
+    match rate.kbps() {
+        1_000 => 4.0,
+        2_000 => 6.0,
+        5_500 => 8.0,
+        11_000 => 8.5,
+        6_000 => 10.5,
+        9_000 => 11.5,
+        12_000 => 13.0,
+        18_000 => 15.0,
+        24_000 => 17.0,
+        36_000 => 21.0,
+        48_000 => 25.0,
+        54_000 => 26.5,
+        other => unreachable!("unknown legacy rate {other} kbps"),
+    }
+}
+
+/// The calibrated PHY: raw waterfalls shifted so each rate's 1500-byte
+/// payload 50% point sits exactly at its sensitivity target.
+///
+/// Construction bisects the (monotone) raw curve once per rate; queries are
+/// then pure function evaluations. This is the object the channel/simulator
+/// layers hold.
+///
+/// ```
+/// use mesh11_phy::{BitRate, CalibratedPhy};
+/// let phy = CalibratedPhy::new();
+/// let r6 = BitRate::bg_mbps(6.0).unwrap();
+/// // Exactly 50% payload success at the calibration point:
+/// let s = phy.payload_success(r6, 10.5);
+/// assert!((s - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibratedPhy {
+    model: PerModel,
+    /// `offset[phy][rate_index]`: subtract from the query SNR before the raw
+    /// curve, i.e. `raw(snr − offset)` hits 0.5 at the sensitivity target.
+    bg_offsets: Vec<f64>,
+    ht_offsets: Vec<f64>,
+}
+
+impl Default for CalibratedPhy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalibratedPhy {
+    /// Calibrates against [`default_sensitivity_db`] with the default frame
+    /// size and preamble model.
+    pub fn new() -> Self {
+        Self::with_model(PerModel::default(), default_sensitivity_db)
+    }
+
+    /// Calibrates with a custom frame model and sensitivity table.
+    pub fn with_model(model: PerModel, sensitivity_db: impl Fn(BitRate) -> f64) -> Self {
+        let calibrate = |rates: &[BitRate]| -> Vec<f64> {
+            rates
+                .iter()
+                .map(|&r| {
+                    let raw50 = bisect_snr50(r, model.frame_bytes);
+                    sensitivity_db(r) - raw50
+                })
+                .collect()
+        };
+        Self {
+            model,
+            bg_offsets: calibrate(Phy::Bg.all_rates()),
+            ht_offsets: calibrate(Phy::Ht.all_rates()),
+        }
+    }
+
+    fn offset(&self, rate: BitRate) -> f64 {
+        match rate.phy() {
+            Phy::Bg => self.bg_offsets[rate.index()],
+            Phy::Ht => self.ht_offsets[rate.index()],
+        }
+    }
+
+    /// Payload-only success probability (what the calibration pins).
+    pub fn payload_success(&self, rate: BitRate, snr_db: f64) -> f64 {
+        self.model.payload_success(rate, snr_db - self.offset(rate))
+    }
+
+    /// Full frame success (preamble × payload when the model has preambles).
+    pub fn success(&self, rate: BitRate, snr_db: f64) -> f64 {
+        let payload = self.payload_success(rate, snr_db);
+        if self.model.with_preamble {
+            // Preamble is detected at base-rate robustness; apply the base
+            // rate's calibration offset to its curve too.
+            let base = rate.phy().base_rate();
+            let pre = success_for_len(base, snr_db - self.offset(base), PREAMBLE_BYTES);
+            pre * payload
+        } else {
+            payload
+        }
+    }
+
+    /// Expected throughput (Mbit/s) of `rate` at `snr_db` — the paper's
+    /// throughput definition applied to the model.
+    pub fn throughput_mbps(&self, rate: BitRate, snr_db: f64) -> f64 {
+        rate.throughput_mbps(self.success(rate, snr_db))
+    }
+
+    /// The rate with the highest expected throughput at `snr_db`, among the
+    /// PHY's probed rates.
+    pub fn best_rate(&self, phy: Phy, snr_db: f64) -> BitRate {
+        *phy.probed_rates()
+            .iter()
+            .max_by(|a, b| {
+                self.throughput_mbps(**a, snr_db)
+                    .partial_cmp(&self.throughput_mbps(**b, snr_db))
+                    .expect("throughputs are finite")
+            })
+            .expect("rate tables are non-empty")
+    }
+
+    /// The calibrated 50%-payload-success SNR of a rate (equals the
+    /// sensitivity table by construction; exposed for tests and reporting).
+    pub fn sensitivity_db(&self, rate: BitRate) -> f64 {
+        bisect_snr50(rate, self.model.frame_bytes) + self.offset(rate)
+    }
+
+    /// The frame model in use.
+    pub fn model(&self) -> PerModel {
+        self.model
+    }
+}
+
+/// A precomputed SNR → success grid over every rate of both PHYs.
+///
+/// The simulator evaluates frame success hundreds of millions of times; the
+/// coded-union-bound curve costs microseconds per call, so we sample it once
+/// on a 0.25 dB grid and interpolate linearly. Max interpolation error is
+/// far below the Bernoulli noise of any simulated estimate.
+#[derive(Debug, Clone)]
+pub struct SuccessTable {
+    lo_db: f64,
+    step_db: f64,
+    /// `grid[phy][rate_index][snr_bin]`.
+    bg: Vec<Vec<f64>>,
+    ht: Vec<Vec<f64>>,
+}
+
+impl SuccessTable {
+    /// Grid lower bound (dB); success below is clamped to the edge value
+    /// (≈0 for any real rate).
+    pub const LO_DB: f64 = -30.0;
+    /// Grid upper bound (dB); success above is clamped (≈1).
+    pub const HI_DB: f64 = 70.0;
+    /// Grid step (dB). 0.1 dB keeps interpolation error below 2e-3 even on
+    /// the steepest (1 Mbit/s DSSS) waterfall.
+    pub const STEP_DB: f64 = 0.1;
+
+    /// Tabulates `phy.success` for every rate.
+    pub fn new(phy: &CalibratedPhy) -> Self {
+        let n = ((Self::HI_DB - Self::LO_DB) / Self::STEP_DB) as usize + 1;
+        let tabulate = |rates: &[BitRate]| -> Vec<Vec<f64>> {
+            rates
+                .iter()
+                .map(|&r| {
+                    (0..n)
+                        .map(|i| phy.success(r, Self::LO_DB + i as f64 * Self::STEP_DB))
+                        .collect()
+                })
+                .collect()
+        };
+        Self {
+            lo_db: Self::LO_DB,
+            step_db: Self::STEP_DB,
+            bg: tabulate(Phy::Bg.all_rates()),
+            ht: tabulate(Phy::Ht.all_rates()),
+        }
+    }
+
+    /// Interpolated frame success at `snr_db` for `rate`.
+    pub fn success(&self, rate: BitRate, snr_db: f64) -> f64 {
+        let grid = match rate.phy() {
+            Phy::Bg => &self.bg[rate.index()],
+            Phy::Ht => &self.ht[rate.index()],
+        };
+        let pos = (snr_db - self.lo_db) / self.step_db;
+        if pos <= 0.0 {
+            return grid[0];
+        }
+        let max = (grid.len() - 1) as f64;
+        if pos >= max {
+            return grid[grid.len() - 1];
+        }
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        grid[i] * (1.0 - frac) + grid[i + 1] * frac
+    }
+}
+
+/// SNR (dB) at which the *raw* payload success crosses 0.5, by bisection.
+fn bisect_snr50(rate: BitRate, frame_bytes: usize) -> f64 {
+    let f = |snr_db: f64| success_for_len(rate, snr_db, frame_bytes) - 0.5;
+    let (mut lo, mut hi) = (-40.0, 60.0);
+    debug_assert!(
+        f(lo) < 0.0 && f(hi) > 0.0,
+        "bracket must straddle 50% for {rate}"
+    );
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{BG_ALL, BG_PROBED, HT_ALL};
+    use proptest::prelude::*;
+
+    #[test]
+    fn calibration_hits_targets_exactly() {
+        let phy = CalibratedPhy::new();
+        for &r in BG_ALL.iter().chain(HT_ALL) {
+            let target = default_sensitivity_db(r);
+            let got = phy.sensitivity_db(r);
+            assert!(
+                (got - target).abs() < 1e-6,
+                "{r}: sensitivity {got} != target {target}"
+            );
+            let s = phy.payload_success(r, target);
+            assert!((s - 0.5).abs() < 1e-6, "{r}: success {s} at target SNR");
+        }
+    }
+
+    #[test]
+    fn success_monotone_in_snr() {
+        let phy = CalibratedPhy::new();
+        for &r in BG_PROBED {
+            let mut prev = 0.0;
+            for snr10 in -100..500 {
+                let s = phy.success(r, snr10 as f64 / 10.0);
+                assert!(
+                    s >= prev - 1e-9,
+                    "{r}: non-monotone at {}",
+                    snr10 as f64 / 10.0
+                );
+                assert!((0.0..=1.0).contains(&s));
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn cck11_beats_ofdm6_at_low_snr() {
+        // The paper's §6.1 field observation, encoded in the calibration.
+        let phy = CalibratedPhy::new();
+        let r11 = BitRate::bg_mbps(11.0).unwrap();
+        let r6 = BitRate::bg_mbps(6.0).unwrap();
+        for snr in [8.0, 9.0, 9.5] {
+            assert!(
+                phy.success(r11, snr) > phy.success(r6, snr),
+                "11 Mbit/s should out-hear 6 Mbit/s at {snr} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn one_mbps_most_robust() {
+        let phy = CalibratedPhy::new();
+        let r1 = BitRate::bg_mbps(1.0).unwrap();
+        for &r in &BG_PROBED[1..] {
+            for snr in [2.0, 5.0, 8.0] {
+                assert!(
+                    phy.success(r1, snr) >= phy.success(r, snr) - 1e-9,
+                    "1 Mbit/s must dominate {r} at {snr} dB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_rate_tracks_snr() {
+        let phy = CalibratedPhy::new();
+        assert_eq!(phy.best_rate(Phy::Bg, 2.0).mbps(), 1.0);
+        // Well above every sensitivity the top probed rate wins.
+        assert_eq!(phy.best_rate(Phy::Bg, 45.0).mbps(), 48.0);
+        // Monotone non-decreasing optimal throughput.
+        let mut prev = 0.0;
+        for snr in 0..45 {
+            let best = phy.best_rate(Phy::Bg, snr as f64);
+            let thr = phy.throughput_mbps(best, snr as f64);
+            assert!(thr >= prev - 1e-9);
+            prev = thr;
+        }
+    }
+
+    #[test]
+    fn ht_best_rate_spans_mcs() {
+        let phy = CalibratedPhy::new();
+        let low = phy.best_rate(Phy::Ht, 4.0);
+        assert!(
+            low.mcs().unwrap().is_multiple_of(8),
+            "weak SNR should pick MCS0/8 family, got {low}"
+        );
+        let high = phy.best_rate(Phy::Ht, 45.0);
+        assert_eq!(high.kbps(), 144_400, "strong SNR should pick MCS15/SGI");
+    }
+
+    #[test]
+    fn preamble_caps_reception() {
+        let phy = CalibratedPhy::new();
+        let r48 = BitRate::bg_mbps(48.0).unwrap();
+        // Full-frame success never exceeds payload-only success.
+        for snr in 0..40 {
+            let s_full = phy.success(r48, snr as f64);
+            let s_pay = phy.payload_success(r48, snr as f64);
+            assert!(s_full <= s_pay + 1e-12);
+        }
+    }
+
+    #[test]
+    fn preamble_is_cheap_at_payload_threshold() {
+        // At each rate's own sensitivity point, the 1 Mbit/s preamble is
+        // nearly free (it is far more robust than a 1500 B payload).
+        let phy = CalibratedPhy::new();
+        for &r in BG_PROBED {
+            let t = default_sensitivity_db(r);
+            let ratio = phy.success(r, t) / phy.payload_success(r, t);
+            assert!(ratio > 0.95, "{r}: preamble cost too high ({ratio})");
+        }
+    }
+
+    #[test]
+    fn throughput_levels_off_near_30db_bg() {
+        // Fig 4.5: the b/g envelope saturates around 30 dB.
+        let phy = CalibratedPhy::new();
+        let at30 = phy.throughput_mbps(phy.best_rate(Phy::Bg, 30.0), 30.0);
+        let at50 = phy.throughput_mbps(phy.best_rate(Phy::Bg, 50.0), 50.0);
+        assert!(at30 > 0.95 * at50, "b/g envelope should saturate by 30 dB");
+    }
+
+    #[test]
+    fn raw_model_without_preamble() {
+        let m = PerModel {
+            frame_bytes: 100,
+            with_preamble: false,
+        };
+        let r = BitRate::bg_mbps(1.0).unwrap();
+        assert_eq!(m.success(r, 20.0), m.payload_success(r, 20.0));
+        // Shorter frames succeed more often at equal SNR.
+        let long = PerModel {
+            frame_bytes: 1500,
+            with_preamble: false,
+        };
+        assert!(m.payload_success(r, 2.0) >= long.payload_success(r, 2.0));
+    }
+
+    #[test]
+    fn success_table_matches_direct_evaluation() {
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        for &r in BG_PROBED.iter().chain(&HT_ALL[..4]) {
+            for snr10 in (-50..450).step_by(7) {
+                let snr = snr10 as f64 / 10.0;
+                let direct = phy.success(r, snr);
+                let fast = table.success(r, snr);
+                assert!(
+                    (direct - fast).abs() < 5e-3,
+                    "{r} @ {snr} dB: table {fast} vs direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn success_table_clamps_out_of_range() {
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        let r = BG_PROBED[0];
+        assert_eq!(
+            table.success(r, -100.0),
+            table.success(r, SuccessTable::LO_DB)
+        );
+        assert_eq!(
+            table.success(r, 500.0),
+            table.success(r, SuccessTable::HI_DB)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn success_always_probability(rate_idx in 0usize..7, snr in -30.0f64..60.0) {
+            let phy = CalibratedPhy::new();
+            let s = phy.success(BG_PROBED[rate_idx], snr);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn ht_success_always_probability(rate_idx in 0usize..32, snr in -30.0f64..60.0) {
+            let phy = CalibratedPhy::new();
+            let s = phy.success(HT_ALL[rate_idx], snr);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The client association and traffic engine (paper §3.2).
+//!
+//! Clients move ([`crate::mobility`]), pick APs by strongest SNR with
+//! hysteresis, and generate traffic. APs log per-client association
+//! requests and data packets into 5-minute bins — the paper's aggregate
+//! client data, on which all of §7 runs.
+
+use std::collections::BTreeMap;
+
+use mesh11_stats::dist::{derive_seed, derive_seed_str, poisson, standard_normal};
+use mesh11_topo::NetworkSpec;
+use mesh11_trace::{ApId, ClientSample};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::mobility::{deployment_bbox, spawn_population, MobilityState};
+
+/// Minimum SNR (dB) a client requires to join an AP.
+pub const JOIN_MIN_DB: f64 = 10.0;
+/// Below this SNR (dB) a client drops its association.
+pub const DROP_DB: f64 = 5.0;
+/// A candidate AP must beat the current one by this much (dB) to trigger a
+/// switch — the standard roaming hysteresis.
+pub const HYSTERESIS_DB: f64 = 6.0;
+/// σ of the per-evaluation SNR measurement noise (dB).
+const EVAL_NOISE_DB: f64 = 1.0;
+/// Per-step probability that a client's driver re-elects an AP among the
+/// near-equals (§7: "the client's driver or kernel decides to change APs
+/// based on whatever heuristic it is using"). In dense indoor deployments
+/// several APs sit within the margin, so this is the dominant churn source;
+/// outdoors there is usually no alternative and the flake is a no-op.
+const DRIVER_FLAKE_PROB: f64 = 0.10;
+/// APs within this margin of the best SNR are driver-election candidates.
+const DRIVER_FLAKE_MARGIN_DB: f64 = 5.0;
+
+/// Simulates the client side of one network and returns its 5-minute
+/// aggregate records in (bin, client, ap) order.
+pub fn simulate_clients(spec: &NetworkSpec, cfg: &SimConfig) -> Vec<ClientSample> {
+    let population = spawn_population(spec, cfg.clients_per_ap, cfg.client_horizon_s);
+    let n_aps = spec.size();
+    let bbox = deployment_bbox(spec);
+
+    // Static per-(client, AP) shadowing, drawn independently of visit order.
+    let shadow = |client: usize, ap: usize| -> f64 {
+        let seed = derive_seed(
+            derive_seed(derive_seed_str(spec.seed, "client-shadow"), client as u64),
+            ap as u64,
+        );
+        let mut r = SmallRng::seed_from_u64(seed);
+        spec.params.shadow_sigma_db * standard_normal(&mut r)
+    };
+    let shadows: Vec<Vec<f64>> = (0..population.len())
+        .map(|c| (0..n_aps).map(|a| shadow(c, a)).collect())
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(spec.seed, "client-engine"));
+    let mut states: Vec<MobilityState> = population
+        .iter()
+        .map(|c| MobilityState::new(c.home))
+        .collect();
+    let mut current: Vec<Option<usize>> = vec![None; population.len()];
+
+    // (client, ap, bin_index) → (assoc_requests, data_pkts)
+    let mut counters: BTreeMap<(u32, u32, u64), (u32, u32)> = BTreeMap::new();
+
+    let steps = (cfg.client_horizon_s / cfg.client_step_s).floor() as usize;
+    for step in 0..steps {
+        let t = step as f64 * cfg.client_step_s;
+        let bin = (t / cfg.client_bin_s).floor() as u64;
+        for (ci, client) in population.iter().enumerate() {
+            if t < client.arrive_s || t >= client.depart_s {
+                current[ci] = None;
+                continue;
+            }
+            states[ci].step(client, bbox, t, cfg.client_step_s, &mut rng);
+            let pos = states[ci].pos;
+
+            // Evaluate candidate APs (down APs are invisible).
+            let mut snrs: Vec<f64> = vec![f64::NEG_INFINITY; n_aps];
+            let mut best: Option<(usize, f64)> = None;
+            let mut cur_snr = f64::NEG_INFINITY;
+            for ap in 0..n_aps {
+                if !cfg.faults.ap_up(spec.id, ApId(ap as u32), t) {
+                    continue;
+                }
+                let d = mesh11_channel::pathloss::distance(pos, spec.positions[ap]);
+                let snr = spec.params.mean_snr_at(d)
+                    + shadows[ci][ap]
+                    + EVAL_NOISE_DB * standard_normal(&mut rng);
+                snrs[ap] = snr;
+                if current[ci] == Some(ap) {
+                    cur_snr = snr;
+                }
+                if best.is_none_or(|(_, s)| snr > s) {
+                    best = Some((ap, snr));
+                }
+            }
+
+            // Association policy.
+            let mut next = match (current[ci], best) {
+                (_, None) => None,
+                (None, Some((ap, snr))) => (snr >= JOIN_MIN_DB).then_some(ap),
+                (Some(cur), Some((ap, snr))) => {
+                    if current[ci].is_some() && !cfg.faults.ap_up(spec.id, ApId(cur as u32), t) {
+                        // Current AP died under us.
+                        (snr >= JOIN_MIN_DB).then_some(ap)
+                    } else if cur_snr < DROP_DB {
+                        (snr >= JOIN_MIN_DB).then_some(ap)
+                    } else if ap != cur && snr > cur_snr + HYSTERESIS_DB {
+                        Some(ap)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+
+            // Driver flakiness: occasionally re-elect among the near-equal
+            // APs (only matters where deployments are dense enough to offer
+            // alternatives).
+            if next.is_some() {
+                let flake: f64 = rng.random();
+                if flake < DRIVER_FLAKE_PROB {
+                    if let Some((_, best_snr)) = best {
+                        let cands: Vec<usize> = (0..n_aps)
+                            .filter(|&ap| snrs[ap] >= best_snr - DRIVER_FLAKE_MARGIN_DB)
+                            .filter(|&ap| snrs[ap] >= JOIN_MIN_DB)
+                            .collect();
+                        if !cands.is_empty() {
+                            next = Some(cands[rng.random_range(0..cands.len())]);
+                        }
+                    }
+                }
+            }
+
+            if next != current[ci] {
+                if let Some(ap) = next {
+                    counters
+                        .entry((client.id.0, ap as u32, bin))
+                        .or_insert((0, 0))
+                        .0 += 1;
+                }
+                current[ci] = next;
+            }
+
+            if let Some(ap) = current[ci] {
+                let lambda = client.pkts_per_min * cfg.client_step_s / 60.0;
+                let pkts = poisson(&mut rng, lambda) as u32;
+                let entry = counters
+                    .entry((client.id.0, ap as u32, bin))
+                    .or_insert((0, 0));
+                entry.1 = entry.1.saturating_add(pkts);
+            }
+        }
+    }
+
+    // Rows where a silent client neither associated nor moved data are
+    // invisible to the logging infrastructure (the paper's data is likewise
+    // traffic-driven) and are dropped.
+    let mut out: Vec<ClientSample> = counters
+        .into_iter()
+        .filter(|(_, (assoc, pkts))| *assoc > 0 || *pkts > 0)
+        .map(|((client, ap, bin), (assoc, pkts))| ClientSample {
+            network: spec.id,
+            ap: ApId(ap),
+            client: mesh11_trace::ClientId(client),
+            bin_start_s: bin as f64 * cfg.client_bin_s,
+            assoc_requests: assoc,
+            data_pkts: pkts,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.bin_start_s, a.client, a.ap)
+            .partial_cmp(&(b.bin_start_s, b.client, b.ap))
+            .expect("finite times")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_topo::CampaignSpec;
+
+    fn a_network(min_size: usize) -> NetworkSpec {
+        CampaignSpec::small(8)
+            .generate()
+            .networks
+            .into_iter()
+            .find(|n| n.size() >= min_size)
+            .expect("small campaign has a network this large")
+    }
+
+    #[test]
+    fn produces_samples_deterministically() {
+        let net = a_network(5);
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 3_600.0;
+        let a = simulate_clients(&net, &cfg);
+        let b = simulate_clients(&net, &cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "an hour of clients must produce samples");
+    }
+
+    #[test]
+    fn samples_are_well_formed() {
+        let net = a_network(5);
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 3_600.0;
+        for s in simulate_clients(&net, &cfg) {
+            assert_eq!(s.network, net.id);
+            assert!((s.ap.0 as usize) < net.size());
+            assert_eq!(s.bin_start_s % cfg.client_bin_s, 0.0);
+            assert!(s.bin_start_s < cfg.client_horizon_s);
+            assert!(
+                s.is_active(),
+                "only active (client, ap, bin) rows are logged"
+            );
+        }
+    }
+
+    #[test]
+    fn static_majority_sticks_to_one_ap() {
+        let net = a_network(7);
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 7_200.0;
+        let samples = simulate_clients(&net, &cfg);
+        // Count APs per client.
+        let mut aps_per_client: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            Default::default();
+        for s in &samples {
+            aps_per_client.entry(s.client.0).or_default().insert(s.ap.0);
+        }
+        let single = aps_per_client.values().filter(|v| v.len() == 1).count();
+        assert!(
+            single * 2 >= aps_per_client.len(),
+            "most clients should sit at one AP ({single}/{})",
+            aps_per_client.len()
+        );
+    }
+
+    #[test]
+    fn outage_moves_clients() {
+        let net = a_network(5);
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 3_600.0;
+        let before = simulate_clients(&net, &cfg);
+        // Find the most popular AP, then kill it for the whole trace.
+        let mut pkts_per_ap: std::collections::HashMap<u32, u64> = Default::default();
+        for s in &before {
+            *pkts_per_ap.entry(s.ap.0).or_default() += u64::from(s.data_pkts);
+        }
+        let (&popular, _) = pkts_per_ap.iter().max_by_key(|(_, &v)| v).unwrap();
+        cfg.faults.outages.push(crate::fault::ApOutage {
+            network: net.id,
+            ap: ApId(popular),
+            start_s: 0.0,
+            end_s: cfg.client_horizon_s,
+        });
+        let after = simulate_clients(&net, &cfg);
+        assert!(
+            after.iter().all(|s| s.ap.0 != popular),
+            "no one can associate with a dead AP"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! AP → client probe measurement: §4.6's caveat, made testable.
+//!
+//! The paper is careful about scope: "Our results may translate to clients
+//! that are mostly static, but … movement in the environment may render
+//! even per-link training less effective" — and it cannot check, because
+//! its probes are inter-AP only. Our simulator can: this module runs the
+//! same probing pipeline over *downlink client channels*, producing probe
+//! sets whose receiver is a client (mapped into id space above the APs),
+//! tagged static or mobile so the §4 analyses can be re-run per class.
+//!
+//! The channel model matches the AP–AP one (per-pair shadowing, per-frame
+//! fading, hidden interference floors) except that a mobile client's mean
+//! SNR follows its position — the one ingredient the paper predicted would
+//! break per-link training.
+
+use std::collections::BTreeSet;
+
+use mesh11_channel::pathloss::distance;
+use mesh11_phy::{CalibratedPhy, Phy, SuccessTable};
+use mesh11_stats::dist::{derive_seed, derive_seed_str, standard_normal};
+use mesh11_topo::NetworkSpec;
+use mesh11_trace::{ApId, ProbeSet, RateObs};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::mobility::{deployment_bbox, spawn_population, MobilityState};
+use crate::window::LossWindow;
+
+/// Downlink probe sets plus the receiver-classification the analysis needs.
+#[derive(Debug, Clone)]
+pub struct ClientProbeTrace {
+    /// Probe sets with `receiver = ApId(n_aps + client)`.
+    pub probes: Vec<ProbeSet>,
+    /// Pseudo-receiver ids of *static* clients; everything else is mobile.
+    pub static_receivers: BTreeSet<u32>,
+    /// Pseudo-receiver ids of fast movers (≥ 5 m/s); the hardest class for
+    /// SNR-keyed adaptation — an 800 s loss window spans kilometres.
+    pub fast_receivers: BTreeSet<u32>,
+}
+
+/// Simulates downlink (AP → client) probes over the client horizon for one
+/// network's b/g radio.
+pub fn simulate_client_probes(spec: &NetworkSpec, cfg: &SimConfig) -> ClientProbeTrace {
+    let phy = Phy::Bg;
+    let rates = phy.probed_rates();
+    let n_aps = spec.size();
+    let calibrated = CalibratedPhy::new();
+    let table = SuccessTable::new(&calibrated);
+
+    let population = spawn_population(spec, cfg.clients_per_ap, cfg.client_horizon_s);
+    let bbox = deployment_bbox(spec);
+    let mut states: Vec<MobilityState> = population
+        .iter()
+        .map(|c| MobilityState::new(c.home))
+        .collect();
+
+    // Static per-(ap, client) draws, keyed independently of sampling order.
+    let pair_seed = |ap: usize, client: usize, label: &str| -> u64 {
+        derive_seed_str(
+            derive_seed(
+                derive_seed(derive_seed_str(spec.seed, "client-probes"), ap as u64),
+                client as u64,
+            ),
+            label,
+        )
+    };
+    let shadow = |ap: usize, client: usize| -> f64 {
+        let mut r = SmallRng::seed_from_u64(pair_seed(ap, client, "shadow"));
+        spec.params.shadow_sigma_db * standard_normal(&mut r)
+    };
+    let interference = |ap: usize, client: usize| -> f64 {
+        use mesh11_stats::dist::DrawExt;
+        let mut r = SmallRng::seed_from_u64(pair_seed(ap, client, "intf"));
+        if r.random::<f64>() < spec.params.interference_prob {
+            r.draw(spec.params.interference_db)
+                .min(spec.params.interference_cap_db)
+        } else {
+            0.0
+        }
+    };
+    let shadows: Vec<Vec<f64>> = (0..n_aps)
+        .map(|a| (0..population.len()).map(|c| shadow(a, c)).collect())
+        .collect();
+    let intfs: Vec<Vec<f64>> = (0..n_aps)
+        .map(|a| (0..population.len()).map(|c| interference(a, c)).collect())
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(spec.seed, "client-probe-coins"));
+    // windows[client][ap][rate], last_snr likewise.
+    let mut windows: Vec<Vec<Vec<LossWindow>>> = (0..population.len())
+        .map(|_| {
+            (0..n_aps)
+                .map(|_| {
+                    (0..rates.len())
+                        .map(|_| LossWindow::new(cfg.window_s))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut last_snr = vec![vec![vec![f64::NAN; rates.len()]; n_aps]; population.len()];
+
+    let mut probes = Vec::new();
+    let mut t = cfg.probe_interval_s;
+    let mut next_report = cfg.report_interval_s;
+    let eps = 1e-9;
+    while t <= cfg.client_horizon_s + eps {
+        for (ci, client) in population.iter().enumerate() {
+            if t < client.arrive_s || t >= client.depart_s {
+                continue;
+            }
+            states[ci].step(client, bbox, t, cfg.probe_interval_s, &mut rng);
+            let pos = states[ci].pos;
+            for (ap, &ap_pos) in spec.positions.iter().enumerate() {
+                let mean = spec.params.mean_snr_at(distance(pos, ap_pos)) + shadows[ap][ci];
+                if mean < cfg.min_mean_snr_db {
+                    continue;
+                }
+                for (ri, &rate) in rates.iter().enumerate() {
+                    let fade = spec.params.fade_sigma_db * standard_normal(&mut rng);
+                    let reported = mean + fade;
+                    let effective = reported - intfs[ap][ci];
+                    let received = rng.random::<f64>() < table.success(rate, effective);
+                    windows[ci][ap][ri].record(t, received);
+                    if received {
+                        last_snr[ci][ap][ri] = reported;
+                    }
+                }
+            }
+        }
+
+        if t + eps >= next_report {
+            for (ci, client) in population.iter().enumerate() {
+                if t < client.arrive_s || t >= client.depart_s {
+                    continue;
+                }
+                for ap in 0..n_aps {
+                    let obs: Vec<RateObs> = rates
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(ri, &rate)| {
+                            let w = &windows[ci][ap][ri];
+                            (w.received() > 0).then(|| RateObs {
+                                rate,
+                                loss: w.loss().expect("non-empty window"),
+                                snr_db: last_snr[ci][ap][ri],
+                            })
+                        })
+                        .collect();
+                    if !obs.is_empty() {
+                        probes.push(ProbeSet {
+                            network: spec.id,
+                            phy,
+                            time_s: t,
+                            sender: ApId(ap as u32),
+                            receiver: ApId((n_aps + ci) as u32),
+                            obs,
+                        });
+                    }
+                }
+            }
+            next_report += cfg.report_interval_s;
+        }
+        t += cfg.probe_interval_s;
+    }
+
+    let static_receivers = population
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.speed_mps <= 0.0)
+        .map(|(ci, _)| (n_aps + ci) as u32)
+        .collect();
+    let fast_receivers = population
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.speed_mps >= 5.0)
+        .map(|(ci, _)| (n_aps + ci) as u32)
+        .collect();
+    ClientProbeTrace {
+        probes,
+        static_receivers,
+        fast_receivers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_topo::CampaignSpec;
+
+    fn a_network() -> NetworkSpec {
+        CampaignSpec::small(19)
+            .generate()
+            .networks
+            .into_iter()
+            .find(|n| n.has_bg() && n.size() >= 6)
+            .expect("small campaign has a mid-size b/g network")
+    }
+
+    fn quick_cfg() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 3_600.0;
+        cfg
+    }
+
+    #[test]
+    fn produces_client_probe_sets() {
+        let net = a_network();
+        let trace = simulate_client_probes(&net, &quick_cfg());
+        assert!(!trace.probes.is_empty());
+        let n = net.size() as u32;
+        for p in &trace.probes {
+            assert!(p.sender.0 < n, "senders are APs");
+            assert!(p.receiver.0 >= n, "receivers are clients");
+            assert!(!p.obs.is_empty());
+        }
+        assert!(!trace.static_receivers.is_empty(), "population has statics");
+        assert!(
+            trace.static_receivers.is_disjoint(&trace.fast_receivers),
+            "a client cannot be both static and fast"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = a_network();
+        let a = simulate_client_probes(&net, &quick_cfg());
+        let b = simulate_client_probes(&net, &quick_cfg());
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.static_receivers, b.static_receivers);
+        assert_eq!(a.fast_receivers, b.fast_receivers);
+    }
+
+    #[test]
+    fn static_links_are_steadier_than_mobile_ones() {
+        // The §4.6 mechanism in miniature: per-link SNR spread over time is
+        // larger for mobile receivers.
+        let net = a_network();
+        let trace = simulate_client_probes(&net, &quick_cfg());
+        use std::collections::BTreeMap;
+        let mut per_link: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
+        for p in &trace.probes {
+            per_link
+                .entry((p.sender.0, p.receiver.0))
+                .or_default()
+                .push(p.snr_db());
+        }
+        let (mut stat, mut mob) = (Vec::new(), Vec::new());
+        for ((_, rx), snrs) in per_link {
+            if let Some(sd) = mesh11_stats::stddev(&snrs) {
+                if trace.static_receivers.contains(&rx) {
+                    stat.push(sd);
+                } else {
+                    mob.push(sd);
+                }
+            }
+        }
+        let stat_med = mesh11_stats::median(&stat).expect("static links exist");
+        let mob_med = mesh11_stats::median(&mob).expect("mobile links exist");
+        assert!(
+            mob_med > stat_med,
+            "mobile per-link SNR spread ({mob_med:.2} dB) must exceed static ({stat_med:.2} dB)"
+        );
+    }
+
+    #[test]
+    fn empty_horizon_is_empty() {
+        let net = a_network();
+        let mut cfg = SimConfig::quick();
+        cfg.client_horizon_s = 0.0;
+        let trace = simulate_client_probes(&net, &cfg);
+        assert!(trace.probes.is_empty());
+        assert!(trace.static_receivers.is_empty());
+        assert!(trace.fast_receivers.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
+
+/// All timing and population knobs of the simulator.
+///
+/// The probe-side constants default to the paper's published values
+/// (§3.1): 40 s probe cadence, 800 s loss window, 300 s reporting, and a
+/// 24 h probe / 11 h client horizon in [`SimConfig::paper`]. Shorter
+/// horizons ([`SimConfig::quick`], [`SimConfig::standard`]) keep every
+/// pipeline identical and just truncate the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Probe trace length (seconds). Paper: 86 400 (24 h).
+    pub probe_horizon_s: f64,
+    /// Client trace length (seconds). Paper: 39 600 (11 h).
+    pub client_horizon_s: f64,
+    /// Broadcast probe cadence per rate (seconds). Paper: 40.
+    pub probe_interval_s: f64,
+    /// Sliding loss window (seconds). Paper: 800.
+    pub window_s: f64,
+    /// Reporting cadence (seconds). Paper: 300.
+    pub report_interval_s: f64,
+    /// Client movement/association evaluation step (seconds).
+    pub client_step_s: f64,
+    /// Client data aggregation bin (seconds). Paper: 300.
+    pub client_bin_s: f64,
+    /// Clients instantiated per AP.
+    pub clients_per_ap: f64,
+    /// Directed pairs whose best-direction mean SNR is below this never
+    /// exchange probes and are skipped entirely (pure optimization; at
+    /// −5 dB even the 1 Mbit/s preamble is dead air).
+    pub min_mean_snr_db: f64,
+    /// Scheduled faults.
+    pub faults: FaultPlan,
+}
+
+impl SimConfig {
+    /// The paper's horizons: 24 h of probes, 11 h of client data.
+    pub fn paper() -> Self {
+        Self {
+            probe_horizon_s: 86_400.0,
+            client_horizon_s: 39_600.0,
+            ..Self::quick()
+        }
+    }
+
+    /// A 4 h probe / 6 h client run: every analysis has ample data, at a
+    /// fraction of the full-campaign cost. The `repro` harness default.
+    pub fn standard() -> Self {
+        Self {
+            probe_horizon_s: 14_400.0,
+            client_horizon_s: 21_600.0,
+            ..Self::quick()
+        }
+    }
+
+    /// A 1 h probe / 2 h client run for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            probe_horizon_s: 3_600.0,
+            client_horizon_s: 7_200.0,
+            probe_interval_s: 40.0,
+            window_s: 800.0,
+            report_interval_s: 300.0,
+            client_step_s: 60.0,
+            client_bin_s: 300.0,
+            clients_per_ap: 0.8,
+            min_mean_snr_db: -5.0,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Expected probes per rate within one full loss window.
+    pub fn probes_per_window(&self) -> usize {
+        (self.window_s / self.probe_interval_s).round() as usize
+    }
+
+    /// Number of reports a full-horizon link produces.
+    pub fn reports_per_link(&self) -> usize {
+        (self.probe_horizon_s / self.report_interval_s).floor() as usize
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = SimConfig::paper();
+        assert_eq!(c.probe_horizon_s, 86_400.0);
+        assert_eq!(c.client_horizon_s, 39_600.0);
+        assert_eq!(c.probe_interval_s, 40.0);
+        assert_eq!(c.window_s, 800.0);
+        assert_eq!(c.report_interval_s, 300.0);
+        assert_eq!(c.probes_per_window(), 20, "≈20 probes per window (§3.1)");
+        assert_eq!(c.reports_per_link(), 288);
+    }
+
+    #[test]
+    fn quick_is_shorter_but_same_pipeline() {
+        let q = SimConfig::quick();
+        let p = SimConfig::paper();
+        assert!(q.probe_horizon_s < p.probe_horizon_s);
+        assert_eq!(q.probe_interval_s, p.probe_interval_s);
+        assert_eq!(q.window_s, p.window_s);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(SimConfig::default(), SimConfig::standard());
+    }
+}

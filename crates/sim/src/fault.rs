@@ -1,0 +1,131 @@
+//! Fault injection.
+//!
+//! Two fault classes the real networks experience and the estimator stack
+//! must survive:
+//!
+//! * [`ApOutage`] — an AP goes dark (power, backhaul): it neither probes nor
+//!   receives. Receivers keep counting its scheduled probes as lost, so
+//!   windowed loss climbs to 100% and its probe-set entries age out —
+//!   exactly the Roofnet/Meraki behaviour.
+//! * [`InterferenceBurst`] — a wide-band interferer (microwave oven, video
+//!   sender) raises the effective noise floor network-wide for an interval,
+//!   degrading delivery without any AP noticing in its *reported* SNR.
+
+use mesh11_trace::{ApId, NetworkId};
+use serde::{Deserialize, Serialize};
+
+/// One AP's scheduled downtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApOutage {
+    /// Affected network.
+    pub network: NetworkId,
+    /// Affected AP.
+    pub ap: ApId,
+    /// Outage start (seconds, inclusive).
+    pub start_s: f64,
+    /// Outage end (seconds, exclusive).
+    pub end_s: f64,
+}
+
+/// A network-wide effective-SINR penalty over an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceBurst {
+    /// Affected network.
+    pub network: NetworkId,
+    /// Burst start (seconds, inclusive).
+    pub start_s: f64,
+    /// Burst end (seconds, exclusive).
+    pub end_s: f64,
+    /// Extra penalty applied to every link's effective SINR (dB).
+    pub penalty_db: f64,
+}
+
+/// The complete fault schedule of a simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Scheduled AP outages.
+    pub outages: Vec<ApOutage>,
+    /// Scheduled interference bursts.
+    pub bursts: Vec<InterferenceBurst>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.bursts.is_empty()
+    }
+
+    /// Is `ap` of `network` up at time `t_s`?
+    pub fn ap_up(&self, network: NetworkId, ap: ApId, t_s: f64) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|o| o.network == network && o.ap == ap && (o.start_s..o.end_s).contains(&t_s))
+    }
+
+    /// Total interference penalty on `network` at `t_s` (bursts stack).
+    pub fn burst_penalty_db(&self, network: NetworkId, t_s: f64) -> f64 {
+        self.bursts
+            .iter()
+            .filter(|b| b.network == network && (b.start_s..b.end_s).contains(&t_s))
+            .map(|b| b.penalty_db)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_benign() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.ap_up(NetworkId(0), ApId(0), 123.0));
+        assert_eq!(p.burst_penalty_db(NetworkId(0), 123.0), 0.0);
+    }
+
+    #[test]
+    fn outage_interval_semantics() {
+        let p = FaultPlan {
+            outages: vec![ApOutage {
+                network: NetworkId(1),
+                ap: ApId(2),
+                start_s: 100.0,
+                end_s: 200.0,
+            }],
+            bursts: vec![],
+        };
+        assert!(p.ap_up(NetworkId(1), ApId(2), 99.9));
+        assert!(!p.ap_up(NetworkId(1), ApId(2), 100.0)); // inclusive start
+        assert!(!p.ap_up(NetworkId(1), ApId(2), 199.9));
+        assert!(p.ap_up(NetworkId(1), ApId(2), 200.0)); // exclusive end
+                                                        // Other APs / networks unaffected.
+        assert!(p.ap_up(NetworkId(1), ApId(3), 150.0));
+        assert!(p.ap_up(NetworkId(2), ApId(2), 150.0));
+    }
+
+    #[test]
+    fn bursts_stack() {
+        let b = |s, e, db| InterferenceBurst {
+            network: NetworkId(0),
+            start_s: s,
+            end_s: e,
+            penalty_db: db,
+        };
+        let p = FaultPlan {
+            outages: vec![],
+            bursts: vec![b(0.0, 100.0, 6.0), b(50.0, 150.0, 4.0)],
+        };
+        assert_eq!(p.burst_penalty_db(NetworkId(0), 25.0), 6.0);
+        assert_eq!(p.burst_penalty_db(NetworkId(0), 75.0), 10.0);
+        assert_eq!(p.burst_penalty_db(NetworkId(0), 125.0), 4.0);
+        assert_eq!(p.burst_penalty_db(NetworkId(0), 200.0), 0.0);
+        assert_eq!(p.burst_penalty_db(NetworkId(1), 75.0), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # mesh11-sim
+//!
+//! The measurement-infrastructure simulator: turns a [`mesh11_topo`]
+//! campaign into a [`mesh11_trace::Dataset`] with exactly the record shapes
+//! the paper's Meraki networks produced.
+//!
+//! ## Probe pipeline (paper §3.1)
+//!
+//! Every AP broadcasts a probe frame at each probed bit rate every 40 s.
+//! Each potential receiver samples its channel ([`mesh11_channel`]) per
+//! frame and flips a Bernoulli coin with the PHY's success probability
+//! ([`mesh11_phy`]). Receivers maintain an 800 s sliding loss window per
+//! (sender, rate) and report every 300 s — one [`mesh11_trace::ProbeSet`]
+//! per (receiver, sender) pair with at least one reception in the window.
+//! The reported SNR is the *reported* (RSSI-equivalent) value; the success
+//! coin used the *effective* SINR, which hides the per-link interference
+//! floor from the analysis exactly as real Atheros radios would.
+//!
+//! ## Client pipeline (paper §3.2, §7)
+//!
+//! A per-network client population (static majority, pedestrian and
+//! high-mobility minorities) moves through the AP field, associating by
+//! strongest-SNR-with-hysteresis. APs log association requests and data
+//! packets per client per 5-minute bin.
+//!
+//! ## Fault injection
+//!
+//! [`FaultPlan`] schedules AP outages and wide-band interference bursts, for
+//! testing how the estimator pipeline degrades and recovers (in the spirit
+//! of smoltcp's `--drop-chance` example options).
+//!
+//! Everything is deterministic in the campaign seed; networks simulate in
+//! parallel (rayon) and merge in id order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client_engine;
+pub mod client_probes;
+pub mod config;
+pub mod fault;
+pub mod mobility;
+pub mod probe_engine;
+pub mod runner;
+pub mod window;
+
+pub use client_probes::{simulate_client_probes, ClientProbeTrace};
+pub use config::SimConfig;
+pub use fault::{ApOutage, FaultPlan, InterferenceBurst};
+pub use mobility::ClientKind;
+pub use window::LossWindow;

@@ -1,0 +1,361 @@
+//! Client population and mobility models.
+//!
+//! The paper's §7 client classes, read off its own findings:
+//!
+//! * ~60% of clients stay connected the full 11 h (Fig 7.2) and most
+//!   associate with a single AP (Fig 7.1) → **static long** clients;
+//! * ~23% connect for under two hours → **static short** visitors;
+//! * a pedestrian minority wanders and switches APs on the minutes scale
+//!   (Figs 7.3–7.4 indoor persistence);
+//! * a tiny class of fast movers ("a client who was highly mobile and
+//!   connected using a smartphone") visits 50+ APs → **commuters**.
+
+use mesh11_stats::dist::{derive_seed_str, Dist};
+use mesh11_topo::NetworkSpec;
+use mesh11_trace::ClientId;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Behavioural class of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientKind {
+    /// Parked next to one AP for the whole trace (desktop, kiosk).
+    StaticLong,
+    /// Parked, but present only for a bounded visit (café customer).
+    StaticShort,
+    /// Random-waypoint walker at pedestrian speed.
+    Pedestrian,
+    /// Fast mover with no pauses (vehicle / determined smartphone user).
+    Commuter,
+}
+
+/// Indoor population mix (must sum to 1): office/venue users churn more —
+/// walkers between rooms plus flaky laptop drivers.
+pub const KIND_MIX: &[(ClientKind, f64)] = &[
+    (ClientKind::StaticLong, 0.55),
+    (ClientKind::StaticShort, 0.18),
+    (ClientKind::Pedestrian, 0.20),
+    (ClientKind::Commuter, 0.07),
+];
+
+/// Outdoor population mix: municipal meshes serve mostly stationary
+/// subscribers; fast movers are rare. This asymmetry drives the paper's
+/// §7 indoor/outdoor persistence contrast.
+pub const OUTDOOR_KIND_MIX: &[(ClientKind, f64)] = &[
+    (ClientKind::StaticLong, 0.65),
+    (ClientKind::StaticShort, 0.20),
+    (ClientKind::Pedestrian, 0.12),
+    (ClientKind::Commuter, 0.03),
+];
+
+/// The mix for an environment class (mixed networks use the indoor mix).
+pub fn kind_mix_for(env: mesh11_topo::EnvClass) -> &'static [(ClientKind, f64)] {
+    match env {
+        mesh11_topo::EnvClass::Outdoor => OUTDOOR_KIND_MIX,
+        _ => KIND_MIX,
+    }
+}
+
+/// A client's immutable characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Network-scoped id.
+    pub id: ClientId,
+    /// Behavioural class.
+    pub kind: ClientKind,
+    /// First appearance (seconds).
+    pub arrive_s: f64,
+    /// Departure (seconds).
+    pub depart_s: f64,
+    /// Spawn position (metres).
+    pub home: (f64, f64),
+    /// Movement speed (m/s); 0 for static classes.
+    pub speed_mps: f64,
+    /// Mean data packets per minute while associated.
+    pub pkts_per_min: f64,
+}
+
+/// Axis-aligned bounding box of the deployment, padded so walkers can skirt
+/// the edges.
+pub fn deployment_bbox(spec: &NetworkSpec) -> ((f64, f64), (f64, f64)) {
+    let xs = spec.positions.iter().map(|p| p.0);
+    let ys = spec.positions.iter().map(|p| p.1);
+    let min_x = xs.clone().fold(f64::INFINITY, f64::min) - 30.0;
+    let max_x = xs.fold(f64::NEG_INFINITY, f64::max) + 30.0;
+    let min_y = ys.clone().fold(f64::INFINITY, f64::min) - 30.0;
+    let max_y = ys.fold(f64::NEG_INFINITY, f64::max) + 30.0;
+    ((min_x, min_y), (max_x, max_y))
+}
+
+/// Spawns the client population of a network, deterministic in its seed.
+pub fn spawn_population(
+    spec: &NetworkSpec,
+    clients_per_ap: f64,
+    horizon_s: f64,
+) -> Vec<ClientSpec> {
+    if horizon_s <= 0.0 {
+        // Client simulation disabled (probe-only runs).
+        return Vec::new();
+    }
+    let n_clients = ((spec.size() as f64 * clients_per_ap).round() as usize).max(2);
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(spec.seed, "clients"));
+    let ((min_x, min_y), (max_x, max_y)) = deployment_bbox(spec);
+
+    let mix = kind_mix_for(spec.env);
+    (0..n_clients)
+        .map(|i| {
+            let kind = pick_kind(&mut rng, mix);
+            let (arrive_s, depart_s) = match kind {
+                ClientKind::StaticLong => (0.0, horizon_s),
+                _ => {
+                    let arrive = rng.random_range(0.0..horizon_s * 0.8);
+                    // Heavy-tailed visit lengths, floored at one 5-min bin
+                    // and scaled down gracefully for short test horizons.
+                    let xm = 600.0f64.min(horizon_s / 4.0).max(60.0);
+                    let dur = Dist::BoundedPareto {
+                        xm,
+                        alpha: 0.9,
+                        cap: horizon_s.max(xm * 2.0),
+                    }
+                    .sample(&mut rng);
+                    (arrive, (arrive + dur).min(horizon_s))
+                }
+            };
+            // Static clients spawn near an AP (that's where the desks are);
+            // movers spawn anywhere in the field.
+            let home = match kind {
+                ClientKind::StaticLong | ClientKind::StaticShort => {
+                    let ap = spec.positions[rng.random_range(0..spec.size())];
+                    (
+                        ap.0 + rng.random_range(-25.0..25.0),
+                        ap.1 + rng.random_range(-25.0..25.0),
+                    )
+                }
+                _ => (
+                    rng.random_range(min_x..max_x),
+                    rng.random_range(min_y..max_y),
+                ),
+            };
+            let speed_mps = match kind {
+                ClientKind::StaticLong | ClientKind::StaticShort => 0.0,
+                // Outdoor "pedestrians" are nomadic laptop users drifting
+                // between benches, slower than indoor corridor walkers.
+                ClientKind::Pedestrian => match spec.env {
+                    mesh11_topo::EnvClass::Outdoor => rng.random_range(0.3..0.9),
+                    _ => rng.random_range(0.5..1.5),
+                },
+                ClientKind::Commuter => rng.random_range(5.0..15.0),
+            };
+            // Floored at 2 pkt/min: an associated client exchanges at least
+            // keepalive-level traffic, so a connected bin is never silent
+            // (a silent bin would spuriously split the session in §7's
+            // reconstruction — real clients show the same floor from
+            // broadcast/ARP chatter).
+            let pkts_per_min = Dist::LogNormal {
+                mu: (20.0f64).ln(),
+                sigma: 1.0,
+            }
+            .sample(&mut rng)
+            .clamp(2.0, 2_000.0);
+            ClientSpec {
+                id: ClientId(i as u32),
+                kind,
+                arrive_s,
+                depart_s,
+                home,
+                speed_mps,
+                pkts_per_min,
+            }
+        })
+        .collect()
+}
+
+fn pick_kind(rng: &mut SmallRng, mix: &[(ClientKind, f64)]) -> ClientKind {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for &(kind, frac) in mix {
+        acc += frac;
+        if u < acc {
+            return kind;
+        }
+    }
+    mix.last().expect("mix is non-empty").0
+}
+
+/// Mutable movement state of a walking client (random waypoint).
+#[derive(Debug, Clone)]
+pub struct MobilityState {
+    /// Current position (metres).
+    pub pos: (f64, f64),
+    waypoint: Option<(f64, f64)>,
+    pause_until_s: f64,
+}
+
+impl MobilityState {
+    /// Starts at the client's home position.
+    pub fn new(home: (f64, f64)) -> Self {
+        Self {
+            pos: home,
+            waypoint: None,
+            pause_until_s: 0.0,
+        }
+    }
+
+    /// Advances the random-waypoint process by `dt_s`. Static clients
+    /// (speed 0) never move.
+    pub fn step<R: Rng>(
+        &mut self,
+        spec: &ClientSpec,
+        bbox: ((f64, f64), (f64, f64)),
+        t_s: f64,
+        dt_s: f64,
+        rng: &mut R,
+    ) {
+        if spec.speed_mps <= 0.0 || t_s < self.pause_until_s {
+            return;
+        }
+        let ((min_x, min_y), (max_x, max_y)) = bbox;
+        let target = *self.waypoint.get_or_insert_with(|| {
+            (
+                rng.random_range(min_x..max_x),
+                rng.random_range(min_y..max_y),
+            )
+        });
+        let dx = target.0 - self.pos.0;
+        let dy = target.1 - self.pos.1;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let step = spec.speed_mps * dt_s;
+        if dist <= step {
+            self.pos = target;
+            self.waypoint = None;
+            if spec.kind == ClientKind::Pedestrian {
+                // Pedestrians linger at destinations.
+                self.pause_until_s = t_s + Dist::Exp { mean: 180.0 }.sample(rng);
+            }
+        } else {
+            self.pos.0 += dx / dist * step;
+            self.pos.1 += dy / dist * step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_topo::{CampaignSpec, NetworkSpec};
+
+    fn a_network(seed: u64) -> NetworkSpec {
+        CampaignSpec::small(seed)
+            .generate()
+            .networks
+            .into_iter()
+            .find(|n| n.size() >= 7)
+            .expect("small campaign has a ≥7-AP network")
+    }
+
+    #[test]
+    fn mix_sums_to_one() {
+        let total: f64 = KIND_MIX.iter().map(|k| k.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_is_deterministic_and_sized() {
+        let net = a_network(1);
+        let a = spawn_population(&net, 0.8, 39_600.0);
+        let b = spawn_population(&net, 0.8, 39_600.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), ((net.size() as f64 * 0.8).round() as usize).max(2));
+    }
+
+    #[test]
+    fn kind_fractions_roughly_match_mix() {
+        let net = a_network(2);
+        // Spawn a big population to check the mix statistically.
+        let pop = spawn_population(&net, 200.0, 39_600.0);
+        let frac =
+            |k: ClientKind| pop.iter().filter(|c| c.kind == k).count() as f64 / pop.len() as f64;
+        for &(kind, expected) in KIND_MIX {
+            let got = frac(kind);
+            assert!(
+                (got - expected).abs() < 0.05,
+                "{kind:?}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_long_clients_span_horizon() {
+        let net = a_network(3);
+        let pop = spawn_population(&net, 5.0, 39_600.0);
+        for c in pop.iter().filter(|c| c.kind == ClientKind::StaticLong) {
+            assert_eq!(c.arrive_s, 0.0);
+            assert_eq!(c.depart_s, 39_600.0);
+            assert_eq!(c.speed_mps, 0.0);
+        }
+        // Everyone departs within the horizon and after arriving.
+        for c in &pop {
+            assert!(c.arrive_s < c.depart_s);
+            assert!(c.depart_s <= 39_600.0);
+        }
+    }
+
+    #[test]
+    fn static_clients_never_move() {
+        let net = a_network(4);
+        let pop = spawn_population(&net, 5.0, 3_600.0);
+        let c = pop
+            .iter()
+            .find(|c| c.kind == ClientKind::StaticLong)
+            .unwrap();
+        let mut state = MobilityState::new(c.home);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let bbox = deployment_bbox(&net);
+        for k in 0..100 {
+            state.step(c, bbox, k as f64 * 60.0, 60.0, &mut rng);
+        }
+        assert_eq!(state.pos, c.home);
+    }
+
+    #[test]
+    fn commuters_cover_ground() {
+        let net = a_network(5);
+        let pop = spawn_population(&net, 40.0, 39_600.0);
+        let c = pop
+            .iter()
+            .find(|c| c.kind == ClientKind::Commuter)
+            .expect("population this large has a commuter");
+        let mut state = MobilityState::new(c.home);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let bbox = deployment_bbox(&net);
+        let mut travelled = 0.0;
+        let mut last = state.pos;
+        for k in 0..60 {
+            state.step(c, bbox, k as f64 * 60.0, 60.0, &mut rng);
+            travelled += mesh11_channel::pathloss::distance(last, state.pos);
+            last = state.pos;
+        }
+        // A ≥5 m/s commuter covers kilometres in an hour.
+        assert!(travelled > 1_000.0, "commuter only moved {travelled} m");
+    }
+
+    #[test]
+    fn walkers_stay_in_bbox() {
+        let net = a_network(6);
+        let pop = spawn_population(&net, 40.0, 39_600.0);
+        let c = pop
+            .iter()
+            .find(|c| c.kind == ClientKind::Pedestrian)
+            .expect("population this large has a pedestrian");
+        let bbox = deployment_bbox(&net);
+        let ((min_x, min_y), (max_x, max_y)) = bbox;
+        let mut state = MobilityState::new(c.home);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for k in 0..500 {
+            state.step(c, bbox, k as f64 * 60.0, 60.0, &mut rng);
+            assert!(state.pos.0 >= min_x - 1.0 && state.pos.0 <= max_x + 1.0);
+            assert!(state.pos.1 >= min_y - 1.0 && state.pos.1 <= max_y + 1.0);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The inter-AP probe broadcast engine (paper §3.1).
+//!
+//! Per network radio, every AP broadcasts one probe frame per probed bit
+//! rate every 40 s. Each candidate receiver draws its own channel
+//! realization per frame and flips the PHY's success coin. Receivers know
+//! the probing schedule (as in Roofnet's ETX), so *every scheduled probe*
+//! enters the receiver's 800 s loss window — received or not, including
+//! probes a dead sender never transmitted. Reports are cut every 300 s.
+
+use mesh11_channel::{LinkModel, RadioHardware};
+use mesh11_phy::{Phy, SuccessTable};
+use mesh11_stats::dist::derive_seed_str;
+use mesh11_topo::NetworkSpec;
+use mesh11_trace::{ApId, ProbeSet, RateObs};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::window::LossWindow;
+
+/// Per-direction estimator state: one loss window and one most-recent SNR
+/// per probed rate.
+struct DirState {
+    windows: Vec<LossWindow>,
+    last_snr: Vec<f64>,
+}
+
+impl DirState {
+    fn new(n_rates: usize, window_s: f64) -> Self {
+        Self {
+            windows: (0..n_rates).map(|_| LossWindow::new(window_s)).collect(),
+            last_snr: vec![f64::NAN; n_rates],
+        }
+    }
+
+    /// Builds the rate observations of one report; empty when nothing in
+    /// the window was received.
+    fn observations(&self, rates: &[mesh11_phy::BitRate]) -> Vec<RateObs> {
+        rates
+            .iter()
+            .enumerate()
+            .filter_map(|(ri, &rate)| {
+                let w = &self.windows[ri];
+                if w.received() == 0 {
+                    return None;
+                }
+                Some(RateObs {
+                    rate,
+                    loss: w.loss().expect("received > 0 implies non-empty window"),
+                    snr_db: self.last_snr[ri],
+                })
+            })
+            .collect()
+    }
+}
+
+/// One unordered AP pair in range of each other.
+struct PairSim {
+    a: u32,
+    b: u32,
+    link: LinkModel,
+    /// a → b estimator state (held at b).
+    fwd: DirState,
+    /// b → a estimator state (held at a).
+    rev: DirState,
+}
+
+/// Simulates the probe pipeline of one network radio and returns its probe
+/// sets in time order.
+pub fn simulate_probes(spec: &NetworkSpec, phy: Phy, cfg: &SimConfig) -> Vec<ProbeSet> {
+    let calibrated = mesh11_phy::CalibratedPhy::new();
+    let table = SuccessTable::new(&calibrated);
+    simulate_probes_with_table(spec, phy, cfg, &table)
+}
+
+/// As [`simulate_probes`], with a caller-provided success table (the
+/// campaign runner builds one and shares it across networks).
+pub fn simulate_probes_with_table(
+    spec: &NetworkSpec,
+    phy: Phy,
+    cfg: &SimConfig,
+    table: &SuccessTable,
+) -> Vec<ProbeSet> {
+    let rates = phy.probed_rates();
+    let n = spec.size();
+
+    let hw: Vec<RadioHardware> = (0..n)
+        .map(|i| RadioHardware::draw(&spec.params, spec.seed, i as u64))
+        .collect();
+
+    // Candidate pairs: anything whose best-direction mean SNR clears the
+    // floor. Everything else is guaranteed silence and skipped.
+    let mut pairs: Vec<PairSim> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let link = LinkModel::new(
+                spec.params,
+                mesh11_stats::dist::derive_seed_str(
+                    spec.seed,
+                    match phy {
+                        Phy::Bg => "chan-bg",
+                        Phy::Ht => "chan-ht",
+                    },
+                ),
+                a as u64,
+                b as u64,
+                spec.positions[a],
+                spec.positions[b],
+                hw[a],
+                hw[b],
+            );
+            if link.best_mean_snr_db() < cfg.min_mean_snr_db {
+                continue;
+            }
+            pairs.push(PairSim {
+                a: a as u32,
+                b: b as u32,
+                link,
+                fwd: DirState::new(rates.len(), cfg.window_s),
+                rev: DirState::new(rates.len(), cfg.window_s),
+            });
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(
+        spec.seed,
+        match phy {
+            Phy::Bg => "probe-coins-bg",
+            Phy::Ht => "probe-coins-ht",
+        },
+    ));
+
+    let mut out: Vec<ProbeSet> = Vec::new();
+    let mut t = cfg.probe_interval_s;
+    let mut next_report = cfg.report_interval_s;
+    let eps = 1e-9;
+
+    while t <= cfg.probe_horizon_s + eps {
+        let burst = cfg.faults.burst_penalty_db(spec.id, t);
+        for pair in &mut pairs {
+            let (a, b) = (ApId(pair.a), ApId(pair.b));
+            let a_up = cfg.faults.ap_up(spec.id, a, t);
+            let b_up = cfg.faults.ap_up(spec.id, b, t);
+            #[allow(clippy::needless_range_loop)] // ri indexes two parallel per-rate arrays
+            for ri in 0..rates.len() {
+                let rate = rates[ri];
+                // a broadcasts; b (if alive) records the scheduled outcome.
+                if b_up {
+                    let mut received = false;
+                    let mut reported = 0.0;
+                    if a_up {
+                        let s = pair.link.sample(t, true);
+                        let p = table.success(rate, s.effective_db - burst);
+                        received = rng.random::<f64>() < p;
+                        reported = s.reported_db;
+                    }
+                    pair.fwd.windows[ri].record(t, received);
+                    if received {
+                        pair.fwd.last_snr[ri] = reported;
+                    }
+                }
+                // b broadcasts; a records.
+                if a_up {
+                    let mut received = false;
+                    let mut reported = 0.0;
+                    if b_up {
+                        let s = pair.link.sample(t, false);
+                        let p = table.success(rate, s.effective_db - burst);
+                        received = rng.random::<f64>() < p;
+                        reported = s.reported_db;
+                    }
+                    pair.rev.windows[ri].record(t, received);
+                    if received {
+                        pair.rev.last_snr[ri] = reported;
+                    }
+                }
+            }
+        }
+
+        if t + eps >= next_report {
+            for pair in &mut pairs {
+                let (a, b) = (ApId(pair.a), ApId(pair.b));
+                // Reports are produced by the *receiver*; a dead receiver
+                // stays silent this round.
+                if cfg.faults.ap_up(spec.id, b, t) {
+                    let obs = pair.fwd.observations(rates);
+                    if !obs.is_empty() {
+                        out.push(ProbeSet {
+                            network: spec.id,
+                            phy,
+                            time_s: t,
+                            sender: a,
+                            receiver: b,
+                            obs,
+                        });
+                    }
+                }
+                if cfg.faults.ap_up(spec.id, a, t) {
+                    let obs = pair.rev.observations(rates);
+                    if !obs.is_empty() {
+                        out.push(ProbeSet {
+                            network: spec.id,
+                            phy,
+                            time_s: t,
+                            sender: b,
+                            receiver: a,
+                            obs,
+                        });
+                    }
+                }
+            }
+            next_report += cfg.report_interval_s;
+        }
+        t += cfg.probe_interval_s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_topo::{CampaignSpec, EnvClass};
+    use mesh11_trace::NetworkId;
+
+    fn small_spec(seed: u64) -> NetworkSpec {
+        // A tight 4-AP indoor square: everyone hears everyone at low rates.
+        NetworkSpec {
+            id: NetworkId(0),
+            env: EnvClass::Indoor,
+            radios: vec![Phy::Bg],
+            seed,
+            positions: vec![(0.0, 0.0), (18.0, 0.0), (0.0, 18.0), (18.0, 18.0)],
+            params: mesh11_channel::ChannelParams::indoor(),
+            geo: mesh11_topo::geo::GeoTag::for_network(0),
+        }
+    }
+
+    #[test]
+    fn produces_probe_sets_on_schedule() {
+        let cfg = SimConfig::quick();
+        let probes = simulate_probes(&small_spec(1), Phy::Bg, &cfg);
+        assert!(!probes.is_empty());
+        // All report times are at ticks crossing 300 s boundaries.
+        for p in &probes {
+            let rem = p.time_s % cfg.report_interval_s;
+            assert!(
+                rem < cfg.probe_interval_s,
+                "report at {} not near a 300 s boundary",
+                p.time_s
+            );
+            assert!(p.time_s <= cfg.probe_horizon_s);
+            assert!(!p.obs.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SimConfig::quick();
+        let a = simulate_probes(&small_spec(5), Phy::Bg, &cfg);
+        let b = simulate_probes(&small_spec(5), Phy::Bg, &cfg);
+        assert_eq!(a, b);
+        let c = simulate_probes(&small_spec(6), Phy::Bg, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn close_pairs_hear_low_rates_cleanly() {
+        let cfg = SimConfig::quick();
+        let probes = simulate_probes(&small_spec(2), Phy::Bg, &cfg);
+        // 18 m apart indoors is ~30 dB mean SNR: 1 Mbit/s loss should be
+        // tiny on at least the adjacent pairs.
+        let one = mesh11_phy::BitRate::bg_mbps(1.0).unwrap();
+        let losses: Vec<f64> = probes
+            .iter()
+            .filter_map(|p| p.obs_for(one).map(|o| o.loss))
+            .collect();
+        assert!(!losses.is_empty());
+        let med = mesh11_stats::median(&losses).unwrap();
+        assert!(med < 0.2, "median 1 Mbit/s loss {med}");
+    }
+
+    #[test]
+    fn loss_increases_with_rate() {
+        let cfg = SimConfig::quick();
+        let probes = simulate_probes(&small_spec(3), Phy::Bg, &cfg);
+        let mean_loss = |mbps: f64| {
+            let r = mesh11_phy::BitRate::bg_mbps(mbps).unwrap();
+            let l: Vec<f64> = probes
+                .iter()
+                .flat_map(|p| p.obs_for(r).map(|o| o.loss))
+                .collect();
+            mesh11_stats::mean(&l)
+        };
+        // 48 Mbit/s should lose more than 1 Mbit/s wherever both are heard.
+        if let (Some(lo), Some(hi)) = (mean_loss(1.0), mean_loss(48.0)) {
+            assert!(hi >= lo, "1 Mbit/s {lo} vs 48 Mbit/s {hi}");
+        }
+    }
+
+    #[test]
+    fn outage_silences_and_recovers() {
+        let mut cfg = SimConfig::quick();
+        cfg.probe_horizon_s = 3_600.0;
+        cfg.faults.outages.push(crate::fault::ApOutage {
+            network: NetworkId(0),
+            ap: ApId(0),
+            start_s: 1_200.0,
+            end_s: 2_400.0,
+        });
+        let probes = simulate_probes(&small_spec(4), Phy::Bg, &cfg);
+        // During the outage (after the window drains), nothing is heard
+        // *from* AP0 and AP0 reports nothing.
+        let during: Vec<_> = probes
+            .iter()
+            .filter(|p| p.time_s > 2_000.0 && p.time_s < 2_400.0)
+            .collect();
+        assert!(
+            during
+                .iter()
+                .all(|p| p.sender != ApId(0) && p.receiver != ApId(0)),
+            "AP0 should be silent late in its outage"
+        );
+        // After recovery plus one window, AP0 probes are heard again.
+        let after: Vec<_> = probes
+            .iter()
+            .filter(|p| p.time_s > 3_300.0 && p.sender == ApId(0))
+            .collect();
+        assert!(!after.is_empty(), "AP0 should recover after the outage");
+    }
+
+    #[test]
+    fn interference_burst_raises_loss() {
+        let spec = small_spec(9);
+        let mut clean_cfg = SimConfig::quick();
+        clean_cfg.probe_horizon_s = 2_400.0;
+        let mut noisy_cfg = clean_cfg.clone();
+        noisy_cfg
+            .faults
+            .bursts
+            .push(crate::fault::InterferenceBurst {
+                network: NetworkId(0),
+                start_s: 0.0,
+                end_s: 2_400.0,
+                penalty_db: 15.0,
+            });
+        let loss_at = |probes: &[ProbeSet], mbps: f64| {
+            let r = mesh11_phy::BitRate::bg_mbps(mbps).unwrap();
+            let l: Vec<f64> = probes
+                .iter()
+                .flat_map(|p| p.obs_for(r).map(|o| o.loss))
+                .collect();
+            mesh11_stats::mean(&l).unwrap_or(1.0)
+        };
+        let clean = simulate_probes(&spec, Phy::Bg, &clean_cfg);
+        let noisy = simulate_probes(&spec, Phy::Bg, &noisy_cfg);
+        assert!(
+            loss_at(&noisy, 48.0) > loss_at(&clean, 48.0),
+            "a 15 dB burst must hurt 48 Mbit/s"
+        );
+    }
+
+    #[test]
+    fn ht_networks_probe_ht_rates() {
+        let mut spec = small_spec(7);
+        spec.radios = vec![Phy::Ht];
+        let cfg = SimConfig::quick();
+        let probes = simulate_probes(&spec, Phy::Ht, &cfg);
+        assert!(!probes.is_empty());
+        assert!(probes.iter().all(|p| p.phy == Phy::Ht));
+        assert!(probes
+            .iter()
+            .flat_map(|p| &p.obs)
+            .all(|o| o.rate.mcs().is_some()));
+    }
+
+    #[test]
+    fn campaign_specs_simulate() {
+        // Smoke: one real generated topology end to end.
+        let campaign = CampaignSpec::small(11).generate();
+        let spec = campaign
+            .networks
+            .iter()
+            .find(|n| n.has_bg() && n.size() >= 5)
+            .expect("small campaign has a bg network with ≥5 APs");
+        let mut cfg = SimConfig::quick();
+        cfg.probe_horizon_s = 1_200.0;
+        let probes = simulate_probes(spec, Phy::Bg, &cfg);
+        assert!(!probes.is_empty());
+    }
+}

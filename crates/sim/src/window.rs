@@ -1,0 +1,151 @@
+//! The 800-second sliding loss window.
+//!
+//! One [`LossWindow`] tracks the outcomes of probes for one
+//! (sender, receiver, rate) triple. Probes enter the window whether or not
+//! they were received — the receiver knows the sender's schedule, as in
+//! Roofnet's ETX probing — and fall out after `window_s` seconds. The
+//! windowed loss is the paper's "mean loss rate".
+
+use std::collections::VecDeque;
+
+/// Sliding window of probe outcomes.
+#[derive(Debug, Clone)]
+pub struct LossWindow {
+    window_s: f64,
+    /// `(send_time, received)` in send order.
+    outcomes: VecDeque<(f64, bool)>,
+    received_in_window: usize,
+}
+
+impl LossWindow {
+    /// A window covering the last `window_s` seconds.
+    pub fn new(window_s: f64) -> Self {
+        Self {
+            window_s,
+            outcomes: VecDeque::with_capacity(24),
+            received_in_window: 0,
+        }
+    }
+
+    /// Records one probe sent at `t_s`; `received` is the reception outcome.
+    /// Times must be non-decreasing.
+    pub fn record(&mut self, t_s: f64, received: bool) {
+        debug_assert!(
+            self.outcomes.back().is_none_or(|&(last, _)| t_s >= last),
+            "probe times must be non-decreasing"
+        );
+        self.outcomes.push_back((t_s, received));
+        if received {
+            self.received_in_window += 1;
+        }
+        self.prune(t_s);
+    }
+
+    /// Drops outcomes older than the window relative to `now_s`.
+    pub fn prune(&mut self, now_s: f64) {
+        let cutoff = now_s - self.window_s;
+        while let Some(&(t, received)) = self.outcomes.front() {
+            if t > cutoff {
+                break;
+            }
+            if received {
+                self.received_in_window -= 1;
+            }
+            self.outcomes.pop_front();
+        }
+    }
+
+    /// Probes currently in the window.
+    pub fn sent(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Receptions currently in the window.
+    pub fn received(&self) -> usize {
+        self.received_in_window
+    }
+
+    /// Windowed loss rate in `[0, 1]`; `None` before any probe.
+    pub fn loss(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            None
+        } else {
+            Some(1.0 - self.received_in_window as f64 / self.outcomes.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_window() {
+        let w = LossWindow::new(800.0);
+        assert_eq!(w.sent(), 0);
+        assert_eq!(w.received(), 0);
+        assert_eq!(w.loss(), None);
+    }
+
+    #[test]
+    fn loss_fraction() {
+        let mut w = LossWindow::new(800.0);
+        w.record(40.0, true);
+        w.record(80.0, false);
+        w.record(120.0, false);
+        w.record(160.0, true);
+        assert_eq!(w.sent(), 4);
+        assert_eq!(w.received(), 2);
+        assert_eq!(w.loss(), Some(0.5));
+    }
+
+    #[test]
+    fn old_probes_age_out() {
+        let mut w = LossWindow::new(800.0);
+        w.record(40.0, true);
+        for k in 1..=20 {
+            w.record(40.0 + k as f64 * 40.0, false);
+        }
+        // The t=40 reception is exactly 800 s old at t=840 → evicted
+        // (cutoff is inclusive: the window covers (now-800, now]).
+        assert_eq!(w.received(), 0);
+        assert_eq!(w.sent(), 20);
+        assert_eq!(w.loss(), Some(1.0));
+    }
+
+    #[test]
+    fn steady_state_size_matches_cadence() {
+        let mut w = LossWindow::new(800.0);
+        for k in 1..200 {
+            w.record(k as f64 * 40.0, true);
+        }
+        assert_eq!(w.sent(), 20, "800 s / 40 s = 20 probes in steady state");
+        assert_eq!(w.loss(), Some(0.0));
+    }
+
+    #[test]
+    fn explicit_prune() {
+        let mut w = LossWindow::new(100.0);
+        w.record(10.0, true);
+        w.record(50.0, true);
+        w.prune(200.0);
+        assert_eq!(w.sent(), 0);
+        assert_eq!(w.loss(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn counts_stay_consistent(outcomes in proptest::collection::vec(proptest::bool::ANY, 1..300)) {
+            let mut w = LossWindow::new(800.0);
+            for (k, &r) in outcomes.iter().enumerate() {
+                w.record(k as f64 * 40.0, r);
+                prop_assert!(w.received() <= w.sent());
+                prop_assert!(w.sent() <= 20);
+                if let Some(l) = w.loss() {
+                    prop_assert!((0.0..=1.0).contains(&l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Nearly every figure in the paper is a CDF. [`Cdf`] stores the sorted
+//! sample and answers both directions of query exactly:
+//!
+//! * `F(x)` — fraction of samples ≤ x ([`Cdf::eval`]), the y-value a plotted
+//!   CDF would show at x;
+//! * `F⁻¹(q)` — the q-quantile ([`Cdf::quantile`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantile_sorted;
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts once (`O(n log n)`); queries are `O(log n)`.
+///
+/// ```
+/// use mesh11_stats::Cdf;
+/// let cdf = Cdf::from_samples([3.0, 1.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(cdf.eval(2.5), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.5);
+/// assert_eq!(cdf.min(), 1.0);
+/// assert_eq!(cdf.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any iterable of samples.
+    ///
+    /// Returns `None` if the sample is empty or contains a non-finite value
+    /// (NaN/±∞ have no place on a CDF axis; filter them upstream).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Option<Self> {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        if sorted.is_empty() || sorted.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare totally"));
+        Some(Self { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: an empty CDF cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// `F(x)`: fraction of samples `≤ x`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the index of the first element > x,
+        // i.e. the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `F⁻¹(q)`: the q-quantile with linear interpolation (type 7).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q).expect("non-empty by construction")
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn frac_below(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples `≥ x`.
+    pub fn frac_at_least(&self, x: f64) -> f64 {
+        1.0 - self.frac_below(x)
+    }
+
+    /// The sorted sample, for direct plotting as `(x, i/n)` steps.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance: `sup_x |F(x) − G(x)|`.
+    ///
+    /// Used by the seed-stability checks: two reproduction runs with
+    /// different seeds should produce figure CDFs within a small KS
+    /// distance of each other, or the "reproduced shape" claim is fragile.
+    ///
+    /// ```
+    /// use mesh11_stats::Cdf;
+    /// let a = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// let b = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// assert_eq!(a.ks_distance(&b), 0.0);
+    /// ```
+    pub fn ks_distance(&self, other: &Cdf) -> f64 {
+        // The supremum is attained at a sample point of either CDF; walk
+        // both sorted samples once.
+        let mut max = 0.0f64;
+        for &x in self.samples().iter().chain(other.samples()) {
+            max = max.max((self.eval(x) - other.eval(x)).abs());
+            // Also just below x (the left limit of the step).
+            max = max.max((self.frac_below(x) - other.frac_below(x)).abs());
+        }
+        max
+    }
+
+    /// Downsamples the CDF to `n` evenly spaced quantile points
+    /// `(F⁻¹(q), q)`, suitable for compact figure-series export.
+    ///
+    /// Always includes the endpoints `(min, ~0)` and `(max, 1)`.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Cdf::from_samples([]).is_none());
+        assert!(Cdf::from_samples([1.0, f64::NAN]).is_none());
+        assert!(Cdf::from_samples([f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn eval_step_semantics() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75); // ties counted inclusively
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn frac_below_vs_eval() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.frac_below(2.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.frac_at_least(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        assert_eq!(cdf.median(), 3.0);
+    }
+
+    #[test]
+    fn points_cover_endpoints() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]).unwrap();
+        let pts = cdf.points(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (1.0, 0.0));
+        assert_eq!(pts[4], (4.0, 1.0));
+    }
+
+    #[test]
+    fn ks_distance_basics() {
+        let a = Cdf::from_samples([1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.ks_distance(&a), 0.0);
+        // Disjoint supports: distance 1.
+        let far = Cdf::from_samples([10.0, 11.0]).unwrap();
+        assert_eq!(a.ks_distance(&far), 1.0);
+        // Symmetric.
+        let b = Cdf::from_samples([1.5, 2.5, 3.5]).unwrap();
+        assert_eq!(a.ks_distance(&b), b.ks_distance(&a));
+        // A shifted copy of a 3-sample CDF differs by exactly one step.
+        assert!((a.ks_distance(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cdf = Cdf::from_samples([2.0, 1.0]).unwrap();
+        let json = serde_json::to_string(&cdf).unwrap();
+        let back: Cdf = serde_json::from_str(&json).unwrap();
+        assert_eq!(cdf, back);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                            a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            xs.iter_mut().for_each(|x| *x = x.trunc());
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
+        }
+
+        #[test]
+        fn eval_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), x in -2e6f64..2e6) {
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn quantile_is_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi) + 1e-9);
+        }
+
+        #[test]
+        fn quantile_within_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                 q in 0.0f64..1.0) {
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let v = cdf.quantile(q);
+            prop_assert!(v >= cdf.min() - 1e-9 && v <= cdf.max() + 1e-9);
+        }
+
+        #[test]
+        fn eval_of_quantile_at_least_q(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                                       q in 0.0f64..1.0) {
+            // F(F^-1(q)) >= q up to interpolation slack at sample boundaries.
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let v = cdf.quantile(q);
+            prop_assert!(cdf.eval(v + 1e-6) >= q - 1.0 / cdf.len() as f64 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded random distributions and hierarchical seed derivation.
+//!
+//! The simulator must be exactly reproducible from a single `u64` master
+//! seed: the paper's dataset is fixed, so ours must be too. This module
+//! provides:
+//!
+//! * [`derive_seed`] — SplitMix64-style mixing so each (network, AP, client,
+//!   subsystem) gets an independent, stable stream;
+//! * [`Dist`] — the continuous distributions the channel and mobility models
+//!   draw from, implemented directly (Box–Muller et al.) so we do not pull in
+//!   `rand_distr`;
+//! * [`DrawExt`] — an extension trait adding `draw(dist)` to every
+//!   [`rand::Rng`].
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Derives a child seed from a parent seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer (Stafford variant 13) on
+/// `parent ⊕ golden·label`, which is the standard construction for splitting
+/// one seed into many statistically independent ones.
+///
+/// ```
+/// use mesh11_stats::dist::derive_seed;
+/// let a = derive_seed(42, 1);
+/// let b = derive_seed(42, 2);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, 1)); // stable
+/// ```
+pub fn derive_seed(parent: u64, label: u64) -> u64 {
+    let mut z = parent ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a seed from a parent and a string label (FNV-1a over the bytes,
+/// then [`derive_seed`]). Used to key subsystem streams by name
+/// (`"probes"`, `"mobility"`, …) without a central registry of integers.
+pub fn derive_seed_str(parent: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    derive_seed(parent, h)
+}
+
+/// A continuous scalar distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Every draw returns the same value. Useful for ablations that freeze a
+    /// randomness source.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Gaussian with the given mean and standard deviation (Box–Muller).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (≥ 0).
+        sd: f64,
+    },
+    /// `exp(N(mu, sigma))` — lognormal in natural-log parameters.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal (≥ 0).
+        sigma: f64,
+    },
+    /// Exponential with the given mean (i.e. rate `1/mean`).
+    Exp {
+        /// Mean of the distribution (> 0).
+        mean: f64,
+    },
+    /// Pareto with scale `xm` and shape `alpha`, truncated at `cap` by
+    /// rejection (resampling). Heavy-tailed session/size draws.
+    BoundedPareto {
+        /// Scale (minimum value, > 0).
+        xm: f64,
+        /// Shape (> 0); smaller means heavier tail.
+        alpha: f64,
+        /// Upper truncation bound (> xm).
+        cap: f64,
+    },
+}
+
+impl Dist {
+    /// Samples one value using the supplied RNG.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                lo + (hi - lo) * rng.random::<f64>()
+            }
+            Dist::Normal { mean, sd } => {
+                debug_assert!(sd >= 0.0);
+                mean + sd * standard_normal(rng)
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Exp { mean } => {
+                debug_assert!(mean > 0.0);
+                // Inverse CDF; guard the log against u == 0.
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                -mean * u.ln()
+            }
+            Dist::BoundedPareto { xm, alpha, cap } => {
+                debug_assert!(xm > 0.0 && alpha > 0.0 && cap > xm);
+                loop {
+                    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                    let v = xm / u.powf(1.0 / alpha);
+                    if v <= cap {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean (exact, not sampled). For `BoundedPareto` this
+    /// is the *untruncated* Pareto mean when `alpha > 1`, `NaN` otherwise;
+    /// callers needing the truncated mean should estimate it empirically.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Normal { mean, .. } => mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Exp { mean } => mean,
+            Dist::BoundedPareto { xm, alpha, .. } => {
+                if alpha > 1.0 {
+                    alpha * xm / (alpha - 1.0)
+                } else {
+                    f64::NAN
+                }
+            }
+        }
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// Uses the polar coordinates form directly; only one of the pair is kept —
+/// the simulator draws rarely enough that caching the spare is not worth the
+/// statefulness.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    // The expression below is fully f64 thanks to the annotations above.
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One Poisson draw with mean `lambda`.
+///
+/// Knuth's product method below λ = 30 (exact), normal approximation with
+/// half-integer correction above (error negligible at that scale). Used for
+/// per-bin client packet counts.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let v = lambda + lambda.sqrt() * standard_normal(rng);
+        v.round().max(0.0) as u64
+    }
+}
+
+/// Extension trait: `rng.draw(dist)`.
+pub trait DrawExt: Rng {
+    /// Samples `dist` with `self`.
+    fn draw(&mut self, dist: Dist) -> f64 {
+        dist.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> DrawExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_distinct() {
+        let s1 = derive_seed(7, 0);
+        let s2 = derive_seed(7, 1);
+        let s3 = derive_seed(8, 0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(derive_seed(7, 0), s1);
+        assert_eq!(derive_seed_str(7, "probes"), derive_seed_str(7, "probes"));
+        assert_ne!(derive_seed_str(7, "probes"), derive_seed_str(7, "mobility"));
+    }
+
+    #[test]
+    fn constant_and_uniform() {
+        let mut r = rng(1);
+        assert_eq!(Dist::Constant(3.5).sample(&mut r), 3.5);
+        for _ in 0..1000 {
+            let v = Dist::Uniform { lo: 2.0, hi: 5.0 }.sample(&mut r);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(2);
+        let d = Dist::Normal {
+            mean: 10.0,
+            sd: 3.0,
+        };
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let m = crate::mean(&samples).unwrap();
+        let s = crate::stddev(&samples).unwrap();
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((s - 3.0).abs() < 0.05, "sd {s}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let mut r = rng(3);
+        let d = Dist::LogNormal {
+            mu: 0.5,
+            sigma: 0.4,
+        };
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "mean {m} vs {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn exp_mean_and_positivity() {
+        let mut r = rng(4);
+        let d = Dist::Exp { mean: 7.0 };
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = d.sample(&mut r);
+            assert!(v >= 0.0);
+            sum += v;
+        }
+        assert!((sum / n as f64 - 7.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut r = rng(5);
+        let d = Dist::BoundedPareto {
+            xm: 2.0,
+            alpha: 1.2,
+            cap: 50.0,
+        };
+        for _ in 0..10_000 {
+            let v = d.sample(&mut r);
+            assert!((2.0..=50.0).contains(&v), "out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn pareto_mean_formula() {
+        let d = Dist::BoundedPareto {
+            xm: 1.0,
+            alpha: 2.0,
+            cap: 1e9,
+        };
+        assert_eq!(d.mean(), 2.0);
+        let heavy = Dist::BoundedPareto {
+            xm: 1.0,
+            alpha: 0.5,
+            cap: 1e9,
+        };
+        assert!(heavy.mean().is_nan());
+    }
+
+    #[test]
+    fn standard_normal_symmetric() {
+        let mut r = rng(6);
+        let n = 100_000;
+        let frac_pos = (0..n).filter(|_| standard_normal(&mut r) > 0.0).count() as f64 / n as f64;
+        assert!((frac_pos - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn draw_ext_matches_sample() {
+        let d = Dist::Uniform { lo: 0.0, hi: 1.0 };
+        let mut r1 = rng(9);
+        let mut r2 = rng(9);
+        assert_eq!(r1.draw(d), d.sample(&mut r2));
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let mut r = rng(21);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| poisson(&mut r, 3.5) as f64).collect();
+        let m = crate::mean(&xs).unwrap();
+        let v = crate::stddev(&xs).unwrap().powi(2);
+        assert!((m - 3.5).abs() < 0.05, "mean {m}");
+        assert!((v - 3.5).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn poisson_moments_large_lambda() {
+        let mut r = rng(22);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| poisson(&mut r, 120.0) as f64).collect();
+        let m = crate::mean(&xs).unwrap();
+        assert!((m - 120.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_degenerate() {
+        let mut r = rng(23);
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Dist::Normal { mean: 0.0, sd: 1.0 };
+        let a: Vec<f64> = {
+            let mut r = rng(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

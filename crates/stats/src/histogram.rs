@@ -1,0 +1,235 @@
+//! Fixed-width histograms.
+//!
+//! Used directly by Fig 7.1 (number of APs visited by clients) and as the
+//! bucketing substrate for the SNR-keyed lookup tables in `mesh11-core`
+//! (which bucket by integer dB).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform bin width over `[lo, hi)`.
+///
+/// Samples below `lo` land in an underflow counter, samples at or above `hi`
+/// in an overflow counter, so no input is silently dropped.
+///
+/// ```
+/// use mesh11_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.push(1.0);
+/// h.push(3.0);
+/// h.push(42.0);
+/// assert_eq!(h.counts(), &[1, 1, 0, 0, 0]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// Returns `None` when `bins == 0`, `lo >= hi`, or either bound is
+    /// non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || lo >= hi || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts (in-range samples only).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples pushed, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c))
+    }
+
+    /// The in-range bin with the largest count, as `(bin_center, count)`.
+    /// Ties break toward the lower bin. `None` if every bin is empty.
+    pub fn mode(&self) -> Option<(f64, u64)> {
+        let (idx, &best) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        (best > 0).then(|| (self.bin_center(idx), best))
+    }
+}
+
+/// A histogram over non-negative integer values (e.g. "number of APs
+/// visited"), with exact per-value counts and a capped tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    /// Values ≥ `counts.len()` are accumulated here (the "50+ APs" tail of
+    /// Fig 7.1).
+    tail: u64,
+    tail_max: u64,
+}
+
+impl IntHistogram {
+    /// Creates a histogram with exact counts for values `0..cap` and a
+    /// single tail bucket for values `>= cap`.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            counts: vec![0; cap.max(1)],
+            tail: 0,
+            tail_max: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: u64) {
+        if (v as usize) < self.counts.len() {
+            self.counts[v as usize] += 1;
+        } else {
+            self.tail += 1;
+            self.tail_max = self.tail_max.max(v);
+        }
+    }
+
+    /// Exact per-value counts for values below the cap.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations at or beyond the cap.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Largest value ever pushed into the tail (0 if none).
+    pub fn tail_max(&self) -> u64 {
+        self.tail_max
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(Histogram::new(0.0, 0.0, 4).is_none());
+        assert!(Histogram::new(1.0, 0.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn boundary_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.push(0.0); // first bin
+        h.push(10.0); // overflow (hi is exclusive)
+        h.push(9.9999); // last bin
+        h.push(-0.0001); // underflow
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn mode_and_ties() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.mode(), None);
+        h.push(0.5);
+        h.push(2.5);
+        h.push(2.5);
+        assert_eq!(h.mode(), Some((2.5, 2)));
+    }
+
+    #[test]
+    fn int_histogram_tail() {
+        let mut h = IntHistogram::new(4);
+        for v in [0, 1, 1, 3, 4, 99] {
+            h.push(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.tail(), 2);
+        assert_eq!(h.tail_max(), 99);
+        assert_eq!(h.total(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn no_sample_lost(xs in proptest::collection::vec(-100.0f64..200.0, 0..300)) {
+            let mut h = Histogram::new(0.0, 100.0, 17).unwrap();
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn int_histogram_total(xs in proptest::collection::vec(0u64..500, 0..200)) {
+            let mut h = IntHistogram::new(50);
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Batch and streaming summary statistics.
+//!
+//! [`Summary`] is the batch form (computed once from a slice);
+//! [`OnlineSummary`] is the Welford streaming form, used by the simulator's
+//! sliding-window estimators and by long campaign reductions where storing
+//! every sample would be wasteful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{quantile_sorted, stddev, stddev_pop};
+
+/// Five-number-plus summary of a batch of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1); 0 for a single sample.
+    pub stddev: f64,
+    /// Population standard deviation (n).
+    pub stddev_pop: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile (type-7).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (type-7).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; `None` on an empty slice or any non-finite value.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Self {
+            count: values.len(),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            stddev: stddev(values).unwrap_or(0.0),
+            stddev_pop: stddev_pop(values).expect("non-empty"),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25).expect("non-empty"),
+            median: quantile_sorted(&sorted, 0.5).expect("non-empty"),
+            q3: quantile_sorted(&sorted, 0.75).expect("non-empty"),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Streaming mean/variance/extrema via Welford's algorithm.
+///
+/// Numerically stable for long streams; merging two summaries
+/// ([`OnlineSummary::merge`]) uses the parallel-variance formula, which lets
+/// per-network reductions combine across threads.
+///
+/// ```
+/// use mesh11_stats::OnlineSummary;
+/// let mut s = OnlineSummary::new();
+/// for x in [1.0, 2.0, 3.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineSummary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 before any sample.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1); `None` for fewer than two samples.
+    pub fn variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.count - 1) as f64)
+        }
+    }
+
+    /// Population variance (n); `None` before any sample.
+    pub fn variance_pop(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.m2 / self.count as f64)
+        }
+    }
+
+    /// Sample standard deviation; `None` for fewer than two samples.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Population standard deviation; `None` before any sample.
+    pub fn stddev_pop(&self) -> Option<f64> {
+        self.variance_pop().map(f64::sqrt)
+    }
+
+    /// Minimum seen; `None` before any sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum seen; `None` before any sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel variance
+    /// combination, Chan et al.).
+    pub fn merge(&mut self, other: &OnlineSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineSummary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.stddev_pop, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn online_empty_behaviour() {
+        let s = OnlineSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineSummary = xs.iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev_pop().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_identity() {
+        let mut a: OnlineSummary = [1.0, 2.0].into_iter().collect();
+        let empty = OnlineSummary::new();
+        let before = a;
+        a.merge(&empty);
+        assert_eq!(a, before);
+
+        let mut e = OnlineSummary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concat(xs in proptest::collection::vec(-1e3f64..1e3, 0..50),
+                               ys in proptest::collection::vec(-1e3f64..1e3, 0..50)) {
+            let mut merged: OnlineSummary = xs.iter().copied().collect();
+            let right: OnlineSummary = ys.iter().copied().collect();
+            merged.merge(&right);
+
+            let concat: OnlineSummary = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), concat.count());
+            prop_assert!((merged.mean() - concat.mean()).abs() < 1e-6);
+            match (merged.variance(), concat.variance()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+
+        #[test]
+        fn online_tracks_batch_mean(xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+            let s: OnlineSummary = xs.iter().copied().collect();
+            let batch = crate::mean(&xs).unwrap();
+            prop_assert!((s.mean() - batch).abs() < 1e-6);
+            prop_assert_eq!(s.min().unwrap(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(s.max().unwrap(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+}

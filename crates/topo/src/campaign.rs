@@ -1,0 +1,272 @@
+//! Campaign generation: the full network ensemble.
+
+use mesh11_phy::Phy;
+use mesh11_stats::dist::{derive_seed, derive_seed_str};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::geo::GeoTag;
+use crate::network::{EnvClass, NetworkId, NetworkSpec};
+use crate::placement::place;
+use crate::sizes::{paper_sizes, scaled_sizes};
+
+/// Specification of a campaign: how many networks, their sizes, and the
+/// PHY/environment composition. [`CampaignSpec::paper`] reproduces the
+/// dataset marginals; [`CampaignSpec::small`]/[`CampaignSpec::scaled`] give
+/// fast, shape-preserving subsets for tests and examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Master seed; every draw in the campaign derives from it.
+    pub seed: u64,
+    /// Network sizes (AP counts), one entry per network.
+    pub sizes: Vec<u32>,
+    /// How many networks run only 802.11b/g.
+    pub bg_only: usize,
+    /// How many networks run only 802.11n.
+    pub ht_only: usize,
+    /// How many networks run both radios.
+    pub dual: usize,
+    /// Environment composition: (indoor, outdoor, mixed). Must sum to the
+    /// number of networks.
+    pub env_counts: (usize, usize, usize),
+}
+
+impl CampaignSpec {
+    /// The paper's ensemble: 110 networks, 1407 APs, 77 b/g + 31 n + 2 dual,
+    /// 72 indoor + 17 outdoor + 21 mixed.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            sizes: paper_sizes(),
+            bg_only: 77,
+            ht_only: 31,
+            dual: 2,
+            env_counts: (72, 17, 21),
+        }
+    }
+
+    /// A scaled campaign of `n` networks with proportional composition.
+    pub fn scaled(seed: u64, n: usize) -> Self {
+        let sizes = scaled_sizes(n);
+        let n = sizes.len();
+        // Proportional allocation, largest-remainder style, keeping ≥1 of
+        // each PHY/env category whenever the campaign is big enough.
+        let ht_only = ((n as f64 * 31.0 / 110.0).round() as usize).clamp(usize::from(n >= 4), n);
+        let dual = usize::from(n >= 10);
+        let bg_only = n - ht_only - dual;
+        let outdoor = ((n as f64 * 17.0 / 110.0).round() as usize).clamp(usize::from(n >= 5), n);
+        let mixed = ((n as f64 * 21.0 / 110.0).round() as usize).min(n - outdoor);
+        let indoor = n - outdoor - mixed;
+        Self {
+            seed,
+            sizes,
+            bg_only,
+            ht_only,
+            dual,
+            env_counts: (indoor, outdoor, mixed),
+        }
+    }
+
+    /// A 12-network campaign — large enough for every analysis to have
+    /// data, small enough for unit tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self::scaled(seed, 12)
+    }
+
+    /// Number of networks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the spec holds no networks.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Instantiates every network: assigns PHY radios, environments, and AP
+    /// positions, all deterministically from the seed.
+    pub fn generate(&self) -> Campaign {
+        let n = self.len();
+        assert_eq!(
+            self.bg_only + self.ht_only + self.dual,
+            n,
+            "PHY composition must cover every network"
+        );
+        assert_eq!(
+            self.env_counts.0 + self.env_counts.1 + self.env_counts.2,
+            n,
+            "environment composition must cover every network"
+        );
+
+        // Build label vectors and shuffle them with independent streams so
+        // size, PHY, and environment are independently assigned.
+        let mut radios: Vec<Vec<Phy>> = Vec::with_capacity(n);
+        radios.extend(std::iter::repeat_with(|| vec![Phy::Bg]).take(self.bg_only));
+        radios.extend(std::iter::repeat_with(|| vec![Phy::Ht]).take(self.ht_only));
+        radios.extend(std::iter::repeat_with(|| vec![Phy::Bg, Phy::Ht]).take(self.dual));
+        shuffle(&mut radios, derive_seed_str(self.seed, "phy-assign"));
+
+        let mut envs: Vec<EnvClass> = Vec::with_capacity(n);
+        envs.extend(std::iter::repeat_n(EnvClass::Indoor, self.env_counts.0));
+        envs.extend(std::iter::repeat_n(EnvClass::Outdoor, self.env_counts.1));
+        envs.extend(std::iter::repeat_n(EnvClass::Mixed, self.env_counts.2));
+        shuffle(&mut envs, derive_seed_str(self.seed, "env-assign"));
+
+        let mut sizes = self.sizes.clone();
+        shuffle(&mut sizes, derive_seed_str(self.seed, "size-assign"));
+
+        let networks = (0..n)
+            .map(|i| {
+                let env = envs[i];
+                let net_seed = derive_seed(self.seed, i as u64);
+                NetworkSpec {
+                    id: NetworkId(i as u32),
+                    env,
+                    radios: radios[i].clone(),
+                    seed: net_seed,
+                    positions: place(env, sizes[i] as usize, net_seed),
+                    params: env.channel_params(),
+                    geo: GeoTag::for_network(i),
+                }
+            })
+            .collect();
+        Campaign { networks }
+    }
+}
+
+/// Fisher–Yates with a derived seed (kept local so campaign layout is
+/// independent of `rand`'s `seq` implementation details).
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// A fully instantiated ensemble of networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// The networks, ids `0..n`.
+    pub networks: Vec<NetworkSpec>,
+}
+
+impl Campaign {
+    /// Total AP count across the ensemble.
+    pub fn total_aps(&self) -> usize {
+        self.networks.iter().map(NetworkSpec::size).sum()
+    }
+
+    /// Networks running a b/g radio (includes dual-radio networks).
+    pub fn bg_networks(&self) -> impl Iterator<Item = &NetworkSpec> {
+        self.networks.iter().filter(|n| n.has_bg())
+    }
+
+    /// Networks running an 802.11n radio (includes dual-radio networks).
+    pub fn ht_networks(&self) -> impl Iterator<Item = &NetworkSpec> {
+        self.networks.iter().filter(|n| n.has_ht())
+    }
+
+    /// Networks of a pure environment class.
+    pub fn by_env(&self, env: EnvClass) -> impl Iterator<Item = &NetworkSpec> {
+        self.networks.iter().filter(move |n| n.env == env)
+    }
+
+    /// Network by id.
+    pub fn network(&self, id: NetworkId) -> Option<&NetworkSpec> {
+        self.networks.get(id.0 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_marginals() {
+        let c = CampaignSpec::paper(42).generate();
+        assert_eq!(c.networks.len(), 110);
+        assert_eq!(c.total_aps(), 1407);
+        assert_eq!(c.bg_networks().count(), 79); // 77 bg-only + 2 dual
+        assert_eq!(c.ht_networks().count(), 33); // 31 ht-only + 2 dual
+        assert_eq!(c.by_env(EnvClass::Indoor).count(), 72);
+        assert_eq!(c.by_env(EnvClass::Outdoor).count(), 17);
+        assert_eq!(c.by_env(EnvClass::Mixed).count(), 21);
+        let sizes: Vec<usize> = c.networks.iter().map(NetworkSpec::size).collect();
+        assert_eq!(*sizes.iter().min().unwrap(), 3);
+        assert_eq!(*sizes.iter().max().unwrap(), 203);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            CampaignSpec::paper(7).generate(),
+            CampaignSpec::paper(7).generate()
+        );
+        assert_ne!(
+            CampaignSpec::paper(7).generate(),
+            CampaignSpec::paper(8).generate()
+        );
+    }
+
+    #[test]
+    fn seeds_differ_per_network() {
+        let c = CampaignSpec::small(1).generate();
+        let mut seeds: Vec<u64> = c.networks.iter().map(|n| n.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), c.networks.len());
+    }
+
+    #[test]
+    fn small_campaign_has_everything() {
+        let c = CampaignSpec::small(3).generate();
+        assert_eq!(c.networks.len(), 12);
+        assert!(c.bg_networks().count() >= 6);
+        assert!(c.ht_networks().count() >= 1);
+        assert!(c.by_env(EnvClass::Indoor).count() >= 1);
+        assert!(c.by_env(EnvClass::Outdoor).count() >= 1);
+        // Needs ≥5-AP networks for the §5 analyses.
+        assert!(c.networks.iter().any(|n| n.size() >= 5));
+    }
+
+    #[test]
+    fn scaled_composition_sums() {
+        for n in [2, 5, 11, 30, 110] {
+            let s = CampaignSpec::scaled(1, n);
+            assert_eq!(s.bg_only + s.ht_only + s.dual, s.len(), "phy @ n={n}");
+            let (i, o, m) = s.env_counts;
+            assert_eq!(i + o + m, s.len(), "env @ n={n}");
+            // Must generate without panicking.
+            let c = s.generate();
+            assert_eq!(c.networks.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn positions_match_sizes() {
+        let c = CampaignSpec::small(5).generate();
+        for n in &c.networks {
+            assert_eq!(n.positions.len(), n.size());
+            assert!(n.size() >= 3, "paper minimum is 3 APs");
+        }
+    }
+
+    #[test]
+    fn network_lookup() {
+        let c = CampaignSpec::small(5).generate();
+        assert_eq!(c.network(NetworkId(0)).unwrap().id, NetworkId(0));
+        assert!(c.network(NetworkId(999)).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, 9);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seeded shuffle should actually move things");
+    }
+}

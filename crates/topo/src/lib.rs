@@ -1,0 +1,30 @@
+//! # mesh11-topo
+//!
+//! Topology and campaign generation: the synthetic stand-in for the paper's
+//! 110 commercially deployed Meraki networks (1407 APs total).
+//!
+//! The paper publishes the ensemble marginals; we match them exactly:
+//!
+//! * sizes: min 3, max 203, median 7, mean ≈12.8 (Σ = 1407) — encoded as an
+//!   explicit sorted size list in [`sizes`];
+//! * PHY: 77 × 802.11b/g, 31 × 802.11n, 2 × both;
+//! * environment: 72 indoor, 17 outdoor, 21 mixed (mixed networks are
+//!   excluded from environment-keyed analyses, as in the paper);
+//! * geographic diversity: each network carries a [`geo::GeoTag`] drawn from
+//!   a world-city list (Fig 1.1 flavor; no analysis depends on it).
+//!
+//! AP placement ([`placement`]) targets realistic neighbour SNRs: jittered
+//! grids indoors (15–28 m spacing), sparse near-uniform layouts outdoors
+//! (90–180 m), so multi-hop topologies emerge naturally at the band edges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod geo;
+pub mod network;
+pub mod placement;
+pub mod sizes;
+
+pub use campaign::{Campaign, CampaignSpec};
+pub use network::{EnvClass, NetworkId, NetworkSpec};

@@ -1,0 +1,156 @@
+//! Per-network specification.
+
+use mesh11_channel::{ChannelParams, Environment};
+use mesh11_phy::Phy;
+use serde::{Deserialize, Serialize};
+
+use crate::geo::GeoTag;
+
+pub use mesh11_trace::ids::NetworkId;
+use mesh11_trace::EnvLabel;
+
+/// Environment classification of a network.
+///
+/// The paper: 72 indoor, 17 outdoor, 21 mixed; mixed networks are *ignored*
+/// when classifying by environment (§3 footnote), which our analyses mirror
+/// via [`EnvClass::pure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnvClass {
+    /// All nodes indoors.
+    Indoor,
+    /// All nodes outdoors.
+    Outdoor,
+    /// A mix of indoor and outdoor nodes.
+    Mixed,
+}
+
+impl EnvClass {
+    /// The pure environment, if this class has one.
+    pub fn pure(self) -> Option<Environment> {
+        match self {
+            EnvClass::Indoor => Some(Environment::Indoor),
+            EnvClass::Outdoor => Some(Environment::Outdoor),
+            EnvClass::Mixed => None,
+        }
+    }
+
+    /// Channel parameters for this class. Mixed networks blend the two pure
+    /// parameter sets (they are excluded from env-keyed analyses, so only
+    /// plausibility matters).
+    pub fn channel_params(self) -> ChannelParams {
+        match self {
+            EnvClass::Indoor => ChannelParams::indoor(),
+            EnvClass::Outdoor => ChannelParams::outdoor(),
+            EnvClass::Mixed => {
+                let i = ChannelParams::indoor();
+                let o = ChannelParams::outdoor();
+                ChannelParams {
+                    pathloss_exponent: (i.pathloss_exponent + o.pathloss_exponent) / 2.0,
+                    tx_power_dbm: (i.tx_power_dbm + o.tx_power_dbm) / 2.0,
+                    shadow_sigma_db: (i.shadow_sigma_db + o.shadow_sigma_db) / 2.0,
+                    interference_prob: (i.interference_prob + o.interference_prob) / 2.0,
+                    wall_db: (i.wall_db + o.wall_db) / 2.0,
+                    wall_cap_db: (i.wall_cap_db + o.wall_cap_db) / 2.0,
+                    ..i
+                }
+            }
+        }
+    }
+
+    /// Display-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvClass::Indoor => "indoor",
+            EnvClass::Outdoor => "outdoor",
+            EnvClass::Mixed => "mixed",
+        }
+    }
+
+    /// The trace-layer label this class exports to dataset metadata.
+    pub fn label(self) -> EnvLabel {
+        match self {
+            EnvClass::Indoor => EnvLabel::Indoor,
+            EnvClass::Outdoor => EnvLabel::Outdoor,
+            EnvClass::Mixed => EnvLabel::Mixed,
+        }
+    }
+}
+
+/// Everything needed to instantiate and simulate one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Campaign-unique id.
+    pub id: NetworkId,
+    /// Environment class.
+    pub env: EnvClass,
+    /// The radios this network runs: `[Bg]`, `[Ht]`, or both (the paper has
+    /// two dual-radio networks).
+    pub radios: Vec<Phy>,
+    /// Master seed for every random draw concerning this network.
+    pub seed: u64,
+    /// AP positions (metres, local planar coordinates).
+    pub positions: Vec<(f64, f64)>,
+    /// Channel parameters (derived from `env`, stored for transparency).
+    pub params: ChannelParams,
+    /// Where in the world this network nominally lives.
+    pub geo: GeoTag,
+}
+
+impl NetworkSpec {
+    /// Number of APs.
+    pub fn size(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the network runs an 802.11b/g radio.
+    pub fn has_bg(&self) -> bool {
+        self.radios.contains(&Phy::Bg)
+    }
+
+    /// Whether the network runs an 802.11n radio.
+    pub fn has_ht(&self) -> bool {
+        self.radios.contains(&Phy::Ht)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_id() {
+        assert_eq!(NetworkId(7).to_string(), "net007");
+    }
+
+    #[test]
+    fn pure_mapping() {
+        assert_eq!(EnvClass::Indoor.pure(), Some(Environment::Indoor));
+        assert_eq!(EnvClass::Outdoor.pure(), Some(Environment::Outdoor));
+        assert_eq!(EnvClass::Mixed.pure(), None);
+    }
+
+    #[test]
+    fn mixed_params_between_pure_ones() {
+        let m = EnvClass::Mixed.channel_params();
+        let i = ChannelParams::indoor();
+        let o = ChannelParams::outdoor();
+        assert!(m.pathloss_exponent < i.pathloss_exponent);
+        assert!(m.pathloss_exponent > o.pathloss_exponent);
+        assert!(m.tx_power_dbm > i.tx_power_dbm && m.tx_power_dbm < o.tx_power_dbm);
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let spec = NetworkSpec {
+            id: NetworkId(1),
+            env: EnvClass::Indoor,
+            radios: vec![Phy::Bg, Phy::Ht],
+            seed: 1,
+            positions: vec![(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)],
+            params: ChannelParams::indoor(),
+            geo: crate::geo::GeoTag::for_network(0),
+        };
+        assert_eq!(spec.size(), 3);
+        assert!(spec.has_bg() && spec.has_ht());
+    }
+}

@@ -1,0 +1,224 @@
+//! AP placement.
+//!
+//! Placement aims for the SNR regimes the paper's figures live in: most
+//! direct neighbours in the 10–45 dB band, edge pairs falling off the cliff
+//! (where hidden triples and multi-hop paths come from).
+//!
+//! * **Indoor** — jittered grid over a building footprint, 18–32 m spacing:
+//!   dense, strongly connected cores with lossy diagonals.
+//! * **Outdoor** — sequential random placement with a minimum-separation
+//!   rule over a larger field, 130–260 m spacing: sparse, chainy topologies.
+
+use mesh11_channel::{ChannelParams, Environment};
+use mesh11_stats::dist::derive_seed_str;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::network::EnvClass;
+
+/// Places `n` APs for an environment class; deterministic in `seed`.
+pub fn place(env: EnvClass, n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(derive_seed_str(seed, "placement"));
+    match env {
+        EnvClass::Indoor => jittered_grid(n, 18.0, 32.0, &mut rng),
+        EnvClass::Outdoor => spread_field(n, 130.0, 260.0, &mut rng),
+        // Mixed: an indoor-spaced core with an outdoor-spaced fringe.
+        EnvClass::Mixed => {
+            let core = n - n / 3;
+            let mut pts = jittered_grid(core, 18.0, 32.0, &mut rng);
+            let fringe = spread_field(n - core, 80.0, 150.0, &mut rng);
+            // Offset the fringe so it surrounds rather than overlaps.
+            let max_x = pts.iter().map(|p| p.0).fold(0.0, f64::max);
+            pts.extend(fringe.into_iter().map(|(x, y)| (x + max_x + 40.0, y)));
+            pts
+        }
+    }
+}
+
+/// Grid with per-network spacing and per-AP jitter.
+fn jittered_grid(
+    n: usize,
+    min_spacing: f64,
+    max_spacing: f64,
+    rng: &mut SmallRng,
+) -> Vec<(f64, f64)> {
+    let spacing = rng.random_range(min_spacing..max_spacing);
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let jitter = 0.35 * spacing;
+    (0..n)
+        .map(|i| {
+            let (row, col) = (i / cols, i % cols);
+            (
+                col as f64 * spacing + rng.random_range(-jitter..jitter),
+                row as f64 * spacing + rng.random_range(-jitter..jitter),
+            )
+        })
+        .collect()
+}
+
+/// Random placement over a field sized for the target spacing, with a
+/// minimum-separation rule (half the target spacing) enforced by retry.
+fn spread_field(
+    n: usize,
+    min_spacing: f64,
+    max_spacing: f64,
+    rng: &mut SmallRng,
+) -> Vec<(f64, f64)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let spacing = rng.random_range(min_spacing..max_spacing);
+    let side = spacing * (n as f64).sqrt() * 1.1;
+    let min_sep = spacing * 0.5;
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut attempts = 0;
+        loop {
+            let cand = (rng.random_range(0.0..side), rng.random_range(0.0..side));
+            let ok = pts
+                .iter()
+                .all(|p| mesh11_channel::pathloss::distance(*p, cand) >= min_sep);
+            if ok || attempts > 200 {
+                pts.push(cand);
+                break;
+            }
+            attempts += 1;
+        }
+    }
+    pts
+}
+
+/// Diagnostic: fraction of unordered AP pairs whose deterministic mean SNR
+/// (no shadowing/hardware) falls in the "hearable" band `[lo, hi]` dB.
+/// Used by tests to check that placements produce usable meshes.
+pub fn hearable_fraction(
+    positions: &[(f64, f64)],
+    params: &ChannelParams,
+    lo_db: f64,
+    hi_db: f64,
+) -> f64 {
+    let n = positions.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = mesh11_channel::pathloss::distance(positions[i], positions[j]);
+            let snr = params.mean_snr_at(d);
+            if (lo_db..=hi_db).contains(&snr) {
+                hits += 1;
+            }
+            total += 1;
+        }
+    }
+    hits as f64 / total as f64
+}
+
+/// Convenience: the pure environment params used by placement sanity checks.
+pub fn params_for(env: EnvClass) -> ChannelParams {
+    match env.pure() {
+        Some(Environment::Indoor) => ChannelParams::indoor(),
+        Some(Environment::Outdoor) => ChannelParams::outdoor(),
+        None => EnvClass::Mixed.channel_params(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(place(EnvClass::Indoor, 9, 7), place(EnvClass::Indoor, 9, 7));
+        assert_ne!(place(EnvClass::Indoor, 9, 7), place(EnvClass::Indoor, 9, 8));
+    }
+
+    #[test]
+    fn correct_counts() {
+        for env in [EnvClass::Indoor, EnvClass::Outdoor, EnvClass::Mixed] {
+            for n in [1, 3, 7, 20, 60] {
+                assert_eq!(place(env, n, 1).len(), n, "{env:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_coincident_aps() {
+        for env in [EnvClass::Indoor, EnvClass::Outdoor] {
+            let pts = place(env, 30, 3);
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let d = mesh11_channel::pathloss::distance(pts[i], pts[j]);
+                    assert!(d > 1.0, "{env:?}: APs {i},{j} only {d} m apart");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indoor_meshes_are_usable() {
+        // Direct-neighbour pairs should commonly land in the hearable band.
+        let mut fracs = Vec::new();
+        for seed in 0..20 {
+            let pts = place(EnvClass::Indoor, 9, seed);
+            fracs.push(hearable_fraction(&pts, &ChannelParams::indoor(), 5.0, 55.0));
+        }
+        let avg = mesh11_stats::mean(&fracs).unwrap();
+        assert!(avg > 0.4, "indoor hearable fraction too low: {avg}");
+    }
+
+    #[test]
+    fn outdoor_sparser_than_indoor() {
+        let mut ratios = Vec::new();
+        for seed in 0..10 {
+            let ind = hearable_fraction(
+                &place(EnvClass::Indoor, 16, seed),
+                &ChannelParams::indoor(),
+                10.0,
+                90.0,
+            );
+            let out = hearable_fraction(
+                &place(EnvClass::Outdoor, 16, seed),
+                &ChannelParams::outdoor(),
+                10.0,
+                90.0,
+            );
+            ratios.push(ind - out);
+        }
+        // On average the indoor placements are better-connected.
+        assert!(mesh11_stats::mean(&ratios).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn large_networks_multihop() {
+        // In a 60-AP indoor network, far-corner pairs must be out of direct
+        // range (mean SNR < 5 dB) so routing has work to do.
+        let pts = place(EnvClass::Indoor, 60, 5);
+        let p = ChannelParams::indoor();
+        let max_d = pts
+            .iter()
+            .flat_map(|a| {
+                pts.iter()
+                    .map(move |b| mesh11_channel::pathloss::distance(*a, *b))
+            })
+            .fold(0.0, f64::max);
+        assert!(
+            p.mean_snr_at(max_d) < 5.0,
+            "60-AP net should not be a clique"
+        );
+    }
+
+    #[test]
+    fn hearable_fraction_edge_cases() {
+        assert_eq!(
+            hearable_fraction(&[], &ChannelParams::indoor(), 0.0, 99.0),
+            0.0
+        );
+        assert_eq!(
+            hearable_fraction(&[(0.0, 0.0)], &ChannelParams::indoor(), 0.0, 99.0),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! The campaign's network-size distribution.
+//!
+//! §3 of the paper: "Our networks range in size from 3 APs to 203 APs, with
+//! a median size of 7 and a mean size of 13", over 110 networks and 1407 APs
+//! total. Rather than sampling a parametric distribution and repairing it to
+//! the constraints, the exact sorted size list is written down once here and
+//! asserted in tests — the marginals *are* the specification.
+
+/// `(size, how many networks have it)`, ascending by size.
+///
+/// Totals: 110 networks, 1407 APs; median 7 (sorted positions 55/56);
+/// min 3; max 203.
+pub const SIZE_COUNTS: &[(u32, u32)] = &[
+    (3, 14),
+    (4, 14),
+    (5, 13),
+    (6, 13),
+    (7, 8),
+    (8, 8),
+    (9, 7),
+    (10, 6),
+    (11, 5),
+    (12, 4),
+    (13, 4),
+    (14, 3),
+    (16, 3),
+    (19, 2),
+    (45, 1),
+    (71, 1),
+    (75, 1),
+    (96, 1),
+    (150, 1),
+    (203, 1),
+];
+
+/// The full sorted size list (length 110).
+pub fn paper_sizes() -> Vec<u32> {
+    let mut v = Vec::with_capacity(110);
+    for &(size, count) in SIZE_COUNTS {
+        v.extend(std::iter::repeat_n(size, count as usize));
+    }
+    v
+}
+
+/// A scaled-down size list for fast tests/examples: keeps the *shape*
+/// (mostly-small with a heavy tail) at roughly `n` networks.
+///
+/// Picks every `110/n`-th entry of the sorted paper list, always including
+/// the minimum and one large network, so opportunistic-routing and
+/// hidden-triple analyses still have multi-hop topologies to chew on.
+pub fn scaled_sizes(n: usize) -> Vec<u32> {
+    let full = paper_sizes();
+    let n = n.clamp(2, full.len());
+    let mut out: Vec<u32> = (0..n)
+        .map(|i| full[i * (full.len() - 1) / (n - 1)])
+        .collect();
+    // Keep the tail interesting but tractable for small campaigns: cap the
+    // largest at 30 when n is small.
+    if n < 40 {
+        for s in &mut out {
+            *s = (*s).min(30);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_marginals_exactly() {
+        let sizes = paper_sizes();
+        assert_eq!(sizes.len(), 110, "110 networks");
+        assert_eq!(sizes.iter().sum::<u32>(), 1407, "1407 APs");
+        assert_eq!(*sizes.first().unwrap(), 3, "min 3");
+        assert_eq!(*sizes.last().unwrap(), 203, "max 203");
+        // Median over an even count: average of sorted positions 55, 56
+        // (1-indexed) = indices 54, 55.
+        assert_eq!((sizes[54] + sizes[55]) / 2, 7, "median 7");
+        let mean = sizes.iter().sum::<u32>() as f64 / sizes.len() as f64;
+        assert!(
+            (mean - 12.79).abs() < 0.01,
+            "mean ≈ 12.8 (paper rounds to 13)"
+        );
+    }
+
+    #[test]
+    fn sorted_ascending() {
+        let sizes = paper_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn networks_with_at_least_five_aps() {
+        // §5 analyzes networks with ≥5 APs; make sure a healthy majority
+        // qualify (the paper's routing results cover most of the ensemble).
+        let n = paper_sizes().iter().filter(|&&s| s >= 5).count();
+        assert_eq!(n, 82);
+    }
+
+    #[test]
+    fn scaled_keeps_shape() {
+        let s = scaled_sizes(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 3);
+        assert!(*s.last().unwrap() >= 20, "tail survives scaling: {s:?}");
+        assert!(s.iter().all(|&x| x <= 30), "capped for small campaigns");
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scaled_extremes() {
+        assert_eq!(scaled_sizes(2).len(), 2);
+        assert_eq!(scaled_sizes(0).len(), 2); // clamped up
+        let full = scaled_sizes(110);
+        assert_eq!(full, paper_sizes()); // identity at full scale
+    }
+}

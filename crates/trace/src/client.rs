@@ -1,0 +1,80 @@
+//! Aggregate client records (paper §3.2).
+//!
+//! Each AP logs, per client and per 5-minute bin, the number of association
+//! requests and data packets seen. The stream is uncontrolled — it is
+//! whatever real users did — and is the sole input to the §7 mobility
+//! analysis. An 11-hour snapshot is used there.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ApId, ClientId, NetworkId};
+
+/// Bin width of the aggregate client data (seconds).
+pub const CLIENT_BIN_S: f64 = 300.0;
+
+/// One (AP, client, 5-minute bin) aggregate record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientSample {
+    /// Network the AP belongs to.
+    pub network: NetworkId,
+    /// The AP that logged the record.
+    pub ap: ApId,
+    /// The client (anonymized, network-scoped).
+    pub client: ClientId,
+    /// Bin start time (seconds since trace start; multiple of
+    /// [`CLIENT_BIN_S`]).
+    pub bin_start_s: f64,
+    /// Association requests seen in the bin.
+    pub assoc_requests: u32,
+    /// Data packets exchanged in the bin.
+    pub data_pkts: u32,
+}
+
+impl ClientSample {
+    /// Whether the client was meaningfully present at the AP in this bin
+    /// (any traffic or association activity).
+    pub fn is_active(&self) -> bool {
+        self.assoc_requests > 0 || self.data_pkts > 0
+    }
+
+    /// Bin index (`bin_start_s / 300`).
+    pub fn bin_index(&self) -> u64 {
+        (self.bin_start_s / CLIENT_BIN_S).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity() {
+        let mut s = ClientSample {
+            network: NetworkId(0),
+            ap: ApId(1),
+            client: ClientId(2),
+            bin_start_s: 600.0,
+            assoc_requests: 0,
+            data_pkts: 0,
+        };
+        assert!(!s.is_active());
+        s.data_pkts = 1;
+        assert!(s.is_active());
+        s.data_pkts = 0;
+        s.assoc_requests = 1;
+        assert!(s.is_active());
+    }
+
+    #[test]
+    fn bin_index() {
+        let s = ClientSample {
+            network: NetworkId(0),
+            ap: ApId(0),
+            client: ClientId(0),
+            bin_start_s: 1500.0,
+            assoc_requests: 0,
+            data_pkts: 0,
+        };
+        assert_eq!(s.bin_index(), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Identifier newtypes shared across the toolkit.
+//!
+//! All ids are small dense integers: `NetworkId` is campaign-scoped,
+//! `ApId`/`ClientId` are network-scoped. Analyses exploit the density to use
+//! flat arrays instead of hash maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A network within a campaign (dense, `0..n_networks`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NetworkId(pub u32);
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{:03}", self.0)
+    }
+}
+
+/// An access point within a network (dense, `0..n_aps`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ApId(pub u32);
+
+impl ApId {
+    /// The id as a flat array index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ApId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap{}", self.0)
+    }
+}
+
+/// A client device within a network (dense per network).
+///
+/// Clients are anonymized MAC addresses in the original data; here they are
+/// dense integers. The mobility analysis re-identifies a client that
+/// disappears for more than five minutes as a *new* client (paper §7), a
+/// transformation performed at analysis time, not here.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Environment label carried in network metadata.
+///
+/// Mirrors the paper's classification: 72 indoor, 17 outdoor, and 21 mixed
+/// networks, the last excluded from environment-keyed analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnvLabel {
+    /// All nodes indoors.
+    Indoor,
+    /// All nodes outdoors.
+    Outdoor,
+    /// Mixed indoor/outdoor deployment.
+    Mixed,
+}
+
+impl EnvLabel {
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvLabel::Indoor => "indoor",
+            EnvLabel::Outdoor => "outdoor",
+            EnvLabel::Mixed => "mixed",
+        }
+    }
+
+    /// Whether this label participates in indoor-vs-outdoor comparisons.
+    pub fn is_pure(self) -> bool {
+        !matches!(self, EnvLabel::Mixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NetworkId(3).to_string(), "net003");
+        assert_eq!(ApId(12).to_string(), "ap12");
+        assert_eq!(ClientId(9).to_string(), "client9");
+    }
+
+    #[test]
+    fn ap_idx() {
+        assert_eq!(ApId(7).idx(), 7);
+    }
+
+    #[test]
+    fn env_label_purity() {
+        assert!(EnvLabel::Indoor.is_pure());
+        assert!(EnvLabel::Outdoor.is_pure());
+        assert!(!EnvLabel::Mixed.is_pure());
+        assert_eq!(EnvLabel::Mixed.name(), "mixed");
+    }
+
+    #[test]
+    fn ids_order_densely() {
+        assert!(ApId(1) < ApId(2));
+        assert!(NetworkId(0) < NetworkId(1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Dataset-level SNR variability statistics (paper Fig 3.1).
+//!
+//! Three spreads, each a CDF in the paper:
+//!
+//! * **within a probe set** — the σ of the per-rate most-recent SNRs of one
+//!   report (< 5 dB ≥ 97.5% of the time in the paper; justifies using the
+//!   median as "the SNR of the probe set");
+//! * **per link** — the σ of a directed link's probe-set SNRs over time;
+//! * **per network** — the σ over every probe-set SNR in a network (large:
+//!   each network spans a diverse range of link qualities).
+
+use std::collections::BTreeMap;
+
+use crate::dataset::Dataset;
+use crate::ids::{ApId, NetworkId};
+
+/// σ of SNR within each probe set (one value per probe set).
+pub fn probe_set_sigmas(ds: &Dataset) -> Vec<f64> {
+    ds.probes.iter().map(|p| p.snr_stddev()).collect()
+}
+
+/// σ of probe-set SNR over time, per directed link (links with at least two
+/// reports).
+pub fn link_sigmas(ds: &Dataset) -> Vec<f64> {
+    let mut per_link: BTreeMap<(NetworkId, ApId, ApId), Vec<f64>> = BTreeMap::new();
+    for p in &ds.probes {
+        per_link
+            .entry((p.network, p.sender, p.receiver))
+            .or_default()
+            .push(p.snr_db());
+    }
+    per_link
+        .values()
+        .filter_map(|snrs| mesh11_stats::stddev(snrs))
+        .collect()
+}
+
+/// σ of the `k` most recent probe-set SNRs per directed link — the paper's
+/// unpictured §3.1.1 robustness note: "the standard deviation of the k most
+/// recent SNR values on a link … comparable to the standard deviation
+/// within a probe set for small values of k", which justifies using the
+/// most recent SNR instead of an average.
+///
+/// One value per (link, window position): every length-`k` run of a link's
+/// time-ordered reports contributes its σ.
+pub fn recent_k_sigmas(ds: &Dataset, k: usize) -> Vec<f64> {
+    assert!(k >= 2, "a spread needs at least two values");
+    let mut per_link: BTreeMap<(NetworkId, ApId, ApId), Vec<(f64, f64)>> = BTreeMap::new();
+    for p in &ds.probes {
+        per_link
+            .entry((p.network, p.sender, p.receiver))
+            .or_default()
+            .push((p.time_s, p.snr_db()));
+    }
+    let mut out = Vec::new();
+    for series in per_link.values_mut() {
+        series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let snrs: Vec<f64> = series.iter().map(|p| p.1).collect();
+        for w in snrs.windows(k) {
+            if let Some(sd) = mesh11_stats::stddev(w) {
+                out.push(sd);
+            }
+        }
+    }
+    out
+}
+
+/// σ over all probe-set SNRs within each network (networks with at least two
+/// probe sets).
+pub fn network_sigmas(ds: &Dataset) -> Vec<f64> {
+    let mut per_net: BTreeMap<NetworkId, Vec<f64>> = BTreeMap::new();
+    for p in &ds.probes {
+        per_net.entry(p.network).or_default().push(p.snr_db());
+    }
+    per_net
+        .values()
+        .filter_map(|snrs| mesh11_stats::stddev(snrs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ApId, EnvLabel, NetworkId};
+    use crate::probe::{ProbeSet, RateObs};
+    use mesh11_phy::{BitRate, Phy};
+
+    fn ps(net: u32, s: u32, r: u32, snrs: &[f64]) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(net),
+            phy: Phy::Bg,
+            time_s: 0.0,
+            sender: ApId(s),
+            receiver: ApId(r),
+            obs: snrs
+                .iter()
+                .map(|&snr| RateObs {
+                    rate: BitRate::bg_mbps(1.0).unwrap(),
+                    loss: 0.0,
+                    snr_db: snr,
+                })
+                .collect(),
+        }
+    }
+
+    fn ds(probes: Vec<ProbeSet>) -> Dataset {
+        Dataset {
+            networks: vec![crate::dataset::NetworkMeta {
+                id: NetworkId(0),
+                env: EnvLabel::Indoor,
+                n_aps: 4,
+                radios: vec![Phy::Bg],
+                location: String::new(),
+            }],
+            probes,
+            clients: vec![],
+            probe_horizon_s: 0.0,
+            client_horizon_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn probe_set_sigma_values() {
+        let d = ds(vec![ps(0, 0, 1, &[10.0, 14.0]), ps(0, 0, 1, &[20.0])]);
+        let sigmas = probe_set_sigmas(&d);
+        assert_eq!(sigmas, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn link_sigma_needs_two_reports() {
+        // Link (0→1) has two reports at SNR 10 and 14; link (0→2) only one.
+        let d = ds(vec![
+            ps(0, 0, 1, &[10.0]),
+            ps(0, 0, 1, &[14.0]),
+            ps(0, 0, 2, &[30.0]),
+        ]);
+        let sigmas = link_sigmas(&d);
+        assert_eq!(sigmas.len(), 1);
+        assert!((sigmas[0] - (2.0f64 * 2.0f64 * 2.0).sqrt()).abs() < 1e-9); // sample σ of {10,14} = √8
+    }
+
+    #[test]
+    fn network_sigma_spans_links() {
+        let d = ds(vec![ps(0, 0, 1, &[10.0]), ps(0, 2, 3, &[30.0])]);
+        let sigmas = network_sigmas(&d);
+        assert_eq!(sigmas.len(), 1);
+        // Sample σ of {10, 30} = √200 ≈ 14.14.
+        assert!((sigmas[0] - 200f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_k_windows() {
+        // One link with SNRs 10, 14, 10 over three reports: two length-2
+        // windows, each σ = √8.
+        let d = ds(vec![
+            ps(0, 0, 1, &[10.0]),
+            ps(0, 0, 1, &[14.0]),
+            ps(0, 0, 1, &[10.0]),
+        ]);
+        let sig = recent_k_sigmas(&d, 2);
+        assert_eq!(sig.len(), 2);
+        for s in sig {
+            assert!((s - 8.0f64.sqrt()).abs() < 1e-9);
+        }
+        // k longer than the series yields nothing.
+        assert!(recent_k_sigmas(&d, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn recent_k_rejects_k1() {
+        recent_k_sigmas(&ds(vec![]), 1);
+    }
+
+    #[test]
+    fn network_spread_exceeds_link_spread() {
+        // The qualitative ordering Fig 3.1 shows: networks vary more than
+        // links, which vary more than single probe sets.
+        let d = ds(vec![
+            ps(0, 0, 1, &[10.0, 10.5]),
+            ps(0, 0, 1, &[11.0, 11.5]),
+            ps(0, 2, 3, &[38.0, 38.2]),
+            ps(0, 2, 3, &[39.0, 38.8]),
+        ]);
+        let set_max = probe_set_sigmas(&d).into_iter().fold(0.0, f64::max);
+        let link_max = link_sigmas(&d).into_iter().fold(0.0, f64::max);
+        let net_max = network_sigmas(&d).into_iter().fold(0.0, f64::max);
+        assert!(set_max < link_max && link_max < net_max);
+    }
+}

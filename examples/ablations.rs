@@ -1,0 +1,130 @@
+//! Design-choice ablations (DESIGN.md §8): the knobs the paper's idealized
+//! analyses fix, swept.
+//!
+//! ```sh
+//! cargo run --release --example ablations [-- <seed>]
+//! ```
+
+use mesh11::core::bitrate::{simulate_adapters, AdapterKind};
+use mesh11::core::routing::ablation::{delivery_floor_sweep, improvement_vs_cap};
+use mesh11::core::triples::sweep::{rule_comparison, threshold_sweep};
+use mesh11::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(29);
+    let campaign = CampaignSpec::scaled(seed, 16).generate();
+    let dataset = SimConfig::quick().run_campaign(&campaign);
+
+    // ---- A. Rate-adaptation protocols (the §4.5 proposal, end to end) ----
+    println!("A. rate adaptation replay (b/g, probing overhead 10%):");
+    let kinds = [
+        AdapterKind::Oracle,
+        AdapterKind::SnrTable { top_k: 1 },
+        AdapterKind::SnrTable { top_k: 2 },
+        AdapterKind::EwmaProbing { alpha: 0.3 },
+        AdapterKind::Fixed(BitRate::bg_mbps(11.0).unwrap()),
+        AdapterKind::Fixed(BitRate::bg_mbps(48.0).unwrap()),
+    ];
+    println!(
+        "   {:<16} {:>9} {:>9} {:>10}",
+        "adapter", "raw Mb/s", "net Mb/s", "of oracle"
+    );
+    for o in simulate_adapters(&dataset, Phy::Bg, &kinds, 0.10) {
+        println!(
+            "   {:<16} {:>9.2} {:>9.2} {:>9.1}%",
+            o.kind.name(),
+            o.mean_throughput_mbps,
+            o.net_throughput_mbps,
+            100.0 * o.fraction_of_oracle
+        );
+    }
+    println!("   (SNR-table adapters keep probing overhead at k/n of the prober's)\n");
+
+    // ---- B. ExOR candidate-set cap ----
+    println!("B. opportunistic gain vs forwarder-set size (1 Mbit/s):");
+    let one = BitRate::bg_mbps(1.0).unwrap();
+    // Use the largest ≥5-AP b/g network's matrix.
+    let meta = dataset
+        .networks_with_at_least(5)
+        .filter(|m| m.radios.contains(&Phy::Bg))
+        .max_by_key(|m| m.n_aps)
+        .expect("campaign has a big b/g network");
+    let probes: Vec<_> = dataset
+        .probes_for_network(meta.id)
+        .filter(|p| p.phy == Phy::Bg)
+        .collect();
+    let m = DeliveryMatrix::from_probes(meta.id, one, meta.n_aps, probes.iter().copied());
+    for (cap, mean) in improvement_vs_cap(&m, &[1, 2, 3, 4, 8, usize::MAX]) {
+        let label = if cap == usize::MAX {
+            "∞".into()
+        } else {
+            cap.to_string()
+        };
+        println!("   cap {label:>3}: mean improvement {mean:.4}");
+    }
+    println!(
+        "   (the gain saturates with a handful of forwarders — why real ExOR caps its list)\n"
+    );
+
+    // ---- C. ETX delivery-floor sensitivity ----
+    println!(
+        "C. ETX delivery-floor sweep ({} APs, 1 Mbit/s):",
+        meta.n_aps
+    );
+    for (floor, mean_cost, reachable) in delivery_floor_sweep(&m, &[0.05, 0.10, 0.20, 0.40]) {
+        println!(
+            "   floor {floor:4.2}: mean path cost {mean_cost:5.2} ETX, {reachable} reachable pairs"
+        );
+    }
+    println!();
+
+    // ---- D. Hidden-triple definition sensitivity ----
+    println!("D. hidden-triple threshold sweep at 1 Mbit/s:");
+    for (t, med) in threshold_sweep(
+        &dataset,
+        Phy::Bg,
+        one,
+        &[0.05, 0.10, 0.20, 0.30],
+        HearRule::Mean,
+    ) {
+        match med {
+            Some(v) => println!("   t = {t:4.2}: median {:5.1}%", 100.0 * v),
+            None => println!("   t = {t:4.2}: no relevant triples"),
+        }
+    }
+    println!("\n   hearing-rule comparison (t = 10%):");
+    for (rule, med) in rule_comparison(&dataset, Phy::Bg, one, 0.10) {
+        match med {
+            Some(v) => println!("   {rule:?}: median {:5.1}%", 100.0 * v),
+            None => println!("   {rule:?}: no relevant triples"),
+        }
+    }
+    println!("\n   (the paper's claim: the 10% threshold is not load-bearing)");
+
+    // ---- E. Loss-window size (the Meraki 800 s constant, swept) ----
+    // The paper inherits 800 s from the production firmware; how much does
+    // the §4 result owe to it? Longer windows smooth loss estimates but mix
+    // older channel states into each probe set.
+    println!("\nE. loss-window sweep (one mid-size network, link-scope accuracy):");
+    let spec = campaign
+        .networks
+        .iter()
+        .find(|n| n.has_bg() && n.size() >= 7)
+        .expect("campaign has a mid-size b/g network");
+    for window_s in [200.0, 800.0, 3_200.0] {
+        let mut cfg = SimConfig::quick();
+        cfg.window_s = window_s;
+        cfg.client_horizon_s = 0.0;
+        let ds = cfg.run_network(spec);
+        let table = LookupTableSet::build(&ds, Scope::Link, Phy::Bg);
+        println!(
+            "   window {window_s:>6.0} s: link accuracy {:5.1}% over {} probe sets",
+            100.0 * table.exact_accuracy(&ds),
+            ds.probes.len()
+        );
+    }
+    println!("   (800 s sits on the flat part of the curve — the constant is safe)");
+}

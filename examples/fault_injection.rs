@@ -1,0 +1,82 @@
+//! Fault injection: watch the measurement pipeline degrade and recover
+//! through an AP outage and an interference burst (smoltcp-style adverse
+//! conditions demo).
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use mesh11::prelude::*;
+use mesh11::sim::{ApOutage, InterferenceBurst};
+use mesh11::trace::ApId;
+
+fn main() {
+    let campaign = CampaignSpec::small(23).generate();
+    let spec = campaign
+        .networks
+        .iter()
+        .find(|n| n.has_bg() && n.size() >= 5)
+        .expect("small campaigns include a ≥5-AP b/g network");
+    println!(
+        "target network: {} ({} APs, {})\n",
+        spec.id,
+        spec.size(),
+        spec.env.name()
+    );
+
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 4_800.0;
+    // AP0 dies between t=1600 and t=3200.
+    cfg.faults = FaultPlan {
+        outages: vec![ApOutage {
+            network: spec.id,
+            ap: ApId(0),
+            start_s: 1_600.0,
+            end_s: 3_200.0,
+        }],
+        bursts: vec![InterferenceBurst {
+            network: spec.id,
+            start_s: 2_400.0,
+            end_s: 3_600.0,
+            penalty_db: 12.0,
+        }],
+    };
+    let ds = cfg.run_network(spec);
+
+    // Track, per report round, how many probe sets mention AP0 as a sender
+    // and the network-wide mean 48 Mbit/s loss.
+    let r48 = BitRate::bg_mbps(48.0).unwrap();
+    println!(
+        "{:>7} {:>12} {:>12}   events",
+        "t (s)", "AP0 reports", "48M loss"
+    );
+    let mut t = cfg.report_interval_s;
+    while t <= cfg.probe_horizon_s {
+        let round: Vec<&ProbeSet> = ds
+            .probes
+            .iter()
+            .filter(|p| (p.time_s - t).abs() < cfg.probe_interval_s)
+            .collect();
+        let ap0 = round.iter().filter(|p| p.sender == ApId(0)).count();
+        let losses: Vec<f64> = round
+            .iter()
+            .filter_map(|p| p.obs_for(r48).map(|o| o.loss))
+            .collect();
+        let loss = mesh11::stats::mean(&losses)
+            .map(|l| format!("{l:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let mut events = String::new();
+        if (1_600.0..3_200.0).contains(&t) {
+            events.push_str(" [AP0 down]");
+        }
+        if (2_400.0..3_600.0).contains(&t) {
+            events.push_str(" [12 dB interference]");
+        }
+        println!("{t:>7.0} {ap0:>12} {loss:>12}  {events}");
+        t += cfg.report_interval_s;
+    }
+    println!("\nnote how AP0's probe sets drain out of the 800 s windows after the");
+    println!("outage starts, reappear after recovery, and how the burst inflates");
+    println!("loss without touching any reported SNR — the analyses only ever see");
+    println!("what the real infrastructure would have logged.");
+}

@@ -1,0 +1,94 @@
+//! Opportunistic routing study (§5): per-network ExOR-vs-ETX improvement,
+//! the path-length effect, and the link-asymmetry driver behind the
+//! ETX1/ETX2 gap.
+//!
+//! ```sh
+//! cargo run --release --example opportunistic_routing [-- <seed>]
+//! ```
+
+use mesh11::core::routing::asymmetry::asymmetry_by_rate;
+use mesh11::core::routing::improvement::{analyze_dataset, improvement_by_path_length};
+use mesh11::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let campaign = CampaignSpec::scaled(seed, 20).generate();
+    let dataset = SimConfig::quick().run_campaign(&campaign);
+
+    let analyses = analyze_dataset(&dataset, Phy::Bg, 5);
+    println!(
+        "analyzed {} (network, rate) delivery matrices from networks with ≥5 APs\n",
+        analyses.len()
+    );
+
+    // Per-rate improvement summary (Fig 5.1).
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} | {:>10}",
+        "rate", "mean", "median", "none", "etx2 mean"
+    );
+    for &rate in Phy::Bg.probed_rates() {
+        let imp1: Vec<f64> = analyses
+            .iter()
+            .filter(|a| a.rate == rate)
+            .flat_map(|a| a.improvements(EtxVariant::Etx1))
+            .collect();
+        let imp2: Vec<f64> = analyses
+            .iter()
+            .filter(|a| a.rate == rate)
+            .flat_map(|a| a.improvements(EtxVariant::Etx2))
+            .collect();
+        if imp1.is_empty() {
+            continue;
+        }
+        let none = imp1.iter().filter(|&&x| x < 1e-9).count() as f64 / imp1.len() as f64;
+        println!(
+            "{:>12} {:>10.3} {:>10.3} {:>9.1}% | {:>10.3}",
+            rate.to_string(),
+            mesh11::stats::mean(&imp1).unwrap_or(0.0),
+            mesh11::stats::median(&imp1).unwrap_or(0.0),
+            100.0 * none,
+            mesh11::stats::mean(&imp2).unwrap_or(0.0),
+        );
+    }
+
+    // The path-length effect (Fig 5.4): medians rise, maxima fall.
+    println!("\nimprovement vs ETX1 path length (pooled rates):");
+    println!("{:>6} {:>10} {:>10}", "hops", "median", "max");
+    for (hops, median, max) in improvement_by_path_length(&analyses, EtxVariant::Etx1) {
+        println!("{hops:>6} {median:>10.3} {max:>10.3}");
+    }
+
+    // Link asymmetry (Fig 5.2) — why ETX2 overstates the gain.
+    let asym = asymmetry_by_rate(&dataset, Phy::Bg);
+    let one = BitRate::bg_mbps(1.0).unwrap();
+    if let Some(ratios) = asym.get(&one) {
+        if let Some(cdf) = Cdf::from_samples(ratios.iter().copied()) {
+            println!(
+                "\nlink asymmetry at 1 Mbit/s: median ratio {:.2}, 10th/90th pct {:.2}/{:.2}",
+                cdf.median(),
+                cdf.quantile(0.1),
+                cdf.quantile(0.9)
+            );
+        }
+    }
+    // ETT (expected transmission time): the other traditional metric the
+    // paper's question 2 names. Multi-rate ETT vs best single-rate ETX1.
+    let ett = mesh11::core::routing::ett::analyze_ett(&dataset, Phy::Bg, 5);
+    let speedups: Vec<f64> = ett.iter().flat_map(|a| a.speedups()).collect();
+    if let Some(cdf) = Cdf::from_samples(speedups.iter().copied()) {
+        println!(
+            "\nETT multi-rate routing vs best single-rate ETX1 path:\n  median speedup {:.2}×, 90th pct {:.2}×, {:.0}% of pairs gain >10%",
+            cdf.median(),
+            cdf.quantile(0.9),
+            100.0 * cdf.frac_at_least(1.1)
+        );
+    }
+
+    println!("\npaper take-away: idealized opportunism buys little over ETX1 on");
+    println!("these topologies — most paths are short — and the ETX2 'gain' is");
+    println!("mostly an artifact of charging ACKs for link asymmetry. Multi-rate");
+    println!("ETT, by contrast, wins by letting each hop run its own best rate.");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: generate a campaign, simulate it, ask the paper's headline
+//! questions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mesh11::prelude::*;
+
+fn main() {
+    // 1. A seeded 12-network campaign with the paper's composition shape
+    //    (mostly small networks, an indoor majority, one heavy-tailed big
+    //    network, b/g and 802.11n radios).
+    let campaign = CampaignSpec::small(42).generate();
+    println!(
+        "campaign: {} networks, {} APs total",
+        campaign.networks.len(),
+        campaign.total_aps()
+    );
+    for net in campaign.networks.iter().take(4) {
+        println!(
+            "  {}  {:>3} APs  {:7}  {:?}  ({})",
+            net.id,
+            net.size(),
+            net.env.name(),
+            net.radios,
+            net.geo.label
+        );
+    }
+    println!("  …");
+
+    // 2. Simulate the measurement infrastructure: 1 h of 40 s broadcast
+    //    probes with 800 s loss windows and 300 s reports, plus 2 h of
+    //    clients associating and moving data.
+    let dataset = SimConfig::quick().run_campaign(&campaign);
+    println!(
+        "\ndataset: {} probe sets, {} client samples",
+        dataset.probes.len(),
+        dataset.clients.len()
+    );
+
+    // 3. §4 — is the SNR a good predictor of the optimal bit rate?
+    println!("\nSNR → optimal-rate table accuracy (802.11b/g):");
+    for scope in [Scope::Global, Scope::Network, Scope::Ap, Scope::Link] {
+        let table = LookupTableSet::build(&dataset, scope, Phy::Bg);
+        println!(
+            "  {:8} {:5.1}%",
+            format!("{}:", table.scope().name()),
+            100.0 * table.exact_accuracy(&dataset)
+        );
+    }
+    println!("  (the paper's finding: only per-link training works well)");
+
+    // 4. §5 — would idealized opportunistic routing help?
+    let analyses = mesh11::core::routing::improvement::analyze_dataset(&dataset, Phy::Bg, 5);
+    let imps: Vec<f64> = analyses
+        .iter()
+        .flat_map(|a| a.improvements(EtxVariant::Etx1))
+        .collect();
+    if let Some(cdf) = Cdf::from_samples(imps.iter().copied()) {
+        println!(
+            "\nopportunistic routing vs ETX1: median improvement {:.1}%, none for {:.1}% of pairs",
+            100.0 * cdf.median(),
+            100.0 * cdf.eval(1e-9)
+        );
+    }
+
+    // 5. §6 — how common are hidden triples?
+    let triples = TripleAnalysis::run(&dataset, Phy::Bg, 0.10, HearRule::Mean);
+    let one = BitRate::bg_mbps(1.0).unwrap();
+    if let Some(med) = triples.median_fraction(one, None) {
+        println!(
+            "hidden triples at 1 Mbit/s (10% threshold): median {:.1}% of relevant triples",
+            100.0 * med
+        );
+    }
+
+    // 6. §7 — how mobile are clients?
+    let mobility = MobilityReport::build(&dataset);
+    println!(
+        "clients: {:.0}% visit a single AP; {:.0}% stay the whole trace",
+        100.0 * mobility.frac_single_ap(),
+        100.0 * mobility.frac_full_duration(dataset.client_horizon_s)
+    );
+}

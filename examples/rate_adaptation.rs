@@ -1,0 +1,110 @@
+//! Rate adaptation study (§4): compare the SNR-table method against a
+//! SampleRate-style probing baseline, and quantify the §4.5 "augmented
+//! table" idea — using the table's top-k rates to narrow probing.
+//!
+//! ```sh
+//! cargo run --release --example rate_adaptation [-- <seed>]
+//! ```
+
+use mesh11::core::bitrate::strategy::evaluate_strategies;
+use mesh11::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let campaign = CampaignSpec::scaled(seed, 20).generate();
+    let dataset = SimConfig::quick().run_campaign(&campaign);
+    println!(
+        "dataset: {} probe sets over {} networks\n",
+        dataset.probes.len(),
+        campaign.networks.len()
+    );
+
+    for phy in [Phy::Bg, Phy::Ht] {
+        let n_rates = phy.probed_rates().len();
+        let table = LookupTableSet::build(&dataset, Scope::Link, phy);
+        if table.n_keys() == 0 {
+            continue;
+        }
+        println!("== {phy} ({n_rates} probed rates) ==");
+
+        // How many of the top-k table rates contain the true optimum?
+        // k = n_rates reduces to "always probe everything" (100%).
+        for k in [1, 2, 3] {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for p in dataset.probes_for_phy(phy) {
+                let top = table.top_k(p, k);
+                if top.is_empty() {
+                    continue;
+                }
+                total += 1;
+                if top.contains(&p.optimal().rate) {
+                    hits += 1;
+                }
+            }
+            if total > 0 {
+                println!(
+                    "  top-{k} table hit rate: {:5.1}%  (probing {k}/{n_rates} rates)",
+                    100.0 * hits as f64 / total as f64
+                );
+            }
+        }
+
+        // SampleRate-style baseline: probe everything, pick the
+        // empirically best rate of the *previous* probe set per link —
+        // pays full probing cost and still lags the channel.
+        let mut prev_best: HashMap<(u32, u32, u32), BitRate> = HashMap::new();
+        let mut lag_hits = 0usize;
+        let mut lag_total = 0usize;
+        for p in dataset.probes_for_phy(phy) {
+            let key = (p.network.0, p.sender.0, p.receiver.0);
+            let opt = p.optimal().rate;
+            if let Some(&prev) = prev_best.get(&key) {
+                lag_total += 1;
+                lag_hits += usize::from(prev == opt);
+            }
+            prev_best.insert(key, opt);
+        }
+        if lag_total > 0 {
+            println!(
+                "  probe-everything baseline (previous winner): {:5.1}%  (probing {n_rates}/{n_rates} rates)",
+                100.0 * lag_hits as f64 / lag_total as f64
+            );
+        }
+        println!();
+    }
+
+    // Online maintenance strategies (Fig 4.6 / Table 4.1).
+    println!("online table maintenance (802.11b/g):");
+    for eval in evaluate_strategies(&dataset, Phy::Bg, &StrategyKind::ALL) {
+        println!(
+            "  {:12} accuracy {:5.1}%  updates {:>8}  stored {:>8}",
+            eval.kind.name(),
+            100.0 * eval.overall_accuracy(),
+            eval.updates,
+            eval.stored_points
+        );
+    }
+    // Why isn't any strategy perfect? Temporal churn of the optimum.
+    let s = mesh11::core::bitrate::link_stability(&dataset, Phy::Bg);
+    println!(
+        "\nstability: the per-link optimum flips on {:.1}% of consecutive reports",
+        100.0 * s.median_churn().unwrap_or(0.0)
+    );
+    println!(
+        "  at an unchanged SNR key: {:.1}%  ← the error floor of any SNR table",
+        100.0 * s.churn_same_snr
+    );
+    println!(
+        "  when the SNR key moved:  {:.1}%  (a fresh look-up handles these)",
+        100.0 * s.churn_diff_snr
+    );
+
+    println!("\npaper take-away: a per-link SNR table matches probing accuracy");
+    println!("while probing 1-3 rates instead of all of them — the win grows");
+    println!("with 802.11n's rate-set size.");
+}

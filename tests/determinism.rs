@@ -1,0 +1,62 @@
+//! Reproducibility guarantees: the dataset is a pure function of the seed,
+//! and both serialization paths round-trip a real simulated dataset.
+
+use mesh11::prelude::*;
+
+fn small_dataset(seed: u64) -> Dataset {
+    let campaign = CampaignSpec::scaled(seed, 4).generate();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 1_200.0;
+    cfg.client_horizon_s = 1_200.0;
+    cfg.run_campaign(&campaign)
+}
+
+#[test]
+fn same_seed_same_dataset() {
+    assert_eq!(small_dataset(99), small_dataset(99));
+}
+
+#[test]
+fn different_seed_different_dataset() {
+    assert_ne!(small_dataset(99), small_dataset(100));
+}
+
+#[test]
+fn binary_codec_round_trips_simulated_data() {
+    let ds = small_dataset(5);
+    let bytes = mesh11::trace::codec::encode(&ds);
+    let back = mesh11::trace::codec::decode(bytes).expect("decode");
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn json_round_trips_simulated_data() {
+    let ds = small_dataset(6);
+    let dir = std::env::temp_dir().join("mesh11-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.json");
+    ds.save_json(&path).unwrap();
+    let back = Dataset::load_json(&path).unwrap();
+    assert_eq!(ds, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_is_compact() {
+    let ds = small_dataset(7);
+    let bin = mesh11::trace::codec::encode(&ds).len();
+    let json = serde_json::to_vec(&ds).unwrap().len();
+    assert!(
+        bin * 4 < json,
+        "binary ({bin} B) should be ≪ JSON ({json} B) on real data"
+    );
+}
+
+#[test]
+fn analyses_are_deterministic_over_identical_data() {
+    let a = small_dataset(8);
+    let b = small_dataset(8);
+    let ta = LookupTableSet::build(&a, Scope::Link, Phy::Bg).exact_accuracy(&a);
+    let tb = LookupTableSet::build(&b, Scope::Link, Phy::Bg).exact_accuracy(&b);
+    assert_eq!(ta, tb);
+}

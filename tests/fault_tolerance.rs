@@ -1,0 +1,138 @@
+//! Fault-injection integration: the full pipeline under AP outages and
+//! interference bursts — the estimators must degrade honestly and recover.
+
+use mesh11::prelude::*;
+use mesh11::sim::{ApOutage, InterferenceBurst};
+use mesh11::trace::ApId;
+
+fn target() -> NetworkSpec {
+    CampaignSpec::small(31)
+        .generate()
+        .networks
+        .into_iter()
+        .find(|n| n.has_bg() && n.size() >= 5)
+        .expect("small campaigns include a ≥5-AP b/g network")
+}
+
+#[test]
+fn outage_is_visible_in_probe_data_and_recovers() {
+    let spec = target();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 4_800.0;
+    cfg.client_horizon_s = 0.0;
+    cfg.faults.outages.push(ApOutage {
+        network: spec.id,
+        ap: ApId(0),
+        start_s: 1_600.0,
+        end_s: 3_200.0,
+    });
+    let ds = cfg.run_network(&spec);
+
+    // Deep in the outage (after the 800 s window drains) AP0 is silent in
+    // both roles.
+    let deep: Vec<_> = ds
+        .probes
+        .iter()
+        .filter(|p| p.time_s >= 2_400.0 && p.time_s < 3_200.0)
+        .collect();
+    assert!(!deep.is_empty());
+    assert!(deep.iter().all(|p| p.sender != ApId(0)));
+    assert!(deep.iter().all(|p| p.receiver != ApId(0)));
+
+    // After recovery + one full window, AP0 is heard again.
+    let recovered = ds
+        .probes
+        .iter()
+        .any(|p| p.time_s > 4_200.0 && p.sender == ApId(0));
+    assert!(recovered, "AP0 must re-enter the mesh after the outage");
+}
+
+#[test]
+fn burst_degrades_delivery_without_touching_snr() {
+    let spec = target();
+    let mut clean = SimConfig::quick();
+    clean.probe_horizon_s = 2_400.0;
+    clean.client_horizon_s = 0.0;
+    let mut noisy = clean.clone();
+    noisy.faults.bursts.push(InterferenceBurst {
+        network: spec.id,
+        start_s: 0.0,
+        end_s: 2_400.0,
+        penalty_db: 12.0,
+    });
+
+    let ds_clean = clean.run_network(&spec);
+    let ds_noisy = noisy.run_network(&spec);
+
+    // Compare full delivery matrices (pairs that fall silent count as 0) —
+    // conditioning on "still heard" would hide the damage behind
+    // survivorship bias.
+    let r24 = BitRate::bg_mbps(24.0).unwrap();
+    let total_delivery = |ds: &Dataset| {
+        let m = DeliveryMatrix::from_probes(spec.id, r24, spec.size(), ds.probes.iter());
+        m.directed_pairs().map(|(_, _, p)| p).sum::<f64>()
+    };
+    let (clean_d, noisy_d) = (total_delivery(&ds_clean), total_delivery(&ds_noisy));
+    assert!(
+        noisy_d < 0.8 * clean_d,
+        "a 12 dB burst must visibly cut 24 Mbit/s delivery: {clean_d} → {noisy_d}"
+    );
+
+    // The *reported* SNR is burst-blind (SGRA's observation, which the
+    // paper cites): on links still heard in both runs, the per-link mean
+    // reported SNR must be unchanged. (Comparing unconditioned means would
+    // be confounded by weak links dropping out of the noisy run.)
+    use std::collections::BTreeMap;
+    let per_link_snr = |ds: &Dataset| -> BTreeMap<(u32, u32), f64> {
+        let mut acc: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
+        for p in &ds.probes {
+            acc.entry((p.sender.0, p.receiver.0))
+                .or_default()
+                .push(p.snr_db());
+        }
+        acc.into_iter()
+            .map(|(k, v)| (k, mesh11::stats::mean(&v).unwrap()))
+            .collect()
+    };
+    let clean_snr = per_link_snr(&ds_clean);
+    let noisy_snr = per_link_snr(&ds_noisy);
+    let mut diffs = Vec::new();
+    for (link, snr) in &clean_snr {
+        if let Some(other) = noisy_snr.get(link) {
+            diffs.push((snr - other).abs());
+        }
+    }
+    assert!(!diffs.is_empty());
+    let mean_delta = mesh11::stats::mean(&diffs).unwrap();
+    // A residual ~1–2 dB shift remains even per link: SNR is logged only on
+    // *received* frames, and under the burst marginal rates are received
+    // mostly on lucky fades — the same reception-conditioning bias a real
+    // radio's RSSI statistics carry.
+    assert!(
+        mean_delta < 2.5,
+        "reported SNR should be (nearly) burst-blind, per-link delta {mean_delta} dB"
+    );
+}
+
+#[test]
+fn clients_fail_over_when_their_ap_dies() {
+    let spec = target();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 0.0;
+    cfg.client_horizon_s = 3_600.0;
+    cfg.faults.outages.push(ApOutage {
+        network: spec.id,
+        ap: ApId(0),
+        start_s: 0.0,
+        end_s: 3_600.0,
+    });
+    let ds = cfg.run_network(&spec);
+    assert!(
+        ds.clients.iter().all(|s| s.ap != ApId(0)),
+        "nobody associates with a dead AP"
+    );
+    assert!(
+        !ds.clients.is_empty(),
+        "the rest of the mesh still serves clients"
+    );
+}

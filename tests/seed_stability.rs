@@ -1,0 +1,121 @@
+//! Seed-robustness: the reproduced shapes must not be artifacts of one
+//! lucky seed. Three quick-scale campaigns with unrelated seeds must agree
+//! on every headline metric's direction and land within loose quantitative
+//! bands of each other.
+
+use mesh11::core::routing::improvement::analyze_dataset;
+use mesh11::prelude::*;
+use std::sync::OnceLock;
+
+const SEEDS: [u64; 3] = [42, 1_000_003, 987_654_321];
+
+fn datasets() -> &'static Vec<Dataset> {
+    static DS: OnceLock<Vec<Dataset>> = OnceLock::new();
+    DS.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                let campaign = CampaignSpec::small(seed).generate();
+                SimConfig::quick().run_campaign(&campaign)
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn link_scope_accuracy_is_stable() {
+    let accs: Vec<f64> = datasets()
+        .iter()
+        .map(|ds| LookupTableSet::build(ds, Scope::Link, Phy::Bg).exact_accuracy(ds))
+        .collect();
+    for &a in &accs {
+        assert!(a > 0.85, "per-link accuracy collapsed on a seed: {accs:?}");
+    }
+    let spread =
+        accs.iter().cloned().fold(0.0, f64::max) - accs.iter().cloned().fold(1.0, f64::min);
+    assert!(spread < 0.08, "seed spread too wide: {accs:?}");
+}
+
+#[test]
+fn scope_ordering_holds_on_every_seed() {
+    for ds in datasets() {
+        let g = LookupTableSet::build(ds, Scope::Global, Phy::Bg).exact_accuracy(ds);
+        let l = LookupTableSet::build(ds, Scope::Link, Phy::Bg).exact_accuracy(ds);
+        assert!(l > g + 0.05, "link must clearly beat global: {l} vs {g}");
+    }
+}
+
+#[test]
+fn opportunistic_improvement_band_is_stable() {
+    for ds in datasets() {
+        let analyses = analyze_dataset(ds, Phy::Bg, 5);
+        let imps: Vec<f64> = analyses
+            .iter()
+            .flat_map(|a| a.improvements(EtxVariant::Etx1))
+            .collect();
+        let mean = mesh11::stats::mean(&imps).unwrap();
+        assert!(
+            (0.01..0.35).contains(&mean),
+            "ETX1 mean improvement out of band: {mean}"
+        );
+        let none = imps.iter().filter(|&&x| x < 1e-9).count() as f64 / imps.len() as f64;
+        assert!(
+            (0.05..0.75).contains(&none),
+            "no-improvement fraction out of band: {none}"
+        );
+    }
+}
+
+#[test]
+fn hidden_triples_exist_and_grow_on_every_seed() {
+    let one = BitRate::bg_mbps(1.0).unwrap();
+    let high = BitRate::bg_mbps(36.0).unwrap();
+    for ds in datasets() {
+        let t = TripleAnalysis::run(ds, Phy::Bg, 0.10, HearRule::Mean);
+        // Quick campaigns hold only ~9 b/g networks, several of them tiny
+        // cliques, so the *median* can legitimately be 0 on some seed; the
+        // existence and rate-trend claims are about the ensemble mean.
+        let lo = mesh11::stats::mean(&t.fractions(one, None)).expect("1 Mbit/s data");
+        let hi = mesh11::stats::mean(&t.fractions(high, None)).expect("36 Mbit/s data");
+        assert!(lo > 0.0, "no hidden triples at 1 Mbit/s on some seed");
+        assert!(hi > lo, "rate trend inverted on some seed: {lo} vs {hi}");
+    }
+}
+
+#[test]
+fn improvement_cdfs_agree_across_seeds() {
+    // The KS distance between two seeds' improvement CDFs stays small —
+    // the shape claim is about the ensemble, not one draw.
+    let cdfs: Vec<Cdf> = datasets()
+        .iter()
+        .map(|ds| {
+            let analyses = analyze_dataset(ds, Phy::Bg, 5);
+            let imps: Vec<f64> = analyses
+                .iter()
+                .flat_map(|a| a.improvements(EtxVariant::Etx1))
+                .collect();
+            Cdf::from_samples(imps).expect("non-empty improvements")
+        })
+        .collect();
+    for i in 0..cdfs.len() {
+        for j in (i + 1)..cdfs.len() {
+            let d = cdfs[i].ks_distance(&cdfs[j]);
+            assert!(
+                d < 0.30,
+                "seeds {i} and {j} disagree on the improvement CDF: KS {d:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mobility_mode_is_stable() {
+    for ds in datasets() {
+        let r = MobilityReport::build(ds);
+        assert!(
+            r.frac_single_ap() > 0.35,
+            "single-AP mode vanished on a seed: {}",
+            r.frac_single_ap()
+        );
+    }
+}
