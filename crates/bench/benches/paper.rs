@@ -2,8 +2,11 @@
 //!
 //! Each benchmark measures the *analysis kernel* that regenerates the
 //! artifact, over a fixed quick-scale campaign (the dataset is built once,
-//! outside the timed region). `cargo bench -p mesh11-bench` runs them all;
-//! individual ones via e.g. `cargo bench -p mesh11-bench fig5_1`.
+//! outside the timed region). The context is shared, so builders that lean
+//! on its cached heavy analyses measure the warm-cache path here — the
+//! cold path is covered by `benches/pipeline.rs` and the explicit bundle
+//! benches below. `cargo bench -p mesh11-bench` runs them all; individual
+//! ones via e.g. `cargo bench -p mesh11-bench fig5_1`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mesh11_bench::figures;

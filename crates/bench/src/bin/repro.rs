@@ -1,23 +1,31 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [--seed N] [--out DIR] [--rows N] [--plot] <id>... | --all
+//! repro [--scale quick|standard|paper] [--seed N] [--threads N]
+//!       [--out DIR] [--rows N] [--plot] <id>... | --all
 //! ```
 //!
 //! Prints each figure as an aligned text table (with the paper-expected
 //! values as `#` notes; add `--plot` for ASCII curve renderings) and writes
-//! the full series as JSON under `--out` (default `out/`). Experiment ids:
-//! fig1-1, fig3-1, fig4-1 … fig7-5, tab4-1, sec6-3, and the ext-* extension
-//! studies; see `DESIGN.md` §3 for the index.
+//! the full series as JSON under `--out` (default `out/`), plus a
+//! `bench_timings.json` with the per-phase wall-clock breakdown. Experiment
+//! ids: fig1-1, fig3-1, fig4-1 … fig7-5, tab4-1, sec6-3, and the ext-*
+//! extension studies; see `DESIGN.md` §3 for the index.
+//!
+//! Output is bit-for-bit identical at any `--threads` value (including 1):
+//! parallelism only reorders who computes what, never what is computed.
 
 use mesh11_bench::figures::{build, ALL_IDS};
-use mesh11_bench::{ReproContext, Scale};
+use mesh11_bench::{PhaseTimings, ReproContext, Scale};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
 struct Args {
     scale: Scale,
     seed: u64,
+    threads: Option<usize>,
     out: PathBuf,
     rows: usize,
     plot: bool,
@@ -28,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: Scale::Standard,
         seed: 42,
+        threads: None,
         out: PathBuf::from("out"),
         rows: 16,
         plot: false,
@@ -44,6 +53,14 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--out" => {
                 args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
@@ -55,7 +72,9 @@ fn parse_args() -> Result<Args, String> {
             "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper] [--seed N] [--out DIR] [--rows N] [--plot] <id>... | --all\nids: {}",
+                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--out DIR] [--rows N] [--plot] <id>... | --all\n\
+                     --threads N  cap the worker pool (default: all cores); results are\n\
+                     identical at any value, only wall-clock changes\nids: {}",
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -70,38 +89,51 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("repro: {e}");
-            std::process::exit(2);
-        }
-    };
-
+fn run(args: &Args) -> i32 {
     eprintln!(
-        "# building {:?}-scale campaign (seed {}) …",
-        args.scale, args.seed
+        "# building {:?}-scale campaign (seed {}, {} threads) …",
+        args.scale,
+        args.seed,
+        rayon::current_num_threads()
     );
-    let t0 = Instant::now();
-    let ctx = ReproContext::build(args.scale, args.seed);
+    let t_total = Instant::now();
+    let (ctx, build_t) = ReproContext::build_timed(args.scale, args.seed);
     eprintln!(
         "# simulated {} networks / {} APs: {} probe sets, {} client samples in {:.1}s",
         ctx.dataset.networks.len(),
         ctx.dataset.total_aps(),
         ctx.dataset.probes.len(),
         ctx.dataset.clients.len(),
-        t0.elapsed().as_secs_f64()
+        build_t.generate_s + build_t.simulate_s
     );
 
+    // Build every requested figure in parallel. The shared heavy analyses
+    // (lookup tables, triple analysis, mobility report, …) live in
+    // OnceLocks on the context, so concurrent builders compute each one
+    // exactly once and the results carry no thread-count dependence.
+    let t_analyze = Instant::now();
+    let built: Vec<(&String, Option<(Vec<_>, f64)>)> = args
+        .ids
+        .par_iter()
+        .map(|id| {
+            let t = Instant::now();
+            let figs = build(&ctx, id);
+            (id, figs.map(|f| (f, t.elapsed().as_secs_f64())))
+        })
+        .collect();
+    let analyze_s = t_analyze.elapsed().as_secs_f64();
+
+    // Render and write strictly in request order, on one thread.
     std::fs::create_dir_all(&args.out).expect("create output dir");
     let mut failures = 0;
-    for id in &args.ids {
-        let Some(figs) = build(&ctx, id) else {
+    let mut fig_times = BTreeMap::new();
+    for (id, outcome) in built {
+        let Some((figs, secs)) = outcome else {
             eprintln!("repro: unknown experiment id '{id}'");
             failures += 1;
             continue;
         };
+        fig_times.insert(id.clone(), secs);
         for fig in figs {
             if args.plot {
                 println!("{}", fig.render_plot(72, 18));
@@ -112,6 +144,44 @@ fn main() {
             eprintln!("# wrote {}", path.display());
         }
     }
+
+    let timings = PhaseTimings {
+        scale: format!("{:?}", args.scale),
+        seed: args.seed,
+        threads: rayon::current_num_threads(),
+        generate_s: build_t.generate_s,
+        simulate_s: build_t.simulate_s,
+        analyze_s,
+        total_s: t_total.elapsed().as_secs_f64(),
+        figures: fig_times,
+    };
+    let path = args.out.join("bench_timings.json");
+    std::fs::write(&path, timings.to_json()).expect("write bench_timings.json");
+    eprintln!("{}", timings.render());
+    eprintln!("# wrote {}", path.display());
+
+    failures
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // A scoped pool (not a global override) so the cap applies to the whole
+    // run — simulation and figure analysis alike — and nothing else.
+    let failures = match args.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build thread pool")
+            .install(|| run(&args)),
+        None => run(&args),
+    };
     if failures > 0 {
         std::process::exit(1);
     }

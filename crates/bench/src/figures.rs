@@ -6,18 +6,12 @@
 //! substrate is a calibrated simulator, not the Meraki testbed); the
 //! *orderings, medians, and crossovers* are.
 
-use mesh11_core::bitrate::{
-    LookupTableSet, Scope, SnrThroughputCurves, StrategyKind, ThroughputPenalty,
-};
-use mesh11_core::mobility::MobilityReport;
+use mesh11_core::bitrate::{Scope, SnrThroughputCurves, ThroughputPenalty};
 use mesh11_core::report::{FigureData, Series};
 use mesh11_core::routing::asymmetry::asymmetry_by_rate;
 use mesh11_core::routing::improvement::{improvement_by_network_size, improvement_by_path_length};
 use mesh11_core::routing::EtxVariant;
-use mesh11_core::triples::{
-    hidden::TripleAnalysis, range::normalized_range_by_env, range_by_rate, range_change_by_rate,
-    HearRule,
-};
+use mesh11_core::triples::{range::normalized_range_by_env, range_change_by_rate, HearRule};
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::Cdf;
 use mesh11_trace::{EnvLabel, NetworkId};
@@ -148,7 +142,7 @@ pub fn fig4_1(ctx: &ReproContext) -> Vec<FigureData> {
     [(Phy::Bg, "a", "802.11b/g"), (Phy::Ht, "b", "802.11n")]
         .into_iter()
         .map(|(phy, suffix, name)| {
-            let table = LookupTableSet::build(&ctx.dataset, Scope::Global, phy);
+            let table = ctx.lookup_tables(Scope::Global, phy);
             let per_snr = table.optimal_rates_per_snr();
             let points: Vec<(f64, f64)> = per_snr
                 .iter()
@@ -183,7 +177,7 @@ pub fn fig4_2_or_3(ctx: &ReproContext, phy: Phy) -> Vec<FigureData> {
     Scope::ALL
         .iter()
         .map(|&scope| {
-            let table = LookupTableSet::build(&ctx.dataset, scope, phy);
+            let table = ctx.lookup_tables(scope, phy);
             let mut fig = FigureData::new(
                 format!("{figid}{}", panel_suffix(scope)),
                 format!(
@@ -231,7 +225,7 @@ pub fn fig4_4(ctx: &ReproContext) -> Vec<FigureData> {
             )
             .with_note("paper: Link ~ AP >> Network ~ Global (b/g); exact-pick ~90% b/g, ~75% n");
             for scope in Scope::ALL {
-                let p = ThroughputPenalty::for_scope(&ctx.dataset, scope, phy);
+                let p = ThroughputPenalty::evaluate(&ctx.dataset, ctx.lookup_tables(scope, phy));
                 fig.notes.push(format!(
                     "measured {}: exact pick {:.1}%, mean loss {:.2} Mbit/s",
                     scope.name(),
@@ -310,11 +304,7 @@ pub fn fig4_5(ctx: &ReproContext) -> Vec<FigureData> {
 
 /// Fig 4.6 — accuracy of online table strategies vs probe sets seen (b/g).
 pub fn fig4_6(ctx: &ReproContext) -> FigureData {
-    let evals = mesh11_core::bitrate::strategy::evaluate_strategies(
-        &ctx.dataset,
-        Phy::Bg,
-        &StrategyKind::ALL,
-    );
+    let evals = ctx.strategy_evals_bg();
     let mut fig = FigureData::new(
         "fig4-6",
         "Accuracy of look-up table strategies (802.11b/g)",
@@ -322,7 +312,7 @@ pub fn fig4_6(ctx: &ReproContext) -> FigureData {
         "accuracy (%)",
     )
     .with_note("paper: all strategies comparable, 80-90% accuracy");
-    for e in &evals {
+    for e in evals {
         fig.notes.push(format!(
             "measured {}: overall {:.1}% over {} predictions",
             e.kind.name(),
@@ -343,11 +333,7 @@ pub fn fig4_6(ctx: &ReproContext) -> FigureData {
 
 /// Table 4.1 — measured update counts and memory per strategy.
 pub fn tab4_1(ctx: &ReproContext) -> FigureData {
-    let evals = mesh11_core::bitrate::strategy::evaluate_strategies(
-        &ctx.dataset,
-        Phy::Bg,
-        &StrategyKind::ALL,
-    );
+    let evals = ctx.strategy_evals_bg();
     let mut fig = FigureData::new(
         "tab4-1",
         "Costs of look-up table strategies (measured)",
@@ -497,12 +483,12 @@ pub fn fig5_5(ctx: &ReproContext) -> FigureData {
 }
 
 /// The §6 hearing threshold (10%).
-pub const TRIPLE_THRESHOLD: f64 = 0.10;
+pub use crate::setup::TRIPLE_THRESHOLD;
 
 /// Fig 6.1 — CDF over networks of the hidden/relevant triple fraction, per
 /// rate, at the 10% threshold.
 pub fn fig6_1(ctx: &ReproContext) -> FigureData {
-    let analysis = TripleAnalysis::run(&ctx.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean);
+    let analysis = ctx.triples_bg();
     let mut fig = FigureData::new(
         "fig6-1",
         "Frequency of hidden triples (threshold 10%)",
@@ -528,8 +514,7 @@ pub fn fig6_1(ctx: &ReproContext) -> FigureData {
 
 /// Fig 6.2 — mean ± σ of range(rate)/range(1 Mbit/s).
 pub fn fig6_2(ctx: &ReproContext) -> FigureData {
-    let ranges = range_by_rate(&ctx.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean);
-    let change = range_change_by_rate(&ranges, Phy::Bg);
+    let change = range_change_by_rate(ctx.ranges_bg(), Phy::Bg);
     let mut mean_pts = Vec::new();
     let mut sd_pts = Vec::new();
     for (rate, vals) in &change {
@@ -552,10 +537,9 @@ pub fn fig6_2(ctx: &ReproContext) -> FigureData {
 /// §6.3 — environment effects: hidden-triple medians and normalized range,
 /// indoor vs outdoor.
 pub fn sec6_3(ctx: &ReproContext) -> FigureData {
-    let analysis = TripleAnalysis::run(&ctx.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean);
+    let analysis = ctx.triples_bg();
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let ranges = range_by_rate(&ctx.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean);
-    let norm = normalized_range_by_env(&ctx.dataset, &ranges, one);
+    let norm = normalized_range_by_env(&ctx.dataset, ctx.ranges_bg(), one);
 
     let mut fig = FigureData::new(
         "sec6-3",
@@ -597,7 +581,7 @@ pub fn sec6_3(ctx: &ReproContext) -> FigureData {
 
 /// Fig 7.1 — histogram of APs visited per client.
 pub fn fig7_1(ctx: &ReproContext) -> FigureData {
-    let report = MobilityReport::build(&ctx.dataset);
+    let report = ctx.mobility();
     let mut hist = mesh11_stats::histogram::IntHistogram::new(21);
     for &n in &report.aps_visited {
         hist.push(n);
@@ -627,7 +611,7 @@ pub fn fig7_1(ctx: &ReproContext) -> FigureData {
 
 /// Fig 7.2 — CDF of client connection lengths.
 pub fn fig7_2(ctx: &ReproContext) -> FigureData {
-    let report = MobilityReport::build(&ctx.dataset);
+    let report = ctx.mobility();
     let full = report.frac_full_duration(ctx.dataset.client_horizon_s);
     let mut fig = FigureData::new(
         "fig7-2",
@@ -648,7 +632,7 @@ pub fn fig7_2(ctx: &ReproContext) -> FigureData {
 
 /// Fig 7.3 — CDF of prevalence, indoor vs outdoor.
 pub fn fig7_3(ctx: &ReproContext) -> FigureData {
-    let report = MobilityReport::build(&ctx.dataset);
+    let report = ctx.mobility();
     let mut fig = FigureData::new("fig7-3", "Prevalence", "prevalence", "CDF")
         .with_note("paper: indoor mean/median .07/.02; outdoor .15/.08");
     for env in [EnvLabel::Indoor, EnvLabel::Outdoor] {
@@ -669,7 +653,7 @@ pub fn fig7_3(ctx: &ReproContext) -> FigureData {
 
 /// Fig 7.4 — CDF of persistence, indoor vs outdoor.
 pub fn fig7_4(ctx: &ReproContext) -> FigureData {
-    let report = MobilityReport::build(&ctx.dataset);
+    let report = ctx.mobility();
     let mut fig = FigureData::new("fig7-4", "Persistence", "persistence (minutes)", "CDF")
         .with_note(
             "paper: indoor mean/median 19.44/6.25; outdoor 38.6/25.0 (indoor switches faster)",
@@ -692,7 +676,7 @@ pub fn fig7_4(ctx: &ReproContext) -> FigureData {
 
 /// Fig 7.5 — median persistence vs max prevalence scatter.
 pub fn fig7_5(ctx: &ReproContext) -> FigureData {
-    let report = MobilityReport::build(&ctx.dataset);
+    let report = ctx.mobility();
     FigureData::new(
         "fig7-5",
         "Prevalence versus persistence",

@@ -8,6 +8,8 @@
 //!   [`mesh11_core::report::FigureData`] with the paper-expected values
 //!   recorded as notes. The `repro` binary prints them; `EXPERIMENTS.md`
 //!   records a full run.
+//! * [`timing`] — the per-phase wall-clock breakdown `repro` prints and
+//!   writes to `out/bench_timings.json`.
 //! * `benches/` — Criterion benchmarks of every analysis kernel (one bench
 //!   group per table/figure family) plus the simulator hot loop.
 
@@ -16,5 +18,7 @@
 
 pub mod figures;
 pub mod setup;
+pub mod timing;
 
 pub use setup::{ReproContext, Scale};
+pub use timing::PhaseTimings;

@@ -1,11 +1,30 @@
 //! Reproduction-run setup: campaign, simulation, shared heavy analyses.
 
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use mesh11_core::bitrate::strategy::evaluate_strategies;
+use mesh11_core::bitrate::{LookupTableSet, Scope, StrategyEval, StrategyKind};
+use mesh11_core::mobility::MobilityReport;
 use mesh11_core::routing::improvement::{analyze_dataset, OpportunisticAnalysis};
-use mesh11_phy::Phy;
+use mesh11_core::triples::{hidden::TripleAnalysis, range_by_rate, HearRule};
+use mesh11_phy::{BitRate, Phy};
 use mesh11_sim::SimConfig;
 use mesh11_topo::{Campaign, CampaignSpec};
-use mesh11_trace::Dataset;
-use std::sync::OnceLock;
+use mesh11_trace::{Dataset, NetworkId};
+
+/// The §6 hearing threshold (10%) used by every cached triple analysis.
+pub const TRIPLE_THRESHOLD: f64 = 0.10;
+
+/// Wall-clock seconds of the two pre-analysis phases of a reproduction
+/// run; see [`ReproContext::build_timed`].
+#[derive(Debug, Clone, Copy)]
+pub struct BuildTimings {
+    /// Campaign generation (topology, populations, specs).
+    pub generate_s: f64,
+    /// Probe + client simulation across all networks.
+    pub simulate_s: f64,
+}
 
 /// How big a reproduction run to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,35 +65,79 @@ pub struct ReproContext {
     /// use it; the paper figures never do.
     campaign: Option<Campaign>,
     routing_bg: OnceLock<Vec<OpportunisticAnalysis>>,
+    // One slot per (scope, phy): Figs 4.1–4.4 all key off the same tables.
+    lookup_tables: [OnceLock<LookupTableSet>; 8],
+    strategy_evals_bg: OnceLock<Vec<StrategyEval>>,
+    triples_bg: OnceLock<TripleAnalysis>,
+    ranges_bg: OnceLock<BTreeMap<(NetworkId, BitRate), usize>>,
+    mobility: OnceLock<MobilityReport>,
+}
+
+fn lookup_slot(scope: Scope, phy: Phy) -> usize {
+    let s = match scope {
+        Scope::Global => 0,
+        Scope::Network => 1,
+        Scope::Ap => 2,
+        Scope::Link => 3,
+    };
+    let p = match phy {
+        Phy::Bg => 0,
+        Phy::Ht => 1,
+    };
+    s * 2 + p
 }
 
 impl ReproContext {
     /// Generates and simulates a campaign.
     pub fn build(scale: Scale, seed: u64) -> Self {
+        Self::build_timed(scale, seed).0
+    }
+
+    /// As [`ReproContext::build`], also reporting how long the generate and
+    /// simulate phases took (wall-clock seconds).
+    pub fn build_timed(scale: Scale, seed: u64) -> (Self, BuildTimings) {
         let (spec, config) = match scale {
             Scale::Quick => (CampaignSpec::small(seed), SimConfig::quick()),
             Scale::Standard => (CampaignSpec::paper(seed), SimConfig::standard()),
             Scale::Paper => (CampaignSpec::paper(seed), SimConfig::paper()),
         };
+        let t0 = std::time::Instant::now();
         let campaign = spec.generate();
+        let generate_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
         let dataset = config.run_campaign(&campaign);
-        Self {
-            dataset,
-            config,
-            seed,
-            campaign: Some(campaign),
-            routing_bg: OnceLock::new(),
-        }
+        let simulate_s = t1.elapsed().as_secs_f64();
+        (
+            Self::assemble(dataset, config, seed, Some(campaign)),
+            BuildTimings {
+                generate_s,
+                simulate_s,
+            },
+        )
     }
 
     /// Wraps an existing dataset (e.g. loaded from disk).
     pub fn from_dataset(dataset: Dataset, config: SimConfig, seed: u64) -> Self {
+        Self::assemble(dataset, config, seed, None)
+    }
+
+    fn assemble(
+        dataset: Dataset,
+        config: SimConfig,
+        seed: u64,
+        campaign: Option<Campaign>,
+    ) -> Self {
         Self {
             dataset,
             config,
             seed,
-            campaign: None,
+            campaign,
             routing_bg: OnceLock::new(),
+            lookup_tables: Default::default(),
+            strategy_evals_bg: OnceLock::new(),
+            triples_bg: OnceLock::new(),
+            ranges_bg: OnceLock::new(),
+            mobility: OnceLock::new(),
         }
     }
 
@@ -89,6 +152,41 @@ impl ReproContext {
         self.routing_bg
             .get_or_init(|| analyze_dataset(&self.dataset, Phy::Bg, 5))
     }
+
+    /// The §4 SNR→rate look-up tables for one (scope, phy) — built once
+    /// and shared by Figs 4.1–4.4 (and anything else keying off them).
+    pub fn lookup_tables(&self, scope: Scope, phy: Phy) -> &LookupTableSet {
+        self.lookup_tables[lookup_slot(scope, phy)]
+            .get_or_init(|| LookupTableSet::build(&self.dataset, scope, phy))
+    }
+
+    /// The §4.5 online-strategy evaluations over b/g — shared by Fig 4.6
+    /// and Table 4.1.
+    pub fn strategy_evals_bg(&self) -> &[StrategyEval] {
+        self.strategy_evals_bg
+            .get_or_init(|| evaluate_strategies(&self.dataset, Phy::Bg, &StrategyKind::ALL))
+    }
+
+    /// The §6 hidden-triple analysis over b/g at the paper's 10%
+    /// threshold — shared by Fig 6.1 and §6.3.
+    pub fn triples_bg(&self) -> &TripleAnalysis {
+        self.triples_bg.get_or_init(|| {
+            TripleAnalysis::run(&self.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean)
+        })
+    }
+
+    /// The §6 per-(network, rate) interference ranges over b/g — shared by
+    /// Fig 6.2 and §6.3.
+    pub fn ranges_bg(&self) -> &BTreeMap<(NetworkId, BitRate), usize> {
+        self.ranges_bg
+            .get_or_init(|| range_by_rate(&self.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean))
+    }
+
+    /// The §7 client mobility report — shared by Figs 7.1–7.5.
+    pub fn mobility(&self) -> &MobilityReport {
+        self.mobility
+            .get_or_init(|| MobilityReport::build(&self.dataset))
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +200,33 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn caches_are_shared_under_concurrency() {
+        use rayon::prelude::*;
+        let ctx = ReproContext::build(Scale::Quick, 3);
+        // Hammer every cached accessor from parallel workers; each must
+        // resolve to one shared instance (computed exactly once).
+        let addrs: Vec<[usize; 4]> = (0..16u32)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|_| {
+                [
+                    ctx.lookup_tables(Scope::Global, Phy::Bg) as *const _ as usize,
+                    ctx.triples_bg() as *const _ as usize,
+                    ctx.ranges_bg() as *const _ as usize,
+                    ctx.mobility() as *const _ as usize,
+                ]
+            })
+            .collect();
+        for pair in addrs.windows(2) {
+            assert_eq!(pair[0], pair[1], "every caller must see the same cache");
+        }
+        assert_eq!(
+            ctx.strategy_evals_bg().as_ptr(),
+            ctx.strategy_evals_bg().as_ptr()
+        );
     }
 
     #[test]

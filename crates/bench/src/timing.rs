@@ -1,0 +1,86 @@
+//! Per-phase wall-clock accounting for reproduction runs.
+//!
+//! `repro` prints this breakdown at the end of a run and writes it to
+//! `<out>/bench_timings.json`, so thread-scaling claims are
+//! machine-checkable instead of eyeballed from log lines.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Wall-clock breakdown of one `repro` run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseTimings {
+    /// Scale the run used (`"Quick"` / `"Standard"` / `"Paper"`).
+    pub scale: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Thread budget the run executed under.
+    pub threads: usize,
+    /// Campaign generation (topology, populations, specs).
+    pub generate_s: f64,
+    /// Probe + client simulation across all networks.
+    pub simulate_s: f64,
+    /// All figure building, wall-clock. Figures run concurrently, so this
+    /// is smaller than the sum of the per-figure entries.
+    pub analyze_s: f64,
+    /// End-to-end wall-clock, including table rendering and JSON output.
+    pub total_s: f64,
+    /// Per-experiment analyze seconds, keyed by experiment id. Each entry
+    /// is that builder's own clock; entries overlap under parallelism.
+    pub figures: BTreeMap<String, f64>,
+}
+
+impl PhaseTimings {
+    /// Pretty JSON for `bench_timings.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PhaseTimings serializes")
+    }
+
+    /// The human-readable breakdown `repro` prints on stderr.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "# timings ({} threads): generate {:.2}s, simulate {:.2}s, analyze {:.2}s (wall), total {:.2}s",
+            self.threads, self.generate_s, self.simulate_s, self.analyze_s, self.total_s
+        );
+        let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
+        slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite timings"));
+        for (id, t) in slowest.iter().take(5) {
+            s.push_str(&format!("\n#   slowest: {id} {t:.2}s"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_all_phases() {
+        let t = PhaseTimings {
+            scale: "Quick".into(),
+            seed: 42,
+            threads: 8,
+            generate_s: 0.1,
+            simulate_s: 2.0,
+            analyze_s: 1.5,
+            total_s: 3.7,
+            figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
+        };
+        let json = t.to_json();
+        for key in [
+            "scale",
+            "seed",
+            "threads",
+            "generate_s",
+            "simulate_s",
+            "analyze_s",
+            "total_s",
+            "figures",
+            "fig4-1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(t.render().contains("8 threads"));
+    }
+}

@@ -163,8 +163,10 @@ pub fn simulate_adapters(
     overhead: f64,
 ) -> Vec<AdaptationOutcome> {
     assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
-    // Per-link time-ordered streams.
-    let mut per_link: HashMap<(u32, u32, u32), Vec<&ProbeSet>> = HashMap::new();
+    // Per-link time-ordered streams. BTreeMap, not HashMap: the per-kind
+    // scores below are floating-point sums over links, so the iteration
+    // order must be fixed for the outcome to be byte-reproducible.
+    let mut per_link: BTreeMap<(u32, u32, u32), Vec<&ProbeSet>> = BTreeMap::new();
     for p in ds.probes_for_phy(phy) {
         per_link
             .entry((p.network.0, p.sender.0, p.receiver.0))

@@ -12,9 +12,10 @@ use mesh11_topo::NetworkSpec;
 use mesh11_trace::{ApId, ClientSample};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
 use crate::config::SimConfig;
-use crate::mobility::{deployment_bbox, spawn_population, MobilityState};
+use crate::mobility::{deployment_bbox, spawn_population, ClientSpec, MobilityState};
 
 /// Minimum SNR (dB) a client requires to join an AP.
 pub const JOIN_MIN_DB: f64 = 10.0;
@@ -54,127 +55,151 @@ pub fn simulate_clients(spec: &NetworkSpec, cfg: &SimConfig) -> Vec<ClientSample
         .map(|c| (0..n_aps).map(|a| shadow(c, a)).collect())
         .collect();
 
-    let mut rng = SmallRng::seed_from_u64(derive_seed_str(spec.seed, "client-engine"));
-    let mut states: Vec<MobilityState> = population
-        .iter()
-        .map(|c| MobilityState::new(c.home))
-        .collect();
-    let mut current: Vec<Option<usize>> = vec![None; population.len()];
-
-    // (client, ap, bin_index) → (assoc_requests, data_pkts)
-    let mut counters: BTreeMap<(u32, u32, u64), (u32, u32)> = BTreeMap::new();
-
-    let steps = (cfg.client_horizon_s / cfg.client_step_s).floor() as usize;
-    for step in 0..steps {
-        let t = step as f64 * cfg.client_step_s;
-        let bin = (t / cfg.client_bin_s).floor() as u64;
-        for (ci, client) in population.iter().enumerate() {
-            if t < client.arrive_s || t >= client.depart_s {
-                current[ci] = None;
-                continue;
-            }
-            states[ci].step(client, bbox, t, cfg.client_step_s, &mut rng);
-            let pos = states[ci].pos;
-
-            // Evaluate candidate APs (down APs are invisible).
-            let mut snrs: Vec<f64> = vec![f64::NEG_INFINITY; n_aps];
-            let mut best: Option<(usize, f64)> = None;
-            let mut cur_snr = f64::NEG_INFINITY;
-            for ap in 0..n_aps {
-                if !cfg.faults.ap_up(spec.id, ApId(ap as u32), t) {
-                    continue;
-                }
-                let d = mesh11_channel::pathloss::distance(pos, spec.positions[ap]);
-                let snr = spec.params.mean_snr_at(d)
-                    + shadows[ci][ap]
-                    + EVAL_NOISE_DB * standard_normal(&mut rng);
-                snrs[ap] = snr;
-                if current[ci] == Some(ap) {
-                    cur_snr = snr;
-                }
-                if best.is_none_or(|(_, s)| snr > s) {
-                    best = Some((ap, snr));
-                }
-            }
-
-            // Association policy.
-            let mut next = match (current[ci], best) {
-                (_, None) => None,
-                (None, Some((ap, snr))) => (snr >= JOIN_MIN_DB).then_some(ap),
-                (Some(cur), Some((ap, snr))) => {
-                    if current[ci].is_some() && !cfg.faults.ap_up(spec.id, ApId(cur as u32), t) {
-                        // Current AP died under us.
-                        (snr >= JOIN_MIN_DB).then_some(ap)
-                    } else if cur_snr < DROP_DB {
-                        (snr >= JOIN_MIN_DB).then_some(ap)
-                    } else if ap != cur && snr > cur_snr + HYSTERESIS_DB {
-                        Some(ap)
-                    } else {
-                        Some(cur)
-                    }
-                }
-            };
-
-            // Driver flakiness: occasionally re-elect among the near-equal
-            // APs (only matters where deployments are dense enough to offer
-            // alternatives).
-            if next.is_some() {
-                let flake: f64 = rng.random();
-                if flake < DRIVER_FLAKE_PROB {
-                    if let Some((_, best_snr)) = best {
-                        let cands: Vec<usize> = (0..n_aps)
-                            .filter(|&ap| snrs[ap] >= best_snr - DRIVER_FLAKE_MARGIN_DB)
-                            .filter(|&ap| snrs[ap] >= JOIN_MIN_DB)
-                            .collect();
-                        if !cands.is_empty() {
-                            next = Some(cands[rng.random_range(0..cands.len())]);
-                        }
-                    }
-                }
-            }
-
-            if next != current[ci] {
-                if let Some(ap) = next {
-                    counters
-                        .entry((client.id.0, ap as u32, bin))
-                        .or_insert((0, 0))
-                        .0 += 1;
-                }
-                current[ci] = next;
-            }
-
-            if let Some(ap) = current[ci] {
-                let lambda = client.pkts_per_min * cfg.client_step_s / 60.0;
-                let pkts = poisson(&mut rng, lambda) as u32;
-                let entry = counters
-                    .entry((client.id.0, ap as u32, bin))
-                    .or_insert((0, 0));
-                entry.1 = entry.1.saturating_add(pkts);
-            }
-        }
-    }
-
-    // Rows where a silent client neither associated nor moved data are
-    // invisible to the logging infrastructure (the paper's data is likewise
-    // traffic-driven) and are dropped.
-    let mut out: Vec<ClientSample> = counters
-        .into_iter()
-        .filter(|(_, (assoc, pkts))| *assoc > 0 || *pkts > 0)
-        .map(|((client, ap, bin), (assoc, pkts))| ClientSample {
-            network: spec.id,
-            ap: ApId(ap),
-            client: mesh11_trace::ClientId(client),
-            bin_start_s: bin as f64 * cfg.client_bin_s,
-            assoc_requests: assoc,
-            data_pkts: pkts,
+    // Clients never interact: each one walks, evaluates APs and generates
+    // traffic against static infrastructure. Give every client its own RNG
+    // stream keyed by its id so the timelines shard across threads with
+    // output independent of client count, visit order, and thread count.
+    let engine_base = derive_seed_str(spec.seed, "client-engine");
+    let per_client: Vec<Vec<ClientSample>> = population
+        .par_iter()
+        .map(|client| {
+            simulate_client(
+                spec,
+                cfg,
+                client,
+                &shadows[client.id.0 as usize],
+                bbox,
+                n_aps,
+                derive_seed(engine_base, u64::from(client.id.0)),
+            )
         })
         .collect();
+
+    let mut out: Vec<ClientSample> = per_client.into_iter().flatten().collect();
     out.sort_by(|a, b| {
         (a.bin_start_s, a.client, a.ap)
             .partial_cmp(&(b.bin_start_s, b.client, b.ap))
             .expect("finite times")
     });
     out
+}
+
+/// Runs one client's full timeline: mobility, AP (re)selection, and
+/// traffic, binned into 5-minute aggregates. Self-contained (own RNG, own
+/// counters) so clients shard across threads.
+fn simulate_client(
+    spec: &NetworkSpec,
+    cfg: &SimConfig,
+    client: &ClientSpec,
+    shadow: &[f64],
+    bbox: ((f64, f64), (f64, f64)),
+    n_aps: usize,
+    seed: u64,
+) -> Vec<ClientSample> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state = MobilityState::new(client.home);
+    let mut current: Option<usize> = None;
+
+    // (ap, bin_index) → (assoc_requests, data_pkts)
+    let mut counters: BTreeMap<(u32, u64), (u32, u32)> = BTreeMap::new();
+
+    let steps = (cfg.client_horizon_s / cfg.client_step_s).floor() as usize;
+    for step in 0..steps {
+        let t = step as f64 * cfg.client_step_s;
+        let bin = (t / cfg.client_bin_s).floor() as u64;
+        if t < client.arrive_s || t >= client.depart_s {
+            current = None;
+            continue;
+        }
+        state.step(client, bbox, t, cfg.client_step_s, &mut rng);
+        let pos = state.pos;
+
+        // Evaluate candidate APs (down APs are invisible).
+        let mut snrs: Vec<f64> = vec![f64::NEG_INFINITY; n_aps];
+        let mut best: Option<(usize, f64)> = None;
+        let mut cur_snr = f64::NEG_INFINITY;
+        for ap in 0..n_aps {
+            if !cfg.faults.ap_up(spec.id, ApId(ap as u32), t) {
+                continue;
+            }
+            let d = mesh11_channel::pathloss::distance(pos, spec.positions[ap]);
+            let snr =
+                spec.params.mean_snr_at(d) + shadow[ap] + EVAL_NOISE_DB * standard_normal(&mut rng);
+            snrs[ap] = snr;
+            if current == Some(ap) {
+                cur_snr = snr;
+            }
+            if best.is_none_or(|(_, s)| snr > s) {
+                best = Some((ap, snr));
+            }
+        }
+
+        // Association policy.
+        let mut next = match (current, best) {
+            (_, None) => None,
+            (None, Some((ap, snr))) => (snr >= JOIN_MIN_DB).then_some(ap),
+            (Some(cur), Some((ap, snr))) => {
+                if !cfg.faults.ap_up(spec.id, ApId(cur as u32), t) {
+                    // Current AP died under us.
+                    (snr >= JOIN_MIN_DB).then_some(ap)
+                } else if cur_snr < DROP_DB {
+                    (snr >= JOIN_MIN_DB).then_some(ap)
+                } else if ap != cur && snr > cur_snr + HYSTERESIS_DB {
+                    Some(ap)
+                } else {
+                    Some(cur)
+                }
+            }
+        };
+
+        // Driver flakiness: occasionally re-elect among the near-equal
+        // APs (only matters where deployments are dense enough to offer
+        // alternatives).
+        if next.is_some() {
+            let flake: f64 = rng.random();
+            if flake < DRIVER_FLAKE_PROB {
+                if let Some((_, best_snr)) = best {
+                    let cands: Vec<usize> = (0..n_aps)
+                        .filter(|&ap| snrs[ap] >= best_snr - DRIVER_FLAKE_MARGIN_DB)
+                        .filter(|&ap| snrs[ap] >= JOIN_MIN_DB)
+                        .collect();
+                    if !cands.is_empty() {
+                        next = Some(cands[rng.random_range(0..cands.len())]);
+                    }
+                }
+            }
+        }
+
+        if next != current {
+            if let Some(ap) = next {
+                counters.entry((ap as u32, bin)).or_insert((0, 0)).0 += 1;
+            }
+            current = next;
+        }
+
+        if let Some(ap) = current {
+            let lambda = client.pkts_per_min * cfg.client_step_s / 60.0;
+            let pkts = poisson(&mut rng, lambda) as u32;
+            let entry = counters.entry((ap as u32, bin)).or_insert((0, 0));
+            entry.1 = entry.1.saturating_add(pkts);
+        }
+    }
+
+    // Rows where a silent client neither associated nor moved data are
+    // invisible to the logging infrastructure (the paper's data is likewise
+    // traffic-driven) and are dropped.
+    counters
+        .into_iter()
+        .filter(|(_, (assoc, pkts))| *assoc > 0 || *pkts > 0)
+        .map(|((ap, bin), (assoc, pkts))| ClientSample {
+            network: spec.id,
+            ap: ApId(ap),
+            client: client.id,
+            bin_start_s: bin as f64 * cfg.client_bin_s,
+            assoc_requests: assoc,
+            data_pkts: pkts,
+        })
+        .collect()
 }
 
 #[cfg(test)]

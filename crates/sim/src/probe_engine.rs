@@ -9,11 +9,12 @@
 
 use mesh11_channel::{LinkModel, RadioHardware};
 use mesh11_phy::{Phy, SuccessTable};
-use mesh11_stats::dist::derive_seed_str;
+use mesh11_stats::dist::{derive_seed, derive_seed_str};
 use mesh11_topo::NetworkSpec;
 use mesh11_trace::{ApId, ProbeSet, RateObs};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
 use crate::config::SimConfig;
 use crate::window::LossWindow;
@@ -54,15 +55,13 @@ impl DirState {
     }
 }
 
-/// One unordered AP pair in range of each other.
+/// One unordered AP pair in range of each other. Each pair carries its
+/// own channel and (via a per-pair derived seed) its own coin stream, so
+/// pairs simulate independently on any thread.
 struct PairSim {
     a: u32,
     b: u32,
     link: LinkModel,
-    /// a → b estimator state (held at b).
-    fwd: DirState,
-    /// b → a estimator state (held at a).
-    rev: DirState,
 }
 
 /// Simulates the probe pipeline of one network radio and returns its probe
@@ -116,18 +115,54 @@ pub fn simulate_probes_with_table(
                 a: a as u32,
                 b: b as u32,
                 link,
-                fwd: DirState::new(rates.len(), cfg.window_s),
-                rev: DirState::new(rates.len(), cfg.window_s),
             });
         }
     }
 
-    let mut rng = SmallRng::seed_from_u64(derive_seed_str(
+    // Success coins are drawn from a per-pair stream derived from one
+    // phy-scoped base, so a pair's outcomes depend only on (seed, phy,
+    // a, b) — not on how many other pairs exist or which thread runs it.
+    let coin_base = derive_seed_str(
         spec.seed,
         match phy {
             Phy::Bg => "probe-coins-bg",
             Phy::Ht => "probe-coins-ht",
         },
+    );
+
+    let per_pair: Vec<Vec<ProbeSet>> = pairs
+        .par_iter()
+        .map(|pair| simulate_pair(spec, phy, cfg, table, rates, pair, coin_base))
+        .collect();
+
+    // Ordered merge: collect() returns pair order and each pair's reports
+    // are time-ordered, so a *stable* sort on time alone reproduces the
+    // serial emission order (pair order within a report tick, forward
+    // direction before reverse) at any thread count.
+    let mut out: Vec<ProbeSet> = per_pair.into_iter().flatten().collect();
+    out.sort_by(|x, y| x.time_s.partial_cmp(&y.time_s).expect("finite times"));
+    out
+}
+
+/// Runs the full probe timeline of one AP pair: both directions, every
+/// probed rate, reports cut by each live receiver every
+/// `report_interval_s`. Self-contained so pairs shard across threads.
+fn simulate_pair(
+    spec: &NetworkSpec,
+    phy: Phy,
+    cfg: &SimConfig,
+    table: &SuccessTable,
+    rates: &[mesh11_phy::BitRate],
+    pair: &PairSim,
+    coin_base: u64,
+) -> Vec<ProbeSet> {
+    let (a, b) = (ApId(pair.a), ApId(pair.b));
+    let mut link = pair.link.clone();
+    let mut fwd = DirState::new(rates.len(), cfg.window_s);
+    let mut rev = DirState::new(rates.len(), cfg.window_s);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(
+        coin_base,
+        (u64::from(pair.a) << 32) | u64::from(pair.b),
     ));
 
     let mut out: Vec<ProbeSet> = Vec::new();
@@ -137,76 +172,70 @@ pub fn simulate_probes_with_table(
 
     while t <= cfg.probe_horizon_s + eps {
         let burst = cfg.faults.burst_penalty_db(spec.id, t);
-        for pair in &mut pairs {
-            let (a, b) = (ApId(pair.a), ApId(pair.b));
-            let a_up = cfg.faults.ap_up(spec.id, a, t);
-            let b_up = cfg.faults.ap_up(spec.id, b, t);
-            #[allow(clippy::needless_range_loop)] // ri indexes two parallel per-rate arrays
-            for ri in 0..rates.len() {
-                let rate = rates[ri];
-                // a broadcasts; b (if alive) records the scheduled outcome.
-                if b_up {
-                    let mut received = false;
-                    let mut reported = 0.0;
-                    if a_up {
-                        let s = pair.link.sample(t, true);
-                        let p = table.success(rate, s.effective_db - burst);
-                        received = rng.random::<f64>() < p;
-                        reported = s.reported_db;
-                    }
-                    pair.fwd.windows[ri].record(t, received);
-                    if received {
-                        pair.fwd.last_snr[ri] = reported;
-                    }
-                }
-                // b broadcasts; a records.
+        let a_up = cfg.faults.ap_up(spec.id, a, t);
+        let b_up = cfg.faults.ap_up(spec.id, b, t);
+        #[allow(clippy::needless_range_loop)] // ri indexes two parallel per-rate arrays
+        for ri in 0..rates.len() {
+            let rate = rates[ri];
+            // a broadcasts; b (if alive) records the scheduled outcome.
+            if b_up {
+                let mut received = false;
+                let mut reported = 0.0;
                 if a_up {
-                    let mut received = false;
-                    let mut reported = 0.0;
-                    if b_up {
-                        let s = pair.link.sample(t, false);
-                        let p = table.success(rate, s.effective_db - burst);
-                        received = rng.random::<f64>() < p;
-                        reported = s.reported_db;
-                    }
-                    pair.rev.windows[ri].record(t, received);
-                    if received {
-                        pair.rev.last_snr[ri] = reported;
-                    }
+                    let s = link.sample(t, true);
+                    let p = table.success(rate, s.effective_db - burst);
+                    received = rng.random::<f64>() < p;
+                    reported = s.reported_db;
+                }
+                fwd.windows[ri].record(t, received);
+                if received {
+                    fwd.last_snr[ri] = reported;
+                }
+            }
+            // b broadcasts; a records.
+            if a_up {
+                let mut received = false;
+                let mut reported = 0.0;
+                if b_up {
+                    let s = link.sample(t, false);
+                    let p = table.success(rate, s.effective_db - burst);
+                    received = rng.random::<f64>() < p;
+                    reported = s.reported_db;
+                }
+                rev.windows[ri].record(t, received);
+                if received {
+                    rev.last_snr[ri] = reported;
                 }
             }
         }
 
         if t + eps >= next_report {
-            for pair in &mut pairs {
-                let (a, b) = (ApId(pair.a), ApId(pair.b));
-                // Reports are produced by the *receiver*; a dead receiver
-                // stays silent this round.
-                if cfg.faults.ap_up(spec.id, b, t) {
-                    let obs = pair.fwd.observations(rates);
-                    if !obs.is_empty() {
-                        out.push(ProbeSet {
-                            network: spec.id,
-                            phy,
-                            time_s: t,
-                            sender: a,
-                            receiver: b,
-                            obs,
-                        });
-                    }
+            // Reports are produced by the *receiver*; a dead receiver
+            // stays silent this round.
+            if cfg.faults.ap_up(spec.id, b, t) {
+                let obs = fwd.observations(rates);
+                if !obs.is_empty() {
+                    out.push(ProbeSet {
+                        network: spec.id,
+                        phy,
+                        time_s: t,
+                        sender: a,
+                        receiver: b,
+                        obs,
+                    });
                 }
-                if cfg.faults.ap_up(spec.id, a, t) {
-                    let obs = pair.rev.observations(rates);
-                    if !obs.is_empty() {
-                        out.push(ProbeSet {
-                            network: spec.id,
-                            phy,
-                            time_s: t,
-                            sender: b,
-                            receiver: a,
-                            obs,
-                        });
-                    }
+            }
+            if cfg.faults.ap_up(spec.id, a, t) {
+                let obs = rev.observations(rates);
+                if !obs.is_empty() {
+                    out.push(ProbeSet {
+                        network: spec.id,
+                        phy,
+                        time_s: t,
+                        sender: b,
+                        receiver: a,
+                        obs,
+                    });
                 }
             }
             next_report += cfg.report_interval_s;

@@ -52,6 +52,51 @@ fn binary_is_compact() {
     );
 }
 
+/// The simulator's parallelism must be invisible: a campaign simulated on
+/// one thread and on many is the same dataset, element for element.
+#[test]
+fn campaign_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool")
+            .install(|| small_dataset(99))
+    };
+    assert_eq!(run(1), run(8), "dataset must not depend on thread count");
+}
+
+/// Stronger: the figure JSON a reproduction run writes is byte-identical
+/// under serial and parallel figure building (shared analysis caches and
+/// all).
+#[test]
+fn figure_json_identical_across_thread_counts() {
+    use mesh11_bench::figures::{build, ALL_IDS};
+    use mesh11_bench::{ReproContext, Scale};
+
+    let render = |threads: usize| -> Vec<(String, String)> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool")
+            .install(|| {
+                let ctx = ReproContext::build(Scale::Quick, 11);
+                ALL_IDS
+                    .iter()
+                    .flat_map(|id| build(&ctx, id).expect("known id"))
+                    .map(|f| (f.id.clone(), f.to_json()))
+                    .collect()
+            })
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    assert_eq!(serial.len(), parallel.len());
+    for ((id_s, json_s), (id_p, json_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(id_s, id_p);
+        assert_eq!(json_s, json_p, "figure {id_s} JSON must be byte-identical");
+    }
+}
+
 #[test]
 fn analyses_are_deterministic_over_identical_data() {
     let a = small_dataset(8);

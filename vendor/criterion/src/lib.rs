@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness subset the workspace benches use: `Criterion`,
+//! benchmark groups with `sample_size`/`throughput`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros (both the flat and the
+//! `name/config/targets` forms). Measurement is simple adaptive-iteration
+//! wall-clock timing with a median-of-samples report — no statistics
+//! engine, no HTML reports, but stable enough to compare runs by eye.
+//!
+//! CLI: a positional argument filters benchmarks by substring (like
+//! upstream); `--quick` shrinks the per-sample time budget; all other
+//! flags cargo or CI pass (`--bench`, etc.) are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration label so reports can show rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    /// Per-sample time budget; `--quick` shrinks it.
+    sample_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            sample_size: 10,
+            sample_time: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(100)
+            },
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (size, time, skip) = (self.sample_size, self.sample_time, self.skips(id));
+        if !skip {
+            run_bench(id, None, size, time, f);
+        }
+        self
+    }
+
+    /// Starts a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn skips(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares the work per iteration so the report can show a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.skips(&full) {
+            run_bench(
+                &full,
+                self.throughput,
+                self.sample_size.unwrap_or(self.criterion.sample_size),
+                self.criterion.sample_time,
+                f,
+            );
+        }
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    budget: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one iteration tells us roughly how many fit in a sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns[0];
+    let hi = per_iter_ns[per_iter_ns.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", human_rate(n as f64 / (median * 1e-9))),
+        Throughput::Bytes(n) => format!("  thrpt: {}B/s", human_rate(n as f64 / (median * 1e-9))),
+    });
+    println!(
+        "{id:<40} time: [{} {} {}]{}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_s: f64) -> String {
+    if per_s < 1e3 {
+        format!("{per_s:.1} ")
+    } else if per_s < 1e6 {
+        format!("{:.1} K", per_s / 1e3)
+    } else if per_s < 1e9 {
+        format!("{:.1} M", per_s / 1e6)
+    } else {
+        format!("{:.1} G", per_s / 1e9)
+    }
+}
+
+/// Declares a group runner function, flat or `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_time: Duration::from_micros(200),
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_apply_filter_and_throughput() {
+        let mut c = Criterion {
+            sample_size: 2,
+            sample_time: Duration::from_micros(100),
+            filter: Some("keep".into()),
+        };
+        let mut kept = false;
+        let mut skipped = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(4));
+        g.bench_function("keep-me", |b| b.iter(|| kept = true));
+        g.bench_function("drop-me", |b| b.iter(|| skipped = true));
+        g.finish();
+        assert!(kept && !skipped);
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_rate(5e6).ends_with('M'));
+    }
+}

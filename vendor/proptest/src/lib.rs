@@ -1,0 +1,349 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace uses: the `proptest!` macro (block
+//! form with optional `#![proptest_config(..)]`, and closure form),
+//! `prop_assert!` / `prop_assert_eq!`, range strategies over the numeric
+//! primitives, tuple strategies, `proptest::collection::vec`, and
+//! `proptest::bool::ANY`.
+//!
+//! Cases are generated from a deterministic per-case RNG, so failures
+//! reproduce exactly on re-run. There is no shrinking: a failing case
+//! panics with the generated inputs printed, which is enough to paste
+//! into a regular unit test while debugging.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Everything tests normally import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// A failed `prop_assert!` — carried back to the harness as an `Err` so
+/// the macro can report which generated inputs triggered it.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; these tests run real simulations, so
+        // keep the default moderate and let hot spots raise it.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG handed to strategies, seeded per (test, case).
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one case of one test. `name_hash` keeps different tests on
+    /// different streams even at the same case index.
+    pub fn for_case(name_hash: u64, case: u32) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            name_hash ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// FNV-1a over the test name, used to derive per-test RNG streams.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. The `proptest!` macro calls [`Strategy::generate`]
+/// once per argument per case.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+/// Boolean strategies: `proptest::bool::ANY`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The usual spelling: `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.0.random_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies: `proptest::collection::vec`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)` as in upstream proptest.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the harness
+/// reports the generated inputs for the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(::std::format!(
+                "assertion failed: {}: {}",
+                ::core::stringify!($cond),
+                ::std::format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "left = {:?}, right = {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "left = {:?}, right = {:?}: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (
+        $config:expr, $name:expr,
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        $body:block
+    ) => {{
+        let config: $crate::ProptestConfig = $config;
+        let name_hash = $crate::hash_name($name);
+        for case in 0..config.cases {
+            let mut rng = $crate::TestRng::for_case(name_hash, case);
+            // Generate into a tuple first so failing inputs can be shown.
+            let values = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+            let repr = ::std::format!("{:?}", values);
+            let ($($pat,)+) = values;
+            let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            if let ::core::result::Result::Err(e) = outcome {
+                ::core::panic!(
+                    "proptest case {}/{} failed: {}\n  inputs: {}",
+                    case + 1, config.cases, e.0, repr
+                );
+            }
+        }
+    }};
+}
+
+/// The `proptest!` harness macro (block and closure forms).
+#[macro_export]
+macro_rules! proptest {
+    // Closure form, run inline: proptest!(|(a in 0..10, b in 0..10)| { .. });
+    (|($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {
+        $crate::__proptest_case!(
+            ::core::default::Default::default(),
+            ::core::concat!(::core::module_path!(), "::closure"),
+            ($($pat in $strat),+) $body
+        );
+    };
+    // Block form with a config override.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($args:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!(
+                    $config, ::core::stringify!($name), ($($args)*) $body
+                );
+            }
+        )*
+    };
+    // Block form with default config.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($args:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!(
+                    ::core::default::Default::default(),
+                    ::core::stringify!($name), ($($args)*) $body
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -2.5f64..2.5, n in 1usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y), "y = {}", y);
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            pairs in crate::collection::vec((0i64..50, -1e3f64..1e3), 0..30),
+            mut xs in crate::collection::vec(0u32..5, 1..10),
+        ) {
+            prop_assert!(pairs.len() < 30);
+            for (a, b) in &pairs {
+                prop_assert!((0..50).contains(a));
+                prop_assert!((-1e3..1e3).contains(b));
+            }
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn bool_any_generates_both(flips in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            // 64 fair flips all equal has probability 2^-63.
+            prop_assert!(flips.iter().any(|&b| b) && flips.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        proptest!(|(a in 0usize..100, b in 0usize..100)| {
+            prop_assert!(a + b < 200);
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            for case in 0..5 {
+                let mut rng = crate::TestRng::for_case(crate::hash_name("t"), case);
+                out.push(crate::Strategy::generate(&(0u64..1_000_000), &mut rng));
+            }
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        proptest!(|(x in 0u32..10)| {
+            prop_assert!(x > 100, "x was {}", x);
+        });
+    }
+}

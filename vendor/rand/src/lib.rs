@@ -1,0 +1,339 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal generator surface it actually uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the algorithm behind upstream's
+//!   64-bit `SmallRng`), seeded from a `u64` via SplitMix64;
+//! * [`Rng`] — the core `next_u32`/`next_u64`/`fill_bytes` trait;
+//! * [`RngExt`] — `random`, `random_range`, `random_bool`, blanket-implemented
+//!   for every [`Rng`];
+//! * [`SeedableRng`] — `from_seed` / `seed_from_u64`.
+//!
+//! Determinism is the whole point of this crate: every mesh11 simulation
+//! stream is keyed by a derived seed, so the generator must be a pure,
+//! portable function of that seed. No `OsRng`, no thread-local state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator: the two word primitives plus byte fill.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// Types that can be sampled uniformly from a generator ("standard"
+/// distribution: `[0, 1)` for floats, full range for integers).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// 53 random mantissa bits scaled into `[0, 1)` — the conventional
+    /// `(next_u64 >> 11) * 2^-53` construction.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Scalars with a uniform-over-range sampler.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draws uniformly from `[lo, hi]`.
+    fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+            fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, span)` by widening multiply with rejection —
+/// unbiased for every span that fits in 64 bits (`span == 0` means the full
+/// 2^64 range and cannot occur here: callers pass non-empty sub-ranges).
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    let span = span as u64;
+    // Lemire's method: take the high word of x*span; reject the biased tail.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let u = <$t as StandardSample>::sample(rng);
+                // May round to `hi` at the very top of the range; clamp to
+                // keep the half-open contract.
+                let v = lo + (hi - lo) * u;
+                if v < hi { v } else { <$t>::from_bits(hi.to_bits() - 1) }
+            }
+            fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                lo + (hi - lo) * <$t as StandardSample>::sample(rng)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range types accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution of `T` (`[0, 1)` for
+    /// floats, uniform over all values for integers).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range: `rng.random_range(0..n)`,
+    /// `rng.random_range(-1.0..1.0)`, `rng.random_range(0..=k)`.
+    fn random_range<T: SampleUniform, Sr: SampleRange<T>>(&mut self, range: Sr) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64 — the
+    /// portable convention shared with upstream `rand`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (the standard xoshiro seeding PRNG).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let bytes = (z ^ (z >> 31)).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the algorithm
+    /// upstream `rand` uses for 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; SplitMix64
+            // seeding never produces it, but guard the raw-seed path.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = rng.random_range(3..80);
+            assert!((3..80).contains(&i));
+            let j: i64 = rng.random_range(-50..50);
+            assert!((-50..50).contains(&j));
+            let k = rng.random_range(0..=5u32);
+            assert!(k <= 5);
+            let f = rng.random_range(-25.0..25.0);
+            assert!((-25.0..25.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values reachable");
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_half() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset the workspace uses: `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` (order-preserving), [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for scoped thread-count overrides, and
+//! [`current_num_threads`]. Work is distributed over `std::thread::scope`
+//! workers pulling items off a shared atomic index — no work stealing,
+//! which is adequate for the coarse-grained tasks (whole networks, AP
+//! pairs, figure builders) this repo parallelizes.
+//!
+//! Determinism contract: `collect` returns results in input order no
+//! matter how items were scheduled, so callers see identical output at
+//! any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The usual glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, Map, ParIter};
+}
+
+thread_local! {
+    /// Per-thread pool-size override installed by [`ThreadPool::install`]
+    /// and inherited by worker threads, so nested `par_iter` calls stay
+    /// inside the installed budget.
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads `par_iter` will use on this thread right now.
+///
+/// Resolution order: innermost [`ThreadPool::install`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `f(i)` for every `i in 0..len` on up to [`current_num_threads`]
+/// scoped workers and returns the results in index order.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let budget = current_num_threads();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                POOL_OVERRIDE.with(|c| c.set(Some(budget)));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Entry point providing `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` (in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> Map<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; terminal ops run the map.
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> Map<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map over the pool and collects results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelResults<R>,
+    {
+        let Map { items, f } = self;
+        C::from_ordered(run_indexed(items.len(), |i| f(&items[i])))
+    }
+}
+
+/// Collection types `Map::collect` can produce.
+pub trait FromParallelResults<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in; the `Result` mirrors
+    /// upstream's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(|| {
+            POOL_OVERRIDE
+                .with(Cell::get)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+        });
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count budget rather than a real resident pool: workers
+/// are spawned per `par_iter` call, but `install` bounds how many.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every `par_iter`
+    /// reached from inside it (including nested ones).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.threads)));
+        let out = op();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7u32].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (inside, nested) = pool.install(|| {
+            let nested: Vec<usize> = vec![(), ()]
+                .par_iter()
+                .map(|()| current_num_threads())
+                .collect();
+            (current_num_threads(), nested)
+        });
+        assert_eq!(inside, 3);
+        assert!(nested.iter().all(|&n| n == 3), "workers inherit budget");
+        assert_eq!(POOL_OVERRIDE.with(Cell::get), None, "override restored");
+    }
+
+    #[test]
+    fn single_thread_pool_matches_many_thread_pool() {
+        let work: Vec<u64> = (0..200).collect();
+        let run = |n: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+                .install(|| {
+                    work.par_iter()
+                        .map(|&x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .collect::<Vec<u64>>()
+                })
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of serde it uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums (no `#[serde(...)]` attributes), serialized
+//! through the in-memory [`Value`] tree that the sibling `serde_json`
+//! vendor crate renders and parses.
+//!
+//! The data model follows serde_json's conventions exactly where the
+//! workspace depends on them:
+//!
+//! * named structs ↔ JSON objects with fields in declaration order;
+//! * newtype structs ↔ the inner value;
+//! * tuple structs ↔ arrays;
+//! * unit enum variants ↔ `"VariantName"`;
+//! * data-carrying variants ↔ externally tagged `{"VariantName": …}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization tree: everything a JSON document can hold.
+///
+/// Objects preserve insertion order (a `Vec`, not a map) so that output is
+/// byte-stable and matches field declaration order, like serde_json's
+/// default struct serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A negative integer (positives use [`Value::U64`]).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered key→value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A (de)serialization error: a plain message, like serde's `de::Error`.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(Error::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(Error::msg)?,
+                    _ => return Err(Error::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------ floats
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            // serde_json writes non-finite floats as `null`; accept the
+            // round trip back.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::msg("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+// ----------------------------------------------------------- other scalars
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+// -------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(Error::msg("expected tuple array")),
+                }
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+/// Renders a map key: strings pass through, scalars use their JSON text —
+/// the same keys serde_json produces for integer-keyed maps.
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a scalar, got {other:?}"),
+    }
+}
+
+/// Parses a map key back: try the string form first, then numeric forms.
+fn key_parse<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(x) = key.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::F64(x)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::msg(format!("unparseable map key '{key}'")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_parse(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Hash iteration order is unstable; sort keys for deterministic
+        // output (serde_json leaves this to the map, we pin it down).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+/// Helpers the derive macros expand to. Not part of the public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Unwraps an object, naming the target type in the error.
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(Error::msg(format!("expected object for {ty}"))),
+        }
+    }
+
+    /// Unwraps an array of exactly `n` elements.
+    pub fn as_array<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::msg(format!(
+                "expected {n} elements for {ty}, got {}",
+                items.len()
+            ))),
+            _ => Err(Error::msg(format!("expected array for {ty}"))),
+        }
+    }
+
+    /// Extracts and deserializes one named field.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let v = fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}` in {ty}")))?;
+        T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}")))
+    }
+
+    /// Splits an externally tagged enum value into (variant name, payload).
+    /// Unit variants arrive as a bare string with no payload.
+    pub fn enum_variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::Str(name) => Ok((name, None)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            _ => Err(Error::msg(format!(
+                "expected variant string or single-key object for {ty}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integer_widening_and_bounds() {
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1.0f64, 2.5, -3.0];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+        let pair = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()).unwrap(), None);
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(3u32, vec![1.0f64]);
+        assert_eq!(
+            std::collections::BTreeMap::<u32, Vec<f64>>::from_value(&map.to_value()).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn nan_round_trips_via_null() {
+        let v = f64::NAN.to_value();
+        // The JSON layer renders non-finite as null; model the round trip.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        match v {
+            Value::F64(x) => assert!(x.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

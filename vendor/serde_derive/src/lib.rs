@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable without a crates.io mirror, so these
+//! derives parse the item declaration directly from the `proc_macro` token
+//! stream. That is tractable because the workspace's derived types are
+//! plain: non-generic structs and enums with no `#[serde(...)]` attributes.
+//!
+//! Supported shapes (matching serde_json's externally tagged conventions):
+//! named structs, newtype structs, tuple structs, unit structs, and enums
+//! whose variants are unit, newtype, tuple, or struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed item declaration.
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// The field layout of a struct or enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the vendored trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => serialize_struct(name, shape),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => deserialize_struct(name, shape),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility qualifier.
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a `{ name: Type, ... }` body, in order.
+///
+/// Types are skipped by consuming tokens to the next comma at angle-bracket
+/// depth zero — `(`/`[`/`{` nesting is already opaque as `Group` tokens, so
+/// only `<`/`>` need explicit counting (turbofish and `->` never appear in
+/// field types at depth 0 in this workspace's plain data types).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "expected `:` after field `{}`, found {other:?}",
+                fields.last().expect("just pushed")
+            ),
+        }
+        skip_type_to_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Counts the fields of a `( Type, ... )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        n += 1;
+        skip_type_to_comma(&tokens, &mut i);
+    }
+    n
+}
+
+/// Consumes type tokens up to (and past) the next comma at angle depth 0.
+fn skip_type_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// optionally with a discriminant, separated by commas.
+fn parse_variants(body: TokenStream) -> Vec<(String, Shape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- generation
+
+fn serialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => object_expr(fields, |f| format!("&self.{f}")),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Object(vec![("f", to_value(<access>)), ...])` for named fields.
+fn object_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Shape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            Shape::Unit => format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),",
+                    binds.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let payload = object_expr(fields, |f| f.to_string());
+                format!(
+                    "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),",
+                    fields.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+               _ => ::std::result::Result::Err(::serde::Error::msg(\"expected null for {name}\")) }}"
+        ),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::__private::as_array(v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(fields, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let fields = ::serde::__private::as_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join("\n")
+            )
+        }
+    };
+    deserialize_impl(name, &body)
+}
+
+fn deserialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Shape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            Shape::Unit => format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+            ),
+            Shape::Tuple(n) => {
+                let payload_bind = format!(
+                    "let payload = payload.ok_or_else(|| ::serde::Error::msg(\"variant {name}::{v} needs a payload\"))?;"
+                );
+                if *n == 1 {
+                    format!(
+                        "\"{v}\" => {{ {payload_bind} ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)) }},"
+                    )
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{ {payload_bind} \
+                           let items = ::serde::__private::as_array(payload, {n}, \"{name}::{v}\")?; \
+                           ::std::result::Result::Ok({name}::{v}({})) }},",
+                        items.join(", ")
+                    )
+                }
+            }
+            Shape::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::__private::field(fields, \"{f}\", \"{name}::{v}\")?,")
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{ \
+                       let payload = payload.ok_or_else(|| ::serde::Error::msg(\"variant {name}::{v} needs a payload\"))?; \
+                       let fields = ::serde::__private::as_object(payload, \"{name}::{v}\")?; \
+                       ::std::result::Result::Ok({name}::{v} {{ {} }}) }},",
+                    items.join(" ")
+                )
+            }
+        })
+        .collect();
+    let body = format!(
+        "let (variant, payload) = ::serde::__private::enum_variant(v, \"{name}\")?;\n\
+         let _ = &payload;\n\
+         match variant {{\n{}\n\
+             other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                 \"unknown {name} variant '{{other}}'\"))),\n\
+         }}",
+        arms.join("\n")
+    );
+    deserialize_impl(name, &body)
+}
