@@ -18,29 +18,25 @@ fn ctx() -> &'static ReproContext {
 }
 
 fn biggest_bg_matrix() -> DeliveryMatrix {
-    let ds = &ctx().dataset;
+    let view = ctx().view();
     let one = BitRate::bg_mbps(1.0).unwrap();
-    let meta = ds
+    let meta = view
         .networks_with_at_least(5)
         .filter(|m| m.radios.contains(&Phy::Bg))
         .max_by_key(|m| m.n_aps)
         .expect("quick campaign has a big b/g network");
-    let probes: Vec<_> = ds
-        .probes_for_network(meta.id)
-        .filter(|p| p.phy == Phy::Bg)
-        .collect();
-    DeliveryMatrix::from_probes(meta.id, one, meta.n_aps, probes.iter().copied())
+    view.delivery_matrix(Phy::Bg, meta.id, one, meta.n_aps)
 }
 
 fn bench_adapters(c: &mut Criterion) {
-    let ds = &ctx().dataset;
+    let view = ctx().view();
     let kinds = [
         AdapterKind::Oracle,
         AdapterKind::SnrTable { top_k: 2 },
         AdapterKind::EwmaProbing { alpha: 0.3 },
     ];
     c.bench_function("ablation/adapter-replay", |b| {
-        b.iter(|| black_box(simulate_adapters(black_box(ds), Phy::Bg, &kinds, 0.10)))
+        b.iter(|| black_box(simulate_adapters(black_box(view), Phy::Bg, &kinds, 0.10)))
     });
 }
 
@@ -59,12 +55,12 @@ fn bench_floor_sweep(c: &mut Criterion) {
 }
 
 fn bench_threshold_sweep(c: &mut Criterion) {
-    let ds = &ctx().dataset;
+    let view = ctx().view();
     let one = BitRate::bg_mbps(1.0).unwrap();
     c.bench_function("ablation/triple-threshold-sweep", |b| {
         b.iter(|| {
             black_box(threshold_sweep(
-                black_box(ds),
+                black_box(view),
                 Phy::Bg,
                 one,
                 &[0.05, 0.1, 0.2, 0.3],
@@ -75,11 +71,11 @@ fn bench_threshold_sweep(c: &mut Criterion) {
 }
 
 fn bench_ett(c: &mut Criterion) {
-    let ds = &ctx().dataset;
+    let view = ctx().view();
     c.bench_function("ablation/ett-analysis", |b| {
         b.iter(|| {
             black_box(mesh11_core::routing::ett::analyze_ett(
-                black_box(ds),
+                black_box(view),
                 Phy::Bg,
                 5,
             ))

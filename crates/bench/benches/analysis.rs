@@ -1,0 +1,114 @@
+//! Indexed vs. linear analysis kernels.
+//!
+//! Measures the payoff of `DatasetIndex` directly: each pair runs the same
+//! analysis once through the indexed `DatasetView` path the pipeline uses
+//! today, and once through an inline re-implementation of the pre-index
+//! linear code (full-trace scans per network, per-probe key recomputation).
+//! The linear variants are deliberately local to this bench — they are the
+//! baseline, not API.
+//!
+//! The shared context's index is built once outside the timed regions, so
+//! the indexed numbers measure steady-state reads, which is how every
+//! consumer after the first touch sees the index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh11_bench::{ReproContext, Scale};
+use mesh11_core::bitrate::{LookupTableSet, Scope};
+use mesh11_core::routing::improvement::{analyze_dataset, OpportunisticAnalysis};
+use mesh11_phy::{BitRate, Phy};
+use mesh11_trace::{Dataset, DeliveryMatrix};
+use std::collections::{BTreeMap, HashMap};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ReproContext {
+    static CTX: OnceLock<ReproContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let ctx = ReproContext::build(Scale::Quick, 42);
+        ctx.index(); // amortized once, outside every timed region
+        ctx
+    })
+}
+
+/// The pre-index §5 routing bundle: collect each network's probes by a
+/// linear scan of the whole trace, then one delivery matrix per rate.
+fn linear_routing(ds: &Dataset, phy: Phy, min_aps: usize) -> Vec<OpportunisticAnalysis> {
+    let mut out = Vec::new();
+    for meta in ds.networks_with_at_least(min_aps) {
+        if !meta.radios.contains(&phy) {
+            continue;
+        }
+        let probes: Vec<_> = ds
+            .probes_for_network(meta.id)
+            .filter(|p| p.phy == phy)
+            .collect();
+        for &rate in phy.probed_rates() {
+            let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
+            out.push(OpportunisticAnalysis::compute(&m));
+        }
+    }
+    out
+}
+
+/// Per-link SNR-bucketed optimal-rate counts, as the pre-index trainer
+/// accumulated them.
+type LinearTables = HashMap<(u32, u32, u32), BTreeMap<i64, BTreeMap<BitRate, u32>>>;
+
+/// The pre-index §4 link-scope lookup training loop: one hash lookup per
+/// probe set, recomputing the SNR bucket and the optimal rate from the
+/// row-level observations each time.
+fn linear_lookup_training(ds: &Dataset, phy: Phy) -> LinearTables {
+    let mut tables: LinearTables = HashMap::new();
+    for p in ds.probes_for_phy(phy) {
+        let key = (p.network.0, p.sender.0, p.receiver.0);
+        *tables
+            .entry(key)
+            .or_default()
+            .entry(p.snr_key())
+            .or_default()
+            .entry(p.optimal().rate)
+            .or_insert(0) += 1;
+    }
+    tables
+}
+
+fn routing_bundle(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("analysis/routing-bundle");
+    g.bench_function("indexed", |b| {
+        b.iter(|| black_box(analyze_dataset(black_box(ctx.view()), Phy::Bg, 5)))
+    });
+    g.bench_function("linear", |b| {
+        b.iter(|| black_box(linear_routing(black_box(&ctx.dataset), Phy::Bg, 5)))
+    });
+    g.finish();
+}
+
+fn lookup_training(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("analysis/lookup-training");
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            black_box(LookupTableSet::build(
+                black_box(ctx.view()),
+                Scope::Link,
+                Phy::Bg,
+            ))
+        })
+    });
+    g.bench_function("linear", |b| {
+        b.iter(|| black_box(linear_lookup_training(black_box(&ctx.dataset), Phy::Bg)))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = analysis;
+    config = config();
+    targets = routing_bundle, lookup_training
+}
+criterion_main!(analysis);

@@ -56,7 +56,7 @@ fn fig5_routing_bundle(c: &mut Criterion) {
     c.bench_function("paper/fig5-routing-bundle", |b| {
         b.iter(|| {
             black_box(mesh11_core::routing::improvement::analyze_dataset(
-                black_box(&ctx.dataset),
+                black_box(ctx.view()),
                 mesh11_phy::Phy::Bg,
                 5,
             ))

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! repro [--scale quick|standard|paper] [--seed N] [--threads N]
-//!       [--out DIR] [--rows N] [--plot] <id>... | --all
+//!       [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all
 //! ```
 //!
 //! Prints each figure as an aligned text table (with the paper-expected
 //! values as `#` notes; add `--plot` for ASCII curve renderings) and writes
 //! the full series as JSON under `--out` (default `out/`), plus a
-//! `bench_timings.json` with the per-phase wall-clock breakdown. Experiment
+//! `bench_timings.json` with the per-phase wall-clock breakdown. The same
+//! breakdown also lands at `--bench-json` (default `BENCH_repro.json` in
+//! the working directory) so CI can track the perf trajectory. Experiment
 //! ids: fig1-1, fig3-1, fig4-1 … fig7-5, tab4-1, sec6-3, and the ext-*
 //! extension studies; see `DESIGN.md` §3 for the index.
 //!
@@ -27,6 +29,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     out: PathBuf,
+    bench_json: PathBuf,
     rows: usize,
     plot: bool,
     ids: Vec<String>,
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         out: PathBuf::from("out"),
+        bench_json: PathBuf::from("BENCH_repro.json"),
         rows: 16,
         plot: false,
         ids: Vec::new(),
@@ -64,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
+            "--bench-json" => {
+                args.bench_json = PathBuf::from(it.next().ok_or("--bench-json needs a value")?);
+            }
             "--rows" => {
                 let v = it.next().ok_or("--rows needs a value")?;
                 args.rows = v.parse().map_err(|e| format!("bad rows: {e}"))?;
@@ -72,9 +79,11 @@ fn parse_args() -> Result<Args, String> {
             "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--out DIR] [--rows N] [--plot] <id>... | --all\n\
+                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
-                     identical at any value, only wall-clock changes\nids: {}",
+                     identical at any value, only wall-clock changes\n\
+                     --bench-json FILE  where to write the per-phase timing JSON\n\
+                     (default: BENCH_repro.json in the working directory)\nids: {}",
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -159,6 +168,10 @@ fn run(args: &Args) -> i32 {
     std::fs::write(&path, timings.to_json()).expect("write bench_timings.json");
     eprintln!("{}", timings.render());
     eprintln!("# wrote {}", path.display());
+    // Also drop the breakdown at a stable top-level path so successive PRs
+    // can track the perf trajectory without digging through --out dirs.
+    std::fs::write(&args.bench_json, timings.to_json()).expect("write bench json");
+    eprintln!("# wrote {}", args.bench_json.display());
 
     failures
 }

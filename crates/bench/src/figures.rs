@@ -225,7 +225,7 @@ pub fn fig4_4(ctx: &ReproContext) -> Vec<FigureData> {
             )
             .with_note("paper: Link ~ AP >> Network ~ Global (b/g); exact-pick ~90% b/g, ~75% n");
             for scope in Scope::ALL {
-                let p = ThroughputPenalty::evaluate(&ctx.dataset, ctx.lookup_tables(scope, phy));
+                let p = ThroughputPenalty::evaluate(ctx.view(), ctx.lookup_tables(scope, phy));
                 fig.notes.push(format!(
                     "measured {}: exact pick {:.1}%, mean loss {:.2} Mbit/s",
                     scope.name(),
@@ -256,7 +256,7 @@ pub fn fig4_5(ctx: &ReproContext) -> Vec<FigureData> {
     ]
     .into_iter()
     .map(|(phy, suffix, name, expect)| {
-        let curves = SnrThroughputCurves::build(&ctx.dataset, phy);
+        let curves = SnrThroughputCurves::build(ctx.view(), phy);
         let mut fig = FigureData::new(
             format!("fig4-5{suffix}"),
             format!("Correlation between SNR and throughput ({name} medians)"),
@@ -401,7 +401,7 @@ pub fn fig5_1(ctx: &ReproContext) -> Vec<FigureData> {
 
 /// Fig 5.2 — CDF of link asymmetry ratios per rate (b/g).
 pub fn fig5_2(ctx: &ReproContext) -> FigureData {
-    let by_rate = asymmetry_by_rate(&ctx.dataset, Phy::Bg);
+    let by_rate = asymmetry_by_rate(ctx.view(), Phy::Bg);
     let mut fig = FigureData::new(
         "fig5-2",
         "Link asymmetry (forward/reverse delivery ratio)",
@@ -722,7 +722,7 @@ pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
         AdapterKind::EwmaProbing { alpha: 0.3 },
         AdapterKind::Fixed(BitRate::bg_mbps(11.0).expect("11 Mbit/s exists")),
     ];
-    let out = simulate_adapters(&ctx.dataset, Phy::Bg, &kinds, 0.10);
+    let out = simulate_adapters(ctx.view(), Phy::Bg, &kinds, 0.10);
     let mut fig = FigureData::new(
         "ext-adapt",
         "Rate-adaptation replay (b/g, 10% probing overhead)",
@@ -758,11 +758,9 @@ pub fn ext_cap(ctx: &ReproContext) -> FigureData {
         .filter(|m| m.radios.contains(&Phy::Bg))
         .max_by_key(|m| m.n_aps)
         .expect("campaigns include a ≥5-AP b/g network");
-    let probes: Vec<_> = ds
-        .probes_for_network(meta.id)
-        .filter(|p| p.phy == Phy::Bg)
-        .collect();
-    let m = mesh11_trace::DeliveryMatrix::from_probes(meta.id, one, meta.n_aps, probes);
+    let m = ctx
+        .view()
+        .delivery_matrix(Phy::Bg, meta.id, one, meta.n_aps);
     let rows = improvement_vs_cap(&m, &[1, 2, 3, 4, 8, usize::MAX]);
     let pts: Vec<(f64, f64)> = rows
         .iter()
@@ -786,7 +784,7 @@ pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
     use mesh11_core::triples::sweep::threshold_sweep;
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
     let rows = threshold_sweep(
-        &ctx.dataset,
+        ctx.view(),
         Phy::Bg,
         one,
         &[0.05, 0.10, 0.20, 0.30, 0.50],
@@ -810,7 +808,7 @@ pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
 /// diagnostics).
 pub fn ext_stability(ctx: &ReproContext) -> FigureData {
     use mesh11_core::bitrate::link_stability;
-    let s = link_stability(&ctx.dataset, Phy::Bg);
+    let s = link_stability(ctx.view(), Phy::Bg);
     let mut fig = FigureData::new(
         "ext-stability",
         "Temporal stability of the per-link optimum (802.11b/g)",
@@ -845,7 +843,7 @@ pub fn ext_stability(ctx: &ReproContext) -> FigureData {
 pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
     use mesh11_core::routing::diversity::analyze_diversity;
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let rows = analyze_diversity(&ctx.dataset, Phy::Bg, one, 5, EtxVariant::Etx1);
+    let rows = analyze_diversity(ctx.view(), Phy::Bg, one, 5, EtxVariant::Etx1);
     FigureData::new(
         "ext-diversity",
         "Improvement vs path diversity (1 Mbit/s, ETX1)",
@@ -866,7 +864,7 @@ pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
 /// ext-ett — multi-rate ETT vs best single-rate ETX1 path speedups.
 pub fn ext_ett(ctx: &ReproContext) -> FigureData {
     use mesh11_core::routing::ett::analyze_ett;
-    let analyses = analyze_ett(&ctx.dataset, Phy::Bg, 5);
+    let analyses = analyze_ett(ctx.view(), Phy::Bg, 5);
     let speedups: Vec<f64> = analyses.iter().flat_map(|a| a.speedups()).collect();
     let mut fig = FigureData::new(
         "ext-ett",

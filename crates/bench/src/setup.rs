@@ -11,7 +11,7 @@ use mesh11_core::triples::{hidden::TripleAnalysis, range_by_rate, HearRule};
 use mesh11_phy::{BitRate, Phy};
 use mesh11_sim::SimConfig;
 use mesh11_topo::{Campaign, CampaignSpec};
-use mesh11_trace::{Dataset, NetworkId};
+use mesh11_trace::{Dataset, DatasetIndex, DatasetView, NetworkId};
 
 /// The §6 hearing threshold (10%) used by every cached triple analysis.
 pub const TRIPLE_THRESHOLD: f64 = 0.10;
@@ -64,6 +64,7 @@ pub struct ReproContext {
     /// experiments that need topology ground truth (e.g. client probing)
     /// use it; the paper figures never do.
     campaign: Option<Campaign>,
+    index: OnceLock<DatasetIndex>,
     routing_bg: OnceLock<Vec<OpportunisticAnalysis>>,
     // One slot per (scope, phy): Figs 4.1–4.4 all key off the same tables.
     lookup_tables: [OnceLock<LookupTableSet>; 8],
@@ -132,6 +133,7 @@ impl ReproContext {
             config,
             seed,
             campaign,
+            index: OnceLock::new(),
             routing_bg: OnceLock::new(),
             lookup_tables: Default::default(),
             strategy_evals_bg: OnceLock::new(),
@@ -146,32 +148,45 @@ impl ReproContext {
         self.campaign.as_ref()
     }
 
+    /// The dataset index — built once on first use and shared by every
+    /// analysis below (and by figures reading the columnar views directly).
+    pub fn index(&self) -> &DatasetIndex {
+        self.index
+            .get_or_init(|| DatasetIndex::build(&self.dataset))
+    }
+
+    /// An indexed view of the dataset, pairing [`ReproContext::dataset`]
+    /// with [`ReproContext::index`].
+    pub fn view(&self) -> DatasetView<'_> {
+        DatasetView::new(&self.dataset, self.index())
+    }
+
     /// The §5 per-(network, rate) routing analyses over b/g networks with
     /// ≥5 APs — computed once, shared by Figs 5.1 and 5.3–5.5.
     pub fn routing_bg(&self) -> &[OpportunisticAnalysis] {
         self.routing_bg
-            .get_or_init(|| analyze_dataset(&self.dataset, Phy::Bg, 5))
+            .get_or_init(|| analyze_dataset(self.view(), Phy::Bg, 5))
     }
 
     /// The §4 SNR→rate look-up tables for one (scope, phy) — built once
     /// and shared by Figs 4.1–4.4 (and anything else keying off them).
     pub fn lookup_tables(&self, scope: Scope, phy: Phy) -> &LookupTableSet {
         self.lookup_tables[lookup_slot(scope, phy)]
-            .get_or_init(|| LookupTableSet::build(&self.dataset, scope, phy))
+            .get_or_init(|| LookupTableSet::build(self.view(), scope, phy))
     }
 
     /// The §4.5 online-strategy evaluations over b/g — shared by Fig 4.6
     /// and Table 4.1.
     pub fn strategy_evals_bg(&self) -> &[StrategyEval] {
         self.strategy_evals_bg
-            .get_or_init(|| evaluate_strategies(&self.dataset, Phy::Bg, &StrategyKind::ALL))
+            .get_or_init(|| evaluate_strategies(self.view(), Phy::Bg, &StrategyKind::ALL))
     }
 
     /// The §6 hidden-triple analysis over b/g at the paper's 10%
     /// threshold — shared by Fig 6.1 and §6.3.
     pub fn triples_bg(&self) -> &TripleAnalysis {
         self.triples_bg.get_or_init(|| {
-            TripleAnalysis::run(&self.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean)
+            TripleAnalysis::run(self.view(), Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean)
         })
     }
 
@@ -179,7 +194,7 @@ impl ReproContext {
     /// Fig 6.2 and §6.3.
     pub fn ranges_bg(&self) -> &BTreeMap<(NetworkId, BitRate), usize> {
         self.ranges_bg
-            .get_or_init(|| range_by_rate(&self.dataset, Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean))
+            .get_or_init(|| range_by_rate(self.view(), Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean))
     }
 
     /// The §7 client mobility report — shared by Figs 7.1–7.5.

@@ -11,7 +11,7 @@ use mesh11_core::triples::{HearRule, TripleAnalysis};
 use mesh11_phy::Phy;
 use mesh11_sim::SimConfig;
 use mesh11_topo::CampaignSpec;
-use mesh11_trace::{Dataset, EnvLabel};
+use mesh11_trace::{Dataset, DatasetIndex, DatasetView, EnvLabel};
 
 use crate::{load_dataset, SimulateArgs};
 
@@ -95,9 +95,10 @@ pub fn inspect(path: &Path) -> Result<(), String> {
         println!("    {phy:16} {n}");
     }
     println!("  probe sets: {}", ds.probes.len());
+    let ix = DatasetIndex::build(&ds);
     println!(
         "  directed links with reports: {}",
-        ds.link_report_counts().len()
+        ix.link_report_counts().len()
     );
     println!("  client samples: {}", ds.clients.len());
     let clients: std::collections::BTreeSet<_> =
@@ -118,18 +119,20 @@ pub fn inspect(path: &Path) -> Result<(), String> {
 /// `mesh11 analyze FILE [section]`
 pub fn analyze(path: &Path, what: &str) -> Result<(), String> {
     let ds = load_dataset(path)?;
+    let ix = DatasetIndex::build(&ds);
+    let view = DatasetView::new(&ds, &ix);
     let all = what == "all";
     let mut ran = false;
     if all || what == "bitrate" {
-        bitrate(&ds);
+        bitrate(view);
         ran = true;
     }
     if all || what == "routing" {
-        routing(&ds);
+        routing(view);
         ran = true;
     }
     if all || what == "triples" {
-        triples(&ds);
+        triples(view);
         ran = true;
     }
     if all || what == "mobility" {
@@ -176,15 +179,15 @@ pub fn figures(path: &Path, ids: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn bitrate(ds: &Dataset) {
+fn bitrate(view: DatasetView<'_>) {
     println!("== §4 bit rate analysis ==");
     for phy in [Phy::Bg, Phy::Ht] {
-        if ds.probes_for_phy(phy).next().is_none() {
+        if view.probes_for_phy(phy).next().is_none() {
             continue;
         }
         println!("  {phy}:");
         for scope in Scope::ALL {
-            let p = ThroughputPenalty::for_scope(ds, scope, phy);
+            let p = ThroughputPenalty::for_scope(view, scope, phy);
             println!(
                 "    {:8} exact {:5.1}%  mean loss {:.2} Mbit/s",
                 scope.name(),
@@ -194,7 +197,7 @@ fn bitrate(ds: &Dataset) {
         }
     }
     let evals =
-        mesh11_core::bitrate::strategy::evaluate_strategies(ds, Phy::Bg, &StrategyKind::ALL);
+        mesh11_core::bitrate::strategy::evaluate_strategies(view, Phy::Bg, &StrategyKind::ALL);
     for e in evals {
         println!(
             "  strategy {:12} accuracy {:5.1}% ({} updates, {} stored)",
@@ -206,9 +209,9 @@ fn bitrate(ds: &Dataset) {
     }
 }
 
-fn routing(ds: &Dataset) {
+fn routing(view: DatasetView<'_>) {
     println!("== §5 opportunistic routing ==");
-    let analyses = analyze_dataset(ds, Phy::Bg, 5);
+    let analyses = analyze_dataset(view, Phy::Bg, 5);
     for variant in EtxVariant::ALL {
         let imps: Vec<f64> = analyses
             .iter()
@@ -227,7 +230,7 @@ fn routing(ds: &Dataset) {
             imps.len()
         );
     }
-    let ett = mesh11_core::routing::ett::analyze_ett(ds, Phy::Bg, 5);
+    let ett = mesh11_core::routing::ett::analyze_ett(view, Phy::Bg, 5);
     let speedups: Vec<f64> = ett.iter().flat_map(|a| a.speedups()).collect();
     if !speedups.is_empty() {
         println!(
@@ -238,9 +241,9 @@ fn routing(ds: &Dataset) {
     }
 }
 
-fn triples(ds: &Dataset) {
+fn triples(view: DatasetView<'_>) {
     println!("== §6 hidden triples ==");
-    let t = TripleAnalysis::run(ds, Phy::Bg, 0.10, HearRule::Mean);
+    let t = TripleAnalysis::run(view, Phy::Bg, 0.10, HearRule::Mean);
     for &rate in Phy::Bg.probed_rates() {
         if let Some(med) = t.median_fraction(rate, None) {
             println!("  {:>12}: median {:5.1}%", rate.to_string(), 100.0 * med);

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{Dataset, ProbeSet};
+use mesh11_trace::{DatasetView, ProbeEntry};
 use serde::{Deserialize, Serialize};
 
 /// A rate-adaptation policy.
@@ -76,11 +76,11 @@ struct AdapterState {
 }
 
 impl AdapterState {
-    fn decide(&self, kind: &AdapterKind, phy: Phy, current: &ProbeSet) -> BitRate {
+    fn decide(&self, kind: &AdapterKind, phy: Phy, current: &ProbeEntry) -> BitRate {
         let fallback = phy.probed_rates()[0];
         match kind {
             AdapterKind::Fixed(r) => *r,
-            AdapterKind::Oracle => current.optimal().rate,
+            AdapterKind::Oracle => current.opt.rate,
             AdapterKind::EwmaProbing { .. } => self
                 .ewma
                 .iter()
@@ -107,31 +107,31 @@ impl AdapterState {
         }
     }
 
-    fn learn(&mut self, kind: &AdapterKind, set: &ProbeSet) {
+    fn learn(&mut self, kind: &AdapterKind, set: &ProbeEntry) {
         match kind {
             AdapterKind::SnrTable { .. } => {
                 *self
                     .table
-                    .entry(set.snr_key())
+                    .entry(set.snr_key)
                     .or_default()
-                    .entry(set.optimal().rate)
+                    .entry(set.opt.rate)
                     .or_insert(0) += 1;
             }
             AdapterKind::EwmaProbing { alpha } => {
-                for o in &set.obs {
+                for o in &set.probe.obs {
                     let e = self.ewma.entry(o.rate).or_insert(0.0);
                     *e = (1.0 - alpha) * *e + alpha * o.throughput_mbps();
                 }
                 // Rates that fell silent decay toward zero.
                 for (r, e) in self.ewma.iter_mut() {
-                    if set.obs_for(*r).is_none() {
+                    if set.probe.obs_for(*r).is_none() {
                         *e *= 1.0 - alpha;
                     }
                 }
             }
             AdapterKind::Fixed(_) | AdapterKind::Oracle => {}
         }
-        self.last_snr = Some(set.snr_key());
+        self.last_snr = Some(set.snr_key);
     }
 }
 
@@ -157,25 +157,25 @@ pub struct AdaptationOutcome {
 /// per interval; an adapter probing `k` of `n` rates is charged
 /// `overhead · k/n`.
 pub fn simulate_adapters(
-    ds: &Dataset,
+    view: DatasetView<'_>,
     phy: Phy,
     kinds: &[AdapterKind],
     overhead: f64,
 ) -> Vec<AdaptationOutcome> {
     assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
-    // Per-link time-ordered streams. BTreeMap, not HashMap: the per-kind
-    // scores below are floating-point sums over links, so the iteration
-    // order must be fixed for the outcome to be byte-reproducible.
-    let mut per_link: BTreeMap<(u32, u32, u32), Vec<&ProbeSet>> = BTreeMap::new();
-    for p in ds.probes_for_phy(phy) {
-        per_link
-            .entry((p.network.0, p.sender.0, p.receiver.0))
-            .or_default()
-            .push(p);
-    }
-    for v in per_link.values_mut() {
-        v.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-    }
+    // Per-link time-ordered streams. The per-kind scores below are
+    // floating-point sums over links, so the iteration order must be fixed
+    // for the outcome to be byte-reproducible: the view's link groups come
+    // sorted by (network, sender, receiver), the same ascending order the
+    // pre-index BTreeMap grouping produced.
+    let per_link: Vec<Vec<ProbeEntry<'_>>> = view
+        .links_for_phy(phy)
+        .map(|link| {
+            let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
+            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+            sets
+        })
+        .collect();
     let n_rates = phy.probed_rates().len();
 
     kinds
@@ -184,14 +184,14 @@ pub fn simulate_adapters(
             let mut decisions = 0u64;
             let mut sum_thr = 0.0;
             let mut sum_oracle = 0.0;
-            for sets in per_link.values() {
+            for sets in &per_link {
                 let mut state = AdapterState::default();
                 for (i, set) in sets.iter().enumerate() {
                     if i > 0 {
                         let pick = state.decide(kind, phy, set);
-                        let got = set.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                        let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
                         sum_thr += got;
-                        sum_oracle += set.optimal().throughput_mbps();
+                        sum_oracle += set.opt.throughput_mbps();
                         decisions += 1;
                     }
                     state.learn(kind, set);
@@ -221,10 +221,15 @@ pub fn simulate_adapters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, NetworkId, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn adapters_over(ds: &Dataset, kinds: &[AdapterKind], overhead: f64) -> Vec<AdaptationOutcome> {
+        let ix = DatasetIndex::build(ds);
+        simulate_adapters(DatasetView::new(ds, &ix), Phy::Bg, kinds, overhead)
     }
 
     /// A link where 24 Mbit/s is always clean and 48 always lossy, at a
@@ -267,7 +272,7 @@ mod tests {
             AdapterKind::Fixed(r(24.0)),
             AdapterKind::Fixed(r(48.0)),
         ];
-        let out = simulate_adapters(&ds, Phy::Bg, &kinds, 0.0);
+        let out = adapters_over(&ds, &kinds, 0.0);
         let oracle = out[0].mean_throughput_mbps;
         for o in &out {
             assert!(
@@ -287,7 +292,7 @@ mod tests {
             AdapterKind::SnrTable { top_k: 1 },
             AdapterKind::EwmaProbing { alpha: 0.3 },
         ];
-        for o in simulate_adapters(&ds, Phy::Bg, &kinds, 0.0) {
+        for o in adapters_over(&ds, &kinds, 0.0) {
             assert!(
                 o.fraction_of_oracle > 0.95,
                 "{}: {}",
@@ -304,7 +309,7 @@ mod tests {
             AdapterKind::SnrTable { top_k: 2 },
             AdapterKind::EwmaProbing { alpha: 0.3 },
         ];
-        let out = simulate_adapters(&ds, Phy::Bg, &kinds, 0.2);
+        let out = adapters_over(&ds, &kinds, 0.2);
         let table = &out[0];
         let probing = &out[1];
         // Similar raw throughput, but the table pays 2/7 of the overhead
@@ -316,7 +321,7 @@ mod tests {
     #[test]
     fn fixed_rate_matches_its_obs() {
         let ds = stable_link(5);
-        let out = simulate_adapters(&ds, Phy::Bg, &[AdapterKind::Fixed(r(48.0))], 0.0);
+        let out = adapters_over(&ds, &[AdapterKind::Fixed(r(48.0))], 0.0);
         // 48 at 90% loss = 4.8 Mbit/s every decision.
         assert!((out[0].mean_throughput_mbps - 4.8).abs() < 1e-9);
         assert_eq!(out[0].decisions, 4);
@@ -327,14 +332,14 @@ mod tests {
         // A table that learned 48 on another link... here, simply a fixed
         // adapter at a rate the link never carries.
         let ds = stable_link(5);
-        let out = simulate_adapters(&ds, Phy::Bg, &[AdapterKind::Fixed(r(36.0))], 0.0);
+        let out = adapters_over(&ds, &[AdapterKind::Fixed(r(36.0))], 0.0);
         assert_eq!(out[0].mean_throughput_mbps, 0.0);
     }
 
     #[test]
     fn empty_dataset_is_graceful() {
         let ds = Dataset::default();
-        let out = simulate_adapters(&ds, Phy::Bg, &[AdapterKind::Oracle], 0.1);
+        let out = adapters_over(&ds, &[AdapterKind::Oracle], 0.1);
         assert_eq!(out[0].decisions, 0);
         assert_eq!(out[0].mean_throughput_mbps, 0.0);
     }

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::{pearson, spearman, BinnedStats};
-use mesh11_trace::Dataset;
+use mesh11_trace::DatasetView;
 
 /// Per-rate binned SNR → throughput statistics.
 #[derive(Debug, Clone)]
@@ -26,20 +26,20 @@ pub struct SnrThroughputCurves {
 }
 
 impl SnrThroughputCurves {
-    /// Builds the curves from every probe set of `phy`.
-    pub fn build(ds: &Dataset, phy: Phy) -> Self {
+    /// Builds the curves from every probe set of `phy`. Iterates the view's
+    /// per-PHY range in dataset order — the correlation sums are
+    /// order-sensitive, and this is the order the linear filter produced.
+    pub fn build(view: DatasetView<'_>, phy: Phy) -> Self {
         let mut per_rate: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
         let mut snr = Vec::new();
         let mut thr = Vec::new();
-        for p in ds.probes_for_phy(phy) {
-            let key = p.snr_key();
-            for o in &p.obs {
-                per_rate
-                    .entry(o.rate)
-                    .or_default()
-                    .push(key, o.throughput_mbps());
+        for e in view.entries_for_phy(phy) {
+            let key = e.snr_key;
+            let obs = view.index().obs(e.pos);
+            for (k, &rate) in obs.rates.iter().enumerate() {
+                per_rate.entry(rate).or_default().push(key, obs.thr_mbps[k]);
                 snr.push(key as f64);
-                thr.push(o.throughput_mbps());
+                thr.push(obs.thr_mbps[k]);
             }
         }
         Self {
@@ -90,10 +90,15 @@ impl SnrThroughputCurves {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, NetworkId, ProbeSet, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn curves_over(ds: &Dataset) -> SnrThroughputCurves {
+        let ix = DatasetIndex::build(ds);
+        SnrThroughputCurves::build(DatasetView::new(ds, &ix), Phy::Bg)
     }
 
     fn probe(snr: f64, obs: Vec<(f64, f64)>) -> ProbeSet {
@@ -127,7 +132,7 @@ mod tests {
             probe(10.0, vec![(1.0, 0.0), (6.0, 0.5)]),
             probe(30.0, vec![(1.0, 0.0), (6.0, 0.0)]),
         ]);
-        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        let c = curves_over(&d);
         assert_eq!(c.per_rate.len(), 2);
         let six = &c.per_rate[&r(6.0)];
         assert_eq!(six.bin(10), Some(&[3.0][..]));
@@ -137,7 +142,7 @@ mod tests {
     #[test]
     fn envelope_takes_best_rate() {
         let d = ds(vec![probe(30.0, vec![(1.0, 0.0), (24.0, 0.0)])]);
-        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        let c = curves_over(&d);
         assert_eq!(c.envelope()[&30], 24.0);
     }
 
@@ -149,7 +154,7 @@ mod tests {
             probe(25.0, vec![(6.0, 0.1)]),
             probe(35.0, vec![(6.0, 0.0)]),
         ]);
-        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        let c = curves_over(&d);
         assert!(c.pearson().unwrap() > 0.9);
         assert!(c.spearman().unwrap() > 0.99);
     }
@@ -162,9 +167,9 @@ mod tests {
             probe(30.0, vec![(24.0, 0.0)]),
             probe(40.0, vec![(24.0, 0.0)]),
         ]);
-        let c = SnrThroughputCurves::build(&d, Phy::Bg);
+        let c = curves_over(&d);
         assert_eq!(c.saturation_snr_db(0.95), Some(30));
-        let empty = SnrThroughputCurves::build(&ds(vec![]), Phy::Bg);
+        let empty = curves_over(&ds(vec![]));
         assert_eq!(empty.saturation_snr_db(0.95), None);
     }
 }

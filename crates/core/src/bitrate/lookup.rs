@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{Dataset, ProbeSet};
+use mesh11_trace::{DatasetView, ProbeSet};
 use serde::{Deserialize, Serialize};
 
 /// Training scope of a lookup table — the paper's four cases, from cheapest
@@ -51,15 +51,24 @@ pub struct LookupTableSet {
 }
 
 impl LookupTableSet {
-    /// Trains tables from every probe set of `phy` in the dataset.
-    pub fn build(ds: &Dataset, scope: Scope, phy: Phy) -> Self {
+    /// Trains tables from every probe set of `phy` in the dataset, using
+    /// the view's precomputed SNR keys and optima (dataset order, same
+    /// accumulation as calling [`LookupTableSet::train`] per probe).
+    pub fn build(view: DatasetView<'_>, scope: Scope, phy: Phy) -> Self {
         let mut set = Self {
             scope,
             phy,
             tables: HashMap::new(),
         };
-        for p in ds.probes_for_phy(phy) {
-            set.train(p);
+        for e in view.entries_for_phy(phy) {
+            let key = set.key_for(e.probe);
+            *set.tables
+                .entry(key)
+                .or_default()
+                .entry(e.snr_key)
+                .or_default()
+                .entry(e.opt.rate)
+                .or_insert(0) += 1;
         }
         set
     }
@@ -95,7 +104,19 @@ impl LookupTableSet {
     /// The table's prediction for a probe set: the most frequently optimal
     /// rate at its (key, SNR); ties break toward the lower rate.
     pub fn predict(&self, probe: &ProbeSet) -> Option<BitRate> {
-        let counts = self.counts_for(probe)?;
+        self.predict_keyed(self.key_for(probe), probe.snr_key())
+    }
+
+    /// `predict` for an indexed probe entry: same lookup, but the SNR key
+    /// comes from the precomputed column instead of a median re-derivation.
+    pub(crate) fn predict_entry(&self, e: &mesh11_trace::ProbeEntry<'_>) -> Option<BitRate> {
+        self.predict_keyed(self.key_for(e.probe), e.snr_key)
+    }
+
+    /// `predict` with the SNR key already known (the indexed scans pass the
+    /// precomputed column instead of re-deriving the median).
+    fn predict_keyed(&self, key: Key, snr: i64) -> Option<BitRate> {
+        let counts = self.tables.get(&key)?.get(&snr)?;
         counts
             .iter()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
@@ -116,12 +137,12 @@ impl LookupTableSet {
     /// Fraction of the dataset's probe sets whose predicted rate equals the
     /// actually optimal one (trained-on-self accuracy, as in §4.3's "chooses
     /// the correct answer about 90% of the time").
-    pub fn exact_accuracy(&self, ds: &Dataset) -> f64 {
+    pub fn exact_accuracy(&self, view: DatasetView<'_>) -> f64 {
         let mut total = 0usize;
         let mut hits = 0usize;
-        for p in ds.probes_for_phy(self.phy) {
+        for e in view.entries_for_phy(self.phy) {
             total += 1;
-            if self.predict(p) == Some(p.optimal().rate) {
+            if self.predict_keyed(self.key_for(e.probe), e.snr_key) == Some(e.opt.rate) {
                 hits += 1;
             }
         }
@@ -198,10 +219,21 @@ impl LookupTableSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, NetworkId, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn build_over(ds: &Dataset, scope: Scope, phy: Phy) -> LookupTableSet {
+        let ix = DatasetIndex::build(ds);
+        LookupTableSet::build(DatasetView::new(ds, &ix), scope, phy)
+    }
+
+    fn accuracy_over(ds: &Dataset, scope: Scope) -> f64 {
+        let ix = DatasetIndex::build(ds);
+        let view = DatasetView::new(ds, &ix);
+        LookupTableSet::build(view, scope, Phy::Bg).exact_accuracy(view)
     }
 
     /// A probe set whose optimal rate is `opt` at `snr` on the given link.
@@ -245,7 +277,7 @@ mod tests {
             probe(0, 0, 1, 20.0, r(12.0)),
             probe(1, 0, 1, 20.0, r(24.0)),
         ]);
-        let t = LookupTableSet::build(&ds, Scope::Global, Phy::Bg);
+        let t = build_over(&ds, Scope::Global, Phy::Bg);
         assert_eq!(t.n_keys(), 1);
         let rates = t.optimal_rates_per_snr();
         assert_eq!(rates[&20].len(), 2, "both optima live under one key");
@@ -257,13 +289,12 @@ mod tests {
             probe(0, 0, 1, 20.0, r(12.0)),
             probe(0, 0, 2, 20.0, r(24.0)),
         ]);
-        let t = LookupTableSet::build(&ds, Scope::Link, Phy::Bg);
+        let t = build_over(&ds, Scope::Link, Phy::Bg);
         assert_eq!(t.n_keys(), 2);
         // Each link predicts its own optimum perfectly.
-        assert_eq!(t.exact_accuracy(&ds), 1.0);
+        assert_eq!(accuracy_over(&ds, Scope::Link), 1.0);
         // The global table cannot: it must pick one of the two.
-        let g = LookupTableSet::build(&ds, Scope::Global, Phy::Bg);
-        assert_eq!(g.exact_accuracy(&ds), 0.5);
+        assert_eq!(accuracy_over(&ds, Scope::Global), 0.5);
     }
 
     #[test]
@@ -277,10 +308,7 @@ mod tests {
             probe(1, 0, 1, 20.0, r(36.0)),
             probe(1, 1, 0, 20.0, r(48.0)),
         ]);
-        let acc: Vec<f64> = Scope::ALL
-            .iter()
-            .map(|&s| LookupTableSet::build(&ds, s, Phy::Bg).exact_accuracy(&ds))
-            .collect();
+        let acc: Vec<f64> = Scope::ALL.iter().map(|&s| accuracy_over(&ds, s)).collect();
         for w in acc.windows(2) {
             assert!(w[0] <= w[1] + 1e-12, "accuracy must not drop: {acc:?}");
         }
@@ -303,7 +331,7 @@ mod tests {
 
     #[test]
     fn predict_none_without_data() {
-        let t = LookupTableSet::build(&dataset(vec![]), Scope::Link, Phy::Bg);
+        let t = build_over(&dataset(vec![]), Scope::Link, Phy::Bg);
         assert_eq!(t.predict(&probe(0, 0, 1, 15.0, r(6.0))), None);
         assert!(t.top_k(&probe(0, 0, 1, 15.0, r(6.0)), 3).is_empty());
     }
@@ -330,8 +358,8 @@ mod tests {
             probe(0, 0, 1, 20.0, r(12.0)),
             probe(0, 0, 2, 20.0, r(24.0)),
         ]);
-        let g = LookupTableSet::build(&ds, Scope::Global, Phy::Bg).rates_needed_curve(0.95);
-        let l = LookupTableSet::build(&ds, Scope::Link, Phy::Bg).rates_needed_curve(0.95);
+        let g = build_over(&ds, Scope::Global, Phy::Bg).rates_needed_curve(0.95);
+        let l = build_over(&ds, Scope::Link, Phy::Bg).rates_needed_curve(0.95);
         let g_mean = g.rows()[0].1.mean;
         let l_mean = l.rows()[0].1.mean;
         assert_eq!(g_mean, 2.0);
@@ -360,7 +388,7 @@ mod tests {
     #[test]
     fn ht_tables_are_separate() {
         let ds = dataset(vec![probe(0, 0, 1, 20.0, r(12.0))]);
-        let t = LookupTableSet::build(&ds, Scope::Global, Phy::Ht);
+        let t = build_over(&ds, Scope::Global, Phy::Ht);
         assert_eq!(t.n_keys(), 0, "bg probes must not train the ht table");
     }
 }

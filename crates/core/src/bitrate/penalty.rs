@@ -7,7 +7,7 @@
 
 use mesh11_phy::Phy;
 use mesh11_stats::Cdf;
-use mesh11_trace::Dataset;
+use mesh11_trace::DatasetView;
 
 use crate::bitrate::lookup::{LookupTableSet, Scope};
 
@@ -25,17 +25,19 @@ pub struct ThroughputPenalty {
 }
 
 impl ThroughputPenalty {
-    /// Evaluates a trained table set against the dataset it describes.
-    pub fn evaluate(ds: &Dataset, table: &LookupTableSet) -> Self {
+    /// Evaluates a trained table set against the dataset it describes
+    /// (dataset order per PHY, so the diff vector matches the pre-index
+    /// pipeline element for element).
+    pub fn evaluate(view: DatasetView<'_>, table: &LookupTableSet) -> Self {
         let mut diffs = Vec::new();
         let mut unpredicted = 0usize;
-        for p in ds.probes_for_phy(table.phy()) {
-            let Some(pick) = table.predict(p) else {
+        for e in view.entries_for_phy(table.phy()) {
+            let Some(pick) = table.predict_entry(&e) else {
                 unpredicted += 1;
                 continue;
             };
-            let best = p.optimal().throughput_mbps();
-            let got = p.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+            let best = e.opt.throughput_mbps();
+            let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
             diffs.push((best - got).max(0.0));
         }
         Self {
@@ -47,8 +49,8 @@ impl ThroughputPenalty {
     }
 
     /// Convenience: build the table at `scope` then evaluate.
-    pub fn for_scope(ds: &Dataset, scope: Scope, phy: Phy) -> Self {
-        Self::evaluate(ds, &LookupTableSet::build(ds, scope, phy))
+    pub fn for_scope(view: DatasetView<'_>, scope: Scope, phy: Phy) -> Self {
+        Self::evaluate(view, &LookupTableSet::build(view, scope, phy))
     }
 
     /// CDF of the differences (the Fig 4.4 curve). `None` when nothing was
@@ -76,10 +78,15 @@ impl ThroughputPenalty {
 mod tests {
     use super::*;
     use mesh11_phy::BitRate;
-    use mesh11_trace::{ApId, NetworkId, ProbeSet, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn penalty_over(ds: &Dataset, scope: Scope) -> ThroughputPenalty {
+        let ix = DatasetIndex::build(ds);
+        ThroughputPenalty::for_scope(DatasetView::new(ds, &ix), scope, Phy::Bg)
     }
 
     fn probe(s: u32, rx: u32, snr: f64, obs: Vec<(f64, f64)>) -> ProbeSet {
@@ -113,7 +120,7 @@ mod tests {
             probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
             probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
         ]);
-        let p = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        let p = penalty_over(&d, Scope::Link);
         assert_eq!(p.diffs_mbps.len(), 2);
         assert_eq!(p.frac_exact(), 1.0);
         assert_eq!(p.mean_loss_mbps(), 0.0);
@@ -128,8 +135,8 @@ mod tests {
             probe(0, 1, 20.0, vec![(12.0, 0.0), (24.0, 0.9)]),
             probe(0, 2, 20.0, vec![(12.0, 0.0), (24.0, 0.0)]),
         ]);
-        let global = ThroughputPenalty::for_scope(&d, Scope::Global, Phy::Bg);
-        let link = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        let global = penalty_over(&d, Scope::Global);
+        let link = penalty_over(&d, Scope::Link);
         assert!(global.frac_exact() < 1.0);
         assert_eq!(link.frac_exact(), 1.0);
         assert!(global.mean_loss_mbps() > link.mean_loss_mbps());
@@ -143,7 +150,7 @@ mod tests {
             probe(0, 1, 25.0, vec![(48.0, 0.0)]),
             probe(0, 2, 25.0, vec![(12.0, 0.0)]),
         ]);
-        let g = ThroughputPenalty::for_scope(&d, Scope::Global, Phy::Bg);
+        let g = penalty_over(&d, Scope::Global);
         // One of the two sets is mispredicted with an unheard rate.
         let max = g.diffs_mbps.iter().copied().fold(0.0, f64::max);
         assert!(max >= 12.0 - 1e-9, "diffs {:?}", g.diffs_mbps);
@@ -152,11 +159,11 @@ mod tests {
     #[test]
     fn cdf_export() {
         let d = ds(vec![probe(0, 1, 20.0, vec![(12.0, 0.0)])]);
-        let p = ThroughputPenalty::for_scope(&d, Scope::Link, Phy::Bg);
+        let p = penalty_over(&d, Scope::Link);
         let cdf = p.cdf().unwrap();
         assert_eq!(cdf.len(), 1);
         assert_eq!(cdf.eval(0.0), 1.0);
-        let empty = ThroughputPenalty::for_scope(&ds(vec![]), Scope::Link, Phy::Bg);
+        let empty = penalty_over(&ds(vec![]), Scope::Link);
         assert!(empty.cdf().is_none());
     }
 }

@@ -13,10 +13,8 @@
 //! * **SNR drift** — mean |ΔSNR| between consecutive sets, the channel's
 //!   report-to-report wander.
 
-use std::collections::HashMap;
-
 use mesh11_phy::Phy;
-use mesh11_trace::{Dataset, ProbeSet};
+use mesh11_trace::{DatasetView, ProbeEntry};
 use serde::{Deserialize, Serialize};
 
 /// Pooled stability statistics over every link of a PHY.
@@ -50,31 +48,29 @@ impl LinkStability {
 }
 
 /// Measures optimal-rate stability over every directed link of `phy`.
-pub fn link_stability(ds: &Dataset, phy: Phy) -> LinkStability {
-    let mut per_link: HashMap<(u32, u32, u32), Vec<&ProbeSet>> = HashMap::new();
-    for p in ds.probes_for_phy(phy) {
-        per_link
-            .entry((p.network.0, p.sender.0, p.receiver.0))
-            .or_default()
-            .push(p);
-    }
+///
+/// Links come from the view's indexed groups in sorted order, which makes
+/// the per-link vectors deterministic; the pooled churn ratios and the
+/// median/CDF consumers are insensitive to that order.
+pub fn link_stability(view: DatasetView<'_>, phy: Phy) -> LinkStability {
     let mut churn_per_link = Vec::new();
     let mut snr_drift_per_link = Vec::new();
     let mut same = (0u64, 0u64); // (changed, total)
     let mut diff = (0u64, 0u64);
-    for sets in per_link.values_mut() {
-        if sets.len() < 2 {
+    for link in view.links_for_phy(phy) {
+        if link.len() < 2 {
             continue;
         }
+        let mut sets: Vec<ProbeEntry> = link.entries().collect();
         sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
         let mut changed = 0usize;
         let mut drift = 0.0;
         for w in sets.windows(2) {
             let (prev, next) = (&w[0], &w[1]);
-            let flipped = prev.optimal().rate != next.optimal().rate;
+            let flipped = prev.opt.rate != next.opt.rate;
             changed += usize::from(flipped);
-            drift += (next.snr_db() - prev.snr_db()).abs();
-            let bucket = if prev.snr_key() == next.snr_key() {
+            drift += (next.snr_db - prev.snr_db).abs();
+            let bucket = if prev.snr_key == next.snr_key {
                 &mut same
             } else {
                 &mut diff
@@ -108,10 +104,15 @@ pub fn link_stability(ds: &Dataset, phy: Phy) -> LinkStability {
 mod tests {
     use super::*;
     use mesh11_phy::BitRate;
-    use mesh11_trace::{ApId, NetworkId, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn stability_over(ds: &Dataset) -> LinkStability {
+        let ix = DatasetIndex::build(ds);
+        link_stability(DatasetView::new(ds, &ix), Phy::Bg)
     }
 
     fn probe(t: f64, snr: f64, opt: f64) -> ProbeSet {
@@ -141,7 +142,7 @@ mod tests {
         let d = ds((0..10)
             .map(|k| probe(k as f64 * 300.0, 20.0, 24.0))
             .collect());
-        let s = link_stability(&d, Phy::Bg);
+        let s = stability_over(&d);
         assert_eq!(s.links, 1);
         assert_eq!(s.median_churn(), Some(0.0));
         assert_eq!(s.churn_same_snr, 0.0);
@@ -154,7 +155,7 @@ mod tests {
         let d = ds((0..10)
             .map(|k| probe(k as f64 * 300.0, 20.0, if k % 2 == 0 { 24.0 } else { 12.0 }))
             .collect());
-        let s = link_stability(&d, Phy::Bg);
+        let s = stability_over(&d);
         assert_eq!(s.median_churn(), Some(1.0));
         assert_eq!(
             s.churn_same_snr, 1.0,
@@ -172,7 +173,7 @@ mod tests {
             probe(600.0, 15.0, 12.0),
             probe(900.0, 25.0, 24.0),
         ]);
-        let s = link_stability(&d, Phy::Bg);
+        let s = stability_over(&d);
         assert_eq!(s.churn_same_snr, 0.0);
         assert_eq!(s.churn_diff_snr, 1.0);
         assert_eq!(s.pairs, (0, 3));
@@ -182,7 +183,7 @@ mod tests {
     #[test]
     fn single_set_links_ignored() {
         let d = ds(vec![probe(0.0, 20.0, 24.0)]);
-        let s = link_stability(&d, Phy::Bg);
+        let s = stability_over(&d);
         assert_eq!(s.links, 0);
         assert_eq!(s.median_churn(), None);
     }
@@ -194,7 +195,7 @@ mod tests {
             probe(0.0, 20.0, 24.0),
             probe(300.0, 20.0, 24.0),
         ]);
-        let s = link_stability(&d, Phy::Bg);
+        let s = stability_over(&d);
         assert_eq!(s.median_churn(), Some(0.0));
         assert_eq!(s.pairs.0 + s.pairs.1, 2);
     }

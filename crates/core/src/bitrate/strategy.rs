@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{Dataset, ProbeSet};
+use mesh11_trace::{DatasetView, ProbeEntry};
 use serde::{Deserialize, Serialize};
 
 /// Table-maintenance policy.
@@ -148,19 +148,26 @@ impl StrategyEval {
 }
 
 /// Replays every link of `phy` under each strategy.
-pub fn evaluate_strategies(ds: &Dataset, phy: Phy, kinds: &[StrategyKind]) -> Vec<StrategyEval> {
-    // Group probe sets per directed link, in time order (dataset order is
-    // time-sorted per network already; sort defensively).
-    let mut per_link: HashMap<(u32, u32, u32), Vec<&ProbeSet>> = HashMap::new();
-    for p in ds.probes_for_phy(phy) {
-        per_link
-            .entry((p.network.0, p.sender.0, p.receiver.0))
-            .or_default()
-            .push(p);
-    }
-    for v in per_link.values_mut() {
-        v.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-    }
+///
+/// Links come from the view's indexed link groups (sorted order); every
+/// per-link replay is independent and the pooled outcome is made of integer
+/// counters and exact 0/100 bin sums, so the link order does not affect the
+/// result.
+pub fn evaluate_strategies(
+    view: DatasetView<'_>,
+    phy: Phy,
+    kinds: &[StrategyKind],
+) -> Vec<StrategyEval> {
+    // Per-link time-ordered streams (dataset order is time-sorted per
+    // network already; sort defensively).
+    let per_link: Vec<Vec<ProbeEntry>> = view
+        .links_for_phy(phy)
+        .map(|link| {
+            let mut sets: Vec<ProbeEntry> = link.entries().collect();
+            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+            sets
+        })
+        .collect();
 
     kinds
         .iter()
@@ -170,11 +177,11 @@ pub fn evaluate_strategies(ds: &Dataset, phy: Phy, kinds: &[StrategyKind]) -> Ve
             let mut stored = 0;
             let mut predictions = 0;
             let mut correct = 0;
-            for sets in per_link.values() {
+            for sets in &per_link {
                 let mut table = OnlineTable::default();
-                for (i, p) in sets.iter().enumerate() {
-                    let snr = p.snr_key();
-                    let opt = p.optimal().rate;
+                for (i, e) in sets.iter().enumerate() {
+                    let snr = e.snr_key;
+                    let opt = e.opt.rate;
                     if let Some(pick) = table.predict(kind, snr) {
                         let ok = pick == opt;
                         acc.push(i as i64, if ok { 100.0 } else { 0.0 });
@@ -201,10 +208,15 @@ pub fn evaluate_strategies(ds: &Dataset, phy: Phy, kinds: &[StrategyKind]) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, NetworkId, RateObs};
+    use mesh11_trace::{ApId, Dataset, DatasetIndex, NetworkId, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn evaluate_over(ds: &Dataset, kinds: &[StrategyKind]) -> Vec<StrategyEval> {
+        let ix = DatasetIndex::build(ds);
+        evaluate_strategies(DatasetView::new(ds, &ix), Phy::Bg, kinds)
     }
 
     fn probe(t: f64, snr: f64, opt: f64) -> ProbeSet {
@@ -234,7 +246,7 @@ mod tests {
         let d = ds((0..10)
             .map(|k| probe(k as f64 * 300.0, 20.0, 24.0))
             .collect());
-        for eval in evaluate_strategies(&d, Phy::Bg, &StrategyKind::ALL) {
+        for eval in evaluate_over(&d, &StrategyKind::ALL) {
             assert_eq!(eval.overall_accuracy(), 1.0, "{:?}", eval.kind);
             // First prediction happens at the 2nd set: 9 predictions.
             assert_eq!(eval.predictions, 9);
@@ -247,7 +259,7 @@ mod tests {
         let d = ds((0..5)
             .map(|k| probe(k as f64, 10.0 + 3.0 * k as f64, 24.0))
             .collect());
-        for eval in evaluate_strategies(&d, Phy::Bg, &StrategyKind::ALL) {
+        for eval in evaluate_over(&d, &StrategyKind::ALL) {
             assert_eq!(eval.predictions, 0, "{:?}", eval.kind);
         }
     }
@@ -255,7 +267,7 @@ mod tests {
     #[test]
     fn cost_ordering_matches_table_4_1() {
         let d = ds((0..30).map(|k| probe(k as f64, 20.0, 24.0)).collect());
-        let evals = evaluate_strategies(&d, Phy::Bg, &StrategyKind::ALL);
+        let evals = evaluate_over(&d, &StrategyKind::ALL);
         let get = |k: StrategyKind| evals.iter().find(|e| e.kind == k).unwrap();
         let first = get(StrategyKind::First);
         let recent = get(StrategyKind::MostRecent);
@@ -278,7 +290,7 @@ mod tests {
         let mut probes: Vec<ProbeSet> = (0..10).map(|k| probe(k as f64, 20.0, 12.0)).collect();
         probes.extend((10..40).map(|k| probe(k as f64, 20.0, 48.0)));
         let d = ds(probes);
-        let evals = evaluate_strategies(&d, Phy::Bg, &StrategyKind::ALL);
+        let evals = evaluate_over(&d, &StrategyKind::ALL);
         let get = |k: StrategyKind| {
             evals
                 .iter()
@@ -297,7 +309,7 @@ mod tests {
     #[test]
     fn accuracy_bins_by_history_depth() {
         let d = ds((0..5).map(|k| probe(k as f64, 20.0, 24.0)).collect());
-        let eval = &evaluate_strategies(&d, Phy::Bg, &[StrategyKind::All])[0];
+        let eval = &evaluate_over(&d, &[StrategyKind::All])[0];
         // Predictions at history depths 1..4 (index of the set in stream).
         let xs: Vec<i64> = eval
             .accuracy_by_history

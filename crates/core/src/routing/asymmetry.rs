@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{ApId, Dataset, DeliveryMatrix};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix};
 
 use crate::routing::etx::MIN_DELIVERY;
 
@@ -31,19 +31,14 @@ pub fn asymmetry_ratios(m: &DeliveryMatrix) -> Vec<f64> {
 }
 
 /// Fig 5.2's per-rate pooled ratios across every network of a PHY.
-pub fn asymmetry_by_rate(ds: &Dataset, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
+pub fn asymmetry_by_rate(view: DatasetView<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
     let mut out: BTreeMap<BitRate, Vec<f64>> = BTreeMap::new();
-    for meta in &ds.networks {
+    for meta in view.networks() {
         if !meta.radios.contains(&phy) {
             continue;
         }
-        let probes: Vec<_> = ds
-            .probes_for_network(meta.id)
-            .filter(|p| p.phy == phy)
-            .collect();
-        for &rate in phy.probed_rates() {
-            let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
-            out.entry(rate).or_default().extend(asymmetry_ratios(&m));
+        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
+            out.entry(m.rate).or_default().extend(asymmetry_ratios(&m));
         }
     }
     out

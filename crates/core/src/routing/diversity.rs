@@ -59,22 +59,18 @@ pub fn improvement_by_diversity(
 /// Convenience: builds matrices + analyses for one rate over a dataset and
 /// reduces them. `min_aps` mirrors the §5 population (5).
 pub fn analyze_diversity(
-    ds: &mesh11_trace::Dataset,
+    view: mesh11_trace::DatasetView<'_>,
     phy: mesh11_phy::Phy,
     rate: mesh11_phy::BitRate,
     min_aps: usize,
     variant: EtxVariant,
 ) -> Vec<(usize, f64, f64, usize)> {
     let mut pairs = Vec::new();
-    for meta in ds.networks_with_at_least(min_aps) {
+    for meta in view.networks_with_at_least(min_aps) {
         if !meta.radios.contains(&phy) {
             continue;
         }
-        let probes: Vec<_> = ds
-            .probes_for_network(meta.id)
-            .filter(|p| p.phy == phy)
-            .collect();
-        let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes);
+        let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
         let a = OpportunisticAnalysis::compute(&m);
         pairs.push((m, a));
     }

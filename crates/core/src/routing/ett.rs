@@ -17,7 +17,7 @@
 //! in time, per source–destination pair.
 
 use mesh11_phy::{airtime::frame_time_us, BitRate, Phy};
-use mesh11_trace::{ApId, Dataset, DeliveryMatrix, NetworkId};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId};
 
 use crate::routing::etx::MIN_DELIVERY;
 use crate::routing::shortest::PathTable;
@@ -135,23 +135,13 @@ impl EttAnalysis {
 }
 
 /// Runs the ETT analysis on every b/g network with at least `min_aps` APs.
-pub fn analyze_ett(ds: &Dataset, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
+pub fn analyze_ett(view: DatasetView<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
     let mut out = Vec::new();
-    for meta in ds.networks_with_at_least(min_aps) {
+    for meta in view.networks_with_at_least(min_aps) {
         if !meta.radios.contains(&phy) {
             continue;
         }
-        let probes: Vec<_> = ds
-            .probes_for_network(meta.id)
-            .filter(|p| p.phy == phy)
-            .collect();
-        let matrices: Vec<DeliveryMatrix> = phy
-            .probed_rates()
-            .iter()
-            .map(|&rate| {
-                DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied())
-            })
-            .collect();
+        let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
         out.push(EttAnalysis::compute(&matrices));
     }
     out

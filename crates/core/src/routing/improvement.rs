@@ -7,7 +7,7 @@
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{ApId, Dataset, DeliveryMatrix, NetworkId};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId};
 
 use crate::routing::etx::EtxVariant;
 use crate::routing::exor::ExorTable;
@@ -112,19 +112,18 @@ impl OpportunisticAnalysis {
 /// Runs the analysis for every rate of every network with at least
 /// `min_aps` APs (the paper uses 5), returning one entry per
 /// (network, rate).
-pub fn analyze_dataset(ds: &Dataset, phy: Phy, min_aps: usize) -> Vec<OpportunisticAnalysis> {
+pub fn analyze_dataset(
+    view: DatasetView<'_>,
+    phy: Phy,
+    min_aps: usize,
+) -> Vec<OpportunisticAnalysis> {
     let mut out = Vec::new();
-    for meta in ds.networks_with_at_least(min_aps) {
+    for meta in view.networks_with_at_least(min_aps) {
         if !meta.radios.contains(&phy) {
             continue;
         }
-        // One pass over this network's probes per rate.
-        let probes: Vec<_> = ds
-            .probes_for_network(meta.id)
-            .filter(|p| p.phy == phy)
-            .collect();
-        for &rate in phy.probed_rates() {
-            let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
+        // One pass over this network's indexed probes for all rates at once.
+        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
             out.push(OpportunisticAnalysis::compute(&m));
         }
     }

@@ -5,7 +5,7 @@
 //! `N(B) ∧ ¬N(A) ∧ {C > A}` — one AND-NOT-MASK-POPCOUNT sweep per (B, A).
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{Dataset, DeliveryMatrix, EnvLabel, NetworkId};
+use mesh11_trace::{DatasetView, EnvLabel, NetworkId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -77,21 +77,15 @@ pub struct TripleAnalysis {
 
 impl TripleAnalysis {
     /// Runs the analysis on every network running `phy` in the dataset.
-    pub fn run(ds: &Dataset, phy: Phy, threshold: f64, rule: HearRule) -> Self {
+    pub fn run(view: DatasetView<'_>, phy: Phy, threshold: f64, rule: HearRule) -> Self {
         let mut per_network = BTreeMap::new();
-        for meta in &ds.networks {
+        for meta in view.networks() {
             if !meta.radios.contains(&phy) || meta.n_aps < 3 {
                 continue;
             }
-            let probes: Vec<_> = ds
-                .probes_for_network(meta.id)
-                .filter(|p| p.phy == phy)
-                .collect();
-            for &rate in phy.probed_rates() {
-                let m =
-                    DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
+            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
                 let g = HearingGraph::build(&m, threshold, rule);
-                per_network.insert((meta.id, rate), (meta.env, count_triples(&g)));
+                per_network.insert((meta.id, m.rate), (meta.env, count_triples(&g)));
             }
         }
         Self {

@@ -8,30 +8,25 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{Dataset, DeliveryMatrix, EnvLabel, NetworkId};
+use mesh11_trace::{Dataset, DatasetView, EnvLabel, NetworkId};
 
 use crate::triples::hearing::{HearRule, HearingGraph};
 
 /// Per-network range (hearing-pair count) at every probed rate.
 pub fn range_by_rate(
-    ds: &Dataset,
+    view: DatasetView<'_>,
     phy: Phy,
     threshold: f64,
     rule: HearRule,
 ) -> BTreeMap<(NetworkId, BitRate), usize> {
     let mut out = BTreeMap::new();
-    for meta in &ds.networks {
+    for meta in view.networks() {
         if !meta.radios.contains(&phy) || meta.n_aps < 2 {
             continue;
         }
-        let probes: Vec<_> = ds
-            .probes_for_network(meta.id)
-            .filter(|p| p.phy == phy)
-            .collect();
-        for &rate in phy.probed_rates() {
-            let m = DeliveryMatrix::from_probes(meta.id, rate, meta.n_aps, probes.iter().copied());
+        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
             let g = HearingGraph::build(&m, threshold, rule);
-            out.insert((meta.id, rate), g.edge_count());
+            out.insert((meta.id, m.rate), g.edge_count());
         }
     }
     out
@@ -90,10 +85,15 @@ pub fn normalized_range_by_env(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, NetworkMeta, ProbeSet, RateObs};
+    use mesh11_trace::{ApId, DatasetIndex, NetworkMeta, ProbeSet, RateObs};
 
     fn r(mbps: f64) -> BitRate {
         BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn ranges_over(ds: &Dataset) -> BTreeMap<(NetworkId, BitRate), usize> {
+        let ix = DatasetIndex::build(ds);
+        range_by_rate(DatasetView::new(ds, &ix), Phy::Bg, 0.10, HearRule::Mean)
     }
 
     /// A dataset where AP0–AP1 hear each other at 1 and 11 Mbit/s but only
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn ranges_reflect_thresholded_hearing() {
         let ds = tiny_ds();
-        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        let ranges = ranges_over(&ds);
         assert_eq!(ranges[&(NetworkId(0), r(1.0))], 1);
         assert_eq!(ranges[&(NetworkId(0), r(11.0))], 1);
         // 5% delivery misses the 10% threshold.
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn change_normalizes_to_base() {
         let ds = tiny_ds();
-        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        let ranges = ranges_over(&ds);
         let change = range_change_by_rate(&ranges, Phy::Bg);
         assert_eq!(change[&r(1.0)], vec![1.0], "base normalizes to itself");
         assert_eq!(change[&r(11.0)], vec![1.0]);
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn env_normalized_range() {
         let ds = tiny_ds();
-        let ranges = range_by_rate(&ds, Phy::Bg, 0.10, HearRule::Mean);
+        let ranges = ranges_over(&ds);
         let by_env = normalized_range_by_env(&ds, &ranges, r(1.0));
         assert_eq!(by_env[&EnvLabel::Indoor], vec![0.25]); // 1 pair / 2²
         assert!(!by_env.contains_key(&EnvLabel::Outdoor));

@@ -5,14 +5,14 @@
 //! helpers make that claim (and the hearing-rule choice) checkable.
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::Dataset;
+use mesh11_trace::DatasetView;
 
 use crate::triples::hearing::HearRule;
 use crate::triples::hidden::TripleAnalysis;
 
 /// Median hidden-triple fraction at `rate` for each threshold.
 pub fn threshold_sweep(
-    ds: &Dataset,
+    view: DatasetView<'_>,
     phy: Phy,
     rate: BitRate,
     thresholds: &[f64],
@@ -21,7 +21,7 @@ pub fn threshold_sweep(
     thresholds
         .iter()
         .map(|&t| {
-            let analysis = TripleAnalysis::run(ds, phy, t, rule);
+            let analysis = TripleAnalysis::run(view, phy, t, rule);
             (t, analysis.median_fraction(rate, None))
         })
         .collect()
@@ -29,7 +29,7 @@ pub fn threshold_sweep(
 
 /// Median hidden-triple fraction at `rate` under each hearing rule.
 pub fn rule_comparison(
-    ds: &Dataset,
+    view: DatasetView<'_>,
     phy: Phy,
     rate: BitRate,
     threshold: f64,
@@ -37,7 +37,7 @@ pub fn rule_comparison(
     [HearRule::Mean, HearRule::Min, HearRule::Max]
         .into_iter()
         .map(|rule| {
-            let analysis = TripleAnalysis::run(ds, phy, threshold, rule);
+            let analysis = TripleAnalysis::run(view, phy, threshold, rule);
             (rule, analysis.median_fraction(rate, None))
         })
         .collect()
@@ -46,7 +46,9 @@ pub fn rule_comparison(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_trace::{ApId, EnvLabel, NetworkId, NetworkMeta, ProbeSet, RateObs};
+    use mesh11_trace::{
+        ApId, Dataset, DatasetIndex, EnvLabel, NetworkId, NetworkMeta, ProbeSet, RateObs,
+    };
 
     fn r1() -> BitRate {
         BitRate::bg_mbps(1.0).unwrap()
@@ -91,7 +93,14 @@ mod tests {
     #[test]
     fn threshold_flips_the_verdict() {
         let ds = chainish();
-        let rows = threshold_sweep(&ds, Phy::Bg, r1(), &[0.10, 0.20, 0.50], HearRule::Mean);
+        let ix = DatasetIndex::build(&ds);
+        let rows = threshold_sweep(
+            DatasetView::new(&ds, &ix),
+            Phy::Bg,
+            r1(),
+            &[0.10, 0.20, 0.50],
+            HearRule::Mean,
+        );
         // t=0.10: A–C heard (0.15 ≥ 0.10) → triangle, nothing hidden.
         assert_eq!(rows[0].1, Some(0.0));
         // t=0.20: A–C drops out → classic hidden triple.
@@ -105,7 +114,8 @@ mod tests {
         // Max is the most permissive hearing rule ⇒ densest graph ⇒ it can
         // only close triangles relative to Min.
         let ds = chainish();
-        let rows = rule_comparison(&ds, Phy::Bg, r1(), 0.12);
+        let ix = DatasetIndex::build(&ds);
+        let rows = rule_comparison(DatasetView::new(&ds, &ix), Phy::Bg, r1(), 0.12);
         let get = |rule: HearRule| rows.iter().find(|r| r.0 == rule).unwrap().1;
         // All directions symmetric here: rules agree on edges, so medians
         // agree — the sweep still exercises the full pipeline per rule.

@@ -34,24 +34,23 @@ impl DirState {
         }
     }
 
-    /// Builds the rate observations of one report; empty when nothing in
-    /// the window was received.
-    fn observations(&self, rates: &[mesh11_phy::BitRate]) -> Vec<RateObs> {
-        rates
-            .iter()
-            .enumerate()
-            .filter_map(|(ri, &rate)| {
-                let w = &self.windows[ri];
-                if w.received() == 0 {
-                    return None;
-                }
-                Some(RateObs {
-                    rate,
-                    loss: w.loss().expect("received > 0 implies non-empty window"),
-                    snr_db: self.last_snr[ri],
-                })
-            })
-            .collect()
+    /// Fills `buf` with the rate observations of one report; leaves it
+    /// empty when nothing in the window was received. Taking a scratch
+    /// buffer (rather than returning a fresh `Vec`) keeps the per-report
+    /// cost allocation-free across the many silent report intervals.
+    fn observations_into(&self, rates: &[mesh11_phy::BitRate], buf: &mut Vec<RateObs>) {
+        buf.clear();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let w = &self.windows[ri];
+            if w.received() == 0 {
+                continue;
+            }
+            buf.push(RateObs {
+                rate,
+                loss: w.loss().expect("received > 0 implies non-empty window"),
+                snr_db: self.last_snr[ri],
+            });
+        }
     }
 }
 
@@ -166,6 +165,7 @@ fn simulate_pair(
     ));
 
     let mut out: Vec<ProbeSet> = Vec::new();
+    let mut obs_buf: Vec<RateObs> = Vec::with_capacity(rates.len());
     let mut t = cfg.probe_interval_s;
     let mut next_report = cfg.report_interval_s;
     let eps = 1e-9;
@@ -213,28 +213,28 @@ fn simulate_pair(
             // Reports are produced by the *receiver*; a dead receiver
             // stays silent this round.
             if cfg.faults.ap_up(spec.id, b, t) {
-                let obs = fwd.observations(rates);
-                if !obs.is_empty() {
+                fwd.observations_into(rates, &mut obs_buf);
+                if !obs_buf.is_empty() {
                     out.push(ProbeSet {
                         network: spec.id,
                         phy,
                         time_s: t,
                         sender: a,
                         receiver: b,
-                        obs,
+                        obs: obs_buf.clone(),
                     });
                 }
             }
             if cfg.faults.ap_up(spec.id, a, t) {
-                let obs = rev.observations(rates);
-                if !obs.is_empty() {
+                rev.observations_into(rates, &mut obs_buf);
+                if !obs_buf.is_empty() {
                     out.push(ProbeSet {
                         network: spec.id,
                         phy,
                         time_s: t,
                         sender: b,
                         receiver: a,
-                        obs,
+                        obs: obs_buf.clone(),
                     });
                 }
             }

@@ -110,6 +110,14 @@ impl Dataset {
 
     /// Merges another dataset (disjoint networks) into this one. Network ids
     /// must already be globally unique — the campaign runner guarantees it.
+    ///
+    /// # Index invalidation
+    ///
+    /// Merging appends to `probes`, so any [`crate::DatasetIndex`] built
+    /// over either input is stale afterwards (a stale index is rejected by
+    /// [`crate::DatasetView::new`]). The index holds no incremental state:
+    /// rebuilding after the merge yields exactly the index of the merged
+    /// dataset — merge-then-index equals index-of-merged.
     pub fn merge(&mut self, other: Dataset) {
         // Keep `networks` indexable by id: grow and place by id.
         for meta in other.networks {
@@ -238,5 +246,42 @@ mod tests {
         assert_eq!(a.networks.len(), 4);
         assert_eq!(a.probes.len(), 6);
         assert_eq!(a.meta(NetworkId(3)).unwrap().n_aps, 7);
+    }
+
+    /// The documented invalidation contract: indexing after a merge gives
+    /// exactly the index of the merged dataset, and a pre-merge index is
+    /// rejected as stale.
+    #[test]
+    fn merge_then_index_equals_index_of_merged() {
+        let mut a = tiny_dataset();
+        let mut b = tiny_dataset();
+        for m in &mut b.networks {
+            m.id = NetworkId(m.id.0 + 2);
+        }
+        for p in &mut b.probes {
+            p.network = NetworkId(p.network.0 + 2);
+        }
+        for c in &mut b.clients {
+            c.network = NetworkId(c.network.0 + 2);
+        }
+        let stale = crate::DatasetIndex::build(&a);
+        a.merge(b.clone());
+
+        // Rebuild == index of an identical dataset assembled in one shot.
+        let rebuilt = crate::DatasetIndex::build(&a);
+        let mut oneshot = tiny_dataset();
+        oneshot.networks.extend(b.networks);
+        oneshot.probes.extend(b.probes);
+        oneshot.clients.extend(b.clients);
+        assert_eq!(rebuilt, crate::DatasetIndex::build(&oneshot));
+        assert_eq!(
+            rebuilt.link_report_counts(),
+            a.link_report_counts(),
+            "rebuilt index must agree with the full scan"
+        );
+
+        // The pre-merge index no longer matches and must be refused.
+        assert_ne!(stale, rebuilt);
+        assert!(std::panic::catch_unwind(|| crate::DatasetView::new(&a, &stale)).is_err());
     }
 }

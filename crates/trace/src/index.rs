@@ -1,0 +1,826 @@
+//! Indexed, columnar views over a [`Dataset`].
+//!
+//! Every analysis in the paper (§4–§7) is a *grouped scan*: per-link probe
+//! histories (rate adaptation), per-(network, rate) delivery matrices
+//! (routing, hidden triples), per-PHY probe streams (lookup tables, SNR
+//! correlation). The raw [`Dataset`] only offers linear filters, so each of
+//! those scans re-walked the whole probe vector. A [`DatasetIndex`] is built
+//! once and turns each grouped scan into a contiguous range walk:
+//!
+//! * **`phy_order`** — probe positions stably sorted by PHY. The slice for a
+//!   PHY preserves *dataset order*, so iterating it is bit-for-bit the same
+//!   as `Dataset::probes_for_phy` (order-sensitive consumers such as the SNR
+//!   correlation sums rely on this).
+//! * **`link_order`** — positions stably sorted by
+//!   `(phy, network, sender, receiver)`. Each directed link is a contiguous
+//!   range whose *within-group order is dataset order* (stable sort), which
+//!   is what makes indexed delivery-matrix accumulation byte-identical to
+//!   the old linear filters: every matrix cell is fed by exactly one link,
+//!   in the same order as before.
+//! * **link/network groups** — interned link ids ([`LinkView::link_id`]) and
+//!   per-network link + probe ranges, so per-network analyses touch only
+//!   their own probes.
+//! * **columnar side arrays** — per-probe `time_s`, median SNR (and its
+//!   integer key), the optimal rate observation, plus flattened per-rate
+//!   observation columns (rate, delivery, throughput, SNR). The hottest
+//!   kernels (lookup-table training, penalty scoring, single-pass matrix
+//!   stacks) read these instead of re-deriving medians and optima per call.
+//!
+//! The index is a pure function of the probe vector; it holds **positions**,
+//! not copies, and must be rebuilt after any mutation of `Dataset::probes`
+//! (see [`Dataset::merge`]). [`DatasetView`] bundles a dataset with its
+//! index; analyses take a view by value (it is `Copy`).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use mesh11_phy::{BitRate, Phy};
+
+use crate::dataset::{Dataset, NetworkMeta};
+use crate::ids::{ApId, NetworkId};
+use crate::matrix::DeliveryMatrix;
+use crate::probe::{ProbeSet, RateObs};
+
+/// Number of PHY families ([`Phy::Bg`], [`Phy::Ht`]).
+const N_PHYS: usize = 2;
+
+/// Dense slot of a PHY in the index's per-PHY range tables.
+fn phy_slot(phy: Phy) -> usize {
+    match phy {
+        Phy::Bg => 0,
+        Phy::Ht => 1,
+    }
+}
+
+/// One directed link's contiguous range of `link_order`.
+#[derive(Debug, Clone, PartialEq)]
+struct LinkGroup {
+    network: NetworkId,
+    sender: ApId,
+    receiver: ApId,
+    /// Range into `DatasetIndex::link_order`.
+    probes: Range<u32>,
+}
+
+/// One (PHY, network)'s contiguous ranges of links and probes.
+#[derive(Debug, Clone, PartialEq)]
+struct NetGroup {
+    network: NetworkId,
+    /// Range into `DatasetIndex::links`.
+    links: Range<u32>,
+    /// Range into `DatasetIndex::link_order`.
+    probes: Range<u32>,
+}
+
+/// Precomputed grouping + columnar side arrays for one [`Dataset`].
+///
+/// Build with [`DatasetIndex::build`]; pair with the dataset via
+/// [`DatasetView::new`]. The index refers to probes by position, so it is
+/// invalidated by any mutation of `Dataset::probes` and must then be
+/// rebuilt (building after mutation gives exactly the index of the mutated
+/// dataset — there is no incremental state).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetIndex {
+    /// Probe count the index was built over (consistency check).
+    n_probes: usize,
+    /// Probe positions stably sorted by PHY; dataset order within a PHY.
+    phy_order: Vec<u32>,
+    /// Per-PHY range into `phy_order`, indexed by `phy_slot`.
+    phy_ranges: [Range<u32>; N_PHYS],
+    /// Probe positions stably sorted by (phy, network, sender, receiver).
+    link_order: Vec<u32>,
+    /// Directed links, each a contiguous range of `link_order`, in
+    /// (phy, network, sender, receiver) order.
+    links: Vec<LinkGroup>,
+    /// Per-PHY range into `links`.
+    link_ranges: [Range<u32>; N_PHYS],
+    /// Per-(phy, network) groups, in (phy, network) order.
+    nets: Vec<NetGroup>,
+    /// Per-PHY range into `nets`.
+    net_ranges: [Range<u32>; N_PHYS],
+    /// Per-probe report time (dataset position order).
+    time_s: Vec<f64>,
+    /// Per-probe median SNR (`ProbeSet::snr_db`), precomputed.
+    snr_db: Vec<f64>,
+    /// Per-probe integer SNR key (`ProbeSet::snr_key`), precomputed.
+    snr_key: Vec<i64>,
+    /// Per-probe optimal observation (`ProbeSet::optimal`), precomputed.
+    opt: Vec<RateObs>,
+    /// Prefix offsets into the flattened observation columns; length
+    /// `n_probes + 1`.
+    obs_off: Vec<u32>,
+    /// Flattened per-observation rate.
+    obs_rate: Vec<BitRate>,
+    /// Flattened per-observation delivery probability (`1 − loss`, clamped).
+    obs_delivery: Vec<f64>,
+    /// Flattened per-observation throughput (Mbit/s).
+    obs_thr_mbps: Vec<f64>,
+    /// Flattened per-observation SNR (dB).
+    obs_snr_db: Vec<f64>,
+}
+
+/// The flattened observation columns of one probe set, in `obs` order.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsColumns<'a> {
+    /// Rate of each observation.
+    pub rates: &'a [BitRate],
+    /// Delivery probability of each observation.
+    pub deliveries: &'a [f64],
+    /// Throughput (Mbit/s) of each observation.
+    pub thr_mbps: &'a [f64],
+    /// Most-recent SNR (dB) of each observation.
+    pub snr_db: &'a [f64],
+}
+
+impl DatasetIndex {
+    /// Builds the index over `ds.probes`. `O(n log n)` in the probe count.
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.probes.len();
+        assert!(n < u32::MAX as usize, "dataset too large to index");
+
+        let mut time_s = Vec::with_capacity(n);
+        let mut snr_db = Vec::with_capacity(n);
+        let mut snr_key = Vec::with_capacity(n);
+        let mut opt = Vec::with_capacity(n);
+        let mut obs_off = Vec::with_capacity(n + 1);
+        let mut obs_rate = Vec::new();
+        let mut obs_delivery = Vec::new();
+        let mut obs_thr_mbps = Vec::new();
+        let mut obs_snr_db = Vec::new();
+        obs_off.push(0u32);
+        for p in &ds.probes {
+            time_s.push(p.time_s);
+            let snr = p.snr_db();
+            snr_db.push(snr);
+            snr_key.push(snr.round() as i64);
+            opt.push(p.optimal());
+            for o in &p.obs {
+                obs_rate.push(o.rate);
+                obs_delivery.push(o.delivery());
+                obs_thr_mbps.push(o.throughput_mbps());
+                obs_snr_db.push(o.snr_db);
+            }
+            obs_off.push(obs_rate.len() as u32);
+        }
+
+        // Stable by-PHY permutation: dataset order within each PHY.
+        let mut phy_order: Vec<u32> = (0..n as u32).collect();
+        phy_order.sort_by_key(|&i| phy_slot(ds.probes[i as usize].phy));
+        let split = phy_order.partition_point(|&i| phy_slot(ds.probes[i as usize].phy) == 0);
+        let phy_ranges = [0..split as u32, split as u32..n as u32];
+
+        // Stable by-link permutation: dataset order within each directed
+        // link (the ordering invariant every consumer relies on).
+        let key = |i: u32| {
+            let p = &ds.probes[i as usize];
+            (phy_slot(p.phy), p.network.0, p.sender.0, p.receiver.0)
+        };
+        let mut link_order = phy_order.clone();
+        link_order.sort_by_key(|&i| key(i));
+
+        let mut links = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let k = key(link_order[i]);
+            let start = i;
+            while i < n && key(link_order[i]) == k {
+                i += 1;
+            }
+            let p = &ds.probes[link_order[start] as usize];
+            links.push(LinkGroup {
+                network: p.network,
+                sender: p.sender,
+                receiver: p.receiver,
+                probes: start as u32..i as u32,
+            });
+        }
+
+        let link_phy = |g: &LinkGroup| {
+            let first = g.probes.start as usize;
+            phy_slot(ds.probes[link_order[first] as usize].phy)
+        };
+        let link_split = links.partition_point(|g| link_phy(g) == 0);
+        let link_ranges = [0..link_split as u32, link_split as u32..links.len() as u32];
+
+        let mut nets = Vec::new();
+        let mut j = 0usize;
+        while j < links.len() {
+            let k = (link_phy(&links[j]), links[j].network);
+            let start = j;
+            while j < links.len() && (link_phy(&links[j]), links[j].network) == k {
+                j += 1;
+            }
+            nets.push(NetGroup {
+                network: k.1,
+                links: start as u32..j as u32,
+                probes: links[start].probes.start..links[j - 1].probes.end,
+            });
+        }
+        let net_split = nets.partition_point(|g| {
+            let first = g.links.start as usize;
+            link_phy(&links[first]) == 0
+        });
+        let net_ranges = [0..net_split as u32, net_split as u32..nets.len() as u32];
+
+        Self {
+            n_probes: n,
+            phy_order,
+            phy_ranges,
+            link_order,
+            links,
+            link_ranges,
+            nets,
+            net_ranges,
+            time_s,
+            snr_db,
+            snr_key,
+            opt,
+            obs_off,
+            obs_rate,
+            obs_delivery,
+            obs_thr_mbps,
+            obs_snr_db,
+        }
+    }
+
+    /// Probe count the index covers.
+    pub fn n_probes(&self) -> usize {
+        self.n_probes
+    }
+
+    /// Number of distinct directed links (across both PHYs).
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Per-probe report time, by dataset position.
+    pub fn time_s(&self, pos: usize) -> f64 {
+        self.time_s[pos]
+    }
+
+    /// Per-probe median SNR (precomputed `ProbeSet::snr_db`).
+    pub fn snr_db(&self, pos: usize) -> f64 {
+        self.snr_db[pos]
+    }
+
+    /// Per-probe integer SNR key (precomputed `ProbeSet::snr_key`).
+    pub fn snr_key(&self, pos: usize) -> i64 {
+        self.snr_key[pos]
+    }
+
+    /// Per-probe optimal observation (precomputed `ProbeSet::optimal`).
+    pub fn optimal(&self, pos: usize) -> RateObs {
+        self.opt[pos]
+    }
+
+    /// The flattened observation columns of one probe set.
+    pub fn obs(&self, pos: usize) -> ObsColumns<'_> {
+        let r = self.obs_off[pos] as usize..self.obs_off[pos + 1] as usize;
+        ObsColumns {
+            rates: &self.obs_rate[r.clone()],
+            deliveries: &self.obs_delivery[r.clone()],
+            thr_mbps: &self.obs_thr_mbps[r.clone()],
+            snr_db: &self.obs_snr_db[r],
+        }
+    }
+
+    /// All directed links that ever produced a probe set, with their report
+    /// counts — identical to [`Dataset::link_report_counts`] but assembled
+    /// from the link groups instead of a full probe scan.
+    pub fn link_report_counts(&self) -> BTreeMap<(NetworkId, ApId, ApId), usize> {
+        let mut map = BTreeMap::new();
+        for g in &self.links {
+            *map.entry((g.network, g.sender, g.receiver)).or_insert(0) += g.probes.len();
+        }
+        map
+    }
+
+    fn net_group(&self, phy: Phy, network: NetworkId) -> Option<&NetGroup> {
+        let r = self.net_ranges[phy_slot(phy)].clone();
+        let slice = &self.nets[r.start as usize..r.end as usize];
+        slice
+            .binary_search_by_key(&network.0, |g| g.network.0)
+            .ok()
+            .map(|k| &slice[k])
+    }
+}
+
+/// A [`Dataset`] paired with its [`DatasetIndex`]. `Copy` — analyses take
+/// it by value.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetView<'a> {
+    ds: &'a Dataset,
+    ix: &'a DatasetIndex,
+}
+
+impl<'a> DatasetView<'a> {
+    /// Pairs a dataset with an index built over it.
+    ///
+    /// # Panics
+    /// If the index was built over a different probe count (stale index).
+    pub fn new(ds: &'a Dataset, ix: &'a DatasetIndex) -> Self {
+        assert_eq!(
+            ds.probes.len(),
+            ix.n_probes,
+            "stale DatasetIndex: rebuild after mutating the dataset"
+        );
+        Self { ds, ix }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The index.
+    pub fn index(&self) -> &'a DatasetIndex {
+        self.ix
+    }
+
+    /// Per-network metadata (delegates to the dataset).
+    pub fn networks(&self) -> &'a [NetworkMeta] {
+        &self.ds.networks
+    }
+
+    /// Metadata of one network (delegates to the dataset).
+    pub fn meta(&self, id: NetworkId) -> Option<&'a NetworkMeta> {
+        self.ds.meta(id)
+    }
+
+    /// Networks with at least `n` APs (delegates to the dataset).
+    pub fn networks_with_at_least(&self, n: usize) -> impl Iterator<Item = &'a NetworkMeta> {
+        self.ds.networks_with_at_least(n)
+    }
+
+    /// The probe entry at a dataset position.
+    pub fn entry(&self, pos: usize) -> ProbeEntry<'a> {
+        ProbeEntry {
+            pos,
+            probe: &self.ds.probes[pos],
+            time_s: self.ix.time_s[pos],
+            snr_db: self.ix.snr_db[pos],
+            snr_key: self.ix.snr_key[pos],
+            opt: self.ix.opt[pos],
+        }
+    }
+
+    /// Probe sets of one PHY, in dataset order — same sequence as
+    /// [`Dataset::probes_for_phy`], without the full-vector filter walk.
+    pub fn probes_for_phy(&self, phy: Phy) -> impl Iterator<Item = &'a ProbeSet> + 'a {
+        let ds = self.ds;
+        self.phy_positions(phy)
+            .iter()
+            .map(move |&i| &ds.probes[i as usize])
+    }
+
+    /// Probe entries (probe + precomputed columns) of one PHY, in dataset
+    /// order.
+    pub fn entries_for_phy(&self, phy: Phy) -> impl Iterator<Item = ProbeEntry<'a>> + 'a {
+        let v = *self;
+        self.phy_positions(phy)
+            .iter()
+            .map(move |&i| v.entry(i as usize))
+    }
+
+    fn phy_positions(&self, phy: Phy) -> &'a [u32] {
+        let r = self.ix.phy_ranges[phy_slot(phy)].clone();
+        &self.ix.phy_order[r.start as usize..r.end as usize]
+    }
+
+    /// Directed links of one PHY, in (network, sender, receiver) order.
+    pub fn links_for_phy(&self, phy: Phy) -> impl Iterator<Item = LinkView<'a>> + 'a {
+        let v = *self;
+        let r = self.ix.link_ranges[phy_slot(phy)].clone();
+        (r.start as usize..r.end as usize).map(move |k| LinkView {
+            view: v,
+            link_id: k as u32,
+        })
+    }
+
+    /// The indexed group of one (PHY, network); `None` when the network has
+    /// no probes for that PHY (an empty group, as the linear filters would
+    /// also have produced).
+    pub fn network(&self, phy: Phy, network: NetworkId) -> Option<NetworkView<'a>> {
+        self.ix.net_group(phy, network).map(|g| NetworkView {
+            view: *self,
+            group: g,
+        })
+    }
+
+    /// The delivery matrix of one (network, rate) — identical to
+    /// `DeliveryMatrix::from_probes` over the network's probes, computed
+    /// from the indexed range.
+    pub fn delivery_matrix(
+        &self,
+        phy: Phy,
+        network: NetworkId,
+        rate: BitRate,
+        n_aps: usize,
+    ) -> DeliveryMatrix {
+        self.delivery_stack(phy, network, std::slice::from_ref(&rate), n_aps)
+            .pop()
+            .expect("one rate in, one matrix out")
+    }
+
+    /// One delivery matrix per rate, from a **single pass** over the
+    /// network's probes. Byte-identical to calling
+    /// `DeliveryMatrix::from_probes` once per rate: every matrix cell is
+    /// fed by exactly one link, the within-link order is dataset order,
+    /// and only the first observation of a rate within a probe set counts
+    /// (the `obs_for` contract).
+    pub fn delivery_stack(
+        &self,
+        phy: Phy,
+        network: NetworkId,
+        rates: &[BitRate],
+        n_aps: usize,
+    ) -> Vec<DeliveryMatrix> {
+        assert!(rates.len() <= 128, "rate stack too deep");
+        let n2 = n_aps * n_aps;
+        let mut sums = vec![0.0f64; rates.len() * n2];
+        let mut cnts = vec![0u32; rates.len() * n2];
+        // First slot of each distinct rate; duplicate rates in `rates`
+        // share the first slot's accumulation (copied below).
+        let mut slot_of: BTreeMap<BitRate, usize> = BTreeMap::new();
+        for (j, &r) in rates.iter().enumerate() {
+            slot_of.entry(r).or_insert(j);
+        }
+        if let Some(g) = self.ix.net_group(phy, network) {
+            let positions = &self.ix.link_order[g.probes.start as usize..g.probes.end as usize];
+            for &pos in positions {
+                let p = &self.ds.probes[pos as usize];
+                let cell = p.sender.idx() * n_aps + p.receiver.idx();
+                let obs = self.ix.obs(pos as usize);
+                let mut seen = 0u128;
+                for (k, r) in obs.rates.iter().enumerate() {
+                    let Some(&slot) = slot_of.get(r) else {
+                        continue;
+                    };
+                    if seen & (1 << slot) != 0 {
+                        continue; // obs_for takes the first observation
+                    }
+                    seen |= 1 << slot;
+                    sums[slot * n2 + cell] += obs.deliveries[k];
+                    cnts[slot * n2 + cell] += 1;
+                }
+            }
+        }
+        rates
+            .iter()
+            .map(|&rate| {
+                let src = slot_of[&rate];
+                let p = sums[src * n2..(src + 1) * n2]
+                    .iter()
+                    .zip(&cnts[src * n2..(src + 1) * n2])
+                    .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect();
+                DeliveryMatrix::from_parts(network, rate, n_aps, p)
+            })
+            .collect()
+    }
+
+    /// Directed-link report counts (delegates to the index).
+    pub fn link_report_counts(&self) -> BTreeMap<(NetworkId, ApId, ApId), usize> {
+        self.ix.link_report_counts()
+    }
+}
+
+/// One probe set plus its precomputed columns.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeEntry<'a> {
+    /// Position in `Dataset::probes`.
+    pub pos: usize,
+    /// The probe set itself.
+    pub probe: &'a ProbeSet,
+    /// Report time (seconds), from the time column.
+    pub time_s: f64,
+    /// Median SNR (`ProbeSet::snr_db`), precomputed.
+    pub snr_db: f64,
+    /// Integer SNR key (`ProbeSet::snr_key`), precomputed.
+    pub snr_key: i64,
+    /// Optimal observation (`ProbeSet::optimal`), precomputed.
+    pub opt: RateObs,
+}
+
+/// One directed link's indexed probe range.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkView<'a> {
+    view: DatasetView<'a>,
+    link_id: u32,
+}
+
+impl<'a> LinkView<'a> {
+    fn group(&self) -> &'a LinkGroup {
+        &self.view.ix.links[self.link_id as usize]
+    }
+
+    /// Interned link id: dense index of this directed link in the index's
+    /// (phy, network, sender, receiver)-ordered link table.
+    pub fn link_id(&self) -> u32 {
+        self.link_id
+    }
+
+    /// The network the link belongs to.
+    pub fn network(&self) -> NetworkId {
+        self.group().network
+    }
+
+    /// Sending AP.
+    pub fn sender(&self) -> ApId {
+        self.group().sender
+    }
+
+    /// Receiving AP.
+    pub fn receiver(&self) -> ApId {
+        self.group().receiver
+    }
+
+    /// Number of probe-set reports on this link.
+    pub fn len(&self) -> usize {
+        self.group().probes.len()
+    }
+
+    /// Whether the link has no reports (never true for indexed links).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn positions(&self) -> &'a [u32] {
+        let g = self.group();
+        &self.view.ix.link_order[g.probes.start as usize..g.probes.end as usize]
+    }
+
+    /// The link's probe sets, in dataset order (time order for trace data).
+    pub fn probes(&self) -> impl Iterator<Item = &'a ProbeSet> + 'a {
+        let ds = self.view.ds;
+        self.positions()
+            .iter()
+            .map(move |&i| &ds.probes[i as usize])
+    }
+
+    /// The link's probe entries, in dataset order.
+    pub fn entries(&self) -> impl Iterator<Item = ProbeEntry<'a>> + 'a {
+        let v = self.view;
+        self.positions().iter().map(move |&i| v.entry(i as usize))
+    }
+}
+
+/// One (PHY, network)'s indexed probe and link ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkView<'a> {
+    view: DatasetView<'a>,
+    group: &'a NetGroup,
+}
+
+impl<'a> NetworkView<'a> {
+    /// The network id.
+    pub fn network(&self) -> NetworkId {
+        self.group.network
+    }
+
+    /// Number of probe-set reports in the group.
+    pub fn n_reports(&self) -> usize {
+        self.group.probes.len()
+    }
+
+    /// The network's directed links, in (sender, receiver) order.
+    pub fn links(&self) -> impl Iterator<Item = LinkView<'a>> + 'a {
+        let v = self.view;
+        let r = self.group.links.clone();
+        (r.start..r.end).map(move |k| LinkView {
+            view: v,
+            link_id: k,
+        })
+    }
+
+    /// The network's probe sets, grouped by link, dataset order within
+    /// each link.
+    pub fn probes(&self) -> impl Iterator<Item = &'a ProbeSet> + 'a {
+        let ds = self.view.ds;
+        let g = self.group;
+        self.view.ix.link_order[g.probes.start as usize..g.probes.end as usize]
+            .iter()
+            .map(move |&i| &ds.probes[i as usize])
+    }
+
+    /// The network's probe entries, grouped by link.
+    pub fn entries(&self) -> impl Iterator<Item = ProbeEntry<'a>> + 'a {
+        let v = self.view;
+        let g = self.group;
+        self.view.ix.link_order[g.probes.start as usize..g.probes.end as usize]
+            .iter()
+            .map(move |&i| v.entry(i as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EnvLabel;
+    use mesh11_phy::rate::BG_PROBED;
+
+    fn rate(mbps: f64) -> BitRate {
+        BitRate::bg_mbps(mbps).unwrap()
+    }
+
+    fn probe(net: u32, phy: Phy, s: u32, r: u32, t: f64, loss: f64) -> ProbeSet {
+        let rt = match phy {
+            Phy::Bg => rate(11.0),
+            Phy::Ht => BitRate::ht_mcs(3, false).unwrap(),
+        };
+        ProbeSet {
+            network: NetworkId(net),
+            phy,
+            time_s: t,
+            sender: ApId(s),
+            receiver: ApId(r),
+            obs: vec![
+                RateObs {
+                    rate: rt,
+                    loss,
+                    snr_db: 18.0,
+                },
+                RateObs {
+                    rate: match phy {
+                        Phy::Bg => rate(1.0),
+                        Phy::Ht => BitRate::ht_mcs(0, false).unwrap(),
+                    },
+                    loss: 0.0,
+                    snr_db: 20.0,
+                },
+            ],
+        }
+    }
+
+    fn mixed_dataset() -> Dataset {
+        let meta = |i: u32, n: usize, radios: Vec<Phy>| NetworkMeta {
+            id: NetworkId(i),
+            env: EnvLabel::Indoor,
+            n_aps: n,
+            radios,
+            location: "Testville".into(),
+        };
+        Dataset {
+            networks: vec![
+                meta(0, 3, vec![Phy::Bg]),
+                meta(1, 2, vec![Phy::Ht]),
+                meta(2, 2, vec![Phy::Bg]),
+            ],
+            probes: vec![
+                probe(2, Phy::Bg, 0, 1, 300.0, 0.1),
+                probe(0, Phy::Bg, 0, 1, 300.0, 0.2),
+                probe(1, Phy::Ht, 1, 0, 300.0, 0.3),
+                probe(0, Phy::Bg, 1, 0, 300.0, 0.4),
+                probe(0, Phy::Bg, 0, 1, 600.0, 0.5),
+                probe(1, Phy::Ht, 0, 1, 600.0, 0.6),
+                probe(0, Phy::Bg, 0, 2, 600.0, 0.7),
+            ],
+            clients: Vec::new(),
+            probe_horizon_s: 900.0,
+            client_horizon_s: 0.0,
+        }
+    }
+
+    fn view_over(ds: &Dataset, ix: &DatasetIndex) -> (Vec<f64>, Vec<f64>) {
+        let v = DatasetView::new(ds, ix);
+        let bg: Vec<f64> = v.probes_for_phy(Phy::Bg).map(|p| p.time_s).collect();
+        let ht: Vec<f64> = v.probes_for_phy(Phy::Ht).map(|p| p.time_s).collect();
+        (bg, ht)
+    }
+
+    #[test]
+    fn phy_order_matches_linear_filter() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        for phy in [Phy::Bg, Phy::Ht] {
+            let linear: Vec<&ProbeSet> = ds.probes_for_phy(phy).collect();
+            let indexed: Vec<&ProbeSet> = v.probes_for_phy(phy).collect();
+            assert_eq!(linear, indexed, "{phy}: order must be dataset order");
+        }
+        let _ = view_over(&ds, &ix);
+    }
+
+    #[test]
+    fn link_groups_preserve_dataset_order() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        // Network 0, link 0→1 has two reports, dataset (time) order.
+        let net = v.network(Phy::Bg, NetworkId(0)).unwrap();
+        let links: Vec<LinkView> = net.links().collect();
+        assert_eq!(links.len(), 3);
+        assert_eq!(
+            (links[0].sender(), links[0].receiver(), links[0].len()),
+            (ApId(0), ApId(1), 2)
+        );
+        let times: Vec<f64> = links[0].probes().map(|p| p.time_s).collect();
+        assert_eq!(times, vec![300.0, 600.0]);
+        // Entries expose the precomputed columns.
+        let e: Vec<ProbeEntry> = links[0].entries().collect();
+        assert_eq!(e[0].snr_key, 19); // median of {18, 20}
+        assert_eq!(e[0].opt.rate, rate(11.0));
+        assert_eq!(net.n_reports(), 4);
+    }
+
+    #[test]
+    fn network_lookup_misses_are_none() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        assert!(v.network(Phy::Ht, NetworkId(0)).is_none());
+        assert!(v.network(Phy::Bg, NetworkId(1)).is_none());
+        assert!(v.network(Phy::Bg, NetworkId(9)).is_none());
+    }
+
+    #[test]
+    fn link_report_counts_match_full_scan() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        assert_eq!(ix.link_report_counts(), ds.link_report_counts());
+        assert_eq!(ix.n_links(), 6);
+        assert_eq!(ix.n_probes(), ds.probes.len());
+    }
+
+    #[test]
+    fn delivery_stack_matches_from_probes() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        for m in &ds.networks {
+            let probes: Vec<&ProbeSet> = ds
+                .probes_for_network(m.id)
+                .filter(|p| p.phy == Phy::Bg)
+                .collect();
+            let stack = v.delivery_stack(Phy::Bg, m.id, BG_PROBED, m.n_aps);
+            for (k, &r) in BG_PROBED.iter().enumerate() {
+                let lin = DeliveryMatrix::from_probes(m.id, r, m.n_aps, probes.iter().copied());
+                assert_eq!(stack[k], lin, "net {} rate {r}", m.id.0);
+            }
+            let single = v.delivery_matrix(Phy::Bg, m.id, rate(11.0), m.n_aps);
+            let lin = DeliveryMatrix::from_probes(m.id, rate(11.0), m.n_aps, probes);
+            assert_eq!(single, lin);
+        }
+    }
+
+    #[test]
+    fn delivery_stack_first_obs_wins_and_duplicates_share() {
+        // A probe set with a duplicate rate entry: obs_for takes the first,
+        // so the stack must too; a duplicated rate in the request list gets
+        // a copy of the same matrix.
+        let mut ds = mixed_dataset();
+        ds.probes[1].obs.push(RateObs {
+            rate: rate(11.0),
+            loss: 0.9,
+            snr_db: 5.0,
+        });
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        let rates = [rate(11.0), rate(1.0), rate(11.0)];
+        let stack = v.delivery_stack(Phy::Bg, NetworkId(0), &rates, 3);
+        let probes: Vec<&ProbeSet> = ds.probes_for_network(NetworkId(0)).collect();
+        let lin = DeliveryMatrix::from_probes(NetworkId(0), rate(11.0), 3, probes);
+        assert_eq!(stack[0], lin);
+        assert_eq!(stack[0], stack[2]);
+    }
+
+    #[test]
+    fn columns_match_probe_methods() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        for (pos, p) in ds.probes.iter().enumerate() {
+            assert_eq!(ix.time_s(pos), p.time_s);
+            assert_eq!(ix.snr_db(pos), p.snr_db());
+            assert_eq!(ix.snr_key(pos), p.snr_key());
+            assert_eq!(ix.optimal(pos), p.optimal());
+            let obs = ix.obs(pos);
+            assert_eq!(obs.rates.len(), p.obs.len());
+            for (k, o) in p.obs.iter().enumerate() {
+                assert_eq!(obs.rates[k], o.rate);
+                assert_eq!(obs.deliveries[k], o.delivery());
+                assert_eq!(obs.thr_mbps[k], o.throughput_mbps());
+                assert_eq!(obs.snr_db[k], o.snr_db);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_indexes() {
+        let ds = Dataset::default();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        assert_eq!(v.probes_for_phy(Phy::Bg).count(), 0);
+        assert_eq!(v.links_for_phy(Phy::Ht).count(), 0);
+        assert!(v.network(Phy::Bg, NetworkId(0)).is_none());
+        assert!(ix.link_report_counts().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DatasetIndex")]
+    fn stale_index_is_rejected() {
+        let mut ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        ds.probes.push(probe(0, Phy::Bg, 2, 0, 900.0, 0.1));
+        let _ = DatasetView::new(&ds, &ix);
+    }
+}

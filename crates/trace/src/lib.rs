@@ -23,6 +23,10 @@
 //! * [`DeliveryMatrix`] — the per-(network, rate) directed delivery-rate
 //!   matrix distilled from probe sets; the input to the routing (§5) and
 //!   hidden-triple (§6) analyses.
+//! * [`DatasetIndex`] / [`DatasetView`] — precomputed grouped ranges
+//!   (per PHY, per network, per directed link) plus columnar side arrays,
+//!   so the analyses walk contiguous slices instead of re-filtering the
+//!   probe vector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod client;
 pub mod codec;
 pub mod dataset;
 pub mod ids;
+pub mod index;
 pub mod matrix;
 pub mod probe;
 pub mod slice;
@@ -40,5 +45,6 @@ pub mod validate;
 pub use client::ClientSample;
 pub use dataset::{Dataset, NetworkMeta};
 pub use ids::{ApId, ClientId, EnvLabel, NetworkId};
+pub use index::{DatasetIndex, DatasetView, LinkView, NetworkView, ObsColumns, ProbeEntry};
 pub use matrix::DeliveryMatrix;
 pub use probe::{ProbeSet, RateObs};

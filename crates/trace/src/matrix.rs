@@ -72,6 +72,19 @@ impl DeliveryMatrix {
         }
     }
 
+    /// Assembles a matrix from an already-averaged row-major probability
+    /// vector — the indexed single-pass kernels (`DatasetView::
+    /// delivery_stack`) compute the averages themselves.
+    pub(crate) fn from_parts(network: NetworkId, rate: BitRate, n_aps: usize, p: Vec<f64>) -> Self {
+        debug_assert_eq!(p.len(), n_aps * n_aps);
+        Self {
+            network,
+            rate,
+            n: n_aps,
+            p,
+        }
+    }
+
     /// Number of APs.
     pub fn n_aps(&self) -> usize {
         self.n

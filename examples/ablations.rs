@@ -17,6 +17,8 @@ fn main() {
         .unwrap_or(29);
     let campaign = CampaignSpec::scaled(seed, 16).generate();
     let dataset = SimConfig::quick().run_campaign(&campaign);
+    let index = DatasetIndex::build(&dataset);
+    let view = DatasetView::new(&dataset, &index);
 
     // ---- A. Rate-adaptation protocols (the §4.5 proposal, end to end) ----
     println!("A. rate adaptation replay (b/g, probing overhead 10%):");
@@ -32,7 +34,7 @@ fn main() {
         "   {:<16} {:>9} {:>9} {:>10}",
         "adapter", "raw Mb/s", "net Mb/s", "of oracle"
     );
-    for o in simulate_adapters(&dataset, Phy::Bg, &kinds, 0.10) {
+    for o in simulate_adapters(view, Phy::Bg, &kinds, 0.10) {
         println!(
             "   {:<16} {:>9.2} {:>9.2} {:>9.1}%",
             o.kind.name(),
@@ -52,11 +54,7 @@ fn main() {
         .filter(|m| m.radios.contains(&Phy::Bg))
         .max_by_key(|m| m.n_aps)
         .expect("campaign has a big b/g network");
-    let probes: Vec<_> = dataset
-        .probes_for_network(meta.id)
-        .filter(|p| p.phy == Phy::Bg)
-        .collect();
-    let m = DeliveryMatrix::from_probes(meta.id, one, meta.n_aps, probes.iter().copied());
+    let m = view.delivery_matrix(Phy::Bg, meta.id, one, meta.n_aps);
     for (cap, mean) in improvement_vs_cap(&m, &[1, 2, 3, 4, 8, usize::MAX]) {
         let label = if cap == usize::MAX {
             "∞".into()
@@ -84,7 +82,7 @@ fn main() {
     // ---- D. Hidden-triple definition sensitivity ----
     println!("D. hidden-triple threshold sweep at 1 Mbit/s:");
     for (t, med) in threshold_sweep(
-        &dataset,
+        view,
         Phy::Bg,
         one,
         &[0.05, 0.10, 0.20, 0.30],
@@ -96,7 +94,7 @@ fn main() {
         }
     }
     println!("\n   hearing-rule comparison (t = 10%):");
-    for (rule, med) in rule_comparison(&dataset, Phy::Bg, one, 0.10) {
+    for (rule, med) in rule_comparison(view, Phy::Bg, one, 0.10) {
         match med {
             Some(v) => println!("   {rule:?}: median {:5.1}%", 100.0 * v),
             None => println!("   {rule:?}: no relevant triples"),
@@ -119,10 +117,12 @@ fn main() {
         cfg.window_s = window_s;
         cfg.client_horizon_s = 0.0;
         let ds = cfg.run_network(spec);
-        let table = LookupTableSet::build(&ds, Scope::Link, Phy::Bg);
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        let table = LookupTableSet::build(v, Scope::Link, Phy::Bg);
         println!(
             "   window {window_s:>6.0} s: link accuracy {:5.1}% over {} probe sets",
-            100.0 * table.exact_accuracy(&ds),
+            100.0 * table.exact_accuracy(v),
             ds.probes.len()
         );
     }

@@ -17,10 +17,12 @@ fn main() {
         .unwrap_or(13);
     let campaign = CampaignSpec::scaled(seed, 24).generate();
     let dataset = SimConfig::quick().run_campaign(&campaign);
+    let index = DatasetIndex::build(&dataset);
+    let view = DatasetView::new(&dataset, &index);
 
     // Hidden-triple fraction per rate at the paper's 10% threshold.
     println!("median hidden-triple fraction per rate (threshold 10%, mean rule):");
-    let t = TripleAnalysis::run(&dataset, Phy::Bg, 0.10, HearRule::Mean);
+    let t = TripleAnalysis::run(view, Phy::Bg, 0.10, HearRule::Mean);
     for &rate in Phy::Bg.probed_rates() {
         if let Some(med) = t.median_fraction(rate, None) {
             println!("  {:>12}: {:5.1}%", rate.to_string(), 100.0 * med);
@@ -32,7 +34,7 @@ fn main() {
     let one = BitRate::bg_mbps(1.0).unwrap();
     println!("\nthreshold sweep at 1 Mbit/s:");
     for thr in [0.05, 0.10, 0.20, 0.30, 0.50] {
-        let t = TripleAnalysis::run(&dataset, Phy::Bg, thr, HearRule::Mean);
+        let t = TripleAnalysis::run(view, Phy::Bg, thr, HearRule::Mean);
         if let Some(med) = t.median_fraction(one, None) {
             println!("  t = {thr:4.2}: median {:5.1}%", 100.0 * med);
         }
@@ -41,7 +43,7 @@ fn main() {
     // Hearing-rule ablation: how much does the predicate matter?
     println!("\nhearing-rule ablation at 1 Mbit/s, t = 10%:");
     for rule in [HearRule::Mean, HearRule::Min, HearRule::Max] {
-        let t = TripleAnalysis::run(&dataset, Phy::Bg, 0.10, rule);
+        let t = TripleAnalysis::run(view, Phy::Bg, 0.10, rule);
         if let Some(med) = t.median_fraction(one, None) {
             println!("  {rule:?}: median {:5.1}%", 100.0 * med);
         }
@@ -49,7 +51,7 @@ fn main() {
 
     // Environment split (§6.3).
     println!("\nenvironment split at 1 Mbit/s (paper: indoor ~15%, outdoor ~5%):");
-    let t = TripleAnalysis::run(&dataset, Phy::Bg, 0.10, HearRule::Mean);
+    let t = TripleAnalysis::run(view, Phy::Bg, 0.10, HearRule::Mean);
     for env in [EnvLabel::Indoor, EnvLabel::Outdoor] {
         if let Some(med) = t.median_fraction(one, Some(env)) {
             println!("  {:8}: median {:5.1}%", env.name(), 100.0 * med);
@@ -58,7 +60,7 @@ fn main() {
 
     // Range vs rate (Fig 6.2).
     println!("\nrange change vs bit rate (relative to 1 Mbit/s):");
-    let ranges = range_by_rate(&dataset, Phy::Bg, 0.10, HearRule::Mean);
+    let ranges = range_by_rate(view, Phy::Bg, 0.10, HearRule::Mean);
     for (rate, vals) in range_change_by_rate(&ranges, Phy::Bg) {
         if let (Some(m), s) = (
             mesh11::stats::mean(&vals),

@@ -17,8 +17,10 @@ fn main() {
         .unwrap_or(11);
     let campaign = CampaignSpec::scaled(seed, 20).generate();
     let dataset = SimConfig::quick().run_campaign(&campaign);
+    let index = DatasetIndex::build(&dataset);
+    let view = DatasetView::new(&dataset, &index);
 
-    let analyses = analyze_dataset(&dataset, Phy::Bg, 5);
+    let analyses = analyze_dataset(view, Phy::Bg, 5);
     println!(
         "analyzed {} (network, rate) delivery matrices from networks with ≥5 APs\n",
         analyses.len()
@@ -62,7 +64,7 @@ fn main() {
     }
 
     // Link asymmetry (Fig 5.2) — why ETX2 overstates the gain.
-    let asym = asymmetry_by_rate(&dataset, Phy::Bg);
+    let asym = asymmetry_by_rate(view, Phy::Bg);
     let one = BitRate::bg_mbps(1.0).unwrap();
     if let Some(ratios) = asym.get(&one) {
         if let Some(cdf) = Cdf::from_samples(ratios.iter().copied()) {
@@ -76,7 +78,7 @@ fn main() {
     }
     // ETT (expected transmission time): the other traditional metric the
     // paper's question 2 names. Multi-rate ETT vs best single-rate ETX1.
-    let ett = mesh11::core::routing::ett::analyze_ett(&dataset, Phy::Bg, 5);
+    let ett = mesh11::core::routing::ett::analyze_ett(view, Phy::Bg, 5);
     let speedups: Vec<f64> = ett.iter().flat_map(|a| a.speedups()).collect();
     if let Some(cdf) = Cdf::from_samples(speedups.iter().copied()) {
         println!(

@@ -39,20 +39,24 @@ fn main() {
         dataset.clients.len()
     );
 
+    // Build the shared index once; every analysis below reads through it.
+    let index = DatasetIndex::build(&dataset);
+    let view = DatasetView::new(&dataset, &index);
+
     // 3. §4 — is the SNR a good predictor of the optimal bit rate?
     println!("\nSNR → optimal-rate table accuracy (802.11b/g):");
     for scope in [Scope::Global, Scope::Network, Scope::Ap, Scope::Link] {
-        let table = LookupTableSet::build(&dataset, scope, Phy::Bg);
+        let table = LookupTableSet::build(view, scope, Phy::Bg);
         println!(
             "  {:8} {:5.1}%",
             format!("{}:", table.scope().name()),
-            100.0 * table.exact_accuracy(&dataset)
+            100.0 * table.exact_accuracy(view)
         );
     }
     println!("  (the paper's finding: only per-link training works well)");
 
     // 4. §5 — would idealized opportunistic routing help?
-    let analyses = mesh11::core::routing::improvement::analyze_dataset(&dataset, Phy::Bg, 5);
+    let analyses = mesh11::core::routing::improvement::analyze_dataset(view, Phy::Bg, 5);
     let imps: Vec<f64> = analyses
         .iter()
         .flat_map(|a| a.improvements(EtxVariant::Etx1))
@@ -66,7 +70,7 @@ fn main() {
     }
 
     // 5. §6 — how common are hidden triples?
-    let triples = TripleAnalysis::run(&dataset, Phy::Bg, 0.10, HearRule::Mean);
+    let triples = TripleAnalysis::run(view, Phy::Bg, 0.10, HearRule::Mean);
     let one = BitRate::bg_mbps(1.0).unwrap();
     if let Some(med) = triples.median_fraction(one, None) {
         println!(

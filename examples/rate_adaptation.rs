@@ -17,6 +17,8 @@ fn main() {
         .unwrap_or(7);
     let campaign = CampaignSpec::scaled(seed, 20).generate();
     let dataset = SimConfig::quick().run_campaign(&campaign);
+    let index = DatasetIndex::build(&dataset);
+    let view = DatasetView::new(&dataset, &index);
     println!(
         "dataset: {} probe sets over {} networks\n",
         dataset.probes.len(),
@@ -25,7 +27,7 @@ fn main() {
 
     for phy in [Phy::Bg, Phy::Ht] {
         let n_rates = phy.probed_rates().len();
-        let table = LookupTableSet::build(&dataset, Scope::Link, phy);
+        let table = LookupTableSet::build(view, Scope::Link, phy);
         if table.n_keys() == 0 {
             continue;
         }
@@ -80,7 +82,7 @@ fn main() {
 
     // Online maintenance strategies (Fig 4.6 / Table 4.1).
     println!("online table maintenance (802.11b/g):");
-    for eval in evaluate_strategies(&dataset, Phy::Bg, &StrategyKind::ALL) {
+    for eval in evaluate_strategies(view, Phy::Bg, &StrategyKind::ALL) {
         println!(
             "  {:12} accuracy {:5.1}%  updates {:>8}  stored {:>8}",
             eval.kind.name(),
@@ -90,7 +92,7 @@ fn main() {
         );
     }
     // Why isn't any strategy perfect? Temporal churn of the optimum.
-    let s = mesh11::core::bitrate::link_stability(&dataset, Phy::Bg);
+    let s = mesh11::core::bitrate::link_stability(view, Phy::Bg);
     println!(
         "\nstability: the per-link optimum flips on {:.1}% of consecutive reports",
         100.0 * s.median_churn().unwrap_or(0.0)

@@ -15,8 +15,10 @@
 //! // first question: how well does a per-link SNR table pick bit rates?
 //! let campaign = CampaignSpec::small(42).generate();
 //! let dataset = SimConfig::quick().run_campaign(&campaign);
-//! let table = LookupTableSet::build(&dataset, Scope::Link, Phy::Bg);
-//! println!("per-link accuracy: {:.1}%", 100.0 * table.exact_accuracy(&dataset));
+//! let index = DatasetIndex::build(&dataset);
+//! let view = DatasetView::new(&dataset, &index);
+//! let table = LookupTableSet::build(view, Scope::Link, Phy::Bg);
+//! println!("per-link accuracy: {:.1}%", 100.0 * table.exact_accuracy(view));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,5 +45,5 @@ pub mod prelude {
     pub use mesh11_sim::{FaultPlan, SimConfig};
     pub use mesh11_stats::{Cdf, Summary};
     pub use mesh11_topo::{CampaignSpec, NetworkSpec};
-    pub use mesh11_trace::{Dataset, DeliveryMatrix, ProbeSet};
+    pub use mesh11_trace::{Dataset, DatasetIndex, DatasetView, DeliveryMatrix, ProbeSet};
 }

@@ -97,11 +97,101 @@ fn figure_json_identical_across_thread_counts() {
     }
 }
 
+/// FNV-1a 64-bit, inlined so the golden hashes below need no dependency.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Golden output: the figure JSON of a quick-scale seed-42 run, pinned as
+/// FNV-1a hashes captured from the *pre-index* (linear-scan) pipeline.
+/// The indexed pipeline must keep reproducing them byte for byte; a
+/// mismatch means an analysis changed what it computes, not just how fast.
+/// To re-pin after an intentional output change, hash the `<id>.json`
+/// files of a fresh `repro --scale quick --seed 42 --all` run.
+#[test]
+fn figure_json_matches_pre_index_golden_hashes() {
+    use mesh11_bench::figures::{build, ALL_IDS};
+    use mesh11_bench::{ReproContext, Scale};
+
+    const GOLDEN: &[(&str, u64)] = &[
+        ("ext-adapt", 0x1c1dc6274ac81b43),
+        ("ext-cap", 0xb46bf76878f62290),
+        ("ext-client", 0xab4df52cc01b4539),
+        ("ext-diversity", 0x42145a30a40add26),
+        ("ext-ett", 0x5e293e3f7c73c0a7),
+        ("ext-stability", 0xf082a11e81a03e7e),
+        ("ext-sweep", 0xc5983472494b7918),
+        ("fig1-1", 0xfdcd0bd529b07b34),
+        ("fig3-1", 0x47245e82a32be7ea),
+        ("fig4-1a", 0x98ca945013ec4a4c),
+        ("fig4-1b", 0x2c05291d6d0166bf),
+        ("fig4-2a", 0x00e9dc3f8b83afc3),
+        ("fig4-2b", 0x176133fd20b0849b),
+        ("fig4-2c", 0x459a307509d6d25c),
+        ("fig4-2d", 0x23665f45f8700d48),
+        ("fig4-3a", 0x1c356400812f5bca),
+        ("fig4-3b", 0x51634d50f050a3ce),
+        ("fig4-3c", 0x6c29a73c401cdb66),
+        ("fig4-3d", 0x8bfa5f53d2c57a51),
+        ("fig4-4a", 0x91f3fc8a0f7fa590),
+        ("fig4-4b", 0x25bb70467bdb2e9b),
+        ("fig4-5a", 0x8df3cea0b357fadc),
+        ("fig4-5b", 0xe2d85230b1f5440d),
+        ("fig4-6", 0x6fa0165019e7ef32),
+        ("fig5-1a", 0xf95b3599b2527124),
+        ("fig5-1b", 0xf4322d955b25ac8b),
+        ("fig5-2", 0x22549b120f65ef84),
+        ("fig5-3", 0x64250f52ceb2eab0),
+        ("fig5-4", 0xa833b0b23f60dabf),
+        ("fig5-5", 0x0585041875346cd7),
+        ("fig6-1", 0x9c27722715278370),
+        ("fig6-2", 0x25564f1eb894ee7c),
+        ("fig7-1", 0x6834f07a6e31d6dc),
+        ("fig7-2", 0x2953ecabfe6b36e6),
+        ("fig7-3", 0x1504c4a5f9d5b587),
+        ("fig7-4", 0x3455ab101d755936),
+        ("fig7-5", 0xf07dcacff6e81879),
+        ("sec6-3", 0xee10a8e6f048e3cc),
+        ("tab4-1", 0xfd138f01427a215d),
+    ];
+
+    let ctx = ReproContext::build(Scale::Quick, 42);
+    let mut got: Vec<(String, u64)> = ALL_IDS
+        .iter()
+        .flat_map(|id| build(&ctx, id).expect("known id"))
+        .map(|f| (f.id.clone(), fnv1a64(f.to_json().as_bytes())))
+        .collect();
+    got.sort_by(|a, b| a.0.cmp(&b.0));
+
+    assert_eq!(
+        got.len(),
+        GOLDEN.len(),
+        "figure count changed: {:?}",
+        got.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>()
+    );
+    for ((id, hash), (gold_id, gold_hash)) in got.iter().zip(GOLDEN) {
+        assert_eq!(id, gold_id, "figure id set changed");
+        assert_eq!(
+            hash, gold_hash,
+            "figure {id} JSON diverged from the pre-index golden output"
+        );
+    }
+}
+
 #[test]
 fn analyses_are_deterministic_over_identical_data() {
     let a = small_dataset(8);
     let b = small_dataset(8);
-    let ta = LookupTableSet::build(&a, Scope::Link, Phy::Bg).exact_accuracy(&a);
-    let tb = LookupTableSet::build(&b, Scope::Link, Phy::Bg).exact_accuracy(&b);
+    let ixa = DatasetIndex::build(&a);
+    let ixb = DatasetIndex::build(&b);
+    let ta = LookupTableSet::build(DatasetView::new(&a, &ixa), Scope::Link, Phy::Bg)
+        .exact_accuracy(DatasetView::new(&a, &ixa));
+    let tb = LookupTableSet::build(DatasetView::new(&b, &ixb), Scope::Link, Phy::Bg)
+        .exact_accuracy(DatasetView::new(&b, &ixb));
     assert_eq!(ta, tb);
 }

@@ -14,6 +14,11 @@ fn dataset() -> &'static Dataset {
     })
 }
 
+fn view() -> DatasetView<'static> {
+    static IX: OnceLock<DatasetIndex> = OnceLock::new();
+    DatasetView::new(dataset(), IX.get_or_init(|| DatasetIndex::build(dataset())))
+}
+
 #[test]
 fn dataset_has_both_record_streams() {
     let ds = dataset();
@@ -52,10 +57,10 @@ fn fig3_1_shape_probe_set_sigma_small() {
 
 #[test]
 fn sec4_scope_ordering_and_link_accuracy() {
-    let ds = dataset();
+    let v = view();
     let acc: Vec<f64> = [Scope::Global, Scope::Network, Scope::Ap, Scope::Link]
         .iter()
-        .map(|&s| LookupTableSet::build(ds, s, Phy::Bg).exact_accuracy(ds))
+        .map(|&s| LookupTableSet::build(v, s, Phy::Bg).exact_accuracy(v))
         .collect();
     // Monotone in specificity (small slack for sampling noise).
     for w in acc.windows(2) {
@@ -74,18 +79,18 @@ fn sec4_scope_ordering_and_link_accuracy() {
 
 #[test]
 fn sec4_penalty_cdf_scope_ordering() {
-    let ds = dataset();
-    let global = ThroughputPenalty::for_scope(ds, Scope::Global, Phy::Bg);
-    let link = ThroughputPenalty::for_scope(ds, Scope::Link, Phy::Bg);
+    let v = view();
+    let global = ThroughputPenalty::for_scope(v, Scope::Global, Phy::Bg);
+    let link = ThroughputPenalty::for_scope(v, Scope::Link, Phy::Bg);
     assert!(link.mean_loss_mbps() < global.mean_loss_mbps());
     assert!(link.frac_exact() > global.frac_exact());
 }
 
 #[test]
 fn sec4_ht_needs_more_rates_than_bg() {
-    let ds = dataset();
-    let bg = LookupTableSet::build(ds, Scope::Link, Phy::Bg);
-    let ht = LookupTableSet::build(ds, Scope::Link, Phy::Ht);
+    let v = view();
+    let bg = LookupTableSet::build(v, Scope::Link, Phy::Bg);
+    let ht = LookupTableSet::build(v, Scope::Link, Phy::Ht);
     // Mean number of rates to hit 95%, pooled over cells.
     let mean_needed = |t: &LookupTableSet| {
         let curve = t.rates_needed_curve(0.95);
@@ -104,7 +109,7 @@ fn sec4_ht_needs_more_rates_than_bg() {
 fn sec5_exor_never_beats_etx1_backwards() {
     // ExOR cost ≤ ETX1 cost on every simulated pair (the §5 invariant on
     // real topologies, not just random proptest graphs).
-    let analyses = analyze_dataset(dataset(), Phy::Bg, 5);
+    let analyses = analyze_dataset(view(), Phy::Bg, 5);
     assert!(!analyses.is_empty());
     for a in &analyses {
         for p in &a.pairs {
@@ -123,7 +128,7 @@ fn sec5_exor_never_beats_etx1_backwards() {
 
 #[test]
 fn sec5_etx2_improvement_dominates_etx1() {
-    let analyses = analyze_dataset(dataset(), Phy::Bg, 5);
+    let analyses = analyze_dataset(view(), Phy::Bg, 5);
     let mean1: f64 = {
         let v: Vec<f64> = analyses
             .iter()
@@ -155,8 +160,7 @@ fn sec5_etx2_improvement_dominates_etx1() {
 
 #[test]
 fn sec6_hidden_triples_exist_and_grow_with_rate() {
-    let ds = dataset();
-    let t = TripleAnalysis::run(ds, Phy::Bg, 0.10, HearRule::Mean);
+    let t = TripleAnalysis::run(view(), Phy::Bg, 0.10, HearRule::Mean);
     let one = BitRate::bg_mbps(1.0).unwrap();
     let high = BitRate::bg_mbps(36.0).unwrap();
     let med_low = t.median_fraction(one, None).expect("1 Mbit/s data");
@@ -173,8 +177,7 @@ fn sec6_hidden_triples_exist_and_grow_with_rate() {
 
 #[test]
 fn sec6_range_shrinks_with_rate() {
-    let ds = dataset();
-    let ranges = mesh11::core::triples::range_by_rate(ds, Phy::Bg, 0.10, HearRule::Mean);
+    let ranges = mesh11::core::triples::range_by_rate(view(), Phy::Bg, 0.10, HearRule::Mean);
     let change = mesh11::core::triples::range_change_by_rate(&ranges, Phy::Bg);
     let mean_at = |mbps: f64| {
         let r = BitRate::bg_mbps(mbps).unwrap();

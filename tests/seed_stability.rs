@@ -22,11 +22,21 @@ fn datasets() -> &'static Vec<Dataset> {
     })
 }
 
+fn views() -> Vec<DatasetView<'static>> {
+    static IX: OnceLock<Vec<DatasetIndex>> = OnceLock::new();
+    let indexes = IX.get_or_init(|| datasets().iter().map(DatasetIndex::build).collect());
+    datasets()
+        .iter()
+        .zip(indexes)
+        .map(|(ds, ix)| DatasetView::new(ds, ix))
+        .collect()
+}
+
 #[test]
 fn link_scope_accuracy_is_stable() {
-    let accs: Vec<f64> = datasets()
-        .iter()
-        .map(|ds| LookupTableSet::build(ds, Scope::Link, Phy::Bg).exact_accuracy(ds))
+    let accs: Vec<f64> = views()
+        .into_iter()
+        .map(|v| LookupTableSet::build(v, Scope::Link, Phy::Bg).exact_accuracy(v))
         .collect();
     for &a in &accs {
         assert!(a > 0.85, "per-link accuracy collapsed on a seed: {accs:?}");
@@ -38,17 +48,17 @@ fn link_scope_accuracy_is_stable() {
 
 #[test]
 fn scope_ordering_holds_on_every_seed() {
-    for ds in datasets() {
-        let g = LookupTableSet::build(ds, Scope::Global, Phy::Bg).exact_accuracy(ds);
-        let l = LookupTableSet::build(ds, Scope::Link, Phy::Bg).exact_accuracy(ds);
+    for v in views() {
+        let g = LookupTableSet::build(v, Scope::Global, Phy::Bg).exact_accuracy(v);
+        let l = LookupTableSet::build(v, Scope::Link, Phy::Bg).exact_accuracy(v);
         assert!(l > g + 0.05, "link must clearly beat global: {l} vs {g}");
     }
 }
 
 #[test]
 fn opportunistic_improvement_band_is_stable() {
-    for ds in datasets() {
-        let analyses = analyze_dataset(ds, Phy::Bg, 5);
+    for v in views() {
+        let analyses = analyze_dataset(v, Phy::Bg, 5);
         let imps: Vec<f64> = analyses
             .iter()
             .flat_map(|a| a.improvements(EtxVariant::Etx1))
@@ -70,8 +80,8 @@ fn opportunistic_improvement_band_is_stable() {
 fn hidden_triples_exist_and_grow_on_every_seed() {
     let one = BitRate::bg_mbps(1.0).unwrap();
     let high = BitRate::bg_mbps(36.0).unwrap();
-    for ds in datasets() {
-        let t = TripleAnalysis::run(ds, Phy::Bg, 0.10, HearRule::Mean);
+    for v in views() {
+        let t = TripleAnalysis::run(v, Phy::Bg, 0.10, HearRule::Mean);
         // Quick campaigns hold only ~9 b/g networks, several of them tiny
         // cliques, so the *median* can legitimately be 0 on some seed; the
         // existence and rate-trend claims are about the ensemble mean.
@@ -86,10 +96,10 @@ fn hidden_triples_exist_and_grow_on_every_seed() {
 fn improvement_cdfs_agree_across_seeds() {
     // The KS distance between two seeds' improvement CDFs stays small —
     // the shape claim is about the ensemble, not one draw.
-    let cdfs: Vec<Cdf> = datasets()
-        .iter()
-        .map(|ds| {
-            let analyses = analyze_dataset(ds, Phy::Bg, 5);
+    let cdfs: Vec<Cdf> = views()
+        .into_iter()
+        .map(|v| {
+            let analyses = analyze_dataset(v, Phy::Bg, 5);
             let imps: Vec<f64> = analyses
                 .iter()
                 .flat_map(|a| a.improvements(EtxVariant::Etx1))
