@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [--seed N] [--threads N]
+//! repro [--scale quick|standard|paper] [--seed N] [--threads N] [--faults]
 //!       [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all
 //! ```
 //!
@@ -28,6 +28,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     threads: Option<usize>,
+    faults: bool,
     out: PathBuf,
     bench_json: PathBuf,
     rows: usize,
@@ -40,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Standard,
         seed: 42,
         threads: None,
+        faults: false,
         out: PathBuf::from("out"),
         bench_json: PathBuf::from("BENCH_repro.json"),
         rows: 16,
@@ -75,13 +77,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--rows needs a value")?;
                 args.rows = v.parse().map_err(|e| format!("bad rows: {e}"))?;
             }
+            "--faults" => args.faults = true,
             "--plot" => args.plot = true,
             "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
+                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--faults] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
                      identical at any value, only wall-clock changes\n\
+                     --faults     simulate under the built-in demo fault plan (overlapping\n\
+                     AP outages + stacked interference bursts), still thread-invariant\n\
                      --bench-json FILE  where to write the per-phase timing JSON\n\
                      (default: BENCH_repro.json in the working directory)\nids: {}",
                     ALL_IDS.join(" ")
@@ -106,11 +111,18 @@ fn run(args: &Args) -> i32 {
         rayon::current_num_threads()
     );
     let t_total = Instant::now();
-    let (ctx, build_t) = ReproContext::build_timed(args.scale, args.seed);
+    let faults = if args.faults {
+        eprintln!("# fault injection: demo plan (overlapping outages + stacked bursts)");
+        mesh11_sim::FaultPlan::demo(args.scale.config().probe_horizon_s)
+    } else {
+        mesh11_sim::FaultPlan::none()
+    };
+    let (ctx, build_t) = ReproContext::build_timed_with_faults(args.scale, args.seed, faults);
     eprintln!(
-        "# simulated {} networks / {} APs: {} probe sets, {} client samples in {:.1}s",
+        "# simulated {} networks / {} APs ({} pairs): {} probe sets, {} client samples in {:.1}s",
         ctx.dataset.networks.len(),
         ctx.dataset.total_aps(),
+        build_t.pairs_simulated,
         ctx.dataset.probes.len(),
         ctx.dataset.clients.len(),
         build_t.generate_s + build_t.simulate_s
@@ -157,9 +169,11 @@ fn run(args: &Args) -> i32 {
     let timings = PhaseTimings {
         scale: format!("{:?}", args.scale),
         seed: args.seed,
-        threads: rayon::current_num_threads(),
+        threads: args.threads.unwrap_or(0),
+        effective_threads: rayon::current_num_threads(),
         generate_s: build_t.generate_s,
         simulate_s: build_t.simulate_s,
+        pairs_simulated: build_t.pairs_simulated,
         analyze_s,
         total_s: t_total.elapsed().as_secs_f64(),
         figures: fig_times,

@@ -24,6 +24,9 @@ pub struct BuildTimings {
     pub generate_s: f64,
     /// Probe + client simulation across all networks.
     pub simulate_s: f64,
+    /// Candidate AP pairs the simulate phase ran (across networks and
+    /// radios) — the unit of the global pair scheduler's work list.
+    pub pairs_simulated: usize,
 }
 
 /// How big a reproduction run to perform.
@@ -46,6 +49,23 @@ impl Scale {
             "standard" => Some(Scale::Standard),
             "paper" | "full" => Some(Scale::Paper),
             _ => None,
+        }
+    }
+
+    /// The campaign spec this scale simulates.
+    pub fn campaign_spec(self, seed: u64) -> CampaignSpec {
+        match self {
+            Scale::Quick => CampaignSpec::small(seed),
+            Scale::Standard | Scale::Paper => CampaignSpec::paper(seed),
+        }
+    }
+
+    /// The simulation configuration this scale runs under (no faults).
+    pub fn config(self) -> SimConfig {
+        match self {
+            Scale::Quick => SimConfig::quick(),
+            Scale::Standard => SimConfig::standard(),
+            Scale::Paper => SimConfig::paper(),
         }
     }
 }
@@ -97,22 +117,31 @@ impl ReproContext {
     /// As [`ReproContext::build`], also reporting how long the generate and
     /// simulate phases took (wall-clock seconds).
     pub fn build_timed(scale: Scale, seed: u64) -> (Self, BuildTimings) {
-        let (spec, config) = match scale {
-            Scale::Quick => (CampaignSpec::small(seed), SimConfig::quick()),
-            Scale::Standard => (CampaignSpec::paper(seed), SimConfig::standard()),
-            Scale::Paper => (CampaignSpec::paper(seed), SimConfig::paper()),
-        };
+        Self::build_timed_with_faults(scale, seed, mesh11_sim::FaultPlan::none())
+    }
+
+    /// As [`ReproContext::build_timed`], simulating under a fault plan
+    /// (`repro --faults` and the fault-injected CI invariance run).
+    pub fn build_timed_with_faults(
+        scale: Scale,
+        seed: u64,
+        faults: mesh11_sim::FaultPlan,
+    ) -> (Self, BuildTimings) {
+        let spec = scale.campaign_spec(seed);
+        let mut config = scale.config();
+        config.faults = faults;
         let t0 = std::time::Instant::now();
         let campaign = spec.generate();
         let generate_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let dataset = config.run_campaign(&campaign);
+        let (dataset, stats) = config.run_campaign_counted(&campaign);
         let simulate_s = t1.elapsed().as_secs_f64();
         (
             Self::assemble(dataset, config, seed, Some(campaign)),
             BuildTimings {
                 generate_s,
                 simulate_s,
+                pairs_simulated: stats.pairs_simulated,
             },
         )
     }

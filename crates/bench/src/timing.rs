@@ -14,12 +14,18 @@ pub struct PhaseTimings {
     pub scale: String,
     /// Campaign seed.
     pub seed: u64,
-    /// Thread budget the run executed under.
+    /// Thread budget the run executed under (`--threads`, 0 = default).
     pub threads: usize,
+    /// Threads rayon actually ran with — what thread-scaling claims are
+    /// made against.
+    pub effective_threads: usize,
     /// Campaign generation (topology, populations, specs).
     pub generate_s: f64,
     /// Probe + client simulation across all networks.
     pub simulate_s: f64,
+    /// Candidate AP pairs the simulate phase ran — the work-item count of
+    /// the global pair scheduler, giving `simulate_s` a denominator.
+    pub pairs_simulated: usize,
     /// All figure building, wall-clock. Figures run concurrently, so this
     /// is smaller than the sum of the per-figure entries.
     pub analyze_s: f64,
@@ -39,8 +45,13 @@ impl PhaseTimings {
     /// The human-readable breakdown `repro` prints on stderr.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "# timings ({} threads): generate {:.2}s, simulate {:.2}s, analyze {:.2}s (wall), total {:.2}s",
-            self.threads, self.generate_s, self.simulate_s, self.analyze_s, self.total_s
+            "# timings ({} threads): generate {:.2}s, simulate {:.2}s ({} pairs), analyze {:.2}s (wall), total {:.2}s",
+            self.effective_threads,
+            self.generate_s,
+            self.simulate_s,
+            self.pairs_simulated,
+            self.analyze_s,
+            self.total_s
         );
         let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
         slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite timings"));
@@ -60,9 +71,11 @@ mod tests {
         let t = PhaseTimings {
             scale: "Quick".into(),
             seed: 42,
-            threads: 8,
+            threads: 0,
+            effective_threads: 8,
             generate_s: 0.1,
             simulate_s: 2.0,
+            pairs_simulated: 1234,
             analyze_s: 1.5,
             total_s: 3.7,
             figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
@@ -72,8 +85,10 @@ mod tests {
             "scale",
             "seed",
             "threads",
+            "effective_threads",
             "generate_s",
             "simulate_s",
+            "pairs_simulated",
             "analyze_s",
             "total_s",
             "figures",
@@ -82,5 +97,6 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(t.render().contains("8 threads"));
+        assert!(t.render().contains("1234 pairs"));
     }
 }

@@ -37,8 +37,10 @@ pub struct LinkModel {
     /// Hidden interference floors per direction (dB).
     intf_fwd_db: f64,
     intf_rev_db: f64,
-    /// Per-link fade-σ multiplier (1.0 normally; >1 on fluttering links).
-    flutter: f64,
+    /// Per-frame fade scale: the link's flutter multiplier (1.0 normally,
+    /// larger on fluttering links) times the params' fade σ, folded at
+    /// construction so the per-frame draw is a single multiply.
+    fade_scale_db: f64,
     /// AR(1) temporal shadowing state (dB) and the epoch it describes.
     temporal_db: f64,
     epoch: i64,
@@ -116,7 +118,7 @@ impl LinkModel {
             mean_rev_db,
             intf_fwd_db: interference_floor_db(&params, seed, lo, hi),
             intf_rev_db: interference_floor_db(&params, seed, hi, lo),
-            flutter,
+            fade_scale_db: flutter * params.fade_sigma_db,
             temporal_db,
             epoch: 0,
             rng: dyn_rng,
@@ -155,7 +157,17 @@ impl LinkModel {
     /// state.
     pub fn sample(&mut self, t_s: f64, forward: bool) -> SnrSample {
         self.advance_to(t_s);
-        let fade = self.flutter * self.params.fade_sigma_db * standard_normal(&mut self.rng);
+        self.sample_advanced(forward)
+    }
+
+    /// As [`LinkModel::sample`] with the temporal advance factored out:
+    /// draws fast fading against the *current* temporal state. Tick loops
+    /// that sample many frames at one instant call [`LinkModel::advance_to`]
+    /// once and this per frame, skipping the redundant epoch checks. The
+    /// advance must only happen on instants that actually sample — the
+    /// AR(1) catch-up path makes draw order depend on when the clock moves.
+    pub fn sample_advanced(&mut self, forward: bool) -> SnrSample {
+        let fade = self.fade_scale_db * standard_normal(&mut self.rng);
         let reported = self.mean_snr_db(forward) + self.temporal_db + fade;
         SnrSample {
             reported_db: reported,
@@ -163,7 +175,10 @@ impl LinkModel {
         }
     }
 
-    fn advance_to(&mut self, t_s: f64) {
+    /// Advances the AR(1) temporal shadowing process to `t_s`. Idempotent
+    /// for non-increasing times; normally called implicitly by
+    /// [`LinkModel::sample`].
+    pub fn advance_to(&mut self, t_s: f64) {
         let target = (t_s / self.params.temporal_step_s).floor() as i64;
         if target <= self.epoch {
             return;

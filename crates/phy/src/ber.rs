@@ -184,6 +184,10 @@ fn distance_spectrum(coding: Coding) -> (u32, &'static [f64]) {
 
 /// Probability that a weight-`d` error event wins the Viterbi comparison,
 /// given channel bit error probability `p` (hard-decision bound).
+///
+/// [`coded_ber`] inlines this sum with the powers and binomials hoisted;
+/// this per-term form is kept as the oracle its equivalence test pins.
+#[cfg_attr(not(test), allow(dead_code))]
 fn event_error_prob(d: u32, p: f64) -> f64 {
     if p <= 0.0 {
         return 0.0;
@@ -204,12 +208,74 @@ fn event_error_prob(d: u32, p: f64) -> f64 {
     sum.min(1.0)
 }
 
+/// Largest error-event weight the spectra reach (`dfree + 9` ≤ 19), with
+/// headroom. Bounds the compile-time binomial table and power caches.
+const MAX_D: usize = 24;
+
+/// `C(n, k)` for all `n, k ≤ MAX_D`, evaluated at compile time with the
+/// exact multiplicative recurrence [`binomial`] uses, so the cached values
+/// are bit-identical to calling it.
+const BINOM: [[f64; MAX_D + 1]; MAX_D + 1] = {
+    let mut table = [[0.0f64; MAX_D + 1]; MAX_D + 1];
+    let mut n = 0;
+    while n <= MAX_D {
+        let mut k = 0;
+        while k <= n {
+            let kk = if k < n - k { k } else { n - k };
+            let mut acc = 1.0f64;
+            let mut i = 0;
+            while i < kk {
+                acc *= (n - i) as f64 / (i + 1) as f64;
+                i += 1;
+            }
+            table[n][k] = acc;
+            k += 1;
+        }
+        n += 1;
+    }
+    table
+};
+
 /// Coded bit error rate: union bound over the first ten spectrum terms.
+///
+/// This is `Σ c_d · event_error_prob(d, uncoded)` with the shared work
+/// hoisted: the spectrum terms' `d` ranges overlap, so `p^k` and `(1−p)^k`
+/// are evaluated once per exponent (the same `powi` calls the per-term form
+/// makes) and binomials come from the compile-time `BINOM` table. Term
+/// order, operand order, and clamps are unchanged, so the result is
+/// bit-identical to summing the private `event_error_prob` directly —
+/// which the tests assert.
 pub fn coded_ber(uncoded: f64, coding: Coding) -> f64 {
     let (dfree, cs) = distance_spectrum(coding);
+    if uncoded <= 0.0 {
+        // Every event term is exactly 0.0, and so is the weighted sum.
+        return 0.0;
+    }
+    let p = uncoded.min(0.5);
+    let dmax = dfree as usize + cs.len() - 1;
+    debug_assert!(dmax <= MAX_D);
+    let mut pk = [0.0f64; MAX_D + 1];
+    let mut qk = [0.0f64; MAX_D + 1];
+    for k in 0..=dmax {
+        pk[k] = p.powi(k as i32);
+        qk[k] = (1.0 - p).powi(k as i32);
+    }
     let mut ber = 0.0;
     for (i, &c) in cs.iter().enumerate() {
-        ber += c * event_error_prob(dfree + i as u32, uncoded);
+        let d = dfree as usize + i;
+        let mut sum = 0.0;
+        if d.is_multiple_of(2) {
+            let half = d / 2;
+            sum += 0.5 * BINOM[d][half] * pk[half] * qk[half];
+            for k in (half + 1)..=d {
+                sum += BINOM[d][k] * pk[k] * qk[d - k];
+            }
+        } else {
+            for k in (d / 2 + 1)..=d {
+                sum += BINOM[d][k] * pk[k] * qk[d - k];
+            }
+        }
+        ber += c * sum.min(1.0);
     }
     ber.clamp(0.0, 0.5)
 }
@@ -317,6 +383,44 @@ mod tests {
         let three4 = coded_ber(p, Coding::ThreeQuarters);
         let five6 = coded_ber(p, Coding::FiveSixths);
         assert!(half < two3 && two3 < three4 && three4 < five6);
+    }
+
+    #[test]
+    fn coded_ber_is_bit_identical_to_per_term_sum() {
+        // The hoisted power/binomial caches must not move a single ULP:
+        // the success tables built from these curves gate the simulator's
+        // RNG coin flips.
+        let ps: Vec<f64> = (-12..=0)
+            .flat_map(|e| [1.0f64, 2.7, 6.3].map(|m| m * 10f64.powi(e)))
+            .chain([0.0, 0.5, 0.499_999, 1e-300])
+            .collect();
+        for &c in &[
+            Coding::Half,
+            Coding::TwoThirds,
+            Coding::ThreeQuarters,
+            Coding::FiveSixths,
+        ] {
+            let (dfree, cs) = distance_spectrum(c);
+            for &p in &ps {
+                let naive = {
+                    let mut ber = 0.0;
+                    for (i, &w) in cs.iter().enumerate() {
+                        ber += w * event_error_prob(dfree + i as u32, p);
+                    }
+                    ber.clamp(0.0, 0.5)
+                };
+                assert_eq!(coded_ber(p, c), naive, "{c:?} at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn binom_table_matches_binomial() {
+        for (n, row) in BINOM.iter().enumerate() {
+            for (k, &cached) in row.iter().enumerate().take(n + 1) {
+                assert_eq!(cached, binomial(n as u32, k as u32), "C({n},{k})");
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,187 @@ impl FaultPlan {
             .map(|b| b.penalty_db)
             .sum()
     }
+
+    /// Compiles the plan's schedule for one network into sorted interval
+    /// timelines ([`CompiledFaults`]), so a time-ordered consumer answers
+    /// `ap_up` / `burst_penalty_db` with O(1) cursor advances instead of
+    /// re-scanning these vectors at every tick.
+    pub fn compile(&self, network: NetworkId) -> CompiledFaults {
+        // Per-AP union of outage intervals: sort by start, merge overlap.
+        let mut by_ap: Vec<(ApId, Vec<(f64, f64)>)> = Vec::new();
+        for o in self
+            .outages
+            .iter()
+            .filter(|o| o.network == network && o.end_s > o.start_s)
+        {
+            match by_ap.iter_mut().find(|(ap, _)| *ap == o.ap) {
+                Some((_, v)) => v.push((o.start_s, o.end_s)),
+                None => by_ap.push((o.ap, vec![(o.start_s, o.end_s)])),
+            }
+        }
+        for (_, intervals) in &mut by_ap {
+            intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite outage times"));
+            let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+            for &(s, e) in intervals.iter() {
+                match merged.last_mut() {
+                    // `[s1, e1)` and `[s2, e2)` with `s2 <= e1` cover the
+                    // same point set as `[s1, max(e1, e2))`.
+                    Some((_, le)) if s <= *le => *le = le.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *intervals = merged;
+        }
+        by_ap.sort_by_key(|&(ap, _)| ap);
+
+        // Burst step function: one breakpoint per burst edge; the level on
+        // `[t[i], t[i+1])` is recomputed with the *same* vec-order summation
+        // as the naive scan, so stacked penalties agree to the last bit
+        // (running +/- prefix sums would reassociate the additions).
+        let mut burst_t: Vec<f64> = self
+            .bursts
+            .iter()
+            .filter(|b| b.network == network)
+            .flat_map(|b| [b.start_s, b.end_s])
+            .collect();
+        burst_t.sort_by(|a, b| a.partial_cmp(b).expect("finite burst times"));
+        burst_t.dedup();
+        let burst_db: Vec<f64> = burst_t
+            .iter()
+            .map(|&t| self.burst_penalty_db(network, t))
+            .collect();
+
+        CompiledFaults {
+            by_ap,
+            burst_t,
+            burst_db,
+        }
+    }
+
+    /// A deterministic demo schedule exercising every compiled-timeline
+    /// code path on a run of `horizon_s` seconds: overlapping outages of
+    /// one AP, a second AP down across report boundaries, stacked
+    /// interference bursts, and faults on more than one network. Used by
+    /// `repro --faults` and the CI thread-invariance job.
+    pub fn demo(horizon_s: f64) -> Self {
+        let h = horizon_s;
+        let out = |network: u32, ap: u32, a: f64, b: f64| ApOutage {
+            network: NetworkId(network),
+            ap: ApId(ap),
+            start_s: a * h,
+            end_s: b * h,
+        };
+        let burst = |network: u32, a: f64, b: f64, penalty_db: f64| InterferenceBurst {
+            network: NetworkId(network),
+            start_s: a * h,
+            end_s: b * h,
+            penalty_db,
+        };
+        Self {
+            outages: vec![
+                out(0, 0, 0.25, 0.50),
+                out(0, 0, 0.40, 0.55), // overlaps the first outage of AP0
+                out(0, 1, 0.30, 0.45),
+                out(1, 2, 0.50, 0.75),
+            ],
+            bursts: vec![
+                burst(0, 0.20, 0.60, 9.0),
+                burst(0, 0.50, 0.80, 6.0), // stacks on the first burst
+                burst(1, 0.10, 0.30, 12.0),
+            ],
+        }
+    }
+}
+
+/// A [`FaultPlan`] compiled for one network ([`FaultPlan::compile`]):
+/// per-AP merged, sorted, disjoint outage intervals plus the network's
+/// burst penalty as a step function. Query through the cursors
+/// ([`CompiledFaults::outage_cursor`], [`CompiledFaults::burst_cursor`]),
+/// which advance monotonically with the caller's clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFaults {
+    /// Per affected AP: disjoint `[start, end)` downtime intervals,
+    /// ascending.
+    by_ap: Vec<(ApId, Vec<(f64, f64)>)>,
+    /// Breakpoints of the burst step function, ascending and unique.
+    burst_t: Vec<f64>,
+    /// Summed penalty on `[burst_t[i], burst_t[i+1])`; 0 before the first
+    /// breakpoint.
+    burst_db: Vec<f64>,
+}
+
+/// The empty interval list every unaffected AP shares.
+const NO_OUTAGES: &[(f64, f64)] = &[];
+
+impl CompiledFaults {
+    /// Whether the compiled schedule contains nothing at all — consumers
+    /// take a zero-cost path (no cursor reads per tick).
+    pub fn is_empty(&self) -> bool {
+        self.by_ap.is_empty() && self.burst_t.is_empty()
+    }
+
+    /// A monotone cursor over one AP's downtime intervals.
+    pub fn outage_cursor(&self, ap: ApId) -> OutageCursor<'_> {
+        let intervals = self
+            .by_ap
+            .iter()
+            .find(|(a, _)| *a == ap)
+            .map_or(NO_OUTAGES, |(_, v)| v.as_slice());
+        OutageCursor { intervals, idx: 0 }
+    }
+
+    /// A monotone cursor over the network's burst penalty levels.
+    pub fn burst_cursor(&self) -> BurstCursor<'_> {
+        BurstCursor {
+            t: &self.burst_t,
+            db: &self.burst_db,
+            idx: 0,
+        }
+    }
+}
+
+/// Advancing view over one AP's merged outage timeline. Queries must be
+/// non-decreasing in time.
+#[derive(Debug, Clone)]
+pub struct OutageCursor<'a> {
+    intervals: &'a [(f64, f64)],
+    idx: usize,
+}
+
+impl OutageCursor<'_> {
+    /// Is the AP up at `t_s`? Same semantics as [`FaultPlan::ap_up`].
+    #[inline]
+    pub fn up_at(&mut self, t_s: f64) -> bool {
+        while self.idx < self.intervals.len() && self.intervals[self.idx].1 <= t_s {
+            self.idx += 1;
+        }
+        self.idx >= self.intervals.len() || t_s < self.intervals[self.idx].0
+    }
+}
+
+/// Advancing view over a network's burst-penalty step function. Queries
+/// must be non-decreasing in time.
+#[derive(Debug, Clone)]
+pub struct BurstCursor<'a> {
+    t: &'a [f64],
+    db: &'a [f64],
+    idx: usize,
+}
+
+impl BurstCursor<'_> {
+    /// Total penalty at `t_s`; same semantics (and bit-identical stacking)
+    /// as [`FaultPlan::burst_penalty_db`].
+    #[inline]
+    pub fn penalty_at(&mut self, t_s: f64) -> f64 {
+        while self.idx < self.t.len() && self.t[self.idx] <= t_s {
+            self.idx += 1;
+        }
+        if self.idx == 0 {
+            0.0
+        } else {
+            self.db[self.idx - 1]
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +289,90 @@ mod tests {
                                                         // Other APs / networks unaffected.
         assert!(p.ap_up(NetworkId(1), ApId(3), 150.0));
         assert!(p.ap_up(NetworkId(2), ApId(2), 150.0));
+    }
+
+    /// Checks the compiled timeline against the naive scans over a dense
+    /// time grid (fresh cursors per pass would hide advance bugs, so one
+    /// monotone sweep per observable).
+    fn assert_compiled_matches_naive(plan: &FaultPlan, network: NetworkId, aps: u32, t_max: f64) {
+        let compiled = plan.compile(network);
+        let mut bursts = compiled.burst_cursor();
+        let mut outage_cursors: Vec<OutageCursor<'_>> =
+            (0..aps).map(|a| compiled.outage_cursor(ApId(a))).collect();
+        let mut t = 0.0;
+        while t <= t_max {
+            assert_eq!(
+                bursts.penalty_at(t),
+                plan.burst_penalty_db(network, t),
+                "burst penalty at t={t}"
+            );
+            for (a, cursor) in outage_cursors.iter_mut().enumerate() {
+                assert_eq!(
+                    cursor.up_at(t),
+                    plan.ap_up(network, ApId(a as u32), t),
+                    "ap {a} up at t={t}"
+                );
+            }
+            t += 12.5;
+        }
+    }
+
+    #[test]
+    fn compiled_matches_naive_on_overlapping_outages_and_stacked_bursts() {
+        let o = |ap, s, e| ApOutage {
+            network: NetworkId(0),
+            ap: ApId(ap),
+            start_s: s,
+            end_s: e,
+        };
+        let b = |s, e, db| InterferenceBurst {
+            network: NetworkId(0),
+            start_s: s,
+            end_s: e,
+            penalty_db: db,
+        };
+        let plan = FaultPlan {
+            outages: vec![
+                o(0, 100.0, 400.0),
+                o(0, 300.0, 500.0),  // overlaps the first
+                o(0, 500.0, 650.0),  // touches the merged end exactly
+                o(0, 900.0, 900.0),  // empty: no effect
+                o(0, 1000.0, 950.0), // inverted: no effect
+                o(1, 200.0, 800.0),
+                o(2, 0.0, 2_000.0), // down the whole horizon
+            ],
+            bursts: vec![
+                b(50.0, 700.0, 6.25),
+                b(300.0, 1_200.0, 3.5), // stacks
+                b(600.0, 650.0, 0.125), // triple-stacks briefly
+                b(800.0, 800.0, 99.0),  // empty: no effect
+            ],
+        };
+        assert_compiled_matches_naive(&plan, NetworkId(0), 4, 2_100.0);
+        // The other network sees nothing.
+        let other = plan.compile(NetworkId(1));
+        assert!(other.is_empty());
+        assert!(other.outage_cursor(ApId(0)).up_at(500.0));
+        assert_eq!(other.burst_cursor().penalty_at(500.0), 0.0);
+    }
+
+    #[test]
+    fn demo_plan_compiles_non_trivially() {
+        let plan = FaultPlan::demo(3_600.0);
+        assert!(!plan.is_empty());
+        for network in [NetworkId(0), NetworkId(1)] {
+            assert!(!plan.compile(network).is_empty());
+            assert_compiled_matches_naive(&plan, network, 4, 3_700.0);
+        }
+        assert!(plan.compile(NetworkId(7)).is_empty());
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_timeline() {
+        let compiled = FaultPlan::none().compile(NetworkId(0));
+        assert!(compiled.is_empty());
+        assert!(compiled.outage_cursor(ApId(3)).up_at(0.0));
+        assert_eq!(compiled.burst_cursor().penalty_at(1e9), 0.0);
     }
 
     #[test]

@@ -39,13 +39,19 @@ pub mod client_engine;
 pub mod client_probes;
 pub mod config;
 pub mod fault;
+mod merge;
 pub mod mobility;
 pub mod probe_engine;
+pub mod ring;
 pub mod runner;
 pub mod window;
 
 pub use client_probes::{simulate_client_probes, ClientProbeTrace};
 pub use config::SimConfig;
-pub use fault::{ApOutage, FaultPlan, InterferenceBurst};
+pub use fault::{
+    ApOutage, BurstCursor, CompiledFaults, FaultPlan, InterferenceBurst, OutageCursor,
+};
 pub use mobility::ClientKind;
+pub use ring::{probe_slots, PairWindows, TickLossWindow};
+pub use runner::CampaignRunStats;
 pub use window::LossWindow;

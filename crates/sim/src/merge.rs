@@ -1,0 +1,143 @@
+//! Ordered k-way merges of per-pair probe streams.
+//!
+//! Every pair simulation emits its reports already time-ordered, and the
+//! report clock is shared (all pairs cut reports at the same ticks), so
+//! assembling a network's probe table is a merge problem, not a sort
+//! problem. Two orders are needed:
+//!
+//! * [`merge_time_stable`] reproduces what a *stable sort by time* of the
+//!   concatenated streams returns — the (historical) emission order of
+//!   `simulate_probes`: within one report tick, stream (pair) order, and
+//!   within one stream, emission order (forward direction before reverse).
+//! * [`merge_report_order`] reproduces the dataset order the campaign
+//!   runner used to produce by re-sorting on `(time, phy, sender,
+//!   receiver)`. That key is unique within a network (each directed link
+//!   reports at most once per tick per radio), so the merge is exact, not
+//!   merely equivalent-up-to-ties.
+//!
+//! Both run in O(N log k) via a cursor heap, replacing the old
+//! collect → flatten → sort (O(N log N), with a full re-sort again at the
+//! network level).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mesh11_trace::ProbeSet;
+
+/// `f64` report times wrapped with a total order (probe times are always
+/// finite; the old sort paths unwrapped `partial_cmp` the same way).
+#[derive(PartialEq, PartialOrd)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite probe times")
+    }
+}
+
+fn kway_merge<K: Ord>(
+    streams: Vec<Vec<ProbeSet>>,
+    key: impl Fn(&ProbeSet, usize) -> K,
+) -> Vec<ProbeSet> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors: Vec<std::iter::Peekable<std::vec::IntoIter<ProbeSet>>> = streams
+        .into_iter()
+        .map(|s| s.into_iter().peekable())
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (i, c) in cursors.iter_mut().enumerate() {
+        if let Some(head) = c.peek() {
+            heap.push(Reverse((key(head, i), i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let item = cursors[i].next().expect("heap entry implies a head");
+        out.push(item);
+        if let Some(head) = cursors[i].peek() {
+            heap.push(Reverse((key(head, i), i)));
+        }
+    }
+    out
+}
+
+/// Merges time-ordered streams into the order a stable sort by `time_s` of
+/// their concatenation would produce (ties broken by stream index, then
+/// within-stream position).
+pub(crate) fn merge_time_stable(streams: Vec<Vec<ProbeSet>>) -> Vec<ProbeSet> {
+    kway_merge(streams, |p, i| (TotalF64(p.time_s), i))
+}
+
+/// Merges streams that are each ordered by `(time, phy, sender, receiver)`
+/// into the globally ordered probe table — the campaign dataset order.
+pub(crate) fn merge_report_order(streams: Vec<Vec<ProbeSet>>) -> Vec<ProbeSet> {
+    kway_merge(streams, |p, _| {
+        (TotalF64(p.time_s), p.phy, p.sender, p.receiver)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh11_phy::Phy;
+    use mesh11_trace::{ApId, NetworkId};
+
+    fn probe(t: f64, phy: Phy, s: u32, r: u32) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(0),
+            phy,
+            time_s: t,
+            sender: ApId(s),
+            receiver: ApId(r),
+            obs: Vec::new(),
+        }
+    }
+
+    /// A synthetic pair stream: both directions every `step` seconds, like
+    /// the engine's per-pair output.
+    fn pair_stream(a: u32, b: u32, phy: Phy, ticks: &[f64]) -> Vec<ProbeSet> {
+        ticks
+            .iter()
+            .flat_map(|&t| [probe(t, phy, a, b), probe(t, phy, b, a)])
+            .collect()
+    }
+
+    #[test]
+    fn time_stable_equals_stable_sort() {
+        let streams = vec![
+            pair_stream(0, 1, Phy::Bg, &[300.0, 600.0, 900.0]),
+            pair_stream(0, 2, Phy::Bg, &[300.0, 900.0]), // a silent round
+            Vec::new(),                                  // a pair that never reported
+            pair_stream(1, 2, Phy::Bg, &[600.0, 900.0]),
+        ];
+        let mut expect: Vec<ProbeSet> = streams.iter().flatten().cloned().collect();
+        expect.sort_by(|x, y| x.time_s.partial_cmp(&y.time_s).expect("finite"));
+        assert_eq!(merge_time_stable(streams), expect);
+    }
+
+    #[test]
+    fn report_order_equals_full_sort() {
+        let streams = vec![
+            pair_stream(2, 3, Phy::Bg, &[300.0, 600.0]),
+            pair_stream(0, 1, Phy::Ht, &[300.0]),
+            pair_stream(0, 1, Phy::Bg, &[300.0, 600.0]),
+            pair_stream(1, 3, Phy::Bg, &[600.0]),
+        ];
+        let mut expect: Vec<ProbeSet> = streams.iter().flatten().cloned().collect();
+        expect.sort_by(|a, b| {
+            (a.time_s, a.phy, a.sender, a.receiver)
+                .partial_cmp(&(b.time_s, b.phy, b.sender, b.receiver))
+                .expect("finite")
+        });
+        assert_eq!(merge_report_order(streams), expect);
+    }
+
+    #[test]
+    fn no_streams_is_empty() {
+        assert!(merge_time_stable(Vec::new()).is_empty());
+        assert!(merge_report_order(Vec::new()).is_empty());
+    }
+}

@@ -1,13 +1,44 @@
-//! Campaign execution: networks in parallel, one dataset out.
+//! Campaign execution: one flat work list over every (network, radio, AP
+//! pair), one dataset out.
+//!
+//! The unit of parallel work is a *pair simulation*, not a network: pair
+//! timelines are fully independent (per-pair channel and coin streams), so
+//! a campaign flattens into one global work list that keeps every thread
+//! busy even when network sizes are skewed — the old network-granular
+//! split serialized on the largest network. Per-pair probe streams come
+//! back already ordered by `(time, phy, sender, receiver)` (a key that is
+//! unique within a network), so assembling a network's probe table is an
+//! exact k-way merge (the crate-private `merge` module) instead of a full
+//! re-sort.
 
-use mesh11_phy::{CalibratedPhy, SuccessTable};
+use mesh11_phy::{CalibratedPhy, Phy, RateRow, SuccessTable};
 use mesh11_topo::{Campaign, NetworkSpec};
-use mesh11_trace::{Dataset, NetworkMeta};
+use mesh11_trace::{Dataset, NetworkMeta, ProbeSet};
 use rayon::prelude::*;
 
 use crate::client_engine::simulate_clients;
 use crate::config::SimConfig;
-use crate::probe_engine::simulate_probes_with_table;
+use crate::fault::CompiledFaults;
+use crate::merge::merge_report_order;
+use crate::probe_engine::{coin_base, discover_pairs, simulate_pair, PairSim};
+
+/// Everything needed to simulate any pair of one network radio: the
+/// discovered candidate pairs plus the radio-scoped immutable inputs.
+struct RadioPlan {
+    /// Index into `campaign.networks`.
+    network: usize,
+    phy: Phy,
+    pairs: Vec<PairSim>,
+    coin_base: u64,
+    faults: CompiledFaults,
+}
+
+/// Aggregate counters of one campaign run, for timing reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignRunStats {
+    /// Candidate AP pairs simulated across all networks and radios.
+    pub pairs_simulated: usize,
+}
 
 impl SimConfig {
     /// Simulates one network (all its radios, probes and clients) into a
@@ -20,25 +51,26 @@ impl SimConfig {
 
     /// As [`SimConfig::run_network`] with a shared success table.
     pub fn run_network_with_table(&self, spec: &NetworkSpec, table: &SuccessTable) -> Dataset {
-        let mut probes = Vec::new();
+        let faults = self.faults.compile(spec.id);
+        let mut streams: Vec<Vec<ProbeSet>> = Vec::new();
         for &radio in &spec.radios {
-            probes.extend(simulate_probes_with_table(spec, radio, self, table));
+            let rates = radio.probed_rates();
+            let rows: Vec<RateRow<'_>> = rates.iter().map(|&r| table.rate_row(r)).collect();
+            let pairs = discover_pairs(spec, radio, self);
+            let base = coin_base(spec.seed, radio);
+            streams.extend(
+                pairs
+                    .par_iter()
+                    .map(|pair| {
+                        simulate_pair(spec.id, radio, self, &rows, rates, pair, base, &faults)
+                    })
+                    .collect::<Vec<_>>(),
+            );
         }
-        // Keep reports in time order across radios.
-        probes.sort_by(|a, b| {
-            (a.time_s, a.phy, a.sender, a.receiver)
-                .partial_cmp(&(b.time_s, b.phy, b.sender, b.receiver))
-                .expect("finite times")
-        });
+        let probes = merge_report_order(streams);
         let clients = simulate_clients(spec, self);
         Dataset {
-            networks: vec![NetworkMeta {
-                id: spec.id,
-                env: spec.env.label(),
-                n_aps: spec.size(),
-                radios: spec.radios.clone(),
-                location: spec.geo.label.clone(),
-            }],
+            networks: vec![network_meta(spec)],
             probes,
             clients,
             probe_horizon_s: self.probe_horizon_s,
@@ -46,38 +78,133 @@ impl SimConfig {
         }
     }
 
-    /// Simulates every network of a campaign in parallel (rayon) and merges
-    /// the results in network-id order — bit-for-bit deterministic in the
-    /// campaign seed regardless of thread scheduling.
+    /// Simulates every network of a campaign and merges the results in
+    /// network-id order — bit-for-bit deterministic in the campaign seed
+    /// regardless of thread scheduling.
     pub fn run_campaign(&self, campaign: &Campaign) -> Dataset {
-        let phy = CalibratedPhy::new();
-        let table = SuccessTable::new(&phy);
-        let parts: Vec<Dataset> = campaign
+        self.run_campaign_counted(campaign).0
+    }
+
+    /// As [`SimConfig::run_campaign`], also returning run counters.
+    ///
+    /// Three flat parallel passes, never nested: discovery per (network,
+    /// radio), pair simulation over the global (network, radio, pair) work
+    /// list, and client traces per network. Every pass's `collect`
+    /// preserves input order, so assembly is deterministic.
+    pub fn run_campaign_counted(&self, campaign: &Campaign) -> (Dataset, CampaignRunStats) {
+        let phy_model = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy_model);
+        let rows_bg: Vec<RateRow<'_>> = Phy::Bg
+            .probed_rates()
+            .iter()
+            .map(|&r| table.rate_row(r))
+            .collect();
+        let rows_ht: Vec<RateRow<'_>> = Phy::Ht
+            .probed_rates()
+            .iter()
+            .map(|&r| table.rate_row(r))
+            .collect();
+
+        // Pass 1: pair discovery, one job per network radio.
+        let radio_jobs: Vec<(usize, Phy)> = campaign
+            .networks
+            .iter()
+            .enumerate()
+            .flat_map(|(ni, spec)| spec.radios.iter().map(move |&r| (ni, r)))
+            .collect();
+        let plans: Vec<RadioPlan> = radio_jobs
+            .par_iter()
+            .map(|&(network, phy)| {
+                let spec = &campaign.networks[network];
+                RadioPlan {
+                    network,
+                    phy,
+                    pairs: discover_pairs(spec, phy, self),
+                    coin_base: coin_base(spec.seed, phy),
+                    faults: self.faults.compile(spec.id),
+                }
+            })
+            .collect();
+
+        // Pass 2: the global pair scheduler. Work items are (plan, pair)
+        // indices in plan-major order, so the result streams group by
+        // network contiguously.
+        let items: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, plan)| (0..plan.pairs.len()).map(move |qi| (pi, qi)))
+            .collect();
+        let stats = CampaignRunStats {
+            pairs_simulated: items.len(),
+        };
+        let streams: Vec<Vec<ProbeSet>> = items
+            .par_iter()
+            .map(|&(pi, qi)| {
+                let plan = &plans[pi];
+                let spec = &campaign.networks[plan.network];
+                let rows = match plan.phy {
+                    Phy::Bg => &rows_bg,
+                    Phy::Ht => &rows_ht,
+                };
+                simulate_pair(
+                    spec.id,
+                    plan.phy,
+                    self,
+                    rows,
+                    plan.phy.probed_rates(),
+                    &plan.pairs[qi],
+                    plan.coin_base,
+                    &plan.faults,
+                )
+            })
+            .collect();
+
+        // Pass 3: client traces, one job per network.
+        let client_parts: Vec<_> = campaign
             .networks
             .par_iter()
-            .map(|spec| self.run_network_with_table(spec, &table))
+            .map(|spec| simulate_clients(spec, self))
             .collect();
-        // Ordering invariant: par_iter's collect returns results in input
-        // order regardless of thread scheduling, and campaign generation
-        // emits networks in ascending id order — so the parts arrive
-        // already sorted and re-sorting here would be dead work on the
-        // merge path. Keep the invariant checked in debug builds.
-        debug_assert!(
-            parts
-                .windows(2)
-                .all(|w| w[0].networks.first().map(|m| m.id)
-                    <= w[1].networks.first().map(|m| m.id)),
-            "parallel campaign parts must arrive in network-id order"
-        );
+
+        // Assembly: slice the stream list back into per-network groups
+        // (contiguous by construction) and merge each in report order.
         let mut merged = Dataset {
             probe_horizon_s: self.probe_horizon_s,
             client_horizon_s: self.client_horizon_s,
             ..Dataset::default()
         };
-        for part in parts {
-            merged.merge(part);
+        let mut stream_iter = streams.into_iter();
+        let mut plan_iter = plans.iter().peekable();
+        for (ni, (spec, clients)) in campaign.networks.iter().zip(client_parts).enumerate() {
+            let mut net_streams: Vec<Vec<ProbeSet>> = Vec::new();
+            while let Some(plan) = plan_iter.peek() {
+                if plan.network != ni {
+                    break;
+                }
+                for _ in 0..plan.pairs.len() {
+                    net_streams.push(stream_iter.next().expect("one stream per work item"));
+                }
+                plan_iter.next();
+            }
+            merged.merge(Dataset {
+                networks: vec![network_meta(spec)],
+                probes: merge_report_order(net_streams),
+                clients,
+                probe_horizon_s: self.probe_horizon_s,
+                client_horizon_s: self.client_horizon_s,
+            });
         }
-        merged
+        (merged, stats)
+    }
+}
+
+fn network_meta(spec: &NetworkSpec) -> NetworkMeta {
+    NetworkMeta {
+        id: spec.id,
+        env: spec.env.label(),
+        n_aps: spec.size(),
+        radios: spec.radios.clone(),
+        location: spec.geo.label.clone(),
     }
 }
 
@@ -119,6 +246,35 @@ mod tests {
         for (i, m) in a.networks.iter().enumerate() {
             assert_eq!(m.id.0 as usize, i);
         }
+    }
+
+    #[test]
+    fn counted_run_matches_per_network_path_and_counts_pairs() {
+        let campaign = CampaignSpec::scaled(17, 4).generate();
+        let mut cfg = SimConfig::quick();
+        cfg.probe_horizon_s = 1_200.0;
+        cfg.client_horizon_s = 600.0;
+        let (ds, stats) = cfg.run_campaign_counted(&campaign);
+        assert!(stats.pairs_simulated > 0);
+
+        // The global scheduler must produce exactly what the per-network
+        // path produces, network by network.
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        let mut expected = Dataset {
+            probe_horizon_s: cfg.probe_horizon_s,
+            client_horizon_s: cfg.client_horizon_s,
+            ..Dataset::default()
+        };
+        let mut pairs = 0;
+        for spec in &campaign.networks {
+            expected.merge(cfg.run_network_with_table(spec, &table));
+            for &radio in &spec.radios {
+                pairs += discover_pairs(spec, radio, &cfg).len();
+            }
+        }
+        assert_eq!(ds, expected);
+        assert_eq!(stats.pairs_simulated, pairs);
     }
 
     #[test]

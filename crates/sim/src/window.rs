@@ -5,6 +5,12 @@
 //! they were received — the receiver knows the sender's schedule, as in
 //! Roofnet's ETX probing — and fall out after `window_s` seconds. The
 //! windowed loss is the paper's "mean loss rate".
+//!
+//! This is the general, arbitrary-timestamp implementation. It serves the
+//! client probe path ([`crate::client_probes`]), whose observations are
+//! not on a fixed cadence, and acts as the reference the fixed-cadence
+//! ring windows of [`crate::ring`] (the inter-AP probe hot path) are
+//! property-tested against.
 
 use std::collections::VecDeque;
 
