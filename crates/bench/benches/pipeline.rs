@@ -24,9 +24,10 @@ fn analyze(ctx: &ReproContext, ids: &[&str]) -> Vec<Vec<mesh11_core::report::Fig
 }
 
 /// The ids for the cold/warm cache comparison: everything except
-/// ext-client, which runs a one-off probe simulation (never cached) and
-/// silently no-ops on campaign-less contexts — either way it would skew a
-/// cache-effect measurement.
+/// ext-client, whose client-probe pass is computed in the simulate phase
+/// (its figure is a cheap read of `ReproContext::client_probes`, and it
+/// silently no-ops on campaign-less contexts) — either way it would skew a
+/// cache-effect measurement of the analyze phase.
 fn cacheable_ids() -> Vec<&'static str> {
     ALL_IDS
         .iter()

@@ -174,6 +174,8 @@ fn run(args: &Args) -> i32 {
         generate_s: build_t.generate_s,
         simulate_s: build_t.simulate_s,
         pairs_simulated: build_t.pairs_simulated,
+        client_probe_s: build_t.client_probe_s,
+        clients_simulated: build_t.clients_simulated,
         analyze_s,
         total_s: t_total.elapsed().as_secs_f64(),
         figures: fig_times,

@@ -890,45 +890,32 @@ pub fn ext_ett(ctx: &ReproContext) -> FigureData {
 /// on client links? Static clients should look like AP links; mobile
 /// clients should break the table.
 pub fn ext_client(ctx: &ReproContext) -> FigureData {
-    use mesh11_sim::simulate_client_probes;
-
-    // Downlink probes over a few representative b/g networks. The campaign
-    // itself is not re-simulated — client probing is an extra measurement
-    // pass the real networks never ran.
-    let mut cfg = ctx.config.clone();
-    cfg.client_horizon_s = cfg.client_horizon_s.min(14_400.0);
-    let campaign = match ctx.scale_campaign() {
-        Some(c) => c,
+    // Downlink probes over a few representative b/g networks, pulled from
+    // the context's cached client-probe pass (run once, in the simulate
+    // phase). The campaign itself is not re-simulated — client probing is
+    // an extra measurement pass the real networks never ran.
+    let pass = match ctx.client_probes() {
+        Some(p) => p,
         None => return FigureData::new("ext-client", "unavailable", "", ""),
     };
-    let mut probes = Vec::new();
+    let mut probes: Vec<&mesh11_trace::ProbeSet> = Vec::new();
     let mut static_rx = std::collections::BTreeSet::new();
     let mut fast_rx = std::collections::BTreeSet::new();
-    let mut taken = 0;
-    for spec in campaign
-        .networks
-        .iter()
-        .filter(|n| n.has_bg() && n.size() >= 5)
-    {
-        let trace = simulate_client_probes(spec, &cfg);
-        for rx in trace.static_receivers {
-            static_rx.insert((spec.id.0, rx));
+    for (net, trace) in &pass.traces {
+        for &rx in &trace.static_receivers {
+            static_rx.insert((net.0, rx));
         }
-        for rx in trace.fast_receivers {
-            fast_rx.insert((spec.id.0, rx));
+        for &rx in &trace.fast_receivers {
+            fast_rx.insert((net.0, rx));
         }
-        probes.extend(trace.probes);
-        taken += 1;
-        if taken >= 6 {
-            break;
-        }
+        probes.extend(trace.probes.iter());
     }
     // Online (predict-before-train) evaluation per link, as a real adapter
     // would run — in-sample scoring would let a mobile link "memorize" its
     // one-visit SNR cells and look spuriously accurate.
     let mut per_link: std::collections::BTreeMap<(u32, u32, u32), Vec<&mesh11_trace::ProbeSet>> =
         Default::default();
-    for p in &probes {
+    for p in probes {
         per_link
             .entry((p.network.0, p.sender.0, p.receiver.0))
             .or_default()

@@ -8,13 +8,21 @@ use mesh11_core::bitrate::{LookupTableSet, Scope, StrategyEval, StrategyKind};
 use mesh11_core::mobility::MobilityReport;
 use mesh11_core::routing::improvement::{analyze_dataset, OpportunisticAnalysis};
 use mesh11_core::triples::{hidden::TripleAnalysis, range_by_rate, HearRule};
-use mesh11_phy::{BitRate, Phy};
-use mesh11_sim::SimConfig;
-use mesh11_topo::{Campaign, CampaignSpec};
+use mesh11_phy::{BitRate, CalibratedPhy, Phy, SuccessTable};
+use mesh11_sim::{ClientProbeTrace, SimConfig};
+use mesh11_topo::{Campaign, CampaignSpec, NetworkSpec};
 use mesh11_trace::{Dataset, DatasetIndex, DatasetView, NetworkId};
 
 /// The §6 hearing threshold (10%) used by every cached triple analysis.
 pub const TRIPLE_THRESHOLD: f64 = 0.10;
+
+/// How many b/g networks the downlink client-probe pass covers.
+pub const CLIENT_PROBE_NETWORKS: usize = 6;
+/// Minimum AP count for a network to enter the client-probe pass.
+pub const CLIENT_PROBE_MIN_APS: usize = 5;
+/// Cap on the client-probe horizon (seconds), so paper-scale runs stay
+/// bounded.
+pub const CLIENT_PROBE_MAX_HORIZON_S: f64 = 14_400.0;
 
 /// Wall-clock seconds of the two pre-analysis phases of a reproduction
 /// run; see [`ReproContext::build_timed`].
@@ -27,6 +35,43 @@ pub struct BuildTimings {
     /// Candidate AP pairs the simulate phase ran (across networks and
     /// radios) — the unit of the global pair scheduler's work list.
     pub pairs_simulated: usize,
+    /// The downlink client-probe pass (the sharded per-client scheduler
+    /// feeding `ext-client`), run eagerly in the simulate phase.
+    pub client_probe_s: f64,
+    /// Clients the client-probe pass simulated — the unit of its work
+    /// list, giving `client_probe_s` a denominator.
+    pub clients_simulated: usize,
+}
+
+/// The cached downlink client-probe pass: one trace per covered network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientProbePass {
+    /// `(network, trace)` for the first [`CLIENT_PROBE_NETWORKS`] b/g
+    /// networks with ≥ [`CLIENT_PROBE_MIN_APS`] APs, in campaign order.
+    pub traces: Vec<(NetworkId, ClientProbeTrace)>,
+    /// Clients simulated across all covered networks.
+    pub clients_simulated: usize,
+}
+
+fn build_client_probe_pass(
+    campaign: &Campaign,
+    config: &SimConfig,
+    table: &SuccessTable,
+) -> ClientProbePass {
+    let mut cfg = config.clone();
+    cfg.client_horizon_s = cfg.client_horizon_s.min(CLIENT_PROBE_MAX_HORIZON_S);
+    let specs: Vec<&NetworkSpec> = campaign
+        .networks
+        .iter()
+        .filter(|n| n.has_bg() && n.size() >= CLIENT_PROBE_MIN_APS)
+        .take(CLIENT_PROBE_NETWORKS)
+        .collect();
+    let traces = mesh11_sim::simulate_client_probes_batch(&specs, &cfg, table);
+    let clients_simulated = traces.iter().map(|t| t.clients).sum();
+    ClientProbePass {
+        traces: specs.iter().map(|s| s.id).zip(traces).collect(),
+        clients_simulated,
+    }
 }
 
 /// How big a reproduction run to perform.
@@ -84,6 +129,10 @@ pub struct ReproContext {
     /// experiments that need topology ground truth (e.g. client probing)
     /// use it; the paper figures never do.
     campaign: Option<Campaign>,
+    /// One frame-success tabulation for the whole run: the simulate phase
+    /// primes it and the client-probe pass reuses it.
+    success_table: OnceLock<SuccessTable>,
+    client_probes: OnceLock<Option<ClientProbePass>>,
     index: OnceLock<DatasetIndex>,
     routing_bg: OnceLock<Vec<OpportunisticAnalysis>>,
     // One slot per (scope, phy): Figs 4.1–4.4 all key off the same tables.
@@ -134,14 +183,28 @@ impl ReproContext {
         let campaign = spec.generate();
         let generate_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let (dataset, stats) = config.run_campaign_counted(&campaign);
+        // One success table serves the whole run: the campaign simulation
+        // here and the client-probe pass below (its build is simulate-phase
+        // cost, exactly as it was when `run_campaign_counted` built it).
+        let table = SuccessTable::new(&CalibratedPhy::new());
+        let (dataset, stats) = config.run_campaign_counted_with_table(&campaign, &table);
         let simulate_s = t1.elapsed().as_secs_f64();
+        let this = Self::assemble(dataset, config, seed, Some(campaign));
+        let _ = this.success_table.set(table);
+        // Run the client-probe pass eagerly so its cost lands in the
+        // simulate phase (it is simulation), not in whichever figure
+        // happens to touch the cache first.
+        let t2 = std::time::Instant::now();
+        let clients_simulated = this.client_probes().map_or(0, |p| p.clients_simulated);
+        let client_probe_s = t2.elapsed().as_secs_f64();
         (
-            Self::assemble(dataset, config, seed, Some(campaign)),
+            this,
             BuildTimings {
                 generate_s,
                 simulate_s,
                 pairs_simulated: stats.pairs_simulated,
+                client_probe_s,
+                clients_simulated,
             },
         )
     }
@@ -162,6 +225,8 @@ impl ReproContext {
             config,
             seed,
             campaign,
+            success_table: OnceLock::new(),
+            client_probes: OnceLock::new(),
             index: OnceLock::new(),
             routing_bg: OnceLock::new(),
             lookup_tables: Default::default(),
@@ -175,6 +240,30 @@ impl ReproContext {
     /// The campaign this context simulated, when known.
     pub fn scale_campaign(&self) -> Option<&Campaign> {
         self.campaign.as_ref()
+    }
+
+    /// The downlink client-probe pass — computed once (eagerly by
+    /// [`ReproContext::build_timed_with_faults`], so simulation cost is
+    /// attributed to the simulate phase) and shared by `ext-client` and
+    /// anything else reading client traces. `None` for contexts wrapping a
+    /// loaded dataset: client probing needs topology ground truth.
+    pub fn client_probes(&self) -> Option<&ClientProbePass> {
+        let table = self.success_table();
+        self.client_probes
+            .get_or_init(|| {
+                self.campaign
+                    .as_ref()
+                    .map(|c| build_client_probe_pass(c, &self.config, table))
+            })
+            .as_ref()
+    }
+
+    /// The run-wide frame-success tabulation. Contexts built by simulation
+    /// inherit the simulate phase's table; dataset-wrapping contexts build
+    /// one on first use.
+    pub fn success_table(&self) -> &SuccessTable {
+        self.success_table
+            .get_or_init(|| SuccessTable::new(&CalibratedPhy::new()))
     }
 
     /// The dataset index — built once on first use and shared by every

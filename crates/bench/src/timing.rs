@@ -26,6 +26,12 @@ pub struct PhaseTimings {
     /// Candidate AP pairs the simulate phase ran — the work-item count of
     /// the global pair scheduler, giving `simulate_s` a denominator.
     pub pairs_simulated: usize,
+    /// The downlink client-probe pass (sharded per client), run eagerly
+    /// alongside simulation and cached for `ext-client`.
+    pub client_probe_s: f64,
+    /// Clients the client-probe pass simulated — the work-item count of
+    /// its per-client scheduler, giving `client_probe_s` a denominator.
+    pub clients_simulated: usize,
     /// All figure building, wall-clock. Figures run concurrently, so this
     /// is smaller than the sum of the per-figure entries.
     pub analyze_s: f64,
@@ -45,11 +51,13 @@ impl PhaseTimings {
     /// The human-readable breakdown `repro` prints on stderr.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "# timings ({} threads): generate {:.2}s, simulate {:.2}s ({} pairs), analyze {:.2}s (wall), total {:.2}s",
+            "# timings ({} threads): generate {:.2}s, simulate {:.2}s ({} pairs), client probes {:.2}s ({} clients), analyze {:.2}s (wall), total {:.2}s",
             self.effective_threads,
             self.generate_s,
             self.simulate_s,
             self.pairs_simulated,
+            self.client_probe_s,
+            self.clients_simulated,
             self.analyze_s,
             self.total_s
         );
@@ -76,6 +84,8 @@ mod tests {
             generate_s: 0.1,
             simulate_s: 2.0,
             pairs_simulated: 1234,
+            client_probe_s: 0.4,
+            clients_simulated: 321,
             analyze_s: 1.5,
             total_s: 3.7,
             figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
@@ -89,6 +99,8 @@ mod tests {
             "generate_s",
             "simulate_s",
             "pairs_simulated",
+            "client_probe_s",
+            "clients_simulated",
             "analyze_s",
             "total_s",
             "figures",
@@ -98,5 +110,6 @@ mod tests {
         }
         assert!(t.render().contains("8 threads"));
         assert!(t.render().contains("1234 pairs"));
+        assert!(t.render().contains("321 clients"));
     }
 }

@@ -46,5 +46,5 @@ pub mod math;
 pub mod per;
 pub mod rate;
 
-pub use per::{CalibratedPhy, PerModel, RateRow, SuccessTable, DEFAULT_FRAME_BYTES};
+pub use per::{CalibratedPhy, CompactRow, PerModel, RateRow, SuccessTable, DEFAULT_FRAME_BYTES};
 pub use rate::{BitRate, Phy, RateClass};

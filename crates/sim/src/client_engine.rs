@@ -5,8 +5,6 @@
 //! requests and data packets into 5-minute bins — the paper's aggregate
 //! client data, on which all of §7 runs.
 
-use std::collections::BTreeMap;
-
 use mesh11_stats::dist::{derive_seed, derive_seed_str, poisson, standard_normal};
 use mesh11_topo::NetworkSpec;
 use mesh11_trace::{ApId, ClientSample};
@@ -100,13 +98,21 @@ fn simulate_client(
     let mut state = MobilityState::new(client.home);
     let mut current: Option<usize> = None;
 
-    // (ap, bin_index) → (assoc_requests, data_pkts)
-    let mut counters: BTreeMap<(u32, u64), (u32, u32)> = BTreeMap::new();
+    // Dense (ap, bin) → (assoc_requests, data_pkts) counters, laid out
+    // ap-major so draining them below reproduces the old
+    // `BTreeMap<(u32, u64), _>` iteration order exactly. Silent cells are
+    // dropped at emit, so density never reaches the output.
+    let n_bins = ((cfg.client_horizon_s / cfg.client_bin_s).ceil() as usize).max(1);
+    let mut counters: Vec<(u32, u32)> = vec![(0, 0); n_aps * n_bins];
+    // Per-step scratch, hoisted out of the loop (refilled, never
+    // reallocated).
+    let mut snrs: Vec<f64> = vec![f64::NEG_INFINITY; n_aps];
+    let mut cands: Vec<usize> = Vec::with_capacity(n_aps);
 
     let steps = (cfg.client_horizon_s / cfg.client_step_s).floor() as usize;
     for step in 0..steps {
         let t = step as f64 * cfg.client_step_s;
-        let bin = (t / cfg.client_bin_s).floor() as u64;
+        let bin = (t / cfg.client_bin_s).floor() as usize;
         if t < client.arrive_s || t >= client.depart_s {
             current = None;
             continue;
@@ -115,7 +121,7 @@ fn simulate_client(
         let pos = state.pos;
 
         // Evaluate candidate APs (down APs are invisible).
-        let mut snrs: Vec<f64> = vec![f64::NEG_INFINITY; n_aps];
+        snrs.fill(f64::NEG_INFINITY);
         let mut best: Option<(usize, f64)> = None;
         let mut cur_snr = f64::NEG_INFINITY;
         for ap in 0..n_aps {
@@ -159,10 +165,12 @@ fn simulate_client(
             let flake: f64 = rng.random();
             if flake < DRIVER_FLAKE_PROB {
                 if let Some((_, best_snr)) = best {
-                    let cands: Vec<usize> = (0..n_aps)
-                        .filter(|&ap| snrs[ap] >= best_snr - DRIVER_FLAKE_MARGIN_DB)
-                        .filter(|&ap| snrs[ap] >= JOIN_MIN_DB)
-                        .collect();
+                    cands.clear();
+                    cands.extend(
+                        (0..n_aps)
+                            .filter(|&ap| snrs[ap] >= best_snr - DRIVER_FLAKE_MARGIN_DB)
+                            .filter(|&ap| snrs[ap] >= JOIN_MIN_DB),
+                    );
                     if !cands.is_empty() {
                         next = Some(cands[rng.random_range(0..cands.len())]);
                     }
@@ -172,7 +180,7 @@ fn simulate_client(
 
         if next != current {
             if let Some(ap) = next {
-                counters.entry((ap as u32, bin)).or_insert((0, 0)).0 += 1;
+                counters[ap * n_bins + bin].0 += 1;
             }
             current = next;
         }
@@ -180,7 +188,7 @@ fn simulate_client(
         if let Some(ap) = current {
             let lambda = client.pkts_per_min * cfg.client_step_s / 60.0;
             let pkts = poisson(&mut rng, lambda) as u32;
-            let entry = counters.entry((ap as u32, bin)).or_insert((0, 0));
+            let entry = &mut counters[ap * n_bins + bin];
             entry.1 = entry.1.saturating_add(pkts);
         }
     }
@@ -190,12 +198,13 @@ fn simulate_client(
     // traffic-driven) and are dropped.
     counters
         .into_iter()
+        .enumerate()
         .filter(|(_, (assoc, pkts))| *assoc > 0 || *pkts > 0)
-        .map(|((ap, bin), (assoc, pkts))| ClientSample {
+        .map(|(idx, (assoc, pkts))| ClientSample {
             network: spec.id,
-            ap: ApId(ap),
+            ap: ApId((idx / n_bins) as u32),
             client: client.id,
-            bin_start_s: bin as f64 * cfg.client_bin_s,
+            bin_start_s: (idx % n_bins) as f64 * cfg.client_bin_s,
             assoc_requests: assoc,
             data_pkts: pkts,
         })

@@ -46,7 +46,10 @@ pub mod ring;
 pub mod runner;
 pub mod window;
 
-pub use client_probes::{simulate_client_probes, ClientProbeTrace};
+pub use client_probes::{
+    simulate_client_probes, simulate_client_probes_batch, simulate_client_probes_with_table,
+    ClientProbeTrace,
+};
 pub use config::SimConfig;
 pub use fault::{
     ApOutage, BurstCursor, CompiledFaults, FaultPlan, InterferenceBurst, OutageCursor,

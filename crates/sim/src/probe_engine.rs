@@ -270,11 +270,17 @@ pub(crate) fn simulate_pair(
     out
 }
 
-/// Fills `buf` with the rate observations of one report direction; leaves
+/// Fills `buf` with the rate observations of one report lane; leaves
 /// it empty when nothing in the window was received. Taking a scratch
 /// buffer (rather than returning a fresh `Vec`) keeps the per-report cost
-/// allocation-free across the many silent report intervals.
-fn observations_into(win: &PairWindows, dir: usize, rates: &[BitRate], buf: &mut Vec<RateObs>) {
+/// allocation-free across the many silent report intervals. Shared with
+/// the client path ([`crate::client_probes`]), whose lanes are APs.
+pub(crate) fn observations_into(
+    win: &PairWindows,
+    dir: usize,
+    rates: &[BitRate],
+    buf: &mut Vec<RateObs>,
+) {
     buf.clear();
     for (ri, &rate) in rates.iter().enumerate() {
         if win.received(dir, ri) == 0 {

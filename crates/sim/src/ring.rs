@@ -10,10 +10,15 @@
 //! and eviction is a single bit-clear as the ring advances. Loss queries
 //! are popcounts.
 //!
-//! [`PairWindows`] packs every window of one AP pair — both directions ×
-//! all probed rates — into one contiguous SoA block, so the per-tick state
-//! updates of [`crate::probe_engine`] touch a handful of adjacent words
-//! instead of chasing per-rate `VecDeque` allocations.
+//! [`PairWindows`] packs every window of one estimator entity into one
+//! contiguous SoA block of *lanes* × rates, so the per-tick state updates
+//! touch a handful of adjacent words instead of chasing per-rate `VecDeque`
+//! allocations. The probe engine ([`crate::probe_engine`]) uses two lanes
+//! (the pair's directions); the client path
+//! ([`crate::client_probes`]) uses one lane per AP of a client's network.
+//! Lanes advance independently — a lane only ticks while its receiver
+//! records (a live AP for the probe engine, a gate-passing AP for the
+//! client path).
 //!
 //! Equivalence with the `VecDeque` reference: an outcome recorded at tick
 //! `j` leaves the reference window at the first *recorded* tick `k` with
@@ -32,13 +37,16 @@ pub fn probe_slots(window_s: f64, interval_s: f64) -> usize {
     ((window_s / interval_s).ceil() as usize).max(1)
 }
 
-/// The complete estimator state of one AP pair: both directions × all
-/// probed rates, as flat arrays.
+/// The complete estimator state of one entity: `lanes` × all probed
+/// rates, as flat arrays. A *lane* is whatever independent receiver stream
+/// the caller keys on — the two directions of an AP pair
+/// ([`PairWindows::new`]), or one per AP of a client's network
+/// ([`PairWindows::with_lanes`]).
 ///
-/// Layout: window `w = dir * n_rates + rate` owns `words` consecutive
+/// Layout: window `w = lane * n_rates + rate` owns `words` consecutive
 /// `u64`s in `occ` (a probe was scheduled at that slot's tick) and `rcv`
-/// (it was received), plus one `last_snr` entry. The two directions advance
-/// independently (a direction only ticks while its receiver is alive), so
+/// (it was received), plus one `last_snr` entry. Lanes advance
+/// independently (a lane only ticks while its receiver is recording), so
 /// each carries its own cursor.
 #[derive(Debug, Clone)]
 pub struct PairWindows {
@@ -46,34 +54,41 @@ pub struct PairWindows {
     slots: usize,
     /// `u64` words per window: `ceil(slots / 64)` (1 at paper constants).
     words: usize,
-    last_tick: [Option<u64>; 2],
-    cur_slot: [usize; 2],
+    last_tick: Vec<Option<u64>>,
+    cur_slot: Vec<usize>,
     occ: Vec<u64>,
     rcv: Vec<u64>,
     last_snr: Vec<f64>,
 }
 
 impl PairWindows {
-    /// State for `n_rates` windows per direction, each `slots` ticks wide.
+    /// State for `n_rates` windows per direction of one AP pair (two
+    /// lanes), each `slots` ticks wide.
     pub fn new(n_rates: usize, slots: usize) -> Self {
+        Self::with_lanes(2, n_rates, slots)
+    }
+
+    /// State for `lanes` independent lanes of `n_rates` windows each,
+    /// every window `slots` ticks wide.
+    pub fn with_lanes(lanes: usize, n_rates: usize, slots: usize) -> Self {
         assert!(slots >= 1, "a window must hold at least one tick");
         let words = slots.div_ceil(64);
         Self {
             n_rates,
             slots,
             words,
-            last_tick: [None; 2],
-            cur_slot: [0; 2],
-            occ: vec![0; 2 * n_rates * words],
-            rcv: vec![0; 2 * n_rates * words],
-            last_snr: vec![f64::NAN; 2 * n_rates],
+            last_tick: vec![None; lanes],
+            cur_slot: vec![0; lanes],
+            occ: vec![0; lanes * n_rates * words],
+            rcv: vec![0; lanes * n_rates * words],
+            last_snr: vec![f64::NAN; lanes * n_rates],
         }
     }
 
-    /// Advances one direction's ring to `tick`, evicting every outcome that
+    /// Advances one lane's ring to `tick`, evicting every outcome that
     /// has aged out of the window. Call once per recorded tick, before the
     /// per-rate [`PairWindows::record`] calls; ticks must be strictly
-    /// increasing per direction.
+    /// increasing per lane.
     pub fn advance(&mut self, dir: usize, tick: u64) {
         let base = dir * self.n_rates * self.words;
         let len = self.n_rates * self.words;
@@ -99,7 +114,7 @@ impl PairWindows {
         self.cur_slot[dir] = (tick % self.slots as u64) as usize;
     }
 
-    /// Records the outcome of one scheduled probe at the tick the direction
+    /// Records the outcome of one scheduled probe at the tick the lane
     /// was last advanced to. A reception also latches `reported_db` as the
     /// rate's most recent SNR.
     #[inline]
@@ -271,6 +286,29 @@ mod tests {
         assert_eq!(p.received(0, 1), 0);
         assert!((p.last_snr(0, 0) - 30.0).abs() < 1e-12);
         assert!(p.last_snr(1, 0).is_nan());
+    }
+
+    #[test]
+    fn extra_lanes_are_independent() {
+        // The client path keys one lane per AP; lanes beyond the pair's
+        // two must carry their own cursors and windows.
+        let mut p = PairWindows::with_lanes(5, 3, 20);
+        p.advance(4, 1);
+        p.record(4, 2, true, 12.5);
+        assert_eq!(p.sent(4, 2), 1);
+        assert_eq!(p.received(4, 2), 1);
+        assert!((p.last_snr(4, 2) - 12.5).abs() < 1e-12);
+        for lane in 0..4 {
+            for ri in 0..3 {
+                assert_eq!(p.sent(lane, ri), 0, "lane {lane} rate {ri}");
+            }
+        }
+        // A long gap on lane 4 clears only its own windows.
+        p.advance(0, 1);
+        p.record(0, 0, true, 5.0);
+        p.advance(4, 1_000);
+        assert_eq!(p.sent(4, 2), 0);
+        assert_eq!(p.sent(0, 0), 1);
     }
 
     /// Drives the ring and the `VecDeque` reference over the same sparse

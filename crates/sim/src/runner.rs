@@ -86,14 +86,25 @@ impl SimConfig {
     }
 
     /// As [`SimConfig::run_campaign`], also returning run counters.
+    pub fn run_campaign_counted(&self, campaign: &Campaign) -> (Dataset, CampaignRunStats) {
+        let phy_model = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy_model);
+        self.run_campaign_counted_with_table(campaign, &table)
+    }
+
+    /// As [`SimConfig::run_campaign_counted`] with a caller-provided
+    /// success table, so one tabulation serves the whole run (the bench
+    /// harness shares it with the client-probe pass).
     ///
     /// Three flat parallel passes, never nested: discovery per (network,
     /// radio), pair simulation over the global (network, radio, pair) work
     /// list, and client traces per network. Every pass's `collect`
     /// preserves input order, so assembly is deterministic.
-    pub fn run_campaign_counted(&self, campaign: &Campaign) -> (Dataset, CampaignRunStats) {
-        let phy_model = CalibratedPhy::new();
-        let table = SuccessTable::new(&phy_model);
+    pub fn run_campaign_counted_with_table(
+        &self,
+        campaign: &Campaign,
+        table: &SuccessTable,
+    ) -> (Dataset, CampaignRunStats) {
         let rows_bg: Vec<RateRow<'_>> = Phy::Bg
             .probed_rates()
             .iter()
