@@ -79,7 +79,7 @@ fn routing_bundle(c: &mut Criterion) {
         b.iter(|| black_box(analyze_dataset(black_box(ctx.view()), Phy::Bg, 5)))
     });
     g.bench_function("linear", |b| {
-        b.iter(|| black_box(linear_routing(black_box(&ctx.dataset), Phy::Bg, 5)))
+        b.iter(|| black_box(linear_routing(black_box(ctx.dataset()), Phy::Bg, 5)))
     });
     g.finish();
 }
@@ -97,7 +97,7 @@ fn lookup_training(c: &mut Criterion) {
         })
     });
     g.bench_function("linear", |b| {
-        b.iter(|| black_box(linear_lookup_training(black_box(&ctx.dataset), Phy::Bg)))
+        b.iter(|| black_box(linear_lookup_training(black_box(ctx.dataset()), Phy::Bg)))
     });
     g.finish();
 }

@@ -61,7 +61,7 @@ fn analyze_cold(c: &mut Criterion) {
     c.bench_function("pipeline/quick-analyze-cold", |b| {
         b.iter(|| {
             let ctx =
-                ReproContext::from_dataset(base.dataset.clone(), base.config.clone(), base.seed);
+                ReproContext::from_dataset(base.dataset().clone(), base.config.clone(), base.seed);
             black_box(analyze(&ctx, &ids))
         })
     });

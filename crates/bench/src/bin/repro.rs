@@ -1,8 +1,10 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [--seed N] [--threads N] [--faults]
-//!       [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all
+//! repro [--scale quick|standard|paper|metro] [--seed N] [--threads N] [--faults]
+//!       [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]
+//!       [--spill-dir DIR] [--out DIR] [--bench-json FILE] [--rows N] [--plot]
+//!       <id>... | --all
 //! ```
 //!
 //! Prints each figure as an aligned text table (with the paper-expected
@@ -18,7 +20,8 @@
 //! parallelism only reorders who computes what, never what is computed.
 
 use mesh11_bench::figures::{build, ALL_IDS};
-use mesh11_bench::{PhaseTimings, ReproContext, Scale};
+use mesh11_bench::{peak_rss_mb, DataMode, PhaseTimings, ReproContext, Scale};
+use mesh11_trace::ChunkConfig;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -29,11 +32,43 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     faults: bool,
+    chunked: bool,
+    chunk_capacity: Option<usize>,
+    chunk_budget: Option<usize>,
+    spill_dir: Option<PathBuf>,
     out: PathBuf,
     bench_json: PathBuf,
     rows: usize,
     plot: bool,
     ids: Vec<String>,
+}
+
+impl Args {
+    /// The data mode this invocation runs under: the scale's default,
+    /// overridden to chunked when any chunk flag is given.
+    fn data_mode(&self) -> DataMode {
+        let chunk_flags = self.chunked
+            || self.chunk_capacity.is_some()
+            || self.chunk_budget.is_some()
+            || self.spill_dir.is_some();
+        match (self.scale.data_mode(), chunk_flags) {
+            (DataMode::InMemory, false) => DataMode::InMemory,
+            (mode, _) => {
+                let mut cfg = match mode {
+                    DataMode::Chunked(cfg) => cfg,
+                    DataMode::InMemory => ChunkConfig::default(),
+                };
+                if let Some(cap) = self.chunk_capacity {
+                    cfg.chunk_capacity = cap.max(1);
+                }
+                if let Some(budget) = self.chunk_budget {
+                    cfg.resident_chunks = budget;
+                }
+                cfg.spill_dir.clone_from(&self.spill_dir);
+                DataMode::Chunked(cfg)
+            }
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,12 +77,17 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         faults: false,
+        chunked: false,
+        chunk_capacity: None,
+        chunk_budget: None,
+        spill_dir: None,
         out: PathBuf::from("out"),
         bench_json: PathBuf::from("BENCH_repro.json"),
         rows: 16,
         plot: false,
         ids: Vec::new(),
     };
+    let mut metro_factor: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,6 +98,27 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--metro-factor" => {
+                let v = it.next().ok_or("--metro-factor needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("bad metro factor: {e}"))?;
+                if n == 0 {
+                    return Err("--metro-factor must be >= 1".into());
+                }
+                metro_factor = Some(n);
+            }
+            "--chunked" => args.chunked = true,
+            "--chunk-capacity" => {
+                let v = it.next().ok_or("--chunk-capacity needs a value")?;
+                args.chunk_capacity =
+                    Some(v.parse().map_err(|e| format!("bad chunk capacity: {e}"))?);
+            }
+            "--chunk-budget" => {
+                let v = it.next().ok_or("--chunk-budget needs a value")?;
+                args.chunk_budget = Some(v.parse().map_err(|e| format!("bad chunk budget: {e}"))?);
+            }
+            "--spill-dir" => {
+                args.spill_dir = Some(PathBuf::from(it.next().ok_or("--spill-dir needs a value")?));
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -82,19 +143,35 @@ fn parse_args() -> Result<Args, String> {
             "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper] [--seed N] [--threads N] [--faults] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
+                    "usage: repro [--scale quick|standard|paper|metro] [--seed N] [--threads N] [--faults]\n\
+                     \x20            [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]\n\
+                     \x20            [--spill-dir DIR] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
                      identical at any value, only wall-clock changes\n\
                      --faults     simulate under the built-in demo fault plan (overlapping\n\
                      AP outages + stacked interference bursts), still thread-invariant\n\
+                     --metro-factor N  ensemble multiplier for --scale metro (default {})\n\
+                     --chunked    stream probes through the spill-able chunk store at any scale\n\
+                     --chunk-capacity N  probe sets per chunk (default {})\n\
+                     --chunk-budget N    resident chunks before spilling (default {})\n\
+                     --spill-dir DIR     where cold chunks spill (default: system temp dir)\n\
                      --bench-json FILE  where to write the per-phase timing JSON\n\
                      (default: BENCH_repro.json in the working directory)\nids: {}",
+                    mesh11_bench::DEFAULT_METRO_FACTOR,
+                    ChunkConfig::default().chunk_capacity,
+                    ChunkConfig::default().resident_chunks,
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
             }
             id if !id.starts_with('-') => args.ids.push(id.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if let Some(factor) = metro_factor {
+        match &mut args.scale {
+            Scale::Metro { factor: f } => *f = factor,
+            _ => return Err("--metro-factor requires --scale metro".into()),
         }
     }
     if args.ids.is_empty() {
@@ -117,16 +194,31 @@ fn run(args: &Args) -> i32 {
     } else {
         mesh11_sim::FaultPlan::none()
     };
-    let (ctx, build_t) = ReproContext::build_timed_with_faults(args.scale, args.seed, faults);
+    let mode = args.data_mode();
+    if let DataMode::Chunked(cfg) = &mode {
+        eprintln!(
+            "# chunked store: {} probe sets/chunk, {} resident chunks",
+            cfg.chunk_capacity, cfg.resident_chunks
+        );
+    }
+    let (ctx, build_t) = ReproContext::build_timed_with_mode(args.scale, args.seed, faults, mode);
     eprintln!(
         "# simulated {} networks / {} APs ({} pairs): {} probe sets, {} client samples in {:.1}s",
-        ctx.dataset.networks.len(),
-        ctx.dataset.total_aps(),
+        ctx.networks().len(),
+        ctx.total_aps(),
         build_t.pairs_simulated,
-        ctx.dataset.probes.len(),
-        ctx.dataset.clients.len(),
+        ctx.n_probes(),
+        ctx.clients().len(),
         build_t.generate_s + build_t.simulate_s
     );
+    if let Some(c) = ctx.chunked() {
+        eprintln!(
+            "# chunk store: {} resident chunks, {} bytes spilled, {} stitched links",
+            c.resident_chunks(),
+            c.spilled_bytes(),
+            c.stitched_index().n_links()
+        );
+    }
 
     // Build every requested figure in parallel. The shared heavy analyses
     // (lookup tables, triple analysis, mobility report, …) live in
@@ -166,14 +258,27 @@ fn run(args: &Args) -> i32 {
         }
     }
 
+    let n_probes = ctx.n_probes();
     let timings = PhaseTimings {
-        scale: format!("{:?}", args.scale),
+        scale: args.scale.label(),
         seed: args.seed,
         threads: args.threads.unwrap_or(0),
         effective_threads: rayon::current_num_threads(),
         generate_s: build_t.generate_s,
         simulate_s: build_t.simulate_s,
         pairs_simulated: build_t.pairs_simulated,
+        n_probes,
+        reports_per_sec: if build_t.simulate_s > 0.0 {
+            n_probes as f64 / build_t.simulate_s
+        } else {
+            0.0
+        },
+        peak_rss_mb: peak_rss_mb(),
+        data_mode: match ctx.chunked() {
+            Some(_) => "chunked".to_string(),
+            None => "in-memory".to_string(),
+        },
+        spilled_bytes: ctx.chunked().map_or(0, |c| c.spilled_bytes()),
         client_probe_s: build_t.client_probe_s,
         clients_simulated: build_t.clients_simulated,
         analyze_s,

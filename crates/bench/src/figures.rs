@@ -8,7 +8,7 @@
 
 use mesh11_core::bitrate::{Scope, SnrThroughputCurves, ThroughputPenalty};
 use mesh11_core::report::{FigureData, Series};
-use mesh11_core::routing::asymmetry::asymmetry_by_rate;
+use mesh11_core::routing::asymmetry::asymmetry_by_rate_from;
 use mesh11_core::routing::improvement::{improvement_by_network_size, improvement_by_path_length};
 use mesh11_core::routing::EtxVariant;
 use mesh11_core::triples::{range::normalized_range_by_env, range_change_by_rate, HearRule};
@@ -97,10 +97,10 @@ fn cdf_series(label: &str, values: &[f64]) -> Option<Series> {
 /// Fig 3.1 — CDFs of SNR standard deviation within probe sets, per link,
 /// and per network.
 pub fn fig3_1(ctx: &ReproContext) -> FigureData {
-    let ds = &ctx.dataset;
-    let sets = mesh11_trace::snrstats::probe_set_sigmas(ds);
-    let links = mesh11_trace::snrstats::link_sigmas(ds);
-    let nets = mesh11_trace::snrstats::network_sigmas(ds);
+    let src = ctx.probe_source();
+    let sets = mesh11_trace::snrstats::probe_set_sigmas_from(&src);
+    let links = mesh11_trace::snrstats::link_sigmas_from(&src);
+    let nets = mesh11_trace::snrstats::network_sigmas_from(&src);
     let under5 = sets.iter().filter(|&&s| s < 5.0).count() as f64 / sets.len().max(1) as f64;
     let mut fig = FigureData::new(
         "fig3-1",
@@ -115,7 +115,7 @@ pub fn fig3_1(ctx: &ReproContext) -> FigureData {
     ));
     // The paper's unpictured robustness note: σ of the k most recent SNRs
     // on a link is comparable to the within-set σ for small k.
-    let recent3 = mesh11_trace::snrstats::recent_k_sigmas(ds, 3);
+    let recent3 = mesh11_trace::snrstats::recent_k_sigmas_from(&src, 3);
     if let (Some(set_med), Some(recent_med)) =
         (mesh11_stats::median(&sets), mesh11_stats::median(&recent3))
     {
@@ -225,7 +225,10 @@ pub fn fig4_4(ctx: &ReproContext) -> Vec<FigureData> {
             )
             .with_note("paper: Link ~ AP >> Network ~ Global (b/g); exact-pick ~90% b/g, ~75% n");
             for scope in Scope::ALL {
-                let p = ThroughputPenalty::evaluate(ctx.view(), ctx.lookup_tables(scope, phy));
+                let p = ThroughputPenalty::evaluate_from(
+                    &ctx.probe_source(),
+                    ctx.lookup_tables(scope, phy),
+                );
                 fig.notes.push(format!(
                     "measured {}: exact pick {:.1}%, mean loss {:.2} Mbit/s",
                     scope.name(),
@@ -256,7 +259,7 @@ pub fn fig4_5(ctx: &ReproContext) -> Vec<FigureData> {
     ]
     .into_iter()
     .map(|(phy, suffix, name, expect)| {
-        let curves = SnrThroughputCurves::build(ctx.view(), phy);
+        let curves = SnrThroughputCurves::build_from(&ctx.probe_source(), phy);
         let mut fig = FigureData::new(
             format!("fig4-5{suffix}"),
             format!("Correlation between SNR and throughput ({name} medians)"),
@@ -401,7 +404,7 @@ pub fn fig5_1(ctx: &ReproContext) -> Vec<FigureData> {
 
 /// Fig 5.2 — CDF of link asymmetry ratios per rate (b/g).
 pub fn fig5_2(ctx: &ReproContext) -> FigureData {
-    let by_rate = asymmetry_by_rate(ctx.view(), Phy::Bg);
+    let by_rate = asymmetry_by_rate_from(&ctx.probe_source(), Phy::Bg);
     let mut fig = FigureData::new(
         "fig5-2",
         "Link asymmetry (forward/reverse delivery ratio)",
@@ -539,7 +542,7 @@ pub fn fig6_2(ctx: &ReproContext) -> FigureData {
 pub fn sec6_3(ctx: &ReproContext) -> FigureData {
     let analysis = ctx.triples_bg();
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let norm = normalized_range_by_env(&ctx.dataset, ctx.ranges_bg(), one);
+    let norm = normalized_range_by_env(ctx.meta_dataset(), ctx.ranges_bg(), one);
 
     let mut fig = FigureData::new(
         "sec6-3",
@@ -612,7 +615,7 @@ pub fn fig7_1(ctx: &ReproContext) -> FigureData {
 /// Fig 7.2 — CDF of client connection lengths.
 pub fn fig7_2(ctx: &ReproContext) -> FigureData {
     let report = ctx.mobility();
-    let full = report.frac_full_duration(ctx.dataset.client_horizon_s);
+    let full = report.frac_full_duration(ctx.client_horizon_s());
     let mut fig = FigureData::new(
         "fig7-2",
         "Length of client connections",
@@ -693,7 +696,7 @@ pub fn fig7_5(ctx: &ReproContext) -> FigureData {
 /// Fig 1.1 — network locations (flavor; no analysis depends on it).
 pub fn fig1_1(ctx: &ReproContext) -> FigureData {
     let mut per_loc: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
-    for m in &ctx.dataset.networks {
+    for m in ctx.networks() {
         *per_loc.entry(m.location.as_str()).or_default() += 1;
     }
     let mut fig = FigureData::new("fig1-1", "Network locations", "location index", "networks")
@@ -714,7 +717,7 @@ pub fn fig1_1(ctx: &ReproContext) -> FigureData {
 /// ext-adapt — rate-adaptation replay (DESIGN.md §8): achieved throughput
 /// per adapter with a 10% full-probing airtime charge.
 pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::bitrate::{simulate_adapters, AdapterKind};
+    use mesh11_core::bitrate::{simulate_adapters_from, AdapterKind};
     let kinds = [
         AdapterKind::Oracle,
         AdapterKind::SnrTable { top_k: 1 },
@@ -722,7 +725,7 @@ pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
         AdapterKind::EwmaProbing { alpha: 0.3 },
         AdapterKind::Fixed(BitRate::bg_mbps(11.0).expect("11 Mbit/s exists")),
     ];
-    let out = simulate_adapters(ctx.view(), Phy::Bg, &kinds, 0.10);
+    let out = simulate_adapters_from(&ctx.probe_source(), Phy::Bg, &kinds, 0.10);
     let mut fig = FigureData::new(
         "ext-adapt",
         "Rate-adaptation replay (b/g, 10% probing overhead)",
@@ -751,15 +754,15 @@ pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
 /// network.
 pub fn ext_cap(ctx: &ReproContext) -> FigureData {
     use mesh11_core::routing::ablation::improvement_vs_cap;
-    let ds = &ctx.dataset;
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let meta = ds
+    let meta = ctx
+        .meta_dataset()
         .networks_with_at_least(5)
         .filter(|m| m.radios.contains(&Phy::Bg))
         .max_by_key(|m| m.n_aps)
         .expect("campaigns include a ≥5-AP b/g network");
     let m = ctx
-        .view()
+        .probe_source()
         .delivery_matrix(Phy::Bg, meta.id, one, meta.n_aps);
     let rows = improvement_vs_cap(&m, &[1, 2, 3, 4, 8, usize::MAX]);
     let pts: Vec<(f64, f64)> = rows
@@ -781,10 +784,10 @@ pub fn ext_cap(ctx: &ReproContext) -> FigureData {
 
 /// ext-sweep — hidden-triple threshold sweep at 1 Mbit/s.
 pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::triples::sweep::threshold_sweep;
+    use mesh11_core::triples::sweep::threshold_sweep_from;
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let rows = threshold_sweep(
-        ctx.view(),
+    let rows = threshold_sweep_from(
+        &ctx.probe_source(),
         Phy::Bg,
         one,
         &[0.05, 0.10, 0.20, 0.30, 0.50],
@@ -807,8 +810,8 @@ pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
 /// ext-stability — per-link optimal-rate churn and SNR drift (§4.6
 /// diagnostics).
 pub fn ext_stability(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::bitrate::link_stability;
-    let s = link_stability(ctx.view(), Phy::Bg);
+    use mesh11_core::bitrate::link_stability_from;
+    let s = link_stability_from(&ctx.probe_source(), Phy::Bg);
     let mut fig = FigureData::new(
         "ext-stability",
         "Temporal stability of the per-link optimum (802.11b/g)",
@@ -841,9 +844,9 @@ pub fn ext_stability(ctx: &ReproContext) -> FigureData {
 /// ext-diversity — §5.2.2's unpictured result: improvement vs the source's
 /// forwarding-candidate count.
 pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::routing::diversity::analyze_diversity;
+    use mesh11_core::routing::diversity::analyze_diversity_from;
     let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let rows = analyze_diversity(ctx.view(), Phy::Bg, one, 5, EtxVariant::Etx1);
+    let rows = analyze_diversity_from(&ctx.probe_source(), Phy::Bg, one, 5, EtxVariant::Etx1);
     FigureData::new(
         "ext-diversity",
         "Improvement vs path diversity (1 Mbit/s, ETX1)",
@@ -863,8 +866,8 @@ pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
 
 /// ext-ett — multi-rate ETT vs best single-rate ETX1 path speedups.
 pub fn ext_ett(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::routing::ett::analyze_ett;
-    let analyses = analyze_ett(ctx.view(), Phy::Bg, 5);
+    use mesh11_core::routing::ett::analyze_ett_from;
+    let analyses = analyze_ett_from(&ctx.probe_source(), Phy::Bg, 5);
     let speedups: Vec<f64> = analyses.iter().flat_map(|a| a.speedups()).collect();
     let mut fig = FigureData::new(
         "ext-ett",

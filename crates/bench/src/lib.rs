@@ -20,5 +20,5 @@ pub mod figures;
 pub mod setup;
 pub mod timing;
 
-pub use setup::{ReproContext, Scale};
-pub use timing::PhaseTimings;
+pub use setup::{DataMode, DataStore, ReproContext, Scale, DEFAULT_METRO_FACTOR};
+pub use timing::{peak_rss_mb, PhaseTimings};

@@ -3,15 +3,18 @@
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
-use mesh11_core::bitrate::strategy::evaluate_strategies;
+use mesh11_core::bitrate::strategy::evaluate_strategies_from;
 use mesh11_core::bitrate::{LookupTableSet, Scope, StrategyEval, StrategyKind};
 use mesh11_core::mobility::MobilityReport;
-use mesh11_core::routing::improvement::{analyze_dataset, OpportunisticAnalysis};
-use mesh11_core::triples::{hidden::TripleAnalysis, range_by_rate, HearRule};
+use mesh11_core::routing::improvement::{analyze_dataset_from, OpportunisticAnalysis};
+use mesh11_core::triples::{hidden::TripleAnalysis, range::range_by_rate_from, HearRule};
 use mesh11_phy::{BitRate, CalibratedPhy, Phy, SuccessTable};
 use mesh11_sim::{ClientProbeTrace, SimConfig};
 use mesh11_topo::{Campaign, CampaignSpec, NetworkSpec};
-use mesh11_trace::{Dataset, DatasetIndex, DatasetView, NetworkId};
+use mesh11_trace::{
+    ChunkConfig, ChunkedDataset, ChunkedDatasetBuilder, ClientSample, Dataset, DatasetIndex,
+    DatasetView, NetworkId, NetworkMeta, ProbeSource,
+};
 
 /// The §6 hearing threshold (10%) used by every cached triple analysis.
 pub const TRIPLE_THRESHOLD: f64 = 0.10;
@@ -74,6 +77,16 @@ fn build_client_probe_pass(
     }
 }
 
+/// Default ensemble multiplier for [`Scale::Metro`]: 10× the paper's
+/// 110-network campaign (1 100 networks, 14 070 APs). `--metro-factor`
+/// scales it up to the 10⁵-AP tier (factor 71) when wall clock allows.
+pub const DEFAULT_METRO_FACTOR: usize = 10;
+
+/// Networks simulated per streaming batch in chunked builds: large enough
+/// to keep the pair scheduler busy, small enough that at most a handful of
+/// network datasets are resident before they drain into the chunk store.
+const METRO_BATCH_NETWORKS: usize = 8;
+
 /// How big a reproduction run to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -84,6 +97,12 @@ pub enum Scale {
     Standard,
     /// The paper's 24 h probes / 11 h clients over all 110 networks.
     Paper,
+    /// The paper ensemble tiled `factor` times at quick horizons, streamed
+    /// through the spill-able chunk store so memory stays bounded.
+    Metro {
+        /// Ensemble multiplier (110·factor networks, 1407·factor APs).
+        factor: usize,
+    },
 }
 
 impl Scale {
@@ -93,6 +112,9 @@ impl Scale {
             "quick" => Some(Scale::Quick),
             "standard" => Some(Scale::Standard),
             "paper" | "full" => Some(Scale::Paper),
+            "metro" => Some(Scale::Metro {
+                factor: DEFAULT_METRO_FACTOR,
+            }),
             _ => None,
         }
     }
@@ -102,24 +124,66 @@ impl Scale {
         match self {
             Scale::Quick => CampaignSpec::small(seed),
             Scale::Standard | Scale::Paper => CampaignSpec::paper(seed),
+            Scale::Metro { factor } => CampaignSpec::metro(seed, factor),
         }
     }
 
     /// The simulation configuration this scale runs under (no faults).
+    /// Metro keeps the quick horizons: its cost axis is ensemble width,
+    /// not trace length.
     pub fn config(self) -> SimConfig {
         match self {
-            Scale::Quick => SimConfig::quick(),
+            Scale::Quick | Scale::Metro { .. } => SimConfig::quick(),
             Scale::Standard => SimConfig::standard(),
             Scale::Paper => SimConfig::paper(),
         }
     }
+
+    /// The default data-store mode: metro streams through the chunk store,
+    /// everything else stays fully resident.
+    pub fn data_mode(self) -> DataMode {
+        match self {
+            Scale::Metro { .. } => DataMode::Chunked(ChunkConfig::default()),
+            _ => DataMode::InMemory,
+        }
+    }
+
+    /// The stable spelling recorded in `bench_timings.json` /
+    /// `BENCH_repro.json` (`"quick"`, `"standard"`, `"paper"`,
+    /// `"metro-<factor>"`).
+    pub fn label(self) -> String {
+        match self {
+            Scale::Quick => "quick".into(),
+            Scale::Standard => "standard".into(),
+            Scale::Paper => "paper".into(),
+            Scale::Metro { factor } => format!("metro-{factor}"),
+        }
+    }
+}
+
+/// How the simulated probe reports are stored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataMode {
+    /// One resident [`Dataset`] (the Quick/Standard/Paper default).
+    InMemory,
+    /// Streamed into the spill-able columnar chunk store.
+    Chunked(ChunkConfig),
+}
+
+/// Where a context's probe reports actually live.
+pub enum DataStore {
+    /// Everything resident.
+    InMemory(Dataset),
+    /// Chunked, with cold chunks spilled to disk. Boxed: the chunk-store
+    /// handle is much larger than the resident variant's `Dataset` header.
+    Chunked(Box<ChunkedDataset>),
 }
 
 /// A materialized reproduction run: the dataset plus lazily computed heavy
 /// analyses shared across figures.
 pub struct ReproContext {
-    /// The simulated dataset.
-    pub dataset: Dataset,
+    /// The simulated probe reports — resident or chunked.
+    store: DataStore,
     /// The simulation configuration used.
     pub config: SimConfig,
     /// Campaign seed.
@@ -170,11 +234,24 @@ impl ReproContext {
     }
 
     /// As [`ReproContext::build_timed`], simulating under a fault plan
-    /// (`repro --faults` and the fault-injected CI invariance run).
+    /// (`repro --faults` and the fault-injected CI invariance run). Uses
+    /// the scale's default data mode.
     pub fn build_timed_with_faults(
         scale: Scale,
         seed: u64,
         faults: mesh11_sim::FaultPlan,
+    ) -> (Self, BuildTimings) {
+        Self::build_timed_with_mode(scale, seed, faults, scale.data_mode())
+    }
+
+    /// The fully-general build: scale, faults, and an explicit data mode.
+    /// `DataMode::Chunked` streams the simulation network-by-network into
+    /// the chunk store, so at no point is the whole probe table resident.
+    pub fn build_timed_with_mode(
+        scale: Scale,
+        seed: u64,
+        faults: mesh11_sim::FaultPlan,
+        mode: DataMode,
     ) -> (Self, BuildTimings) {
         let spec = scale.campaign_spec(seed);
         let mut config = scale.config();
@@ -187,9 +264,37 @@ impl ReproContext {
         // here and the client-probe pass below (its build is simulate-phase
         // cost, exactly as it was when `run_campaign_counted` built it).
         let table = SuccessTable::new(&CalibratedPhy::new());
-        let (dataset, stats) = config.run_campaign_counted_with_table(&campaign, &table);
+        let (store, stats) = match mode {
+            DataMode::InMemory => {
+                let (dataset, stats) = config.run_campaign_counted_with_table(&campaign, &table);
+                (DataStore::InMemory(dataset), stats)
+            }
+            DataMode::Chunked(cfg) => {
+                let mut builder = ChunkedDatasetBuilder::new(cfg);
+                let mut io_err: Option<std::io::Error> = None;
+                let stats = config.stream_campaign_with_table(
+                    &campaign,
+                    &table,
+                    METRO_BATCH_NETWORKS,
+                    |part| {
+                        if io_err.is_none() {
+                            if let Err(e) = builder.add(part) {
+                                io_err = Some(e);
+                            }
+                        }
+                    },
+                );
+                if let Some(e) = io_err {
+                    panic!("chunk store spill failed during simulation: {e}");
+                }
+                let chunked = builder
+                    .finish()
+                    .unwrap_or_else(|e| panic!("chunk store finish failed: {e}"));
+                (DataStore::Chunked(Box::new(chunked)), stats)
+            }
+        };
         let simulate_s = t1.elapsed().as_secs_f64();
-        let this = Self::assemble(dataset, config, seed, Some(campaign));
+        let this = Self::assemble(store, config, seed, Some(campaign));
         let _ = this.success_table.set(table);
         // Run the client-probe pass eagerly so its cost lands in the
         // simulate phase (it is simulation), not in whichever figure
@@ -211,17 +316,17 @@ impl ReproContext {
 
     /// Wraps an existing dataset (e.g. loaded from disk).
     pub fn from_dataset(dataset: Dataset, config: SimConfig, seed: u64) -> Self {
-        Self::assemble(dataset, config, seed, None)
+        Self::assemble(DataStore::InMemory(dataset), config, seed, None)
     }
 
     fn assemble(
-        dataset: Dataset,
+        store: DataStore,
         config: SimConfig,
         seed: u64,
         campaign: Option<Campaign>,
     ) -> Self {
         Self {
-            dataset,
+            store,
             config,
             seed,
             campaign,
@@ -240,6 +345,80 @@ impl ReproContext {
     /// The campaign this context simulated, when known.
     pub fn scale_campaign(&self) -> Option<&Campaign> {
         self.campaign.as_ref()
+    }
+
+    /// The resident dataset. Panics for chunked contexts — consumers that
+    /// can fold over windows should use [`ReproContext::probe_source`];
+    /// consumers that only read metadata or client traces should use
+    /// [`ReproContext::meta_dataset`].
+    pub fn dataset(&self) -> &Dataset {
+        match &self.store {
+            DataStore::InMemory(ds) => ds,
+            DataStore::Chunked(_) => {
+                panic!("chunked context has no resident dataset; use probe_source()")
+            }
+        }
+    }
+
+    /// The dataset carrying network metadata, client traces, and horizons —
+    /// the full dataset in memory mode, the probe-free shell in chunked
+    /// mode. Never touches the chunk store.
+    pub fn meta_dataset(&self) -> &Dataset {
+        match &self.store {
+            DataStore::InMemory(ds) => ds,
+            DataStore::Chunked(c) => c.shell(),
+        }
+    }
+
+    /// The chunk store, when this context is chunked.
+    pub fn chunked(&self) -> Option<&ChunkedDataset> {
+        match &self.store {
+            DataStore::InMemory(_) => None,
+            DataStore::Chunked(c) => Some(c),
+        }
+    }
+
+    /// Network metadata, id order.
+    pub fn networks(&self) -> &[NetworkMeta] {
+        &self.meta_dataset().networks
+    }
+
+    /// Client trace samples (always resident; only probes chunk).
+    pub fn clients(&self) -> &[ClientSample] {
+        &self.meta_dataset().clients
+    }
+
+    /// Total probe reports across the run.
+    pub fn n_probes(&self) -> usize {
+        match &self.store {
+            DataStore::InMemory(ds) => ds.probes.len(),
+            DataStore::Chunked(c) => c.n_probes() as usize,
+        }
+    }
+
+    /// Total APs across the ensemble.
+    pub fn total_aps(&self) -> usize {
+        self.meta_dataset().total_aps()
+    }
+
+    /// The probe horizon (seconds).
+    pub fn probe_horizon_s(&self) -> f64 {
+        self.meta_dataset().probe_horizon_s
+    }
+
+    /// The client horizon (seconds).
+    pub fn client_horizon_s(&self) -> f64 {
+        self.meta_dataset().client_horizon_s
+    }
+
+    /// The probe source every analysis kernel folds over: the whole indexed
+    /// view in memory mode, ordered chunk windows in chunked mode. The two
+    /// produce byte-identical figures (see `crates/trace/src/chunk.rs`).
+    pub fn probe_source(&self) -> ProbeSource<'_> {
+        match &self.store {
+            DataStore::InMemory(_) => ProbeSource::Whole(self.view()),
+            DataStore::Chunked(c) => ProbeSource::Chunked(c),
+        }
     }
 
     /// The downlink client-probe pass — computed once (eagerly by
@@ -268,57 +447,73 @@ impl ReproContext {
 
     /// The dataset index — built once on first use and shared by every
     /// analysis below (and by figures reading the columnar views directly).
+    /// Panics for chunked contexts: there is no monolithic probe table to
+    /// index (each window carries its own).
     pub fn index(&self) -> &DatasetIndex {
         self.index
-            .get_or_init(|| DatasetIndex::build(&self.dataset))
+            .get_or_init(|| DatasetIndex::build(self.dataset()))
     }
 
     /// An indexed view of the dataset, pairing [`ReproContext::dataset`]
-    /// with [`ReproContext::index`].
+    /// with [`ReproContext::index`]. Panics for chunked contexts; use
+    /// [`ReproContext::probe_source`] there.
     pub fn view(&self) -> DatasetView<'_> {
-        DatasetView::new(&self.dataset, self.index())
+        DatasetView::new(self.dataset(), self.index())
     }
 
     /// The §5 per-(network, rate) routing analyses over b/g networks with
     /// ≥5 APs — computed once, shared by Figs 5.1 and 5.3–5.5.
     pub fn routing_bg(&self) -> &[OpportunisticAnalysis] {
         self.routing_bg
-            .get_or_init(|| analyze_dataset(self.view(), Phy::Bg, 5))
+            .get_or_init(|| analyze_dataset_from(&self.probe_source(), Phy::Bg, 5))
     }
 
     /// The §4 SNR→rate look-up tables for one (scope, phy) — built once
     /// and shared by Figs 4.1–4.4 (and anything else keying off them).
     pub fn lookup_tables(&self, scope: Scope, phy: Phy) -> &LookupTableSet {
         self.lookup_tables[lookup_slot(scope, phy)]
-            .get_or_init(|| LookupTableSet::build(self.view(), scope, phy))
+            .get_or_init(|| LookupTableSet::build_from(&self.probe_source(), scope, phy))
     }
 
     /// The §4.5 online-strategy evaluations over b/g — shared by Fig 4.6
     /// and Table 4.1.
     pub fn strategy_evals_bg(&self) -> &[StrategyEval] {
-        self.strategy_evals_bg
-            .get_or_init(|| evaluate_strategies(self.view(), Phy::Bg, &StrategyKind::ALL))
+        self.strategy_evals_bg.get_or_init(|| {
+            evaluate_strategies_from(&self.probe_source(), Phy::Bg, &StrategyKind::ALL)
+        })
     }
 
     /// The §6 hidden-triple analysis over b/g at the paper's 10%
     /// threshold — shared by Fig 6.1 and §6.3.
     pub fn triples_bg(&self) -> &TripleAnalysis {
         self.triples_bg.get_or_init(|| {
-            TripleAnalysis::run(self.view(), Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean)
+            TripleAnalysis::run_from(
+                &self.probe_source(),
+                Phy::Bg,
+                TRIPLE_THRESHOLD,
+                HearRule::Mean,
+            )
         })
     }
 
     /// The §6 per-(network, rate) interference ranges over b/g — shared by
     /// Fig 6.2 and §6.3.
     pub fn ranges_bg(&self) -> &BTreeMap<(NetworkId, BitRate), usize> {
-        self.ranges_bg
-            .get_or_init(|| range_by_rate(self.view(), Phy::Bg, TRIPLE_THRESHOLD, HearRule::Mean))
+        self.ranges_bg.get_or_init(|| {
+            range_by_rate_from(
+                &self.probe_source(),
+                Phy::Bg,
+                TRIPLE_THRESHOLD,
+                HearRule::Mean,
+            )
+        })
     }
 
-    /// The §7 client mobility report — shared by Figs 7.1–7.5.
+    /// The §7 client mobility report — shared by Figs 7.1–7.5. Client
+    /// traces are always resident, so this works in either mode.
     pub fn mobility(&self) -> &MobilityReport {
         self.mobility
-            .get_or_init(|| MobilityReport::build(&self.dataset))
+            .get_or_init(|| MobilityReport::build(self.meta_dataset()))
     }
 }
 
@@ -332,7 +527,47 @@ mod tests {
         assert_eq!(Scale::parse("standard"), Some(Scale::Standard));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(
+            Scale::parse("metro"),
+            Some(Scale::Metro {
+                factor: DEFAULT_METRO_FACTOR
+            })
+        );
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn metro_defaults_to_chunked_quick_horizons() {
+        let m = Scale::Metro { factor: 2 };
+        assert_eq!(m.config(), SimConfig::quick());
+        assert!(matches!(m.data_mode(), DataMode::Chunked(_)));
+        assert_eq!(m.campaign_spec(1).len(), 220);
+        assert_eq!(Scale::Quick.data_mode(), DataMode::InMemory);
+    }
+
+    #[test]
+    fn chunked_context_matches_in_memory_counts() {
+        let (mem, _) = ReproContext::build_timed(Scale::Quick, 11);
+        let (chk, timings) = ReproContext::build_timed_with_mode(
+            Scale::Quick,
+            11,
+            mesh11_sim::FaultPlan::none(),
+            DataMode::Chunked(ChunkConfig::tiny()),
+        );
+        assert!(timings.pairs_simulated > 0);
+        assert_eq!(chk.n_probes(), mem.n_probes());
+        assert_eq!(chk.networks(), mem.networks());
+        assert_eq!(chk.clients(), mem.clients());
+        assert_eq!(chk.total_aps(), mem.total_aps());
+        let c = chk.chunked().expect("chunked store");
+        assert!(c.spilled_bytes() > 0, "tiny budget must force spilling");
+        assert!(mem.chunked().is_none());
+        // The chunked kernels agree with the resident ones.
+        assert_eq!(chk.routing_bg().len(), mem.routing_bg().len());
+        assert_eq!(
+            chk.triples_bg().per_network.len(),
+            mem.triples_bg().per_network.len()
+        );
     }
 
     #[test]
@@ -365,9 +600,9 @@ mod tests {
     #[test]
     fn quick_context_builds() {
         let ctx = ReproContext::build(Scale::Quick, 1);
-        assert_eq!(ctx.dataset.networks.len(), 12);
-        assert!(!ctx.dataset.probes.is_empty());
-        assert!(!ctx.dataset.clients.is_empty());
+        assert_eq!(ctx.networks().len(), 12);
+        assert!(ctx.n_probes() > 0);
+        assert!(!ctx.clients().is_empty());
         // Routing bundle is lazy and cached.
         let a = ctx.routing_bg().len();
         let b = ctx.routing_bg().len();

@@ -10,7 +10,8 @@ use std::collections::BTreeMap;
 /// Wall-clock breakdown of one `repro` run.
 #[derive(Debug, Clone, Serialize)]
 pub struct PhaseTimings {
-    /// Scale the run used (`"Quick"` / `"Standard"` / `"Paper"`).
+    /// Scale the run used (`"quick"` / `"standard"` / `"paper"` /
+    /// `"metro-<factor>"`).
     pub scale: String,
     /// Campaign seed.
     pub seed: u64,
@@ -26,6 +27,17 @@ pub struct PhaseTimings {
     /// Candidate AP pairs the simulate phase ran — the work-item count of
     /// the global pair scheduler, giving `simulate_s` a denominator.
     pub pairs_simulated: usize,
+    /// Probe reports the simulate phase produced.
+    pub n_probes: usize,
+    /// Simulation throughput: `n_probes / simulate_s`.
+    pub reports_per_sec: f64,
+    /// Peak resident-set size of the process (VmHWM), in MiB. `None` where
+    /// the platform offers no cheap high-water mark (non-Linux).
+    pub peak_rss_mb: Option<f64>,
+    /// `"in-memory"` or `"chunked"` — how the probe table was stored.
+    pub data_mode: String,
+    /// Bytes written to the chunk spill file (0 when fully resident).
+    pub spilled_bytes: u64,
     /// The downlink client-probe pass (sharded per client), run eagerly
     /// alongside simulation and cached for `ext-client`.
     pub client_probe_s: f64,
@@ -42,6 +54,28 @@ pub struct PhaseTimings {
     pub figures: BTreeMap<String, f64>,
 }
 
+/// The process's peak resident-set size in MiB, read from `VmHWM` in
+/// `/proc/self/status`. `None` on platforms without procfs.
+pub fn peak_rss_mb() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: f64 = line
+            .trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kb / 1024.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 impl PhaseTimings {
     /// Pretty JSON for `bench_timings.json`.
     pub fn to_json(&self) -> String {
@@ -51,16 +85,23 @@ impl PhaseTimings {
     /// The human-readable breakdown `repro` prints on stderr.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "# timings ({} threads): generate {:.2}s, simulate {:.2}s ({} pairs), client probes {:.2}s ({} clients), analyze {:.2}s (wall), total {:.2}s",
+            "# timings ({} threads): generate {:.2}s, simulate {:.2}s ({} pairs, {:.0} reports/s), client probes {:.2}s ({} clients), analyze {:.2}s (wall), total {:.2}s",
             self.effective_threads,
             self.generate_s,
             self.simulate_s,
             self.pairs_simulated,
+            self.reports_per_sec,
             self.client_probe_s,
             self.clients_simulated,
             self.analyze_s,
             self.total_s
         );
+        if let Some(rss) = self.peak_rss_mb {
+            s.push_str(&format!(
+                "\n# memory: peak RSS {rss:.0} MiB ({}, {} spilled bytes)",
+                self.data_mode, self.spilled_bytes
+            ));
+        }
         let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
         slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite timings"));
         for (id, t) in slowest.iter().take(5) {
@@ -84,6 +125,11 @@ mod tests {
             generate_s: 0.1,
             simulate_s: 2.0,
             pairs_simulated: 1234,
+            n_probes: 50_000,
+            reports_per_sec: 25_000.0,
+            peak_rss_mb: Some(256.0),
+            data_mode: "chunked".into(),
+            spilled_bytes: 4096,
             client_probe_s: 0.4,
             clients_simulated: 321,
             analyze_s: 1.5,
@@ -99,6 +145,11 @@ mod tests {
             "generate_s",
             "simulate_s",
             "pairs_simulated",
+            "n_probes",
+            "reports_per_sec",
+            "peak_rss_mb",
+            "data_mode",
+            "spilled_bytes",
             "client_probe_s",
             "clients_simulated",
             "analyze_s",
@@ -111,5 +162,17 @@ mod tests {
         assert!(t.render().contains("8 threads"));
         assert!(t.render().contains("1234 pairs"));
         assert!(t.render().contains("321 clients"));
+        assert!(t.render().contains("peak RSS 256 MiB"));
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // Touch some memory so the high-water mark is nonzero, then read it.
+        let v = vec![0u8; 1 << 20];
+        std::hint::black_box(&v);
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_mb().expect("procfs available on linux");
+            assert!(rss > 1.0, "peak RSS {rss} MiB should exceed 1 MiB");
+        }
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{DatasetView, ProbeEntry};
+use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
 use serde::{Deserialize, Serialize};
 
 /// A rate-adaptation policy.
@@ -162,54 +162,71 @@ pub fn simulate_adapters(
     kinds: &[AdapterKind],
     overhead: f64,
 ) -> Vec<AdaptationOutcome> {
-    assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
-    // Per-link time-ordered streams. The per-kind scores below are
-    // floating-point sums over links, so the iteration order must be fixed
-    // for the outcome to be byte-reproducible: the view's link groups come
-    // sorted by (network, sender, receiver), the same ascending order the
-    // pre-index BTreeMap grouping produced.
-    let per_link: Vec<Vec<ProbeEntry<'_>>> = view
-        .links_for_phy(phy)
-        .map(|link| {
-            let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
-            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-            sets
-        })
-        .collect();
-    let n_rates = phy.probed_rates().len();
+    simulate_adapters_from(&ProbeSource::Whole(view), phy, kinds, overhead)
+}
 
-    kinds
-        .iter()
-        .map(|kind| {
-            let mut decisions = 0u64;
-            let mut sum_thr = 0.0;
-            let mut sum_oracle = 0.0;
+/// [`simulate_adapters`] over a whole or chunked source. The per-kind
+/// throughput sums are floating-point and order-sensitive; links live whole
+/// inside windows and windows preserve the sorted link order, so the sums
+/// accumulate in exactly the monolithic sequence.
+pub fn simulate_adapters_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    kinds: &[AdapterKind],
+    overhead: f64,
+) -> Vec<AdaptationOutcome> {
+    assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
+    let n_rates = phy.probed_rates().len();
+    let mut decisions = vec![0u64; kinds.len()];
+    let mut sum_thr = vec![0.0f64; kinds.len()];
+    let mut sum_oracle = vec![0.0f64; kinds.len()];
+    src.for_each_view(|view| {
+        // Per-link time-ordered streams. The per-kind scores are
+        // floating-point sums over links, so the iteration order must be
+        // fixed for the outcome to be byte-reproducible: the view's link
+        // groups come sorted by (network, sender, receiver), the same
+        // ascending order the pre-index BTreeMap grouping produced.
+        let per_link: Vec<Vec<ProbeEntry<'_>>> = view
+            .links_for_phy(phy)
+            .map(|link| {
+                let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
+                sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                sets
+            })
+            .collect();
+        for (ki, kind) in kinds.iter().enumerate() {
             for sets in &per_link {
                 let mut state = AdapterState::default();
                 for (i, set) in sets.iter().enumerate() {
                     if i > 0 {
                         let pick = state.decide(kind, phy, set);
                         let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
-                        sum_thr += got;
-                        sum_oracle += set.opt.throughput_mbps();
-                        decisions += 1;
+                        sum_thr[ki] += got;
+                        sum_oracle[ki] += set.opt.throughput_mbps();
+                        decisions[ki] += 1;
                     }
                     state.learn(kind, set);
                 }
             }
-            let mean = if decisions == 0 {
+        }
+    });
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, kind)| {
+            let mean = if decisions[ki] == 0 {
                 0.0
             } else {
-                sum_thr / decisions as f64
+                sum_thr[ki] / decisions[ki] as f64
             };
             let charge = overhead * kind.rates_probed(n_rates) as f64 / n_rates as f64;
             AdaptationOutcome {
                 kind: *kind,
-                decisions,
+                decisions: decisions[ki],
                 mean_throughput_mbps: mean,
                 net_throughput_mbps: mean * (1.0 - charge),
-                fraction_of_oracle: if sum_oracle > 0.0 {
-                    sum_thr / sum_oracle
+                fraction_of_oracle: if sum_oracle[ki] > 0.0 {
+                    sum_thr[ki] / sum_oracle[ki]
                 } else {
                     0.0
                 },

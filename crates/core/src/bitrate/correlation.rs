@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::{pearson, spearman, BinnedStats};
-use mesh11_trace::DatasetView;
+use mesh11_trace::{DatasetView, ProbeSource};
 
 /// Per-rate binned SNR → throughput statistics.
 #[derive(Debug, Clone)]
@@ -30,18 +30,27 @@ impl SnrThroughputCurves {
     /// per-PHY range in dataset order — the correlation sums are
     /// order-sensitive, and this is the order the linear filter produced.
     pub fn build(view: DatasetView<'_>, phy: Phy) -> Self {
+        Self::build_from(&ProbeSource::Whole(view), phy)
+    }
+
+    /// [`SnrThroughputCurves::build`] over a whole or chunked source; the
+    /// order-sensitive correlation sums see the same sample sequence either
+    /// way (windowed per-PHY walks concatenate to the whole walk).
+    pub fn build_from(src: &ProbeSource<'_>, phy: Phy) -> Self {
         let mut per_rate: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
         let mut snr = Vec::new();
         let mut thr = Vec::new();
-        for e in view.entries_for_phy(phy) {
-            let key = e.snr_key;
-            let obs = view.index().obs(e.pos);
-            for (k, &rate) in obs.rates.iter().enumerate() {
-                per_rate.entry(rate).or_default().push(key, obs.thr_mbps[k]);
-                snr.push(key as f64);
-                thr.push(obs.thr_mbps[k]);
+        src.for_each_view(|view| {
+            for e in view.entries_for_phy(phy) {
+                let key = e.snr_key;
+                let obs = view.index().obs(e.pos);
+                for (k, &rate) in obs.rates.iter().enumerate() {
+                    per_rate.entry(rate).or_default().push(key, obs.thr_mbps[k]);
+                    snr.push(key as f64);
+                    thr.push(obs.thr_mbps[k]);
+                }
             }
-        }
+        });
         Self {
             phy,
             per_rate,

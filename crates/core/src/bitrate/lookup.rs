@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{DatasetView, ProbeSet};
+use mesh11_trace::{DatasetView, ProbeSet, ProbeSource};
 use serde::{Deserialize, Serialize};
 
 /// Training scope of a lookup table — the paper's four cases, from cheapest
@@ -55,21 +55,30 @@ impl LookupTableSet {
     /// the view's precomputed SNR keys and optima (dataset order, same
     /// accumulation as calling [`LookupTableSet::train`] per probe).
     pub fn build(view: DatasetView<'_>, scope: Scope, phy: Phy) -> Self {
+        Self::build_from(&ProbeSource::Whole(view), scope, phy)
+    }
+
+    /// [`LookupTableSet::build`] over a whole or chunked source. The tables
+    /// are pure frequency counts, and a chunked walk feeds the same probes,
+    /// so the result is identical either way.
+    pub fn build_from(src: &ProbeSource<'_>, scope: Scope, phy: Phy) -> Self {
         let mut set = Self {
             scope,
             phy,
             tables: HashMap::new(),
         };
-        for e in view.entries_for_phy(phy) {
-            let key = set.key_for(e.probe);
-            *set.tables
-                .entry(key)
-                .or_default()
-                .entry(e.snr_key)
-                .or_default()
-                .entry(e.opt.rate)
-                .or_insert(0) += 1;
-        }
+        src.for_each_view(|view| {
+            for e in view.entries_for_phy(phy) {
+                let key = set.key_for(e.probe);
+                *set.tables
+                    .entry(key)
+                    .or_default()
+                    .entry(e.snr_key)
+                    .or_default()
+                    .entry(e.opt.rate)
+                    .or_insert(0) += 1;
+            }
+        });
         set
     }
 
@@ -138,14 +147,21 @@ impl LookupTableSet {
     /// actually optimal one (trained-on-self accuracy, as in §4.3's "chooses
     /// the correct answer about 90% of the time").
     pub fn exact_accuracy(&self, view: DatasetView<'_>) -> f64 {
+        self.exact_accuracy_from(&ProbeSource::Whole(view))
+    }
+
+    /// [`LookupTableSet::exact_accuracy`] over a whole or chunked source.
+    pub fn exact_accuracy_from(&self, src: &ProbeSource<'_>) -> f64 {
         let mut total = 0usize;
         let mut hits = 0usize;
-        for e in view.entries_for_phy(self.phy) {
-            total += 1;
-            if self.predict_keyed(self.key_for(e.probe), e.snr_key) == Some(e.opt.rate) {
-                hits += 1;
+        src.for_each_view(|view| {
+            for e in view.entries_for_phy(self.phy) {
+                total += 1;
+                if self.predict_keyed(self.key_for(e.probe), e.snr_key) == Some(e.opt.rate) {
+                    hits += 1;
+                }
             }
-        }
+        });
         if total == 0 {
             0.0
         } else {

@@ -7,7 +7,7 @@
 
 use mesh11_phy::Phy;
 use mesh11_stats::Cdf;
-use mesh11_trace::DatasetView;
+use mesh11_trace::{DatasetView, ProbeSource};
 
 use crate::bitrate::lookup::{LookupTableSet, Scope};
 
@@ -29,17 +29,26 @@ impl ThroughputPenalty {
     /// (dataset order per PHY, so the diff vector matches the pre-index
     /// pipeline element for element).
     pub fn evaluate(view: DatasetView<'_>, table: &LookupTableSet) -> Self {
+        Self::evaluate_from(&ProbeSource::Whole(view), table)
+    }
+
+    /// [`ThroughputPenalty::evaluate`] over a whole or chunked source: the
+    /// diff vector is filled in per-PHY dataset order, and windowed walks
+    /// concatenate to exactly that order.
+    pub fn evaluate_from(src: &ProbeSource<'_>, table: &LookupTableSet) -> Self {
         let mut diffs = Vec::new();
         let mut unpredicted = 0usize;
-        for e in view.entries_for_phy(table.phy()) {
-            let Some(pick) = table.predict_entry(&e) else {
-                unpredicted += 1;
-                continue;
-            };
-            let best = e.opt.throughput_mbps();
-            let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
-            diffs.push((best - got).max(0.0));
-        }
+        src.for_each_view(|view| {
+            for e in view.entries_for_phy(table.phy()) {
+                let Some(pick) = table.predict_entry(&e) else {
+                    unpredicted += 1;
+                    continue;
+                };
+                let best = e.opt.throughput_mbps();
+                let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                diffs.push((best - got).max(0.0));
+            }
+        });
         Self {
             scope: table.scope(),
             phy: table.phy(),

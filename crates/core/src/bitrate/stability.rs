@@ -14,7 +14,7 @@
 //!   report-to-report wander.
 
 use mesh11_phy::Phy;
-use mesh11_trace::{DatasetView, ProbeEntry};
+use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
 use serde::{Deserialize, Serialize};
 
 /// Pooled stability statistics over every link of a PHY.
@@ -53,35 +53,43 @@ impl LinkStability {
 /// the per-link vectors deterministic; the pooled churn ratios and the
 /// median/CDF consumers are insensitive to that order.
 pub fn link_stability(view: DatasetView<'_>, phy: Phy) -> LinkStability {
+    link_stability_from(&ProbeSource::Whole(view), phy)
+}
+
+/// [`link_stability`] over a whole or chunked source: the per-link vectors
+/// fill in the same sorted link order either way.
+pub fn link_stability_from(src: &ProbeSource<'_>, phy: Phy) -> LinkStability {
     let mut churn_per_link = Vec::new();
     let mut snr_drift_per_link = Vec::new();
     let mut same = (0u64, 0u64); // (changed, total)
     let mut diff = (0u64, 0u64);
-    for link in view.links_for_phy(phy) {
-        if link.len() < 2 {
-            continue;
+    src.for_each_view(|view| {
+        for link in view.links_for_phy(phy) {
+            if link.len() < 2 {
+                continue;
+            }
+            let mut sets: Vec<ProbeEntry> = link.entries().collect();
+            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+            let mut changed = 0usize;
+            let mut drift = 0.0;
+            for w in sets.windows(2) {
+                let (prev, next) = (&w[0], &w[1]);
+                let flipped = prev.opt.rate != next.opt.rate;
+                changed += usize::from(flipped);
+                drift += (next.snr_db - prev.snr_db).abs();
+                let bucket = if prev.snr_key == next.snr_key {
+                    &mut same
+                } else {
+                    &mut diff
+                };
+                bucket.0 += u64::from(flipped);
+                bucket.1 += 1;
+            }
+            let n_pairs = (sets.len() - 1) as f64;
+            churn_per_link.push(changed as f64 / n_pairs);
+            snr_drift_per_link.push(drift / n_pairs);
         }
-        let mut sets: Vec<ProbeEntry> = link.entries().collect();
-        sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-        let mut changed = 0usize;
-        let mut drift = 0.0;
-        for w in sets.windows(2) {
-            let (prev, next) = (&w[0], &w[1]);
-            let flipped = prev.opt.rate != next.opt.rate;
-            changed += usize::from(flipped);
-            drift += (next.snr_db - prev.snr_db).abs();
-            let bucket = if prev.snr_key == next.snr_key {
-                &mut same
-            } else {
-                &mut diff
-            };
-            bucket.0 += u64::from(flipped);
-            bucket.1 += 1;
-        }
-        let n_pairs = (sets.len() - 1) as f64;
-        churn_per_link.push(changed as f64 / n_pairs);
-        snr_drift_per_link.push(drift / n_pairs);
-    }
+    });
     LinkStability {
         links: churn_per_link.len(),
         churn_per_link,

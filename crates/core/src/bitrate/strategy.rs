@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{DatasetView, ProbeEntry};
+use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
 use serde::{Deserialize, Serialize};
 
 /// Table-maintenance policy.
@@ -158,25 +158,42 @@ pub fn evaluate_strategies(
     phy: Phy,
     kinds: &[StrategyKind],
 ) -> Vec<StrategyEval> {
-    // Per-link time-ordered streams (dataset order is time-sorted per
-    // network already; sort defensively).
-    let per_link: Vec<Vec<ProbeEntry>> = view
-        .links_for_phy(phy)
-        .map(|link| {
-            let mut sets: Vec<ProbeEntry> = link.entries().collect();
-            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-            sets
-        })
-        .collect();
+    evaluate_strategies_from(&ProbeSource::Whole(view), phy, kinds)
+}
 
-    kinds
-        .iter()
-        .map(|&kind| {
-            let mut acc = BinnedStats::new();
-            let mut updates = 0;
-            let mut stored = 0;
-            let mut predictions = 0;
-            let mut correct = 0;
+/// Per-kind accumulator of [`evaluate_strategies_from`], fed one window at
+/// a time.
+#[derive(Default)]
+struct StrategyAcc {
+    acc: BinnedStats,
+    updates: u64,
+    stored: u64,
+    predictions: u64,
+    correct: u64,
+}
+
+/// [`evaluate_strategies`] over a whole or chunked source. Each link lives
+/// entirely inside one window (windows are whole networks) and windows walk
+/// links in the same sorted order as the monolithic pass, so every per-kind
+/// accumulator sees an identical push sequence.
+pub fn evaluate_strategies_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    kinds: &[StrategyKind],
+) -> Vec<StrategyEval> {
+    let mut accs: Vec<StrategyAcc> = kinds.iter().map(|_| StrategyAcc::default()).collect();
+    src.for_each_view(|view| {
+        // Per-link time-ordered streams (dataset order is time-sorted per
+        // network already; sort defensively).
+        let per_link: Vec<Vec<ProbeEntry>> = view
+            .links_for_phy(phy)
+            .map(|link| {
+                let mut sets: Vec<ProbeEntry> = link.entries().collect();
+                sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                sets
+            })
+            .collect();
+        for (&kind, a) in kinds.iter().zip(accs.iter_mut()) {
             for sets in &per_link {
                 let mut table = OnlineTable::default();
                 for (i, e) in sets.iter().enumerate() {
@@ -184,23 +201,27 @@ pub fn evaluate_strategies(
                     let opt = e.opt.rate;
                     if let Some(pick) = table.predict(kind, snr) {
                         let ok = pick == opt;
-                        acc.push(i as i64, if ok { 100.0 } else { 0.0 });
-                        predictions += 1;
-                        correct += u64::from(ok);
+                        a.acc.push(i as i64, if ok { 100.0 } else { 0.0 });
+                        a.predictions += 1;
+                        a.correct += u64::from(ok);
                     }
                     table.update(kind, snr, opt);
                 }
-                updates += table.updates;
-                stored += table.stored;
+                a.updates += table.updates;
+                a.stored += table.stored;
             }
-            StrategyEval {
-                kind,
-                accuracy_by_history: acc,
-                updates,
-                stored_points: stored,
-                predictions,
-                correct,
-            }
+        }
+    });
+    kinds
+        .iter()
+        .zip(accs)
+        .map(|(&kind, a)| StrategyEval {
+            kind,
+            accuracy_by_history: a.acc,
+            updates: a.updates,
+            stored_points: a.stored,
+            predictions: a.predictions,
+            correct: a.correct,
         })
         .collect()
 }

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, ProbeSource};
 
 use crate::routing::etx::MIN_DELIVERY;
 
@@ -32,15 +32,23 @@ pub fn asymmetry_ratios(m: &DeliveryMatrix) -> Vec<f64> {
 
 /// Fig 5.2's per-rate pooled ratios across every network of a PHY.
 pub fn asymmetry_by_rate(view: DatasetView<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
+    asymmetry_by_rate_from(&ProbeSource::Whole(view), phy)
+}
+
+/// [`asymmetry_by_rate`] over a whole or chunked source: each rate's pool
+/// extends in network-id order either way.
+pub fn asymmetry_by_rate_from(src: &ProbeSource<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
     let mut out: BTreeMap<BitRate, Vec<f64>> = BTreeMap::new();
-    for meta in view.networks() {
-        if !meta.radios.contains(&phy) {
-            continue;
+    src.for_each_view(|view| {
+        for meta in view.networks() {
+            if !meta.radios.contains(&phy) {
+                continue;
+            }
+            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
+                out.entry(m.rate).or_default().extend(asymmetry_ratios(&m));
+            }
         }
-        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-            out.entry(m.rate).or_default().extend(asymmetry_ratios(&m));
-        }
-    }
+    });
     out
 }
 

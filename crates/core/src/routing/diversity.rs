@@ -65,15 +65,36 @@ pub fn analyze_diversity(
     min_aps: usize,
     variant: EtxVariant,
 ) -> Vec<(usize, f64, f64, usize)> {
+    analyze_diversity_from(
+        &mesh11_trace::ProbeSource::Whole(view),
+        phy,
+        rate,
+        min_aps,
+        variant,
+    )
+}
+
+/// [`analyze_diversity`] over a whole or chunked source: the pooled
+/// `(matrix, analysis)` list builds in network-id order either way before
+/// the single reduction.
+pub fn analyze_diversity_from(
+    src: &mesh11_trace::ProbeSource<'_>,
+    phy: mesh11_phy::Phy,
+    rate: mesh11_phy::BitRate,
+    min_aps: usize,
+    variant: EtxVariant,
+) -> Vec<(usize, f64, f64, usize)> {
     let mut pairs = Vec::new();
-    for meta in view.networks_with_at_least(min_aps) {
-        if !meta.radios.contains(&phy) {
-            continue;
+    src.for_each_view(|view| {
+        for meta in view.networks_with_at_least(min_aps) {
+            if !meta.radios.contains(&phy) {
+                continue;
+            }
+            let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
+            let a = OpportunisticAnalysis::compute(&m);
+            pairs.push((m, a));
         }
-        let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
-        let a = OpportunisticAnalysis::compute(&m);
-        pairs.push((m, a));
-    }
+    });
     improvement_by_diversity(&pairs, variant)
 }
 

@@ -17,7 +17,7 @@
 //! in time, per source–destination pair.
 
 use mesh11_phy::{airtime::frame_time_us, BitRate, Phy};
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
 
 use crate::routing::etx::MIN_DELIVERY;
 use crate::routing::shortest::PathTable;
@@ -136,14 +136,22 @@ impl EttAnalysis {
 
 /// Runs the ETT analysis on every b/g network with at least `min_aps` APs.
 pub fn analyze_ett(view: DatasetView<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
+    analyze_ett_from(&ProbeSource::Whole(view), phy, min_aps)
+}
+
+/// [`analyze_ett`] over a whole or chunked source: one entry per network in
+/// id order, identical either way.
+pub fn analyze_ett_from(src: &ProbeSource<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
     let mut out = Vec::new();
-    for meta in view.networks_with_at_least(min_aps) {
-        if !meta.radios.contains(&phy) {
-            continue;
+    src.for_each_view(|view| {
+        for meta in view.networks_with_at_least(min_aps) {
+            if !meta.radios.contains(&phy) {
+                continue;
+            }
+            let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
+            out.push(EttAnalysis::compute(&matrices));
         }
-        let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
-        out.push(EttAnalysis::compute(&matrices));
-    }
+    });
     out
 }
 

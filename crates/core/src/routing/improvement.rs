@@ -7,7 +7,7 @@
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
 
 use crate::routing::etx::EtxVariant;
 use crate::routing::exor::ExorTable;
@@ -117,16 +117,29 @@ pub fn analyze_dataset(
     phy: Phy,
     min_aps: usize,
 ) -> Vec<OpportunisticAnalysis> {
+    analyze_dataset_from(&ProbeSource::Whole(view), phy, min_aps)
+}
+
+/// [`analyze_dataset`] over a whole or chunked source: one entry per
+/// (network, rate) in network-id order, identical either way.
+pub fn analyze_dataset_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    min_aps: usize,
+) -> Vec<OpportunisticAnalysis> {
     let mut out = Vec::new();
-    for meta in view.networks_with_at_least(min_aps) {
-        if !meta.radios.contains(&phy) {
-            continue;
+    src.for_each_view(|view| {
+        for meta in view.networks_with_at_least(min_aps) {
+            if !meta.radios.contains(&phy) {
+                continue;
+            }
+            // One pass over this network's indexed probes for all rates at
+            // once.
+            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
+                out.push(OpportunisticAnalysis::compute(&m));
+            }
         }
-        // One pass over this network's indexed probes for all rates at once.
-        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-            out.push(OpportunisticAnalysis::compute(&m));
-        }
-    }
+    });
     out
 }
 

@@ -5,7 +5,7 @@
 //! `N(B) ∧ ¬N(A) ∧ {C > A}` — one AND-NOT-MASK-POPCOUNT sweep per (B, A).
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{DatasetView, EnvLabel, NetworkId};
+use mesh11_trace::{DatasetView, EnvLabel, NetworkId, ProbeSource};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -78,16 +78,25 @@ pub struct TripleAnalysis {
 impl TripleAnalysis {
     /// Runs the analysis on every network running `phy` in the dataset.
     pub fn run(view: DatasetView<'_>, phy: Phy, threshold: f64, rule: HearRule) -> Self {
+        Self::run_from(&ProbeSource::Whole(view), phy, threshold, rule)
+    }
+
+    /// [`TripleAnalysis::run`] over a whole or chunked source: the per-
+    /// network map keys are disjoint across windows, so the merged map is
+    /// identical either way.
+    pub fn run_from(src: &ProbeSource<'_>, phy: Phy, threshold: f64, rule: HearRule) -> Self {
         let mut per_network = BTreeMap::new();
-        for meta in view.networks() {
-            if !meta.radios.contains(&phy) || meta.n_aps < 3 {
-                continue;
+        src.for_each_view(|view| {
+            for meta in view.networks() {
+                if !meta.radios.contains(&phy) || meta.n_aps < 3 {
+                    continue;
+                }
+                for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
+                    let g = HearingGraph::build(&m, threshold, rule);
+                    per_network.insert((meta.id, m.rate), (meta.env, count_triples(&g)));
+                }
             }
-            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-                let g = HearingGraph::build(&m, threshold, rule);
-                per_network.insert((meta.id, m.rate), (meta.env, count_triples(&g)));
-            }
-        }
+        });
         Self {
             threshold,
             rule,

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{Dataset, DatasetView, EnvLabel, NetworkId};
+use mesh11_trace::{Dataset, DatasetView, EnvLabel, NetworkId, ProbeSource};
 
 use crate::triples::hearing::{HearRule, HearingGraph};
 
@@ -19,16 +19,29 @@ pub fn range_by_rate(
     threshold: f64,
     rule: HearRule,
 ) -> BTreeMap<(NetworkId, BitRate), usize> {
+    range_by_rate_from(&ProbeSource::Whole(view), phy, threshold, rule)
+}
+
+/// [`range_by_rate`] over a whole or chunked source: per-(network, rate)
+/// keys are disjoint across windows.
+pub fn range_by_rate_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    threshold: f64,
+    rule: HearRule,
+) -> BTreeMap<(NetworkId, BitRate), usize> {
     let mut out = BTreeMap::new();
-    for meta in view.networks() {
-        if !meta.radios.contains(&phy) || meta.n_aps < 2 {
-            continue;
+    src.for_each_view(|view| {
+        for meta in view.networks() {
+            if !meta.radios.contains(&phy) || meta.n_aps < 2 {
+                continue;
+            }
+            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
+                let g = HearingGraph::build(&m, threshold, rule);
+                out.insert((meta.id, m.rate), g.edge_count());
+            }
         }
-        for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-            let g = HearingGraph::build(&m, threshold, rule);
-            out.insert((meta.id, m.rate), g.edge_count());
-        }
-    }
+    });
     out
 }
 

@@ -5,7 +5,7 @@
 //! helpers make that claim (and the hearing-rule choice) checkable.
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::DatasetView;
+use mesh11_trace::{DatasetView, ProbeSource};
 
 use crate::triples::hearing::HearRule;
 use crate::triples::hidden::TripleAnalysis;
@@ -18,10 +18,21 @@ pub fn threshold_sweep(
     thresholds: &[f64],
     rule: HearRule,
 ) -> Vec<(f64, Option<f64>)> {
+    threshold_sweep_from(&ProbeSource::Whole(view), phy, rate, thresholds, rule)
+}
+
+/// [`threshold_sweep`] over a whole or chunked source.
+pub fn threshold_sweep_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    rate: BitRate,
+    thresholds: &[f64],
+    rule: HearRule,
+) -> Vec<(f64, Option<f64>)> {
     thresholds
         .iter()
         .map(|&t| {
-            let analysis = TripleAnalysis::run(view, phy, t, rule);
+            let analysis = TripleAnalysis::run_from(src, phy, t, rule);
             (t, analysis.median_fraction(rate, None))
         })
         .collect()

@@ -105,6 +105,51 @@ impl SimConfig {
         campaign: &Campaign,
         table: &SuccessTable,
     ) -> (Dataset, CampaignRunStats) {
+        let (parts, stats) = self.run_specs_with_table(&campaign.networks, table);
+        let mut merged = Dataset {
+            probe_horizon_s: self.probe_horizon_s,
+            client_horizon_s: self.client_horizon_s,
+            ..Dataset::default()
+        };
+        for part in parts {
+            merged.merge(part);
+        }
+        (merged, stats)
+    }
+
+    /// Streams a campaign's per-network datasets into `sink`, in network-id
+    /// order, simulating `batch_networks` consecutive networks at a time so
+    /// only one batch's probes are ever materialized at once. Each emitted
+    /// dataset is byte-identical to the corresponding slice of
+    /// [`SimConfig::run_campaign_counted_with_table`]'s merged output —
+    /// pair timelines are seeded per (network, radio, pair) and never see
+    /// the batch composition.
+    pub fn stream_campaign_with_table(
+        &self,
+        campaign: &Campaign,
+        table: &SuccessTable,
+        batch_networks: usize,
+        mut sink: impl FnMut(Dataset),
+    ) -> CampaignRunStats {
+        let batch = batch_networks.max(1);
+        let mut stats = CampaignRunStats::default();
+        for specs in campaign.networks.chunks(batch) {
+            let (parts, s) = self.run_specs_with_table(specs, table);
+            stats.pairs_simulated += s.pairs_simulated;
+            for part in parts {
+                sink(part);
+            }
+        }
+        stats
+    }
+
+    /// The shared three-pass scheduler over a run of network specs,
+    /// returning one single-network dataset per spec (in input order).
+    fn run_specs_with_table(
+        &self,
+        specs: &[NetworkSpec],
+        table: &SuccessTable,
+    ) -> (Vec<Dataset>, CampaignRunStats) {
         let rows_bg: Vec<RateRow<'_>> = Phy::Bg
             .probed_rates()
             .iter()
@@ -117,8 +162,7 @@ impl SimConfig {
             .collect();
 
         // Pass 1: pair discovery, one job per network radio.
-        let radio_jobs: Vec<(usize, Phy)> = campaign
-            .networks
+        let radio_jobs: Vec<(usize, Phy)> = specs
             .iter()
             .enumerate()
             .flat_map(|(ni, spec)| spec.radios.iter().map(move |&r| (ni, r)))
@@ -126,7 +170,7 @@ impl SimConfig {
         let plans: Vec<RadioPlan> = radio_jobs
             .par_iter()
             .map(|&(network, phy)| {
-                let spec = &campaign.networks[network];
+                let spec = &specs[network];
                 RadioPlan {
                     network,
                     phy,
@@ -152,7 +196,7 @@ impl SimConfig {
             .par_iter()
             .map(|&(pi, qi)| {
                 let plan = &plans[pi];
-                let spec = &campaign.networks[plan.network];
+                let spec = &specs[plan.network];
                 let rows = match plan.phy {
                     Phy::Bg => &rows_bg,
                     Phy::Ht => &rows_ht,
@@ -171,22 +215,17 @@ impl SimConfig {
             .collect();
 
         // Pass 3: client traces, one job per network.
-        let client_parts: Vec<_> = campaign
-            .networks
+        let client_parts: Vec<_> = specs
             .par_iter()
             .map(|spec| simulate_clients(spec, self))
             .collect();
 
         // Assembly: slice the stream list back into per-network groups
         // (contiguous by construction) and merge each in report order.
-        let mut merged = Dataset {
-            probe_horizon_s: self.probe_horizon_s,
-            client_horizon_s: self.client_horizon_s,
-            ..Dataset::default()
-        };
+        let mut parts = Vec::with_capacity(specs.len());
         let mut stream_iter = streams.into_iter();
         let mut plan_iter = plans.iter().peekable();
-        for (ni, (spec, clients)) in campaign.networks.iter().zip(client_parts).enumerate() {
+        for (ni, (spec, clients)) in specs.iter().zip(client_parts).enumerate() {
             let mut net_streams: Vec<Vec<ProbeSet>> = Vec::new();
             while let Some(plan) = plan_iter.peek() {
                 if plan.network != ni {
@@ -197,7 +236,7 @@ impl SimConfig {
                 }
                 plan_iter.next();
             }
-            merged.merge(Dataset {
+            parts.push(Dataset {
                 networks: vec![network_meta(spec)],
                 probes: merge_report_order(net_streams),
                 clients,
@@ -205,7 +244,7 @@ impl SimConfig {
                 client_horizon_s: self.client_horizon_s,
             });
         }
-        (merged, stats)
+        (parts, stats)
     }
 }
 
@@ -286,6 +325,37 @@ mod tests {
         }
         assert_eq!(ds, expected);
         assert_eq!(stats.pairs_simulated, pairs);
+    }
+
+    #[test]
+    fn streaming_run_matches_one_shot_campaign() {
+        // Batch composition must not leak into the per-network datasets:
+        // pair timelines are seeded per (network, radio, pair), so a
+        // 3-network batch stream reassembles to the exact one-shot merge.
+        let campaign = CampaignSpec::scaled(29, 7).generate();
+        let mut cfg = SimConfig::quick();
+        cfg.probe_horizon_s = 1_200.0;
+        cfg.client_horizon_s = 600.0;
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        let (expected, one_shot_stats) = cfg.run_campaign_counted_with_table(&campaign, &table);
+
+        for batch in [1, 3, 100] {
+            let mut merged = Dataset {
+                probe_horizon_s: cfg.probe_horizon_s,
+                client_horizon_s: cfg.client_horizon_s,
+                ..Dataset::default()
+            };
+            let mut parts = 0usize;
+            let stats = cfg.stream_campaign_with_table(&campaign, &table, batch, |part| {
+                assert_eq!(part.networks.len(), 1, "one dataset per network");
+                parts += 1;
+                merged.merge(part);
+            });
+            assert_eq!(parts, campaign.networks.len());
+            assert_eq!(merged, expected, "batch size {batch}");
+            assert_eq!(stats.pairs_simulated, one_shot_stats.pairs_simulated);
+        }
     }
 
     #[test]

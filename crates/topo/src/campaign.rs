@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::geo::GeoTag;
 use crate::network::{EnvClass, NetworkId, NetworkSpec};
 use crate::placement::place;
-use crate::sizes::{paper_sizes, scaled_sizes};
+use crate::sizes::{metro_sizes, paper_sizes, scaled_sizes};
 
 /// Specification of a campaign: how many networks, their sizes, and the
 /// PHY/environment composition. [`CampaignSpec::paper`] reproduces the
@@ -43,6 +43,21 @@ impl CampaignSpec {
             ht_only: 31,
             dual: 2,
             env_counts: (72, 17, 21),
+        }
+    }
+
+    /// Metro-scale ensemble: the paper composition tiled `factor` times —
+    /// `110·factor` networks, `1407·factor` APs, with the PHY/environment
+    /// marginals scaled exactly. Factor 71 lands just under 10⁵ APs.
+    pub fn metro(seed: u64, factor: usize) -> Self {
+        let factor = factor.max(1);
+        Self {
+            seed,
+            sizes: metro_sizes(factor),
+            bg_only: 77 * factor,
+            ht_only: 31 * factor,
+            dual: 2 * factor,
+            env_counts: (72 * factor, 17 * factor, 21 * factor),
         }
     }
 
@@ -196,6 +211,19 @@ mod tests {
         let sizes: Vec<usize> = c.networks.iter().map(NetworkSpec::size).collect();
         assert_eq!(*sizes.iter().min().unwrap(), 3);
         assert_eq!(*sizes.iter().max().unwrap(), 203);
+    }
+
+    #[test]
+    fn metro_campaign_scales_the_marginals() {
+        let s = CampaignSpec::metro(42, 3);
+        assert_eq!(s.len(), 330);
+        assert_eq!(s.bg_only + s.ht_only + s.dual, 330);
+        let (i, o, m) = s.env_counts;
+        assert_eq!((i, o, m), (216, 51, 63));
+        let c = s.generate();
+        assert_eq!(c.total_aps(), 3 * 1407);
+        // Factor 1 is exactly the paper spec.
+        assert_eq!(CampaignSpec::metro(7, 1), CampaignSpec::paper(7));
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub fn scaled_sizes(n: usize) -> Vec<u32> {
     out
 }
 
+/// Metro-scale size list: the paper distribution tiled `factor` times,
+/// still sorted ascending — `110·factor` networks, `1407·factor` APs.
+pub fn metro_sizes(factor: usize) -> Vec<u32> {
+    let factor = factor.max(1);
+    let mut v = Vec::with_capacity(110 * factor);
+    for &(size, count) in SIZE_COUNTS {
+        v.extend(std::iter::repeat_n(size, count as usize * factor));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +118,16 @@ mod tests {
         assert!(*s.last().unwrap() >= 20, "tail survives scaling: {s:?}");
         assert!(s.iter().all(|&x| x <= 30), "capped for small campaigns");
         assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn metro_tiles_the_paper_distribution() {
+        assert_eq!(metro_sizes(1), paper_sizes());
+        assert_eq!(metro_sizes(0), paper_sizes()); // clamped up
+        let m = metro_sizes(10);
+        assert_eq!(m.len(), 1_100);
+        assert_eq!(m.iter().sum::<u32>(), 14_070);
+        assert!(m.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

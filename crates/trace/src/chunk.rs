@@ -1,0 +1,958 @@
+//! Out-of-core probe storage: spill-able columnar chunks plus windowed
+//! views, so metro-scale ensembles analyze under bounded memory.
+//!
+//! A [`ChunkedDataset`] holds network metadata, client samples, and the
+//! horizons in memory (they are small), while the probe stream — the part
+//! that scales with ensemble size — lives in fixed-capacity structure-of-
+//! arrays [`ProbeChunk`]s managed by a [`ChunkStore`]. The store keeps at
+//! most a configured number of chunks resident; beyond that, least-recently
+//! used chunks are encoded to a compact spill file (the probe-record shape
+//! of [`crate::codec`], written in columnar batches) and decoded back on
+//! demand. When everything fits in the budget no file is ever created —
+//! the in-memory fast path.
+//!
+//! ## Why windowed views are exact
+//!
+//! `Dataset::probes` is **network-major**: the campaign runner merges
+//! per-network streams in network-id order, and within a network probes are
+//! `(time, phy, sender, receiver)`-sorted. Every permutation a
+//! [`DatasetIndex`] builds is a *stable* sort of that order on keys that
+//! lead with (phy, network…), so for any PHY the global iteration order is
+//! the concatenation, in network-id order, of each network's own iteration.
+//! A *window* — a run of consecutive networks materialized as a mini
+//! dataset with its own index — therefore reproduces the corresponding
+//! segment of every global traversal exactly, including float-accumulation
+//! order. [`ProbeSource::for_each_view`] walks the windows in order, which
+//! is why the chunked analysis path is byte-identical to the in-memory one
+//! (pinned by the `chunked_equivalence` integration test).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bytes::{Buf, BufMut};
+use mesh11_phy::Phy;
+
+use crate::client::ClientSample;
+use crate::codec::{phy_from_tag, phy_tag};
+use crate::dataset::{Dataset, NetworkMeta};
+use crate::ids::{ApId, NetworkId};
+use crate::index::{DatasetIndex, DatasetView, IndexStitcher, StitchedIndex};
+use crate::matrix::DeliveryMatrix;
+use crate::probe::{ProbeSet, RateObs};
+
+/// Sizing of a [`ChunkStore`] and its analysis windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// Probes per chunk (the spill/readback granule).
+    pub chunk_capacity: usize,
+    /// Maximum chunks resident at once — the memory budget. At least 2
+    /// (one being filled, one being read).
+    pub resident_chunks: usize,
+    /// Directory for the spill file; the system temp dir when `None`.
+    pub spill_dir: Option<PathBuf>,
+    /// Target probes per analysis window (a window always holds at least
+    /// one whole network, so a single huge network may exceed it).
+    pub window_probes: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        Self {
+            chunk_capacity: 65_536,
+            resident_chunks: 8,
+            spill_dir: None,
+            window_probes: 262_144,
+        }
+    }
+}
+
+impl ChunkConfig {
+    /// A deliberately tiny configuration that forces many chunks and disk
+    /// spill even on quick-scale data — for equivalence tests.
+    pub fn tiny() -> Self {
+        Self {
+            chunk_capacity: 512,
+            resident_chunks: 2,
+            spill_dir: None,
+            window_probes: 2_048,
+        }
+    }
+}
+
+/// One fixed-capacity structure-of-arrays batch of probe sets, in stream
+/// (dataset) order.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeChunk {
+    networks: Vec<u32>,
+    phys: Vec<u8>,
+    time_s: Vec<f64>,
+    senders: Vec<u32>,
+    receivers: Vec<u32>,
+    /// Prefix offsets into the observation columns; length `len() + 1`.
+    obs_off: Vec<u32>,
+    obs_rate_idx: Vec<u8>,
+    obs_loss: Vec<f64>,
+    obs_snr: Vec<f64>,
+}
+
+impl ProbeChunk {
+    fn with_capacity(n: usize) -> Self {
+        let mut c = Self {
+            networks: Vec::with_capacity(n),
+            phys: Vec::with_capacity(n),
+            time_s: Vec::with_capacity(n),
+            senders: Vec::with_capacity(n),
+            receivers: Vec::with_capacity(n),
+            obs_off: Vec::with_capacity(n + 1),
+            ..Self::default()
+        };
+        c.obs_off.push(0);
+        c
+    }
+
+    /// Number of probe sets stored.
+    pub fn len(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.networks.is_empty()
+    }
+
+    /// Appends one probe set.
+    pub fn push(&mut self, p: &ProbeSet) {
+        self.networks.push(p.network.0);
+        self.phys.push(phy_tag(p.phy));
+        self.time_s.push(p.time_s);
+        self.senders.push(p.sender.0);
+        self.receivers.push(p.receiver.0);
+        for o in &p.obs {
+            self.obs_rate_idx.push(o.rate.index() as u8);
+            self.obs_loss.push(o.loss);
+            self.obs_snr.push(o.snr_db);
+        }
+        self.obs_off.push(self.obs_rate_idx.len() as u32);
+    }
+
+    /// Reconstructs the probe set at `i` — an exact inverse of
+    /// [`ProbeChunk::push`] (rates round-trip through their PHY table
+    /// index, floats through their bits).
+    pub fn get(&self, i: usize) -> ProbeSet {
+        let phy = phy_from_tag(self.phys[i]).expect("chunk stores valid phy tags");
+        let rates = phy.all_rates();
+        let r = self.obs_off[i] as usize..self.obs_off[i + 1] as usize;
+        let obs = r
+            .map(|k| RateObs {
+                rate: rates[self.obs_rate_idx[k] as usize],
+                loss: self.obs_loss[k],
+                snr_db: self.obs_snr[k],
+            })
+            .collect();
+        ProbeSet {
+            network: NetworkId(self.networks[i]),
+            phy,
+            time_s: self.time_s[i],
+            sender: ApId(self.senders[i]),
+            receiver: ApId(self.receivers[i]),
+            obs,
+        }
+    }
+
+    /// Encodes the chunk into `buf` (columnar, little-endian).
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let n = self.len();
+        let m = self.obs_rate_idx.len();
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(m as u32);
+        for &v in &self.networks {
+            buf.put_u32_le(v);
+        }
+        buf.put_slice(&self.phys);
+        for &v in &self.time_s {
+            buf.put_f64_le(v);
+        }
+        for &v in &self.senders {
+            buf.put_u32_le(v);
+        }
+        for &v in &self.receivers {
+            buf.put_u32_le(v);
+        }
+        for &v in &self.obs_off {
+            buf.put_u32_le(v);
+        }
+        buf.put_slice(&self.obs_rate_idx);
+        for &v in &self.obs_loss {
+            buf.put_f64_le(v);
+        }
+        for &v in &self.obs_snr {
+            buf.put_f64_le(v);
+        }
+    }
+
+    /// Decodes a chunk from the bytes [`ProbeChunk::encode`] wrote.
+    fn decode(mut buf: &[u8]) -> io::Result<Self> {
+        fn need(buf: &[u8], n: usize) -> io::Result<()> {
+            if buf.remaining() < n {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("truncated chunk: need {n} bytes, have {}", buf.remaining()),
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 8)?;
+        let n = buf.get_u32_le() as usize;
+        let m = buf.get_u32_le() as usize;
+        let want = n * 21 + (n + 1) * 4 + m * 17;
+        need(buf, want)?;
+        let mut c = Self::with_capacity(n);
+        c.obs_off.clear();
+        for _ in 0..n {
+            c.networks.push(buf.get_u32_le());
+        }
+        for _ in 0..n {
+            c.phys.push(buf.get_u8());
+        }
+        for _ in 0..n {
+            c.time_s.push(buf.get_f64_le());
+        }
+        for _ in 0..n {
+            c.senders.push(buf.get_u32_le());
+        }
+        for _ in 0..n {
+            c.receivers.push(buf.get_u32_le());
+        }
+        for _ in 0..=n {
+            c.obs_off.push(buf.get_u32_le());
+        }
+        for _ in 0..m {
+            c.obs_rate_idx.push(buf.get_u8());
+        }
+        for _ in 0..m {
+            c.obs_loss.push(buf.get_f64_le());
+        }
+        for _ in 0..m {
+            c.obs_snr.push(buf.get_f64_le());
+        }
+        Ok(c)
+    }
+}
+
+/// One chunk slot: resident, on disk, or both.
+#[derive(Debug, Default)]
+struct Slot {
+    chunk: Option<Arc<ProbeChunk>>,
+    /// `(offset, len)` of the encoded chunk in the spill file.
+    disk: Option<(u64, u64)>,
+    /// LRU tick of the last access.
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    slots: Vec<Slot>,
+    clock: u64,
+    resident: usize,
+    file: Option<std::fs::File>,
+    spill_path: Option<PathBuf>,
+    end_offset: u64,
+    spilled_bytes: u64,
+    scratch: Vec<u8>,
+}
+
+/// Distinguishes concurrently running stores' spill files.
+static SPILL_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// A budget-bounded resident set of [`ProbeChunk`]s with LRU spill to a
+/// single on-disk file.
+///
+/// Writes happen at most once per chunk (eviction of a never-spilled
+/// chunk); reads decode on demand. All state sits behind one mutex — the
+/// analysis path materializes windows serially per kernel, so contention is
+/// not the bottleneck, boundedness is.
+#[derive(Debug)]
+pub struct ChunkStore {
+    budget: usize,
+    spill_dir: Option<PathBuf>,
+    inner: Mutex<StoreInner>,
+}
+
+impl ChunkStore {
+    /// An empty store keeping at most `resident_chunks` chunks in memory.
+    pub fn new(resident_chunks: usize, spill_dir: Option<PathBuf>) -> Self {
+        Self {
+            budget: resident_chunks.max(2),
+            spill_dir,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Seals a finished chunk into the store, evicting older chunks past
+    /// the resident budget. Returns the chunk's index.
+    pub fn insert(&self, chunk: ProbeChunk) -> io::Result<usize> {
+        let mut g = self.inner.lock().expect("chunk store poisoned");
+        let id = g.slots.len();
+        g.clock += 1;
+        let tick = g.clock;
+        g.slots.push(Slot {
+            chunk: Some(Arc::new(chunk)),
+            disk: None,
+            last_use: tick,
+        });
+        g.resident += 1;
+        self.evict_past_budget(&mut g)?;
+        Ok(id)
+    }
+
+    /// The chunk at `id`, loading it back from the spill file if evicted.
+    ///
+    /// # Panics
+    /// On spill-file I/O errors: the file is process-local scratch, so a
+    /// read failure means the environment lost it out from under us.
+    pub fn chunk(&self, id: usize) -> Arc<ProbeChunk> {
+        self.try_chunk(id)
+            .expect("chunk spill file unreadable (scratch file lost mid-run?)")
+    }
+
+    /// As [`ChunkStore::chunk`], surfacing I/O errors.
+    pub fn try_chunk(&self, id: usize) -> io::Result<Arc<ProbeChunk>> {
+        let mut g = self.inner.lock().expect("chunk store poisoned");
+        g.clock += 1;
+        let tick = g.clock;
+        if let Some(c) = &g.slots[id].chunk {
+            let c = Arc::clone(c);
+            g.slots[id].last_use = tick;
+            return Ok(c);
+        }
+        let (off, len) = g.slots[id]
+            .disk
+            .expect("chunk neither resident nor spilled");
+        let file = g.file.as_mut().expect("spilled chunk without a spill file");
+        file.seek(SeekFrom::Start(off))?;
+        let mut raw = vec![0u8; len as usize];
+        file.read_exact(&mut raw)?;
+        let chunk = Arc::new(ProbeChunk::decode(&raw)?);
+        g.slots[id].chunk = Some(Arc::clone(&chunk));
+        g.slots[id].last_use = tick;
+        g.resident += 1;
+        self.evict_past_budget(&mut g)?;
+        Ok(chunk)
+    }
+
+    /// Evicts least-recently-used resident chunks until within budget,
+    /// spilling any that have never been written.
+    fn evict_past_budget(&self, g: &mut StoreInner) -> io::Result<()> {
+        while g.resident > self.budget {
+            let victim = g
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.chunk.is_some())
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("resident count implies a resident chunk");
+            if g.slots[victim].disk.is_none() {
+                if g.file.is_none() {
+                    let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+                    std::fs::create_dir_all(&dir)?;
+                    let path = dir.join(format!(
+                        "mesh11-chunks-{}-{}.spill",
+                        std::process::id(),
+                        SPILL_SERIAL.fetch_add(1, Ordering::Relaxed)
+                    ));
+                    g.file = Some(
+                        std::fs::OpenOptions::new()
+                            .create_new(true)
+                            .read(true)
+                            .write(true)
+                            .open(&path)?,
+                    );
+                    g.spill_path = Some(path);
+                }
+                let mut scratch = std::mem::take(&mut g.scratch);
+                scratch.clear();
+                g.slots[victim]
+                    .chunk
+                    .as_ref()
+                    .expect("victim is resident")
+                    .encode(&mut scratch);
+                let off = g.end_offset;
+                let file = g.file.as_mut().expect("opened above");
+                file.seek(SeekFrom::Start(off))?;
+                file.write_all(&scratch)?;
+                g.end_offset += scratch.len() as u64;
+                g.spilled_bytes += scratch.len() as u64;
+                g.slots[victim].disk = Some((off, scratch.len() as u64));
+                g.scratch = scratch;
+            }
+            g.slots[victim].chunk = None;
+            g.resident -= 1;
+        }
+        Ok(())
+    }
+
+    /// Number of chunks in the store (resident or spilled).
+    pub fn n_chunks(&self) -> usize {
+        self.inner.lock().expect("chunk store poisoned").slots.len()
+    }
+
+    /// Number of chunks currently resident.
+    pub fn resident_chunks(&self) -> usize {
+        self.inner.lock().expect("chunk store poisoned").resident
+    }
+
+    /// Total bytes ever written to the spill file (0 when everything fit
+    /// in the resident budget — the in-memory fast path).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("chunk store poisoned")
+            .spilled_bytes
+    }
+}
+
+impl Drop for StoreInner {
+    fn drop(&mut self) {
+        self.file = None;
+        if let Some(p) = &self.spill_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Streams per-network datasets (in network-id order) into a
+/// [`ChunkedDataset`], building the stitched index as probes pass through.
+pub struct ChunkedDatasetBuilder {
+    cfg: ChunkConfig,
+    shell: Dataset,
+    net_probe_off: Vec<u64>,
+    store: ChunkStore,
+    current: ProbeChunk,
+    stitcher: IndexStitcher,
+}
+
+impl ChunkedDatasetBuilder {
+    /// An empty builder.
+    pub fn new(cfg: ChunkConfig) -> Self {
+        let store = ChunkStore::new(cfg.resident_chunks, cfg.spill_dir.clone());
+        let current = ProbeChunk::with_capacity(cfg.chunk_capacity);
+        Self {
+            cfg,
+            shell: Dataset::default(),
+            net_probe_off: vec![0],
+            store,
+            current,
+            stitcher: IndexStitcher::new(),
+        }
+    }
+
+    /// Absorbs one or more networks' worth of dataset, in network-id order
+    /// continuing the stream. Probes enter the chunk sequence; metadata and
+    /// clients stay in the in-memory shell.
+    pub fn add(&mut self, part: Dataset) -> io::Result<()> {
+        for p in &part.probes {
+            self.current.push(p);
+            self.stitcher.observe(p);
+            if self.current.len() >= self.cfg.chunk_capacity {
+                let full = std::mem::replace(
+                    &mut self.current,
+                    ProbeChunk::with_capacity(self.cfg.chunk_capacity),
+                );
+                self.store.insert(full)?;
+            }
+        }
+        // Per-network probe offsets: `part.probes` is network-major, so
+        // count each network's run.
+        let mut counts: Vec<u64> = vec![0; part.networks.len()];
+        for p in &part.probes {
+            let k = part
+                .networks
+                .iter()
+                .position(|m| m.id == p.network)
+                .expect("probe references an absorbed network");
+            counts[k] += 1;
+        }
+        for (m, n) in part.networks.iter().zip(&counts) {
+            assert!(
+                self.shell
+                    .networks
+                    .last()
+                    .is_none_or(|prev| prev.id.0 < m.id.0),
+                "networks must stream in ascending id order"
+            );
+            let last = *self.net_probe_off.last().expect("seeded with 0");
+            self.net_probe_off.push(last + n);
+        }
+        self.shell.networks.extend(part.networks);
+        self.shell.clients.extend(part.clients);
+        self.shell.probe_horizon_s = self.shell.probe_horizon_s.max(part.probe_horizon_s);
+        self.shell.client_horizon_s = self.shell.client_horizon_s.max(part.client_horizon_s);
+        Ok(())
+    }
+
+    /// Seals the final chunk and finishes the stitched index.
+    pub fn finish(mut self) -> io::Result<ChunkedDataset> {
+        if !self.current.is_empty() {
+            let last = std::mem::take(&mut self.current);
+            self.store.insert(last)?;
+        }
+        let n_probes = self.stitcher.n_probes();
+        Ok(ChunkedDataset {
+            shell: self.shell,
+            n_probes,
+            chunk_capacity: self.cfg.chunk_capacity,
+            window_probes: self.cfg.window_probes.max(1),
+            net_probe_off: self.net_probe_off,
+            store: self.store,
+            stitched: self.stitcher.finish(),
+        })
+    }
+}
+
+/// An out-of-core dataset: in-memory metadata/clients, chunked probes, and
+/// the stitched global index.
+pub struct ChunkedDataset {
+    /// Metadata + clients + horizons; `probes` is empty.
+    shell: Dataset,
+    n_probes: u64,
+    chunk_capacity: usize,
+    window_probes: usize,
+    /// Per-network prefix offsets into the global probe stream; length
+    /// `networks + 1`.
+    net_probe_off: Vec<u64>,
+    store: ChunkStore,
+    stitched: StitchedIndex,
+}
+
+impl ChunkedDataset {
+    /// Chunks an already-materialized dataset (tests and ad-hoc use; the
+    /// metro path streams through [`ChunkedDatasetBuilder`] instead).
+    pub fn from_dataset(ds: &Dataset, cfg: ChunkConfig) -> io::Result<Self> {
+        let mut b = ChunkedDatasetBuilder::new(cfg);
+        for m in &ds.networks {
+            let part = Dataset {
+                networks: vec![m.clone()],
+                probes: ds.probes_for_network(m.id).cloned().collect(),
+                clients: ds.clients_for_network(m.id).cloned().collect(),
+                probe_horizon_s: ds.probe_horizon_s,
+                client_horizon_s: ds.client_horizon_s,
+            };
+            b.add(part)?;
+        }
+        b.finish()
+    }
+
+    /// Per-network metadata, in id order.
+    pub fn networks(&self) -> &[NetworkMeta] {
+        &self.shell.networks
+    }
+
+    /// Client samples (kept fully in memory — they are driven by user
+    /// behaviour, not by ensemble scale, and §7 needs them whole).
+    pub fn clients(&self) -> &[ClientSample] {
+        &self.shell.clients
+    }
+
+    /// The in-memory shell: metadata, clients, and horizons with an empty
+    /// probe vector. Client-side analyses (§7) run on it directly.
+    pub fn shell(&self) -> &Dataset {
+        &self.shell
+    }
+
+    /// Total probe sets across all chunks.
+    pub fn n_probes(&self) -> u64 {
+        self.n_probes
+    }
+
+    /// Probe-trace horizon (seconds).
+    pub fn probe_horizon_s(&self) -> f64 {
+        self.shell.probe_horizon_s
+    }
+
+    /// Client-trace horizon (seconds).
+    pub fn client_horizon_s(&self) -> f64 {
+        self.shell.client_horizon_s
+    }
+
+    /// Total AP count across networks.
+    pub fn total_aps(&self) -> usize {
+        self.shell.total_aps()
+    }
+
+    /// The stitched global range tables.
+    pub fn stitched_index(&self) -> &StitchedIndex {
+        &self.stitched
+    }
+
+    /// Bytes written to the spill file (0 = everything stayed resident).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.store.spilled_bytes()
+    }
+
+    /// Chunks currently resident.
+    pub fn resident_chunks(&self) -> usize {
+        self.store.resident_chunks()
+    }
+
+    /// The analysis windows: consecutive-network ranges (indices into
+    /// [`ChunkedDataset::networks`]) sized to ≈`window_probes` probes each.
+    /// Every network appears in exactly one window.
+    pub fn windows(&self) -> Vec<std::ops::Range<usize>> {
+        let n = self.shell.networks.len();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            while end < n
+                && (self.net_probe_off[end + 1] - self.net_probe_off[start])
+                    <= self.window_probes as u64
+            {
+                end += 1;
+            }
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Materializes one window of consecutive networks as a mini dataset:
+    /// their metadata and their probes (reconstructed from the chunk
+    /// sequence, in stream order), with no clients.
+    pub fn window_dataset(&self, nets: std::ops::Range<usize>) -> Dataset {
+        let p0 = self.net_probe_off[nets.start] as usize;
+        let p1 = self.net_probe_off[nets.end] as usize;
+        let mut probes = Vec::with_capacity(p1 - p0);
+        if p1 > p0 {
+            let cap = self.chunk_capacity;
+            for ci in (p0 / cap)..=((p1 - 1) / cap) {
+                let chunk = self.store.chunk(ci);
+                let lo = p0.saturating_sub(ci * cap);
+                let hi = (p1 - ci * cap).min(chunk.len());
+                for i in lo..hi {
+                    probes.push(chunk.get(i));
+                }
+            }
+        }
+        Dataset {
+            networks: self.shell.networks[nets].to_vec(),
+            probes,
+            clients: Vec::new(),
+            probe_horizon_s: self.shell.probe_horizon_s,
+            client_horizon_s: self.shell.client_horizon_s,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChunkedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedDataset")
+            .field("networks", &self.shell.networks.len())
+            .field("n_probes", &self.n_probes)
+            .field("chunks", &self.store.n_chunks())
+            .field("resident", &self.store.resident_chunks())
+            .field("spilled_bytes", &self.store.spilled_bytes())
+            .finish()
+    }
+}
+
+/// Where a kernel's probes come from: one whole indexed view (the
+/// in-memory path, untouched) or a chunked dataset walked window by
+/// window. Kernels written as fold-over-views compute byte-identical
+/// results either way (see the module docs for the ordering argument).
+pub enum ProbeSource<'a> {
+    /// The classic fully-resident path: the callback runs once with the
+    /// whole view, so existing kernels behave exactly as before.
+    Whole(DatasetView<'a>),
+    /// The out-of-core path: one view per consecutive-network window, in
+    /// network-id order.
+    Chunked(&'a ChunkedDataset),
+}
+
+impl<'a> ProbeSource<'a> {
+    /// Per-network metadata, in id order.
+    pub fn networks(&self) -> &'a [NetworkMeta] {
+        match self {
+            ProbeSource::Whole(v) => v.networks(),
+            ProbeSource::Chunked(c) => &c.shell.networks,
+        }
+    }
+
+    /// Total probe sets.
+    pub fn n_probes(&self) -> u64 {
+        match self {
+            ProbeSource::Whole(v) => v.dataset().probes.len() as u64,
+            ProbeSource::Chunked(c) => c.n_probes,
+        }
+    }
+
+    /// Runs `f` over the source's views in stream order: once with the
+    /// whole view, or once per window.
+    pub fn for_each_view<F: for<'b> FnMut(DatasetView<'b>)>(&self, mut f: F) {
+        match self {
+            ProbeSource::Whole(v) => f(*v),
+            ProbeSource::Chunked(c) => {
+                for w in c.windows() {
+                    let ds = c.window_dataset(w);
+                    let ix = DatasetIndex::build(&ds);
+                    f(DatasetView::new(&ds, &ix));
+                }
+            }
+        }
+    }
+
+    /// The delivery matrix of one (network, rate) — windowed or whole,
+    /// identical to [`DatasetView::delivery_matrix`].
+    pub fn delivery_matrix(
+        &self,
+        phy: Phy,
+        network: NetworkId,
+        rate: mesh11_phy::BitRate,
+        n_aps: usize,
+    ) -> DeliveryMatrix {
+        match self {
+            ProbeSource::Whole(v) => v.delivery_matrix(phy, network, rate, n_aps),
+            ProbeSource::Chunked(c) => {
+                let k = c
+                    .shell
+                    .networks
+                    .iter()
+                    .position(|m| m.id == network)
+                    .expect("delivery matrix of an absorbed network");
+                let ds = c.window_dataset(k..k + 1);
+                let ix = DatasetIndex::build(&ds);
+                DatasetView::new(&ds, &ix).delivery_matrix(phy, network, rate, n_aps)
+            }
+        }
+    }
+
+    /// Directed-link report counts across the whole source.
+    pub fn link_report_counts(&self) -> BTreeMap<(NetworkId, ApId, ApId), usize> {
+        match self {
+            ProbeSource::Whole(v) => v.link_report_counts(),
+            ProbeSource::Chunked(c) => c.stitched.link_report_counts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EnvLabel;
+    use mesh11_phy::BitRate;
+
+    fn probe(net: u32, s: u32, r: u32, t: f64, loss: f64) -> ProbeSet {
+        ProbeSet {
+            network: NetworkId(net),
+            phy: Phy::Bg,
+            time_s: t,
+            sender: ApId(s),
+            receiver: ApId(r),
+            obs: vec![
+                RateObs {
+                    rate: BitRate::bg_mbps(11.0).unwrap(),
+                    loss,
+                    snr_db: 18.5,
+                },
+                RateObs {
+                    rate: BitRate::bg_mbps(1.0).unwrap(),
+                    loss: loss * 0.5,
+                    snr_db: 20.25,
+                },
+            ],
+        }
+    }
+
+    /// A dataset with enough probes to span several tiny chunks.
+    fn big_dataset() -> Dataset {
+        let mut probes = Vec::new();
+        let mut networks = Vec::new();
+        for net in 0..5u32 {
+            networks.push(NetworkMeta {
+                id: NetworkId(net),
+                env: if net % 2 == 0 {
+                    EnvLabel::Indoor
+                } else {
+                    EnvLabel::Outdoor
+                },
+                n_aps: 3,
+                radios: vec![Phy::Bg],
+                location: format!("Net {net}"),
+            });
+            for t in 0..40 {
+                for (s, r) in [(0u32, 1u32), (1, 0), (0, 2)] {
+                    probes.push(probe(net, s, r, 300.0 * (t + 1) as f64, 0.1));
+                }
+            }
+        }
+        Dataset {
+            networks,
+            probes,
+            clients: Vec::new(),
+            probe_horizon_s: 12_000.0,
+            client_horizon_s: 0.0,
+        }
+    }
+
+    fn tiny_cfg() -> ChunkConfig {
+        ChunkConfig {
+            chunk_capacity: 16,
+            resident_chunks: 2,
+            spill_dir: None,
+            window_probes: 50,
+        }
+    }
+
+    #[test]
+    fn chunk_round_trips_probes() {
+        let ds = big_dataset();
+        let mut c = ProbeChunk::with_capacity(ds.probes.len());
+        for p in &ds.probes {
+            c.push(p);
+        }
+        assert_eq!(c.len(), ds.probes.len());
+        for (i, p) in ds.probes.iter().enumerate() {
+            assert_eq!(&c.get(i), p);
+        }
+        let mut raw = Vec::new();
+        c.encode(&mut raw);
+        let back = ProbeChunk::decode(&raw).unwrap();
+        for (i, p) in ds.probes.iter().enumerate() {
+            assert_eq!(&back.get(i), p);
+        }
+    }
+
+    #[test]
+    fn chunk_decode_rejects_truncation() {
+        let mut c = ProbeChunk::with_capacity(4);
+        c.push(&probe(0, 0, 1, 300.0, 0.2));
+        let mut raw = Vec::new();
+        c.encode(&mut raw);
+        for cut in 0..raw.len() {
+            assert!(ProbeChunk::decode(&raw[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn store_spills_and_reloads_losslessly() {
+        let ds = big_dataset();
+        let chunked = ChunkedDataset::from_dataset(&ds, tiny_cfg()).unwrap();
+        assert_eq!(chunked.n_probes(), ds.probes.len() as u64);
+        assert!(
+            chunked.spilled_bytes() > 0,
+            "600 probes over 16-probe chunks with budget 2 must spill"
+        );
+        assert!(chunked.resident_chunks() <= 2);
+        // Reconstructed windows concatenate back to the exact probe stream.
+        let mut got = Vec::new();
+        for w in chunked.windows() {
+            got.extend(chunked.window_dataset(w).probes);
+        }
+        assert_eq!(got, ds.probes);
+        assert!(chunked.resident_chunks() <= 2, "reads stay within budget");
+    }
+
+    #[test]
+    fn in_memory_fast_path_never_touches_disk() {
+        let ds = big_dataset();
+        let cfg = ChunkConfig {
+            chunk_capacity: 1 << 16,
+            resident_chunks: 8,
+            ..ChunkConfig::default()
+        };
+        let chunked = ChunkedDataset::from_dataset(&ds, cfg).unwrap();
+        assert_eq!(chunked.spilled_bytes(), 0, "fits in budget: no spill file");
+        let mut got = Vec::new();
+        for w in chunked.windows() {
+            got.extend(chunked.window_dataset(w).probes);
+        }
+        assert_eq!(got, ds.probes);
+    }
+
+    #[test]
+    fn windows_cover_every_network_once() {
+        let ds = big_dataset();
+        let chunked = ChunkedDataset::from_dataset(&ds, tiny_cfg()).unwrap();
+        let ws = chunked.windows();
+        assert!(ws.len() > 1, "tiny window budget must split the ensemble");
+        let mut covered = Vec::new();
+        for w in &ws {
+            covered.extend(w.clone());
+        }
+        assert_eq!(covered, (0..ds.networks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stitched_index_matches_monolithic() {
+        let ds = big_dataset();
+        let chunked = ChunkedDataset::from_dataset(&ds, tiny_cfg()).unwrap();
+        let ix = DatasetIndex::build(&ds);
+        assert_eq!(chunked.stitched_index().links, ix.link_range_table());
+        assert_eq!(chunked.stitched_index().nets, ix.net_range_table());
+        assert_eq!(
+            chunked.stitched_index().link_report_counts(),
+            ds.link_report_counts()
+        );
+    }
+
+    #[test]
+    fn source_views_are_equivalent() {
+        let ds = big_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let whole = ProbeSource::Whole(DatasetView::new(&ds, &ix));
+        let chunked_ds = ChunkedDataset::from_dataset(&ds, tiny_cfg()).unwrap();
+        let chunked = ProbeSource::Chunked(&chunked_ds);
+
+        assert_eq!(whole.n_probes(), chunked.n_probes());
+        assert_eq!(whole.networks(), chunked.networks());
+        assert_eq!(whole.link_report_counts(), chunked.link_report_counts());
+
+        // The windowed per-PHY walk concatenates to the whole walk.
+        let collect = |src: &ProbeSource| {
+            let mut times = Vec::new();
+            src.for_each_view(|v| {
+                times.extend(v.probes_for_phy(Phy::Bg).map(|p| (p.network.0, p.time_s)));
+            });
+            times
+        };
+        assert_eq!(collect(&whole), collect(&chunked));
+
+        // Delivery matrices agree per network.
+        let rate = BitRate::bg_mbps(11.0).unwrap();
+        for m in &ds.networks {
+            assert_eq!(
+                whole.delivery_matrix(Phy::Bg, m.id, rate, m.n_aps),
+                chunked.delivery_matrix(Phy::Bg, m.id, rate, m.n_aps),
+            );
+        }
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let dir =
+            std::env::temp_dir().join(format!("mesh11-chunk-drop-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ChunkConfig {
+            spill_dir: Some(dir.clone()),
+            ..tiny_cfg()
+        };
+        let ds = big_dataset();
+        let chunked = ChunkedDataset::from_dataset(&ds, cfg).unwrap();
+        assert!(chunked.spilled_bytes() > 0);
+        let files = || {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains("chunks"))
+                .count()
+        };
+        assert_eq!(files(), 1);
+        drop(chunked);
+        assert_eq!(files(), 0, "spill file cleaned up");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,14 +25,14 @@ use crate::probe::{ProbeSet, RateObs};
 const MAGIC: u32 = 0x4D31_3154;
 const VERSION: u16 = 1;
 
-fn phy_tag(phy: Phy) -> u8 {
+pub(crate) fn phy_tag(phy: Phy) -> u8 {
     match phy {
         Phy::Bg => 0,
         Phy::Ht => 1,
     }
 }
 
-fn phy_from_tag(tag: u8) -> io::Result<Phy> {
+pub(crate) fn phy_from_tag(tag: u8) -> io::Result<Phy> {
     match tag {
         0 => Ok(Phy::Bg),
         1 => Ok(Phy::Ht),
@@ -61,55 +61,92 @@ fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Encodes a dataset to bytes.
-pub fn encode(ds: &Dataset) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + ds.probes.len() * 160 + ds.clients.len() * 32);
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
+/// Appends one network-metadata record to a buffer.
+fn put_network(buf: &mut impl BufMut, m: &NetworkMeta) {
+    buf.put_u32_le(m.id.0);
+    buf.put_u8(env_tag(m.env));
+    buf.put_u32_le(m.n_aps as u32);
+    buf.put_u8(m.radios.len() as u8);
+    for &r in &m.radios {
+        buf.put_u8(phy_tag(r));
+    }
+    let loc = m.location.as_bytes();
+    buf.put_u16_le(loc.len() as u16);
+    buf.put_slice(loc);
+}
 
-    buf.put_u32_le(ds.networks.len() as u32);
+/// Appends one probe-set record to a buffer (shared with the chunk spill
+/// codec, which writes the same record shape in columnar batches).
+pub(crate) fn put_probe(buf: &mut impl BufMut, p: &ProbeSet) {
+    buf.put_u32_le(p.network.0);
+    buf.put_u8(phy_tag(p.phy));
+    buf.put_f64_le(p.time_s);
+    buf.put_u32_le(p.sender.0);
+    buf.put_u32_le(p.receiver.0);
+    buf.put_u8(p.obs.len() as u8);
+    for o in &p.obs {
+        buf.put_u8(o.rate.index() as u8);
+        buf.put_f64_le(o.loss);
+        buf.put_f64_le(o.snr_db);
+    }
+}
+
+/// Appends one client-sample record to a buffer.
+fn put_client(buf: &mut impl BufMut, c: &ClientSample) {
+    buf.put_u32_le(c.network.0);
+    buf.put_u32_le(c.ap.0);
+    buf.put_u32_le(c.client.0);
+    buf.put_f64_le(c.bin_start_s);
+    buf.put_u32_le(c.assoc_requests);
+    buf.put_u32_le(c.data_pkts);
+}
+
+/// Writes the binary form through `w` record by record, so peak memory is
+/// one record's scratch buffer rather than the whole serialized dataset
+/// (the old `encode`-then-write path doubled a large dataset's RSS).
+pub fn write_to<W: io::Write>(ds: &Dataset, w: &mut W) -> io::Result<()> {
+    let mut scratch = BytesMut::with_capacity(4096);
+    scratch.put_u32_le(MAGIC);
+    scratch.put_u16_le(VERSION);
+
+    scratch.put_u32_le(ds.networks.len() as u32);
     for m in &ds.networks {
-        buf.put_u32_le(m.id.0);
-        buf.put_u8(env_tag(m.env));
-        buf.put_u32_le(m.n_aps as u32);
-        buf.put_u8(m.radios.len() as u8);
-        for &r in &m.radios {
-            buf.put_u8(phy_tag(r));
+        put_network(&mut scratch, m);
+        if scratch.len() >= 64 * 1024 {
+            w.write_all(&scratch)?;
+            scratch.clear();
         }
-        let loc = m.location.as_bytes();
-        buf.put_u16_le(loc.len() as u16);
-        buf.put_slice(loc);
     }
 
-    buf.put_f64_le(ds.probe_horizon_s);
-    buf.put_f64_le(ds.client_horizon_s);
+    scratch.put_f64_le(ds.probe_horizon_s);
+    scratch.put_f64_le(ds.client_horizon_s);
 
-    buf.put_u64_le(ds.probes.len() as u64);
+    scratch.put_u64_le(ds.probes.len() as u64);
     for p in &ds.probes {
-        buf.put_u32_le(p.network.0);
-        buf.put_u8(phy_tag(p.phy));
-        buf.put_f64_le(p.time_s);
-        buf.put_u32_le(p.sender.0);
-        buf.put_u32_le(p.receiver.0);
-        buf.put_u8(p.obs.len() as u8);
-        for o in &p.obs {
-            buf.put_u8(o.rate.index() as u8);
-            buf.put_f64_le(o.loss);
-            buf.put_f64_le(o.snr_db);
+        put_probe(&mut scratch, p);
+        if scratch.len() >= 64 * 1024 {
+            w.write_all(&scratch)?;
+            scratch.clear();
         }
     }
 
-    buf.put_u64_le(ds.clients.len() as u64);
+    scratch.put_u64_le(ds.clients.len() as u64);
     for c in &ds.clients {
-        buf.put_u32_le(c.network.0);
-        buf.put_u32_le(c.ap.0);
-        buf.put_u32_le(c.client.0);
-        buf.put_f64_le(c.bin_start_s);
-        buf.put_u32_le(c.assoc_requests);
-        buf.put_u32_le(c.data_pkts);
+        put_client(&mut scratch, c);
+        if scratch.len() >= 64 * 1024 {
+            w.write_all(&scratch)?;
+            scratch.clear();
+        }
     }
+    w.write_all(&scratch)
+}
 
-    buf.freeze()
+/// Encodes a dataset to bytes (in-memory convenience; large exports should
+/// prefer [`save`], which streams).
+pub fn encode(ds: &Dataset) -> Bytes {
+    let mut buf = Vec::with_capacity(64 + ds.probes.len() * 160 + ds.clients.len() * 32);
+    write_to(ds, &mut buf).expect("Vec write cannot fail");
+    Bytes::from(buf)
 }
 
 /// Ensures `buf` has at least `n` bytes remaining before a fixed-size read.
@@ -236,9 +273,13 @@ pub fn decode(mut buf: Bytes) -> io::Result<Dataset> {
     })
 }
 
-/// Writes the binary form to a file.
+/// Writes the binary form to a file through a streaming writer — the full
+/// serialized buffer is never materialized.
 pub fn save(ds: &Dataset, path: &std::path::Path) -> io::Result<()> {
-    std::fs::write(path, encode(ds))
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_to(ds, &mut w)?;
+    io::Write::flush(&mut w)
 }
 
 /// Reads the binary form from a file.

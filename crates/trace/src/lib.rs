@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod client;
 pub mod codec;
 pub mod dataset;
@@ -42,9 +43,15 @@ pub mod slice;
 pub mod snrstats;
 pub mod validate;
 
+pub use chunk::{
+    ChunkConfig, ChunkStore, ChunkedDataset, ChunkedDatasetBuilder, ProbeChunk, ProbeSource,
+};
 pub use client::ClientSample;
 pub use dataset::{Dataset, NetworkMeta};
 pub use ids::{ApId, ClientId, EnvLabel, NetworkId};
-pub use index::{DatasetIndex, DatasetView, LinkView, NetworkView, ObsColumns, ProbeEntry};
+pub use index::{
+    DatasetIndex, DatasetView, IndexStitcher, LinkRange, LinkView, NetRange, NetworkView,
+    ObsColumns, ProbeEntry, StitchedIndex,
+};
 pub use matrix::DeliveryMatrix;
 pub use probe::{ProbeSet, RateObs};

@@ -11,8 +11,39 @@
 
 use std::collections::BTreeMap;
 
+use crate::chunk::ProbeSource;
 use crate::dataset::Dataset;
 use crate::ids::{ApId, NetworkId};
+
+/// Folds a per-window sigma function over a probe source. Every statistic
+/// here flattens a `BTreeMap` keyed with `NetworkId` leading, and windows
+/// are consecutive network runs, so per-window outputs concatenate to
+/// exactly the whole-dataset output.
+fn fold_sigmas(src: &ProbeSource<'_>, f: impl Fn(&Dataset) -> Vec<f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    src.for_each_view(|v| out.extend(f(v.dataset())));
+    out
+}
+
+/// [`probe_set_sigmas`] over a whole or chunked source.
+pub fn probe_set_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
+    fold_sigmas(src, probe_set_sigmas)
+}
+
+/// [`link_sigmas`] over a whole or chunked source.
+pub fn link_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
+    fold_sigmas(src, link_sigmas)
+}
+
+/// [`recent_k_sigmas`] over a whole or chunked source.
+pub fn recent_k_sigmas_from(src: &ProbeSource<'_>, k: usize) -> Vec<f64> {
+    fold_sigmas(src, |ds| recent_k_sigmas(ds, k))
+}
+
+/// [`network_sigmas`] over a whole or chunked source.
+pub fn network_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
+    fold_sigmas(src, network_sigmas)
+}
 
 /// σ of SNR within each probe set (one value per probe set).
 pub fn probe_set_sigmas(ds: &Dataset) -> Vec<f64> {

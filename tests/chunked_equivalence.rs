@@ -1,0 +1,122 @@
+//! The out-of-core contract: a chunked, spill-to-disk context must produce
+//! figure JSON byte-identical to the fully resident path, at any thread
+//! count — and the incrementally stitched index must equal the monolithic
+//! one no matter where chunk boundaries fall.
+
+use std::collections::BTreeMap;
+
+use mesh11::prelude::*;
+use mesh11::trace::{ChunkConfig, ChunkedDataset};
+use mesh11_bench::figures::{build, ALL_IDS};
+use mesh11_bench::{DataMode, ReproContext, Scale};
+use proptest::prelude::*;
+
+const SEED: u64 = 13;
+
+/// A chunk config small enough that a quick-scale run fills many chunks
+/// and is forced to spill (budget 2).
+fn tiny_chunks() -> ChunkConfig {
+    ChunkConfig::tiny()
+}
+
+/// Renders every figure of every experiment id to JSON, keyed by figure id.
+fn all_figure_json(ctx: &ReproContext) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for id in ALL_IDS {
+        let figs = build(ctx, id).unwrap_or_else(|| panic!("unknown id {id}"));
+        for f in figs {
+            let prev = out.insert(f.id.clone(), f.to_json());
+            assert!(prev.is_none(), "duplicate figure id {}", f.id);
+        }
+    }
+    out
+}
+
+fn build_figures(mode: DataMode, threads: usize) -> BTreeMap<String, String> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool")
+        .install(|| {
+            let (ctx, _) = ReproContext::build_timed_with_mode(
+                Scale::Quick,
+                SEED,
+                FaultPlan::none(),
+                mode.clone(),
+            );
+            if let DataMode::Chunked(_) = mode {
+                let c = ctx.chunked().expect("chunked context");
+                assert!(
+                    c.spilled_bytes() > 0,
+                    "tiny chunk budget must force disk spill"
+                );
+            }
+            all_figure_json(&ctx)
+        })
+}
+
+/// Every figure JSON — all experiments, all panels — is byte-identical
+/// between the in-memory and the forced-spill chunked path, on one thread
+/// and on four.
+#[test]
+fn chunked_figures_byte_identical_to_in_memory() {
+    let reference = build_figures(DataMode::InMemory, 1);
+    assert!(
+        reference.len() >= 39,
+        "expected the full figure set (29 experiments, 39 panels), got {}",
+        reference.len()
+    );
+    for threads in [1, 4] {
+        let chunked = build_figures(DataMode::Chunked(tiny_chunks()), threads);
+        assert_eq!(
+            chunked.len(),
+            reference.len(),
+            "figure set differs at {threads} threads"
+        );
+        for (id, json) in &reference {
+            assert_eq!(
+                chunked.get(id).map(String::as_str),
+                Some(json.as_str()),
+                "figure {id} diverges from the in-memory reference at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A small but real multi-network dataset for boundary-placement tests.
+fn simulate(seed: u64) -> Dataset {
+    let campaign = CampaignSpec::scaled(seed, 3).generate();
+    let mut cfg = SimConfig::quick();
+    cfg.probe_horizon_s = 900.0;
+    cfg.client_horizon_s = 600.0;
+    cfg.run_campaign(&campaign)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Wherever the chunk boundaries land — capacity 1 (every probe its own
+    /// chunk) through capacities far larger than the dataset — the stitched
+    /// per-(phy, network, link) ranges equal the monolithic index's.
+    #[test]
+    fn stitched_index_invariant_to_chunk_boundaries(
+        seed in 0u64..200,
+        capacity in 1usize..4_000,
+        window in 1usize..5_000,
+    ) {
+        let ds = simulate(seed);
+        let ix = DatasetIndex::build(&ds);
+        let cfg = ChunkConfig {
+            chunk_capacity: capacity,
+            resident_chunks: 2,
+            spill_dir: None,
+            window_probes: window,
+        };
+        let chunked = ChunkedDataset::from_dataset(&ds, cfg).expect("chunking succeeds");
+        prop_assert_eq!(chunked.n_probes() as usize, ds.probes.len());
+        let stitched = chunked.stitched_index();
+        prop_assert_eq!(&stitched.links, &ix.link_range_table());
+        prop_assert_eq!(&stitched.nets, &ix.net_range_table());
+        prop_assert_eq!(stitched.link_report_counts(), ix.link_report_counts());
+    }
+}

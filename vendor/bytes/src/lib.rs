@@ -193,6 +193,27 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 /// Growable byte buffer for encoding.
 #[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct BytesMut {
@@ -225,6 +246,11 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`] view.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 }
 
