@@ -259,6 +259,8 @@ fn run(args: &Args) -> i32 {
     }
 
     let n_probes = ctx.n_probes();
+    // Snapshot after analysis so the counters cover the kernels' traffic.
+    let chunk = ctx.chunk_stats();
     let timings = PhaseTimings {
         scale: args.scale.label(),
         seed: args.seed,
@@ -282,6 +284,17 @@ fn run(args: &Args) -> i32 {
         client_probe_s: build_t.client_probe_s,
         clients_simulated: build_t.clients_simulated,
         analyze_s,
+        analyze_probes_per_sec: if analyze_s > 0.0 {
+            n_probes as f64 / analyze_s
+        } else {
+            0.0
+        },
+        chunk_hits: chunk.chunk_hits,
+        chunk_decodes: chunk.chunk_decodes,
+        chunk_evictions: chunk.chunk_evictions,
+        peak_pinned_bytes: chunk.peak_pinned_bytes,
+        window_hits: chunk.window_hits,
+        window_builds: chunk.window_builds,
         total_s: t_total.elapsed().as_secs_f64(),
         figures: fig_times,
     };

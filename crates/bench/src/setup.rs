@@ -12,8 +12,8 @@ use mesh11_phy::{BitRate, CalibratedPhy, Phy, SuccessTable};
 use mesh11_sim::{ClientProbeTrace, SimConfig};
 use mesh11_topo::{Campaign, CampaignSpec, NetworkSpec};
 use mesh11_trace::{
-    ChunkConfig, ChunkedDataset, ChunkedDatasetBuilder, ClientSample, Dataset, DatasetIndex,
-    DatasetView, NetworkId, NetworkMeta, ProbeSource,
+    ChunkConfig, ChunkStoreStats, ChunkedDataset, ChunkedDatasetBuilder, ClientSample, Dataset,
+    DatasetIndex, DatasetView, NetworkId, NetworkMeta, ProbeSource,
 };
 
 /// The §6 hearing threshold (10%) used by every cached triple analysis.
@@ -376,6 +376,13 @@ impl ReproContext {
             DataStore::InMemory(_) => None,
             DataStore::Chunked(c) => Some(c),
         }
+    }
+
+    /// A snapshot of the chunk store's observability counters (decode,
+    /// hit, eviction, pinned high-water mark, window memo traffic). All
+    /// zeros for fully resident contexts.
+    pub fn chunk_stats(&self) -> ChunkStoreStats {
+        self.chunked().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Network metadata, id order.

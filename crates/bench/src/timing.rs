@@ -47,6 +47,21 @@ pub struct PhaseTimings {
     /// All figure building, wall-clock. Figures run concurrently, so this
     /// is smaller than the sum of the per-figure entries.
     pub analyze_s: f64,
+    /// Analysis throughput: `n_probes / analyze_s` — the analyze-phase
+    /// counterpart of `reports_per_sec`.
+    pub analyze_probes_per_sec: f64,
+    /// Chunk fetches served from a resident chunk (0 when fully resident).
+    pub chunk_hits: u64,
+    /// Chunk fetches that decoded from the spill file.
+    pub chunk_decodes: u64,
+    /// Chunks evicted from the resident set.
+    pub chunk_evictions: u64,
+    /// High-water mark of bytes pinned live by chunk handles.
+    pub peak_pinned_bytes: u64,
+    /// Window requests served from the materialized-window memo.
+    pub window_hits: u64,
+    /// Windows materialized (chunk-span decode + index build).
+    pub window_builds: u64,
     /// End-to-end wall-clock, including table rendering and JSON output.
     pub total_s: f64,
     /// Per-experiment analyze seconds, keyed by experiment id. Each entry
@@ -102,6 +117,17 @@ impl PhaseTimings {
                 self.data_mode, self.spilled_bytes
             ));
         }
+        if self.data_mode == "chunked" {
+            s.push_str(&format!(
+                "\n# chunk store: {} hits / {} decodes / {} evictions, {} peak pinned bytes, windows {} hits / {} builds",
+                self.chunk_hits,
+                self.chunk_decodes,
+                self.chunk_evictions,
+                self.peak_pinned_bytes,
+                self.window_hits,
+                self.window_builds
+            ));
+        }
         let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
         slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite timings"));
         for (id, t) in slowest.iter().take(5) {
@@ -133,6 +159,13 @@ mod tests {
             client_probe_s: 0.4,
             clients_simulated: 321,
             analyze_s: 1.5,
+            analyze_probes_per_sec: 33_333.3,
+            chunk_hits: 120,
+            chunk_decodes: 40,
+            chunk_evictions: 30,
+            peak_pinned_bytes: 1 << 20,
+            window_hits: 9,
+            window_builds: 7,
             total_s: 3.7,
             figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
         };
@@ -153,6 +186,13 @@ mod tests {
             "client_probe_s",
             "clients_simulated",
             "analyze_s",
+            "analyze_probes_per_sec",
+            "chunk_hits",
+            "chunk_decodes",
+            "chunk_evictions",
+            "peak_pinned_bytes",
+            "window_hits",
+            "window_builds",
             "total_s",
             "figures",
             "fig4-1",
@@ -163,6 +203,7 @@ mod tests {
         assert!(t.render().contains("1234 pairs"));
         assert!(t.render().contains("321 clients"));
         assert!(t.render().contains("peak RSS 256 MiB"));
+        assert!(t.render().contains("120 hits / 40 decodes / 30 evictions"));
     }
 
     #[test]

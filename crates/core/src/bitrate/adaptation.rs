@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A rate-adaptation policy.
@@ -169,6 +170,12 @@ pub fn simulate_adapters(
 /// throughput sums are floating-point and order-sensitive; links live whole
 /// inside windows and windows preserve the sorted link order, so the sums
 /// accumulate in exactly the monolithic sequence.
+///
+/// Parallelism is per adapter kind: each kind replays the whole source on
+/// its own thread, keeping every kind's accumulation a single continuous
+/// sequential sum (per-window partials would re-associate the float sums).
+/// Concurrent kinds share decoded windows through the chunk store's memo,
+/// so the source is walked once, not `kinds.len()` times.
 pub fn simulate_adapters_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -177,56 +184,61 @@ pub fn simulate_adapters_from(
 ) -> Vec<AdaptationOutcome> {
     assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
     let n_rates = phy.probed_rates().len();
-    let mut decisions = vec![0u64; kinds.len()];
-    let mut sum_thr = vec![0.0f64; kinds.len()];
-    let mut sum_oracle = vec![0.0f64; kinds.len()];
-    src.for_each_view(|view| {
-        // Per-link time-ordered streams. The per-kind scores are
-        // floating-point sums over links, so the iteration order must be
-        // fixed for the outcome to be byte-reproducible: the view's link
-        // groups come sorted by (network, sender, receiver), the same
-        // ascending order the pre-index BTreeMap grouping produced.
-        let per_link: Vec<Vec<ProbeEntry<'_>>> = view
-            .links_for_phy(phy)
-            .map(|link| {
-                let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
-                sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-                sets
-            })
-            .collect();
-        for (ki, kind) in kinds.iter().enumerate() {
-            for sets in &per_link {
-                let mut state = AdapterState::default();
-                for (i, set) in sets.iter().enumerate() {
-                    if i > 0 {
-                        let pick = state.decide(kind, phy, set);
-                        let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
-                        sum_thr[ki] += got;
-                        sum_oracle[ki] += set.opt.throughput_mbps();
-                        decisions[ki] += 1;
+    let partials: Vec<(u64, f64, f64)> = kinds
+        .par_iter()
+        .map(|kind| {
+            let mut decisions = 0u64;
+            let mut sum_thr = 0.0f64;
+            let mut sum_oracle = 0.0f64;
+            src.for_each_view(|view| {
+                // Per-link time-ordered streams. The per-kind scores are
+                // floating-point sums over links, so the iteration order
+                // must be fixed for the outcome to be byte-reproducible:
+                // the view's link groups come sorted by (network, sender,
+                // receiver), the same ascending order the pre-index
+                // BTreeMap grouping produced.
+                let per_link: Vec<Vec<ProbeEntry<'_>>> = view
+                    .links_for_phy(phy)
+                    .map(|link| {
+                        let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
+                        sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                        sets
+                    })
+                    .collect();
+                for sets in &per_link {
+                    let mut state = AdapterState::default();
+                    for (i, set) in sets.iter().enumerate() {
+                        if i > 0 {
+                            let pick = state.decide(kind, phy, set);
+                            let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                            sum_thr += got;
+                            sum_oracle += set.opt.throughput_mbps();
+                            decisions += 1;
+                        }
+                        state.learn(kind, set);
                     }
-                    state.learn(kind, set);
                 }
-            }
-        }
-    });
+            });
+            (decisions, sum_thr, sum_oracle)
+        })
+        .collect();
     kinds
         .iter()
-        .enumerate()
-        .map(|(ki, kind)| {
-            let mean = if decisions[ki] == 0 {
+        .zip(partials)
+        .map(|(kind, (decisions, sum_thr, sum_oracle))| {
+            let mean = if decisions == 0 {
                 0.0
             } else {
-                sum_thr[ki] / decisions[ki] as f64
+                sum_thr / decisions as f64
             };
             let charge = overhead * kind.rates_probed(n_rates) as f64 / n_rates as f64;
             AdaptationOutcome {
                 kind: *kind,
-                decisions: decisions[ki],
+                decisions,
                 mean_throughput_mbps: mean,
                 net_throughput_mbps: mean * (1.0 - charge),
-                fraction_of_oracle: if sum_oracle[ki] > 0.0 {
-                    sum_thr[ki] / sum_oracle[ki]
+                fraction_of_oracle: if sum_oracle > 0.0 {
+                    sum_thr / sum_oracle
                 } else {
                     0.0
                 },

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::{pearson, spearman, BinnedStats};
 use mesh11_trace::{DatasetView, ProbeSource};
+use rayon::prelude::*;
 
 /// Per-rate binned SNR → throughput statistics.
 #[derive(Debug, Clone)]
@@ -35,20 +36,42 @@ impl SnrThroughputCurves {
 
     /// [`SnrThroughputCurves::build`] over a whole or chunked source; the
     /// order-sensitive correlation sums see the same sample sequence either
-    /// way (windowed per-PHY walks concatenate to the whole walk).
+    /// way (windowed per-PHY walks concatenate to the whole walk). Sample
+    /// collection fans out per network; concatenating per-network samples
+    /// and bin pushes in network order rebuilds the sequential sequence
+    /// exactly (datasets are network-major).
     pub fn build_from(src: &ProbeSource<'_>, phy: Phy) -> Self {
         let mut per_rate: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
         let mut snr = Vec::new();
         let mut thr = Vec::new();
         src.for_each_view(|view| {
-            for e in view.entries_for_phy(phy) {
-                let key = e.snr_key;
-                let obs = view.index().obs(e.pos);
-                for (k, &rate) in obs.rates.iter().enumerate() {
-                    per_rate.entry(rate).or_default().push(key, obs.thr_mbps[k]);
-                    snr.push(key as f64);
-                    thr.push(obs.thr_mbps[k]);
+            let ix = view.index();
+            let nets = view.network_views(phy);
+            type Partial = (BTreeMap<BitRate, BinnedStats>, Vec<f64>, Vec<f64>);
+            let partials: Vec<Partial> = nets
+                .par_iter()
+                .map(|nv| {
+                    let mut rates: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
+                    let mut s = Vec::new();
+                    let mut t = Vec::new();
+                    for e in nv.entries_in_order() {
+                        let key = e.snr_key;
+                        let obs = ix.obs(e.pos);
+                        for (k, &rate) in obs.rates.iter().enumerate() {
+                            rates.entry(rate).or_default().push(key, obs.thr_mbps[k]);
+                            s.push(key as f64);
+                            t.push(obs.thr_mbps[k]);
+                        }
+                    }
+                    (rates, s, t)
+                })
+                .collect();
+            for (rates, s, t) in partials {
+                for (rate, stats) in rates {
+                    per_rate.entry(rate).or_default().merge(stats);
                 }
+                snr.extend(s);
+                thr.extend(t);
             }
         });
         Self {

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
 use mesh11_trace::{DatasetView, ProbeSet, ProbeSource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Training scope of a lookup table — the paper's four cases, from cheapest
@@ -39,6 +40,16 @@ impl Scope {
 /// Table key: unused components are `u32::MAX`.
 type Key = (u32, u32, u32);
 
+/// The table key a probe trains/consults under `scope`.
+fn key_of(scope: Scope, probe: &ProbeSet) -> Key {
+    match scope {
+        Scope::Global => (u32::MAX, u32::MAX, u32::MAX),
+        Scope::Network => (probe.network.0, u32::MAX, u32::MAX),
+        Scope::Ap => (probe.network.0, probe.sender.0, u32::MAX),
+        Scope::Link => (probe.network.0, probe.sender.0, probe.receiver.0),
+    }
+}
+
 /// How often each rate was optimal at one (key, SNR) cell.
 type RateCounts = BTreeMap<BitRate, u32>;
 
@@ -60,7 +71,9 @@ impl LookupTableSet {
 
     /// [`LookupTableSet::build`] over a whole or chunked source. The tables
     /// are pure frequency counts, and a chunked walk feeds the same probes,
-    /// so the result is identical either way.
+    /// so the result is identical either way. Training fans out over a
+    /// flat per-network work list: counts are integers and addition
+    /// commutes, so the parallel merge cannot change any cell.
     pub fn build_from(src: &ProbeSource<'_>, scope: Scope, phy: Phy) -> Self {
         let mut set = Self {
             scope,
@@ -68,15 +81,32 @@ impl LookupTableSet {
             tables: HashMap::new(),
         };
         src.for_each_view(|view| {
-            for e in view.entries_for_phy(phy) {
-                let key = set.key_for(e.probe);
-                *set.tables
-                    .entry(key)
-                    .or_default()
-                    .entry(e.snr_key)
-                    .or_default()
-                    .entry(e.opt.rate)
-                    .or_insert(0) += 1;
+            let nets = view.network_views(phy);
+            let partials: Vec<HashMap<Key, BTreeMap<i64, RateCounts>>> = nets
+                .par_iter()
+                .map(|nv| {
+                    let mut t: HashMap<Key, BTreeMap<i64, RateCounts>> = HashMap::new();
+                    for e in nv.entries_in_order() {
+                        *t.entry(key_of(scope, e.probe))
+                            .or_default()
+                            .entry(e.snr_key)
+                            .or_default()
+                            .entry(e.opt.rate)
+                            .or_insert(0) += 1;
+                    }
+                    t
+                })
+                .collect();
+            for t in partials {
+                for (key, snr_map) in t {
+                    let dst = set.tables.entry(key).or_default();
+                    for (snr, counts) in snr_map {
+                        let cell = dst.entry(snr).or_default();
+                        for (rate, c) in counts {
+                            *cell.entry(rate).or_insert(0) += c;
+                        }
+                    }
+                }
             }
         });
         set
@@ -97,12 +127,7 @@ impl LookupTableSet {
     }
 
     fn key_for(&self, probe: &ProbeSet) -> Key {
-        match self.scope {
-            Scope::Global => (u32::MAX, u32::MAX, u32::MAX),
-            Scope::Network => (probe.network.0, u32::MAX, u32::MAX),
-            Scope::Ap => (probe.network.0, probe.sender.0, u32::MAX),
-            Scope::Link => (probe.network.0, probe.sender.0, probe.receiver.0),
-        }
+        key_of(self.scope, probe)
     }
 
     /// The rate-frequency cell a probe set would consult.
@@ -151,15 +176,31 @@ impl LookupTableSet {
     }
 
     /// [`LookupTableSet::exact_accuracy`] over a whole or chunked source.
+    /// Hit/total counters are integers, so the per-network fan-out sums
+    /// to exactly the sequential result.
     pub fn exact_accuracy_from(&self, src: &ProbeSource<'_>) -> f64 {
-        let mut total = 0usize;
-        let mut hits = 0usize;
+        let mut total = 0u64;
+        let mut hits = 0u64;
         src.for_each_view(|view| {
-            for e in view.entries_for_phy(self.phy) {
-                total += 1;
-                if self.predict_keyed(self.key_for(e.probe), e.snr_key) == Some(e.opt.rate) {
-                    hits += 1;
-                }
+            let nets = view.network_views(self.phy);
+            let partials: Vec<(u64, u64)> = nets
+                .par_iter()
+                .map(|nv| {
+                    let (mut h, mut t) = (0u64, 0u64);
+                    for e in nv.entries_in_order() {
+                        t += 1;
+                        if self.predict_keyed(key_of(self.scope, e.probe), e.snr_key)
+                            == Some(e.opt.rate)
+                        {
+                            h += 1;
+                        }
+                    }
+                    (h, t)
+                })
+                .collect();
+            for (h, t) in partials {
+                hits += h;
+                total += t;
             }
         });
         if total == 0 {

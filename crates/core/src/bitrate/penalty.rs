@@ -8,6 +8,7 @@
 use mesh11_phy::Phy;
 use mesh11_stats::Cdf;
 use mesh11_trace::{DatasetView, ProbeSource};
+use rayon::prelude::*;
 
 use crate::bitrate::lookup::{LookupTableSet, Scope};
 
@@ -34,19 +35,35 @@ impl ThroughputPenalty {
 
     /// [`ThroughputPenalty::evaluate`] over a whole or chunked source: the
     /// diff vector is filled in per-PHY dataset order, and windowed walks
-    /// concatenate to exactly that order.
+    /// concatenate to exactly that order. The evaluation fans out over a
+    /// flat per-network work list; concatenating per-network diff vectors
+    /// in network order rebuilds the sequential vector element for
+    /// element (datasets are network-major).
     pub fn evaluate_from(src: &ProbeSource<'_>, table: &LookupTableSet) -> Self {
         let mut diffs = Vec::new();
         let mut unpredicted = 0usize;
         src.for_each_view(|view| {
-            for e in view.entries_for_phy(table.phy()) {
-                let Some(pick) = table.predict_entry(&e) else {
-                    unpredicted += 1;
-                    continue;
-                };
-                let best = e.opt.throughput_mbps();
-                let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
-                diffs.push((best - got).max(0.0));
+            let nets = view.network_views(table.phy());
+            let partials: Vec<(Vec<f64>, usize)> = nets
+                .par_iter()
+                .map(|nv| {
+                    let mut d = Vec::new();
+                    let mut unp = 0usize;
+                    for e in nv.entries_in_order() {
+                        let Some(pick) = table.predict_entry(&e) else {
+                            unp += 1;
+                            continue;
+                        };
+                        let best = e.opt.throughput_mbps();
+                        let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                        d.push((best - got).max(0.0));
+                    }
+                    (d, unp)
+                })
+                .collect();
+            for (d, unp) in partials {
+                diffs.extend(d);
+                unpredicted += unp;
             }
         });
         Self {

@@ -15,6 +15,7 @@
 
 use mesh11_phy::Phy;
 use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Pooled stability statistics over every link of a PHY.
@@ -57,37 +58,61 @@ pub fn link_stability(view: DatasetView<'_>, phy: Phy) -> LinkStability {
 }
 
 /// [`link_stability`] over a whole or chunked source: the per-link vectors
-/// fill in the same sorted link order either way.
+/// fill in the same sorted link order either way. The link walk fans out
+/// per network; each link's drift sum stays a single sequential
+/// accumulation, the pooled pair counts are integers, and concatenating
+/// per-network link vectors in network order rebuilds the sorted global
+/// link order (links sort by network first).
 pub fn link_stability_from(src: &ProbeSource<'_>, phy: Phy) -> LinkStability {
     let mut churn_per_link = Vec::new();
     let mut snr_drift_per_link = Vec::new();
     let mut same = (0u64, 0u64); // (changed, total)
     let mut diff = (0u64, 0u64);
     src.for_each_view(|view| {
-        for link in view.links_for_phy(phy) {
-            if link.len() < 2 {
-                continue;
-            }
-            let mut sets: Vec<ProbeEntry> = link.entries().collect();
-            sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-            let mut changed = 0usize;
-            let mut drift = 0.0;
-            for w in sets.windows(2) {
-                let (prev, next) = (&w[0], &w[1]);
-                let flipped = prev.opt.rate != next.opt.rate;
-                changed += usize::from(flipped);
-                drift += (next.snr_db - prev.snr_db).abs();
-                let bucket = if prev.snr_key == next.snr_key {
-                    &mut same
-                } else {
-                    &mut diff
-                };
-                bucket.0 += u64::from(flipped);
-                bucket.1 += 1;
-            }
-            let n_pairs = (sets.len() - 1) as f64;
-            churn_per_link.push(changed as f64 / n_pairs);
-            snr_drift_per_link.push(drift / n_pairs);
+        let nets = view.network_views(phy);
+        type Partial = (Vec<f64>, Vec<f64>, (u64, u64), (u64, u64));
+        let partials: Vec<Partial> = nets
+            .par_iter()
+            .map(|nv| {
+                let mut churn = Vec::new();
+                let mut drift_v = Vec::new();
+                let mut same = (0u64, 0u64);
+                let mut diff = (0u64, 0u64);
+                for link in nv.links() {
+                    if link.len() < 2 {
+                        continue;
+                    }
+                    let mut sets: Vec<ProbeEntry> = link.entries().collect();
+                    sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                    let mut changed = 0usize;
+                    let mut drift = 0.0;
+                    for w in sets.windows(2) {
+                        let (prev, next) = (&w[0], &w[1]);
+                        let flipped = prev.opt.rate != next.opt.rate;
+                        changed += usize::from(flipped);
+                        drift += (next.snr_db - prev.snr_db).abs();
+                        let bucket = if prev.snr_key == next.snr_key {
+                            &mut same
+                        } else {
+                            &mut diff
+                        };
+                        bucket.0 += u64::from(flipped);
+                        bucket.1 += 1;
+                    }
+                    let n_pairs = (sets.len() - 1) as f64;
+                    churn.push(changed as f64 / n_pairs);
+                    drift_v.push(drift / n_pairs);
+                }
+                (churn, drift_v, same, diff)
+            })
+            .collect();
+        for (churn, drift_v, s, d) in partials {
+            churn_per_link.extend(churn);
+            snr_drift_per_link.extend(drift_v);
+            same.0 += s.0;
+            same.1 += s.1;
+            diff.0 += d.0;
+            diff.1 += d.1;
         }
     });
     LinkStability {

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
 use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Table-maintenance policy.
@@ -175,7 +176,10 @@ struct StrategyAcc {
 /// [`evaluate_strategies`] over a whole or chunked source. Each link lives
 /// entirely inside one window (windows are whole networks) and windows walk
 /// links in the same sorted order as the monolithic pass, so every per-kind
-/// accumulator sees an identical push sequence.
+/// accumulator sees an identical push sequence. The replay fans out over a
+/// flat per-network work list; per-network accumulators merge back in
+/// network order, which reproduces the sequential per-bin push order
+/// exactly (links are sorted network-major).
 pub fn evaluate_strategies_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -183,32 +187,50 @@ pub fn evaluate_strategies_from(
 ) -> Vec<StrategyEval> {
     let mut accs: Vec<StrategyAcc> = kinds.iter().map(|_| StrategyAcc::default()).collect();
     src.for_each_view(|view| {
-        // Per-link time-ordered streams (dataset order is time-sorted per
-        // network already; sort defensively).
-        let per_link: Vec<Vec<ProbeEntry>> = view
-            .links_for_phy(phy)
-            .map(|link| {
-                let mut sets: Vec<ProbeEntry> = link.entries().collect();
-                sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-                sets
+        let nets = view.network_views(phy);
+        let partials: Vec<Vec<StrategyAcc>> = nets
+            .par_iter()
+            .map(|nv| {
+                // Per-link time-ordered streams (dataset order is
+                // time-sorted per network already; sort defensively).
+                let per_link: Vec<Vec<ProbeEntry>> = nv
+                    .links()
+                    .map(|link| {
+                        let mut sets: Vec<ProbeEntry> = link.entries().collect();
+                        sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                        sets
+                    })
+                    .collect();
+                let mut local: Vec<StrategyAcc> =
+                    kinds.iter().map(|_| StrategyAcc::default()).collect();
+                for (&kind, a) in kinds.iter().zip(local.iter_mut()) {
+                    for sets in &per_link {
+                        let mut table = OnlineTable::default();
+                        for (i, e) in sets.iter().enumerate() {
+                            let snr = e.snr_key;
+                            let opt = e.opt.rate;
+                            if let Some(pick) = table.predict(kind, snr) {
+                                let ok = pick == opt;
+                                a.acc.push(i as i64, if ok { 100.0 } else { 0.0 });
+                                a.predictions += 1;
+                                a.correct += u64::from(ok);
+                            }
+                            table.update(kind, snr, opt);
+                        }
+                        a.updates += table.updates;
+                        a.stored += table.stored;
+                    }
+                }
+                local
             })
             .collect();
-        for (&kind, a) in kinds.iter().zip(accs.iter_mut()) {
-            for sets in &per_link {
-                let mut table = OnlineTable::default();
-                for (i, e) in sets.iter().enumerate() {
-                    let snr = e.snr_key;
-                    let opt = e.opt.rate;
-                    if let Some(pick) = table.predict(kind, snr) {
-                        let ok = pick == opt;
-                        a.acc.push(i as i64, if ok { 100.0 } else { 0.0 });
-                        a.predictions += 1;
-                        a.correct += u64::from(ok);
-                    }
-                    table.update(kind, snr, opt);
-                }
-                a.updates += table.updates;
-                a.stored += table.stored;
+        for local in partials {
+            for (a, l) in accs.iter_mut().zip(local) {
+                a.acc.merge(l.acc);
+                a.updates += l.updates;
+                a.stored += l.stored;
+                a.predictions += l.predictions;
+                a.correct += l.correct;
             }
         }
     });

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, ProbeSource};
+use rayon::prelude::*;
 
 use crate::routing::etx::MIN_DELIVERY;
 
@@ -36,16 +37,29 @@ pub fn asymmetry_by_rate(view: DatasetView<'_>, phy: Phy) -> BTreeMap<BitRate, V
 }
 
 /// [`asymmetry_by_rate`] over a whole or chunked source: each rate's pool
-/// extends in network-id order either way.
+/// extends in network-id order either way. Networks are analyzed in
+/// parallel; extending each rate's pool from the per-network partials in
+/// network order rebuilds the sequential pools exactly.
 pub fn asymmetry_by_rate_from(src: &ProbeSource<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
     let mut out: BTreeMap<BitRate, Vec<f64>> = BTreeMap::new();
     src.for_each_view(|view| {
-        for meta in view.networks() {
-            if !meta.radios.contains(&phy) {
-                continue;
-            }
-            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-                out.entry(m.rate).or_default().extend(asymmetry_ratios(&m));
+        let metas: Vec<_> = view
+            .networks()
+            .iter()
+            .filter(|meta| meta.radios.contains(&phy))
+            .collect();
+        let partials: Vec<Vec<(BitRate, Vec<f64>)>> = metas
+            .par_iter()
+            .map(|meta| {
+                view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                    .iter()
+                    .map(|m| (m.rate, asymmetry_ratios(m)))
+                    .collect()
+            })
+            .collect();
+        for per_net in partials {
+            for (rate, ratios) in per_net {
+                out.entry(rate).or_default().extend(ratios);
             }
         }
     });

@@ -11,6 +11,7 @@
 //! corridor; a pair with five is a mesh.
 
 use mesh11_trace::{ApId, DeliveryMatrix};
+use rayon::prelude::*;
 
 use crate::routing::etx::{EtxVariant, MIN_DELIVERY};
 use crate::routing::improvement::OpportunisticAnalysis;
@@ -38,16 +39,26 @@ pub fn improvement_by_diversity(
     matrices: &[(DeliveryMatrix, OpportunisticAnalysis)],
     variant: EtxVariant,
 ) -> Vec<(usize, f64, f64, usize)> {
+    // One partial per matrix in parallel; merging in matrix order rebuilds
+    // the sequential per-bin push order exactly.
+    let partials: Vec<mesh11_stats::BinnedStats> = matrices
+        .par_iter()
+        .map(|(m, analysis)| {
+            let paths = PathTable::compute(m, EtxVariant::Etx1);
+            let mut by = mesh11_stats::BinnedStats::new();
+            for p in &analysis.pairs {
+                let Some(imp) = p.improvement(variant) else {
+                    continue;
+                };
+                let div = candidate_count(m, &paths, p.s, p.d);
+                by.push(div as i64, imp);
+            }
+            by
+        })
+        .collect();
     let mut by_div = mesh11_stats::BinnedStats::new();
-    for (m, analysis) in matrices {
-        let paths = PathTable::compute(m, EtxVariant::Etx1);
-        for p in &analysis.pairs {
-            let Some(imp) = p.improvement(variant) else {
-                continue;
-            };
-            let div = candidate_count(m, &paths, p.s, p.d);
-            by_div.push(div as i64, imp);
-        }
+    for b in partials {
+        by_div.merge(b);
     }
     by_div
         .rows()
@@ -86,14 +97,19 @@ pub fn analyze_diversity_from(
 ) -> Vec<(usize, f64, f64, usize)> {
     let mut pairs = Vec::new();
     src.for_each_view(|view| {
-        for meta in view.networks_with_at_least(min_aps) {
-            if !meta.radios.contains(&phy) {
-                continue;
-            }
-            let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
-            let a = OpportunisticAnalysis::compute(&m);
-            pairs.push((m, a));
-        }
+        let metas: Vec<_> = view
+            .networks_with_at_least(min_aps)
+            .filter(|meta| meta.radios.contains(&phy))
+            .collect();
+        let built: Vec<(DeliveryMatrix, OpportunisticAnalysis)> = metas
+            .par_iter()
+            .map(|meta| {
+                let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
+                let a = OpportunisticAnalysis::compute(&m);
+                (m, a)
+            })
+            .collect();
+        pairs.extend(built);
     });
     improvement_by_diversity(&pairs, variant)
 }

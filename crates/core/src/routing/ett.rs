@@ -18,6 +18,7 @@
 
 use mesh11_phy::{airtime::frame_time_us, BitRate, Phy};
 use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
+use rayon::prelude::*;
 
 use crate::routing::etx::MIN_DELIVERY;
 use crate::routing::shortest::PathTable;
@@ -140,17 +141,23 @@ pub fn analyze_ett(view: DatasetView<'_>, phy: Phy, min_aps: usize) -> Vec<EttAn
 }
 
 /// [`analyze_ett`] over a whole or chunked source: one entry per network in
-/// id order, identical either way.
+/// id order, identical either way. Networks are analyzed in parallel; the
+/// order-preserving collect keeps the id-ordered output.
 pub fn analyze_ett_from(src: &ProbeSource<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
     let mut out = Vec::new();
     src.for_each_view(|view| {
-        for meta in view.networks_with_at_least(min_aps) {
-            if !meta.radios.contains(&phy) {
-                continue;
-            }
-            let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
-            out.push(EttAnalysis::compute(&matrices));
-        }
+        let metas: Vec<_> = view
+            .networks_with_at_least(min_aps)
+            .filter(|meta| meta.radios.contains(&phy))
+            .collect();
+        let analyses: Vec<EttAnalysis> = metas
+            .par_iter()
+            .map(|meta| {
+                let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
+                EttAnalysis::compute(&matrices)
+            })
+            .collect();
+        out.extend(analyses);
     });
     out
 }

@@ -8,6 +8,7 @@
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
 use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
+use rayon::prelude::*;
 
 use crate::routing::etx::EtxVariant;
 use crate::routing::exor::ExorTable;
@@ -121,7 +122,9 @@ pub fn analyze_dataset(
 }
 
 /// [`analyze_dataset`] over a whole or chunked source: one entry per
-/// (network, rate) in network-id order, identical either way.
+/// (network, rate) in network-id order, identical either way. Networks
+/// are analyzed in parallel; the order-preserving collect plus in-order
+/// flatten keeps the (network, rate) output order.
 pub fn analyze_dataset_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -129,16 +132,22 @@ pub fn analyze_dataset_from(
 ) -> Vec<OpportunisticAnalysis> {
     let mut out = Vec::new();
     src.for_each_view(|view| {
-        for meta in view.networks_with_at_least(min_aps) {
-            if !meta.radios.contains(&phy) {
-                continue;
-            }
-            // One pass over this network's indexed probes for all rates at
-            // once.
-            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-                out.push(OpportunisticAnalysis::compute(&m));
-            }
-        }
+        let metas: Vec<_> = view
+            .networks_with_at_least(min_aps)
+            .filter(|meta| meta.radios.contains(&phy))
+            .collect();
+        let per_net: Vec<Vec<OpportunisticAnalysis>> = metas
+            .par_iter()
+            .map(|meta| {
+                // One pass over this network's indexed probes for all rates
+                // at once.
+                view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                    .iter()
+                    .map(OpportunisticAnalysis::compute)
+                    .collect()
+            })
+            .collect();
+        out.extend(per_net.into_iter().flatten());
     });
     out
 }

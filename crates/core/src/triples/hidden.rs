@@ -6,6 +6,7 @@
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_trace::{DatasetView, EnvLabel, NetworkId, ProbeSource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -83,19 +84,31 @@ impl TripleAnalysis {
 
     /// [`TripleAnalysis::run`] over a whole or chunked source: the per-
     /// network map keys are disjoint across windows, so the merged map is
-    /// identical either way.
+    /// identical either way. Networks are counted in parallel; the keys
+    /// are disjoint across networks too, and the `BTreeMap` orders itself,
+    /// so the merged map is insertion-order independent.
     pub fn run_from(src: &ProbeSource<'_>, phy: Phy, threshold: f64, rule: HearRule) -> Self {
         let mut per_network = BTreeMap::new();
         src.for_each_view(|view| {
-            for meta in view.networks() {
-                if !meta.radios.contains(&phy) || meta.n_aps < 3 {
-                    continue;
-                }
-                for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-                    let g = HearingGraph::build(&m, threshold, rule);
-                    per_network.insert((meta.id, m.rate), (meta.env, count_triples(&g)));
-                }
-            }
+            let metas: Vec<_> = view
+                .networks()
+                .iter()
+                .filter(|meta| meta.radios.contains(&phy) && meta.n_aps >= 3)
+                .collect();
+            type Row = ((NetworkId, BitRate), (EnvLabel, TripleCounts));
+            let partials: Vec<Vec<Row>> = metas
+                .par_iter()
+                .map(|meta| {
+                    view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                        .iter()
+                        .map(|m| {
+                            let g = HearingGraph::build(m, threshold, rule);
+                            ((meta.id, m.rate), (meta.env, count_triples(&g)))
+                        })
+                        .collect()
+                })
+                .collect();
+            per_network.extend(partials.into_iter().flatten());
         });
         Self {
             threshold,

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_trace::{Dataset, DatasetView, EnvLabel, NetworkId, ProbeSource};
+use rayon::prelude::*;
 
 use crate::triples::hearing::{HearRule, HearingGraph};
 
@@ -23,7 +24,9 @@ pub fn range_by_rate(
 }
 
 /// [`range_by_rate`] over a whole or chunked source: per-(network, rate)
-/// keys are disjoint across windows.
+/// keys are disjoint across windows. Networks are measured in parallel;
+/// the keys are disjoint across networks too, so the self-ordering map is
+/// insertion-order independent.
 pub fn range_by_rate_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -32,15 +35,24 @@ pub fn range_by_rate_from(
 ) -> BTreeMap<(NetworkId, BitRate), usize> {
     let mut out = BTreeMap::new();
     src.for_each_view(|view| {
-        for meta in view.networks() {
-            if !meta.radios.contains(&phy) || meta.n_aps < 2 {
-                continue;
-            }
-            for m in view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps) {
-                let g = HearingGraph::build(&m, threshold, rule);
-                out.insert((meta.id, m.rate), g.edge_count());
-            }
-        }
+        let metas: Vec<_> = view
+            .networks()
+            .iter()
+            .filter(|meta| meta.radios.contains(&phy) && meta.n_aps >= 2)
+            .collect();
+        let partials: Vec<Vec<((NetworkId, BitRate), usize)>> = metas
+            .par_iter()
+            .map(|meta| {
+                view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                    .iter()
+                    .map(|m| {
+                        let g = HearingGraph::build(m, threshold, rule);
+                        ((meta.id, m.rate), g.edge_count())
+                    })
+                    .collect()
+            })
+            .collect();
+        out.extend(partials.into_iter().flatten());
     });
     out
 }

@@ -6,6 +6,7 @@
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_trace::{DatasetView, ProbeSource};
+use rayon::prelude::*;
 
 use crate::triples::hearing::HearRule;
 use crate::triples::hidden::TripleAnalysis;
@@ -21,7 +22,9 @@ pub fn threshold_sweep(
     threshold_sweep_from(&ProbeSource::Whole(view), phy, rate, thresholds, rule)
 }
 
-/// [`threshold_sweep`] over a whole or chunked source.
+/// [`threshold_sweep`] over a whole or chunked source. Thresholds run in
+/// parallel — each is an independent full analysis, and concurrent walks
+/// share decoded windows through the chunk store's memo.
 pub fn threshold_sweep_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -30,7 +33,7 @@ pub fn threshold_sweep_from(
     rule: HearRule,
 ) -> Vec<(f64, Option<f64>)> {
     thresholds
-        .iter()
+        .par_iter()
         .map(|&t| {
             let analysis = TripleAnalysis::run_from(src, phy, t, rule);
             (t, analysis.median_fraction(rate, None))

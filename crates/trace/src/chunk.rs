@@ -25,12 +25,32 @@
 //! order. [`ProbeSource::for_each_view`] walks the windows in order, which
 //! is why the chunked analysis path is byte-identical to the in-memory one
 //! (pinned by the `chunked_equivalence` integration test).
+//!
+//! ## Concurrency
+//!
+//! The store is built for many readers: each chunk sits in its own slot
+//! behind a per-slot mutex, so N threads decode N *distinct* chunks
+//! simultaneously; two threads racing for the *same* chunk serialize on
+//! that slot and the second one gets the first one's decode (a per-chunk
+//! decode memo). [`ChunkStore::chunk`] returns a pinned [`ChunkHandle`];
+//! eviction only ever considers chunks with no live handles, so a reader
+//! can never have its working set pulled out from under it — the store
+//! runs transiently over budget instead. The same protocol governs
+//! materialized windows: [`ChunkedDataset::window`] memoizes the
+//! `Dataset + DatasetIndex` of each window in an LRU cache sized to the
+//! effective thread count, so parallel figure builders walking the windows
+//! in the same order drain one resident window together instead of each
+//! re-decoding it (chunk-major scheduling).
+//!
+//! Lock order is strictly `window slot → chunk slot → spill file`; LRU
+//! victim scans use `try_lock` only, so the hierarchy is deadlock-free.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::ops::Deref;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use bytes::{Buf, BufMut};
 use mesh11_phy::Phy;
@@ -56,6 +76,11 @@ pub struct ChunkConfig {
     /// Target probes per analysis window (a window always holds at least
     /// one whole network, so a single huge network may exceed it).
     pub window_probes: usize,
+    /// Raise `resident_chunks` to `effective threads + 1` at store build
+    /// time, so parallel readers stop evicting each other's working set.
+    /// Off in [`ChunkConfig::tiny`] so spill-forcing tests keep spilling
+    /// at any thread count.
+    pub scale_budget_with_threads: bool,
 }
 
 impl Default for ChunkConfig {
@@ -65,6 +90,7 @@ impl Default for ChunkConfig {
             resident_chunks: 8,
             spill_dir: None,
             window_probes: 262_144,
+            scale_budget_with_threads: true,
         }
     }
 }
@@ -78,13 +104,24 @@ impl ChunkConfig {
             resident_chunks: 2,
             spill_dir: None,
             window_probes: 2_048,
+            scale_budget_with_threads: false,
+        }
+    }
+
+    /// The chunk budget this configuration yields at the current effective
+    /// thread count (see [`ChunkConfig::scale_budget_with_threads`]).
+    pub fn effective_resident_chunks(&self) -> usize {
+        if self.scale_budget_with_threads {
+            self.resident_chunks.max(rayon::current_num_threads() + 1)
+        } else {
+            self.resident_chunks
         }
     }
 }
 
 /// One fixed-capacity structure-of-arrays batch of probe sets, in stream
 /// (dataset) order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProbeChunk {
     networks: Vec<u32>,
     phys: Vec<u8>,
@@ -98,6 +135,15 @@ pub struct ProbeChunk {
     obs_snr: Vec<f64>,
 }
 
+/// An empty chunk. Not derived: the `obs_off` prefix table must start
+/// with its leading 0 even on an empty chunk, or `push`/`encode` build a
+/// table one entry short.
+impl Default for ProbeChunk {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
 impl ProbeChunk {
     fn with_capacity(n: usize) -> Self {
         let mut c = Self {
@@ -107,7 +153,9 @@ impl ProbeChunk {
             senders: Vec::with_capacity(n),
             receivers: Vec::with_capacity(n),
             obs_off: Vec::with_capacity(n + 1),
-            ..Self::default()
+            obs_rate_idx: Vec::new(),
+            obs_loss: Vec::new(),
+            obs_snr: Vec::new(),
         };
         c.obs_off.push(0);
         c
@@ -160,6 +208,16 @@ impl ProbeChunk {
             receiver: ApId(self.receivers[i]),
             obs,
         }
+    }
+
+    /// Approximate heap footprint of the decoded columns, for pinned-byte
+    /// accounting.
+    pub fn mem_bytes(&self) -> u64 {
+        let n = self.len() as u64;
+        let m = self.obs_rate_idx.len() as u64;
+        // networks/senders/receivers u32, phys u8, time f64, obs_off u32,
+        // obs_rate_idx u8, obs_loss/obs_snr f64.
+        n * (4 + 4 + 4 + 1 + 8) + (n + 1) * 4 + m * (1 + 8 + 8)
     }
 
     /// Encodes the chunk into `buf` (columnar, little-endian).
@@ -243,26 +301,102 @@ impl ProbeChunk {
     }
 }
 
-/// One chunk slot: resident, on disk, or both.
+/// The mutable part of one chunk slot, behind the slot's own mutex.
 #[derive(Debug, Default)]
-struct Slot {
+struct SlotState {
     chunk: Option<Arc<ProbeChunk>>,
     /// `(offset, len)` of the encoded chunk in the spill file.
     disk: Option<(u64, u64)>,
-    /// LRU tick of the last access.
-    last_use: u64,
 }
 
+/// One chunk slot: resident, on disk, or both. Each slot has its own lock
+/// so readers of distinct chunks never serialize on each other.
 #[derive(Debug, Default)]
-struct StoreInner {
-    slots: Vec<Slot>,
-    clock: u64,
-    resident: usize,
+struct Slot {
+    state: Mutex<SlotState>,
+    /// LRU tick of the last access (monotone store clock).
+    last_use: AtomicU64,
+}
+
+/// The single spill file, shared by all slots; held only while actually
+/// reading or appending encoded bytes.
+#[derive(Debug, Default)]
+struct SpillFile {
     file: Option<std::fs::File>,
-    spill_path: Option<PathBuf>,
+    path: Option<PathBuf>,
     end_offset: u64,
-    spilled_bytes: u64,
     scratch: Vec<u8>,
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        self.file = None;
+        if let Some(p) = &self.path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Monotone observability counters (all `Relaxed`; they order nothing).
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    decodes: AtomicU64,
+    evictions: AtomicU64,
+    pinned_bytes: AtomicU64,
+    peak_pinned_bytes: AtomicU64,
+    window_hits: AtomicU64,
+    window_builds: AtomicU64,
+}
+
+impl Counters {
+    /// Adds `bytes` to the live pinned total and folds it into the peak.
+    fn pin(&self, bytes: u64) {
+        let now = self.pinned_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_pinned_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the store's observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkStoreStats {
+    /// `chunk()` calls served from a resident chunk.
+    pub chunk_hits: u64,
+    /// `chunk()` calls that had to decode from the spill file (misses).
+    pub chunk_decodes: u64,
+    /// Chunks evicted from the resident set.
+    pub chunk_evictions: u64,
+    /// High-water mark of bytes held live by [`ChunkHandle`]s.
+    pub peak_pinned_bytes: u64,
+    /// Window requests served from the materialized-window cache.
+    pub window_hits: u64,
+    /// Windows materialized (chunk-span decode + index build).
+    pub window_builds: u64,
+}
+
+/// A pinned, decoded chunk. Dereferences to [`ProbeChunk`]; while any
+/// handle to a chunk is live the store will not evict it (it runs
+/// transiently over budget instead).
+#[derive(Debug)]
+pub struct ChunkHandle {
+    chunk: Arc<ProbeChunk>,
+    bytes: u64,
+    counters: Arc<Counters>,
+}
+
+impl Deref for ChunkHandle {
+    type Target = ProbeChunk;
+    fn deref(&self) -> &ProbeChunk {
+        &self.chunk
+    }
+}
+
+impl Drop for ChunkHandle {
+    fn drop(&mut self) {
+        self.counters
+            .pinned_bytes
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+    }
 }
 
 /// Distinguishes concurrently running stores' spill files.
@@ -272,40 +406,68 @@ static SPILL_SERIAL: AtomicU64 = AtomicU64::new(0);
 /// single on-disk file.
 ///
 /// Writes happen at most once per chunk (eviction of a never-spilled
-/// chunk); reads decode on demand. All state sits behind one mutex — the
-/// analysis path materializes windows serially per kernel, so contention is
-/// not the bottleneck, boundedness is.
+/// chunk). The resident map is striped one lock per slot: N readers
+/// decode N distinct chunks concurrently, while two readers of the same
+/// chunk serialize on its slot and share one decode. Eviction scans with
+/// `try_lock` and only considers chunks with no live [`ChunkHandle`]s
+/// (`Arc` count 1 — new pins are only minted under the slot lock, so the
+/// check cannot race against a pin being created).
 #[derive(Debug)]
 pub struct ChunkStore {
     budget: usize,
     spill_dir: Option<PathBuf>,
-    inner: Mutex<StoreInner>,
+    slots: RwLock<Vec<Arc<Slot>>>,
+    file: Mutex<SpillFile>,
+    clock: AtomicU64,
+    resident: AtomicUsize,
+    spilled_bytes: AtomicU64,
+    counters: Arc<Counters>,
 }
 
 impl ChunkStore {
-    /// An empty store keeping at most `resident_chunks` chunks in memory.
+    /// An empty store keeping at most `resident_chunks` chunks in memory
+    /// (floor 2: one being filled, one being read).
     pub fn new(resident_chunks: usize, spill_dir: Option<PathBuf>) -> Self {
         Self {
             budget: resident_chunks.max(2),
             spill_dir,
-            inner: Mutex::new(StoreInner::default()),
+            slots: RwLock::new(Vec::new()),
+            file: Mutex::new(SpillFile::default()),
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            counters: Arc::new(Counters::default()),
         }
+    }
+
+    /// The slot at `id` (clone of the `Arc`, so no table lock is held
+    /// while the slot's own lock is taken).
+    fn slot(&self, id: usize) -> Arc<Slot> {
+        Arc::clone(&self.slots.read().expect("slot table poisoned")[id])
+    }
+
+    /// Next LRU tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Seals a finished chunk into the store, evicting older chunks past
     /// the resident budget. Returns the chunk's index.
     pub fn insert(&self, chunk: ProbeChunk) -> io::Result<usize> {
-        let mut g = self.inner.lock().expect("chunk store poisoned");
-        let id = g.slots.len();
-        g.clock += 1;
-        let tick = g.clock;
-        g.slots.push(Slot {
-            chunk: Some(Arc::new(chunk)),
-            disk: None,
-            last_use: tick,
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                chunk: Some(Arc::new(chunk)),
+                disk: None,
+            }),
+            last_use: AtomicU64::new(self.tick()),
         });
-        g.resident += 1;
-        self.evict_past_budget(&mut g)?;
+        let id = {
+            let mut table = self.slots.write().expect("slot table poisoned");
+            table.push(slot);
+            table.len() - 1
+        };
+        self.resident.fetch_add(1, Ordering::Relaxed);
+        self.evict_past_budget()?;
         Ok(id)
     }
 
@@ -314,113 +476,171 @@ impl ChunkStore {
     /// # Panics
     /// On spill-file I/O errors: the file is process-local scratch, so a
     /// read failure means the environment lost it out from under us.
-    pub fn chunk(&self, id: usize) -> Arc<ProbeChunk> {
+    pub fn chunk(&self, id: usize) -> ChunkHandle {
         self.try_chunk(id)
             .expect("chunk spill file unreadable (scratch file lost mid-run?)")
     }
 
     /// As [`ChunkStore::chunk`], surfacing I/O errors.
-    pub fn try_chunk(&self, id: usize) -> io::Result<Arc<ProbeChunk>> {
-        let mut g = self.inner.lock().expect("chunk store poisoned");
-        g.clock += 1;
-        let tick = g.clock;
-        if let Some(c) = &g.slots[id].chunk {
-            let c = Arc::clone(c);
-            g.slots[id].last_use = tick;
-            return Ok(c);
+    pub fn try_chunk(&self, id: usize) -> io::Result<ChunkHandle> {
+        let slot = self.slot(id);
+        slot.last_use.store(self.tick(), Ordering::Relaxed);
+        let mut st = slot.state.lock().expect("chunk slot poisoned");
+        if let Some(c) = &st.chunk {
+            let handle = self.pin(Arc::clone(c));
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(handle);
         }
-        let (off, len) = g.slots[id]
-            .disk
-            .expect("chunk neither resident nor spilled");
-        let file = g.file.as_mut().expect("spilled chunk without a spill file");
-        file.seek(SeekFrom::Start(off))?;
-        let mut raw = vec![0u8; len as usize];
-        file.read_exact(&mut raw)?;
+        // Miss: read the encoded bytes (slot → file lock order), then
+        // decode while still holding the slot lock — a second reader of
+        // the same chunk blocks here and then takes the hit path above,
+        // so each spilled chunk is decoded once per residency.
+        let (off, len) = st.disk.expect("chunk neither resident nor spilled");
+        let raw = {
+            let mut f = self.file.lock().expect("spill file poisoned");
+            let file = f.file.as_mut().expect("spilled chunk without a spill file");
+            file.seek(SeekFrom::Start(off))?;
+            let mut raw = vec![0u8; len as usize];
+            file.read_exact(&mut raw)?;
+            raw
+        };
         let chunk = Arc::new(ProbeChunk::decode(&raw)?);
-        g.slots[id].chunk = Some(Arc::clone(&chunk));
-        g.slots[id].last_use = tick;
-        g.resident += 1;
-        self.evict_past_budget(&mut g)?;
-        Ok(chunk)
+        st.chunk = Some(Arc::clone(&chunk));
+        let handle = self.pin(chunk);
+        self.counters.decodes.fetch_add(1, Ordering::Relaxed);
+        self.resident.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.evict_past_budget()?;
+        Ok(handle)
     }
 
-    /// Evicts least-recently-used resident chunks until within budget,
-    /// spilling any that have never been written.
-    fn evict_past_budget(&self, g: &mut StoreInner) -> io::Result<()> {
-        while g.resident > self.budget {
-            let victim = g
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.chunk.is_some())
-                .min_by_key(|(_, s)| s.last_use)
-                .map(|(i, _)| i)
-                .expect("resident count implies a resident chunk");
-            if g.slots[victim].disk.is_none() {
-                if g.file.is_none() {
-                    let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
-                    std::fs::create_dir_all(&dir)?;
-                    let path = dir.join(format!(
-                        "mesh11-chunks-{}-{}.spill",
-                        std::process::id(),
-                        SPILL_SERIAL.fetch_add(1, Ordering::Relaxed)
-                    ));
-                    g.file = Some(
-                        std::fs::OpenOptions::new()
-                            .create_new(true)
-                            .read(true)
-                            .write(true)
-                            .open(&path)?,
-                    );
-                    g.spill_path = Some(path);
+    /// Wraps a resident chunk's `Arc` in a pinned handle. Must be called
+    /// with the chunk's slot lock held (all pin mints happen under it).
+    fn pin(&self, chunk: Arc<ProbeChunk>) -> ChunkHandle {
+        let bytes = chunk.mem_bytes();
+        self.counters.pin(bytes);
+        ChunkHandle {
+            chunk,
+            bytes,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Evicts least-recently-used *unpinned* resident chunks until within
+    /// budget, spilling any that have never been written. If every
+    /// resident chunk is pinned (or its slot is contended), the store
+    /// stays transiently over budget — correctness over strictness.
+    pub fn evict_past_budget(&self) -> io::Result<()> {
+        while self.resident.load(Ordering::Relaxed) > self.budget {
+            let slots: Vec<Arc<Slot>> = self.slots.read().expect("slot table poisoned").clone();
+            let mut victim: Option<(u64, usize)> = None;
+            for (i, slot) in slots.iter().enumerate() {
+                let Ok(st) = slot.state.try_lock() else {
+                    continue;
+                };
+                if let Some(c) = &st.chunk {
+                    // `Arc` count 1 = only the store's reference: no live
+                    // handles. Pins are minted under this lock, so the
+                    // observation holds until we release it.
+                    if Arc::strong_count(c) == 1 {
+                        let lu = slot.last_use.load(Ordering::Relaxed);
+                        if victim.is_none_or(|(best, _)| lu < best) {
+                            victim = Some((lu, i));
+                        }
+                    }
                 }
-                let mut scratch = std::mem::take(&mut g.scratch);
-                scratch.clear();
-                g.slots[victim]
-                    .chunk
-                    .as_ref()
-                    .expect("victim is resident")
-                    .encode(&mut scratch);
-                let off = g.end_offset;
-                let file = g.file.as_mut().expect("opened above");
-                file.seek(SeekFrom::Start(off))?;
-                file.write_all(&scratch)?;
-                g.end_offset += scratch.len() as u64;
-                g.spilled_bytes += scratch.len() as u64;
-                g.slots[victim].disk = Some((off, scratch.len() as u64));
-                g.scratch = scratch;
             }
-            g.slots[victim].chunk = None;
-            g.resident -= 1;
+            let Some((lu, vi)) = victim else {
+                return Ok(()); // everything pinned or contended
+            };
+            let slot = &slots[vi];
+            let mut st = slot.state.lock().expect("chunk slot poisoned");
+            // Revalidate: the chunk may have been pinned or touched
+            // between the scan and this lock.
+            let still_evictable = st.chunk.as_ref().is_some_and(|c| Arc::strong_count(c) == 1)
+                && slot.last_use.load(Ordering::Relaxed) == lu;
+            if !still_evictable {
+                continue;
+            }
+            if st.disk.is_none() {
+                let encoded = {
+                    let mut f = self.file.lock().expect("spill file poisoned");
+                    if f.file.is_none() {
+                        let dir = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+                        std::fs::create_dir_all(&dir)?;
+                        let path = dir.join(format!(
+                            "mesh11-chunks-{}-{}.spill",
+                            std::process::id(),
+                            SPILL_SERIAL.fetch_add(1, Ordering::Relaxed)
+                        ));
+                        f.file = Some(
+                            std::fs::OpenOptions::new()
+                                .create_new(true)
+                                .read(true)
+                                .write(true)
+                                .open(&path)?,
+                        );
+                        f.path = Some(path);
+                    }
+                    let mut scratch = std::mem::take(&mut f.scratch);
+                    scratch.clear();
+                    st.chunk
+                        .as_ref()
+                        .expect("victim is resident")
+                        .encode(&mut scratch);
+                    let off = f.end_offset;
+                    let file = f.file.as_mut().expect("opened above");
+                    file.seek(SeekFrom::Start(off))?;
+                    file.write_all(&scratch)?;
+                    f.end_offset += scratch.len() as u64;
+                    let len = scratch.len() as u64;
+                    f.scratch = scratch;
+                    (off, len)
+                };
+                self.spilled_bytes.fetch_add(encoded.1, Ordering::Relaxed);
+                st.disk = Some(encoded);
+            }
+            st.chunk = None;
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
 
     /// Number of chunks in the store (resident or spilled).
     pub fn n_chunks(&self) -> usize {
-        self.inner.lock().expect("chunk store poisoned").slots.len()
+        self.slots.read().expect("slot table poisoned").len()
     }
 
     /// Number of chunks currently resident.
     pub fn resident_chunks(&self) -> usize {
-        self.inner.lock().expect("chunk store poisoned").resident
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Whether the chunk at `id` is currently resident (tests).
+    pub fn is_resident(&self, id: usize) -> bool {
+        let slot = self.slot(id);
+        let st = slot.state.lock().expect("chunk slot poisoned");
+        st.chunk.is_some()
     }
 
     /// Total bytes ever written to the spill file (0 when everything fit
     /// in the resident budget — the in-memory fast path).
     pub fn spilled_bytes(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("chunk store poisoned")
-            .spilled_bytes
+        self.spilled_bytes.load(Ordering::Relaxed)
     }
-}
 
-impl Drop for StoreInner {
-    fn drop(&mut self) {
-        self.file = None;
-        if let Some(p) = &self.spill_path {
-            let _ = std::fs::remove_file(p);
+    /// A snapshot of the observability counters (window counters are
+    /// folded in by [`ChunkedDataset::stats`]).
+    pub fn stats(&self) -> ChunkStoreStats {
+        let c = &self.counters;
+        ChunkStoreStats {
+            chunk_hits: c.hits.load(Ordering::Relaxed),
+            chunk_decodes: c.decodes.load(Ordering::Relaxed),
+            chunk_evictions: c.evictions.load(Ordering::Relaxed),
+            peak_pinned_bytes: c.peak_pinned_bytes.load(Ordering::Relaxed),
+            window_hits: c.window_hits.load(Ordering::Relaxed),
+            window_builds: c.window_builds.load(Ordering::Relaxed),
         }
     }
 }
@@ -437,9 +657,10 @@ pub struct ChunkedDatasetBuilder {
 }
 
 impl ChunkedDatasetBuilder {
-    /// An empty builder.
+    /// An empty builder. The store's resident budget is fixed here, from
+    /// the configuration and (when enabled) the effective thread count.
     pub fn new(cfg: ChunkConfig) -> Self {
-        let store = ChunkStore::new(cfg.resident_chunks, cfg.spill_dir.clone());
+        let store = ChunkStore::new(cfg.effective_resident_chunks(), cfg.spill_dir.clone());
         let current = ProbeChunk::with_capacity(cfg.chunk_capacity);
         Self {
             cfg,
@@ -502,15 +723,84 @@ impl ChunkedDatasetBuilder {
             self.store.insert(last)?;
         }
         let n_probes = self.stitcher.n_probes();
+        let windows = compute_windows(&self.net_probe_off, self.cfg.window_probes.max(1));
+        let wcache = WindowCache::new(windows.len());
         Ok(ChunkedDataset {
             shell: self.shell,
             n_probes,
             chunk_capacity: self.cfg.chunk_capacity,
-            window_probes: self.cfg.window_probes.max(1),
             net_probe_off: self.net_probe_off,
             store: self.store,
             stitched: self.stitcher.finish(),
+            windows,
+            wcache,
         })
+    }
+}
+
+/// Splits the network sequence into consecutive runs of ≈`window_probes`
+/// probes each (always at least one whole network per window).
+fn compute_windows(net_probe_off: &[u64], window_probes: usize) -> Vec<std::ops::Range<usize>> {
+    let n = net_probe_off.len() - 1;
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (net_probe_off[end + 1] - net_probe_off[start]) <= window_probes as u64 {
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// One materialized analysis window: a mini dataset of consecutive
+/// networks plus its index. Handed out as `Arc` pins from the window
+/// cache; holding one keeps it from being dropped by eviction.
+pub struct WindowData {
+    ds: Dataset,
+    ix: DatasetIndex,
+}
+
+impl WindowData {
+    /// The window's indexed view.
+    pub fn view(&self) -> DatasetView<'_> {
+        DatasetView::new(&self.ds, &self.ix)
+    }
+
+    /// The window's mini dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+}
+
+/// The per-window decode memo: each slot caches its window's materialized
+/// `Dataset + DatasetIndex` under its own lock (two threads racing for
+/// the same window serialize on the slot; the second gets the first's
+/// build). LRU eviction skips pinned windows (`Arc` count > 1).
+struct WindowCache {
+    slots: Vec<(Mutex<Option<Arc<WindowData>>>, AtomicU64)>,
+    budget: usize,
+    clock: AtomicU64,
+    resident: AtomicUsize,
+}
+
+impl WindowCache {
+    /// One slot per window; budget scales with effective threads (capped
+    /// so windows — the big objects — cannot blow up peak RSS) and is 1
+    /// in a single-threaded run, matching the old transient-window
+    /// footprint.
+    fn new(n_windows: usize) -> Self {
+        let budget = rayon::current_num_threads().clamp(1, 4);
+        Self {
+            slots: (0..n_windows)
+                .map(|_| (Mutex::new(None), AtomicU64::new(0)))
+                .collect(),
+            budget,
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+        }
     }
 }
 
@@ -521,12 +811,15 @@ pub struct ChunkedDataset {
     shell: Dataset,
     n_probes: u64,
     chunk_capacity: usize,
-    window_probes: usize,
     /// Per-network prefix offsets into the global probe stream; length
     /// `networks + 1`.
     net_probe_off: Vec<u64>,
     store: ChunkStore,
     stitched: StitchedIndex,
+    /// The analysis windows (consecutive-network ranges), fixed at build.
+    windows: Vec<std::ops::Range<usize>>,
+    /// Memo of materialized windows, shared by all kernels.
+    wcache: WindowCache,
 }
 
 impl ChunkedDataset {
@@ -603,21 +896,97 @@ impl ChunkedDataset {
     /// [`ChunkedDataset::networks`]) sized to ≈`window_probes` probes each.
     /// Every network appears in exactly one window.
     pub fn windows(&self) -> Vec<std::ops::Range<usize>> {
-        let n = self.shell.networks.len();
-        let mut out = Vec::new();
-        let mut start = 0;
-        while start < n {
-            let mut end = start + 1;
-            while end < n
-                && (self.net_probe_off[end + 1] - self.net_probe_off[start])
-                    <= self.window_probes as u64
-            {
-                end += 1;
-            }
-            out.push(start..end);
-            start = end;
+        self.windows.clone()
+    }
+
+    /// Number of analysis windows.
+    pub fn n_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The materialized window `w`, from the shared decode memo: built at
+    /// most once per residency, pinned while the returned `Arc` is live.
+    /// All kernels walk windows in index order, so concurrent figure
+    /// builders drain the same resident windows together instead of each
+    /// re-decoding the chunk sequence (chunk-major scheduling).
+    pub fn window(&self, w: usize) -> Arc<WindowData> {
+        let (slot, last_use) = &self.wcache.slots[w];
+        last_use.store(
+            self.wcache.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let mut g = slot.lock().expect("window slot poisoned");
+        if let Some(d) = &*g {
+            let d = Arc::clone(d);
+            drop(g);
+            self.store
+                .counters
+                .window_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return d;
         }
-        out
+        // Make room *before* materializing: windows are the big objects,
+        // and building the new one while the outgoing one is still cached
+        // would double the peak (the old single-thread path never held
+        // two at once). Our own slot stays locked, so the scan skips it.
+        self.evict_windows_to(self.wcache.budget.saturating_sub(1));
+        let ds = self.window_dataset(self.windows[w].clone());
+        let ix = DatasetIndex::build(&ds);
+        let d = Arc::new(WindowData { ds, ix });
+        *g = Some(Arc::clone(&d));
+        drop(g);
+        self.store
+            .counters
+            .window_builds
+            .fetch_add(1, Ordering::Relaxed);
+        self.wcache.resident.fetch_add(1, Ordering::Relaxed);
+        // Concurrent builders can each reserve headroom and overshoot
+        // together; sweep back down to the budget.
+        self.evict_windows_to(self.wcache.budget);
+        d
+    }
+
+    /// Drops least-recently-used unpinned cached windows until at most
+    /// `target` remain resident. Pinned windows (live `Arc`s outside the
+    /// cache) are never dropped; new pins are only minted under the slot
+    /// lock, so the `Arc`-count check cannot race a pin into eviction.
+    fn evict_windows_to(&self, target: usize) {
+        while self.wcache.resident.load(Ordering::Relaxed) > target {
+            let mut victim: Option<(u64, usize)> = None;
+            for (i, (slot, last_use)) in self.wcache.slots.iter().enumerate() {
+                let Ok(g) = slot.try_lock() else {
+                    continue;
+                };
+                if let Some(d) = &*g {
+                    if Arc::strong_count(d) == 1 {
+                        let lu = last_use.load(Ordering::Relaxed);
+                        if victim.is_none_or(|(best, _)| lu < best) {
+                            victim = Some((lu, i));
+                        }
+                    }
+                }
+            }
+            let Some((lu, vi)) = victim else {
+                return; // everything pinned or contended
+            };
+            let (slot, last_use) = &self.wcache.slots[vi];
+            let Ok(mut g) = slot.try_lock() else {
+                continue;
+            };
+            let still_evictable = g.as_ref().is_some_and(|d| Arc::strong_count(d) == 1)
+                && last_use.load(Ordering::Relaxed) == lu;
+            if !still_evictable {
+                continue;
+            }
+            *g = None;
+            self.wcache.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observability counters: chunk-level from the store, window-level
+    /// from the decode memo.
+    pub fn stats(&self) -> ChunkStoreStats {
+        self.store.stats()
     }
 
     /// Materializes one window of consecutive networks as a mini dataset:
@@ -691,15 +1060,16 @@ impl<'a> ProbeSource<'a> {
     }
 
     /// Runs `f` over the source's views in stream order: once with the
-    /// whole view, or once per window.
+    /// whole view, or once per window. Chunked windows come from the
+    /// shared decode memo, so concurrent kernels walking the same source
+    /// share one materialization per window.
     pub fn for_each_view<F: for<'b> FnMut(DatasetView<'b>)>(&self, mut f: F) {
         match self {
             ProbeSource::Whole(v) => f(*v),
             ProbeSource::Chunked(c) => {
-                for w in c.windows() {
-                    let ds = c.window_dataset(w);
-                    let ix = DatasetIndex::build(&ds);
-                    f(DatasetView::new(&ds, &ix));
+                for w in 0..c.n_windows() {
+                    let win = c.window(w);
+                    f(win.view());
                 }
             }
         }
@@ -723,9 +1093,15 @@ impl<'a> ProbeSource<'a> {
                     .iter()
                     .position(|m| m.id == network)
                     .expect("delivery matrix of an absorbed network");
-                let ds = c.window_dataset(k..k + 1);
-                let ix = DatasetIndex::build(&ds);
-                DatasetView::new(&ds, &ix).delivery_matrix(phy, network, rate, n_aps)
+                // The window containing network `k`: windows are the
+                // consecutive partition of 0..n, so binary search on end.
+                let w = c.windows.partition_point(|r| r.end <= k);
+                // Per-network matrices read only the network's own index
+                // group, so the containing window yields the same bytes
+                // as a single-network mini dataset.
+                c.window(w)
+                    .view()
+                    .delivery_matrix(phy, network, rate, n_aps)
             }
         }
     }
@@ -801,9 +1177,8 @@ mod tests {
     fn tiny_cfg() -> ChunkConfig {
         ChunkConfig {
             chunk_capacity: 16,
-            resident_chunks: 2,
-            spill_dir: None,
             window_probes: 50,
+            ..ChunkConfig::tiny()
         }
     }
 
@@ -929,6 +1304,91 @@ mod tests {
                 chunked.delivery_matrix(Phy::Bg, m.id, rate, m.n_aps),
             );
         }
+    }
+
+    /// A store of `n` single-probe chunks with the given budget.
+    fn store_with_chunks(n: usize, budget: usize) -> ChunkStore {
+        let store = ChunkStore::new(budget, None);
+        for i in 0..n {
+            let mut c = ProbeChunk::with_capacity(1);
+            c.push(&probe(i as u32, 0, 1, 300.0 * (i + 1) as f64, 0.1));
+            store.insert(c).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn pinned_chunks_are_never_evicted() {
+        let store = store_with_chunks(6, 2);
+        let pinned = store.chunk(0); // reload + pin chunk 0
+        assert!(store.is_resident(0));
+        // Fault in every other chunk; the budget (2) forces evictions,
+        // but never of the pinned chunk.
+        for id in 1..6 {
+            let h = store.chunk(id);
+            assert_eq!(h.get(0).network, NetworkId(id as u32));
+            assert!(store.is_resident(0), "pinned chunk evicted at id {id}");
+        }
+        assert!(store.resident_chunks() >= 2);
+        assert_eq!(pinned.get(0).network, NetworkId(0));
+        drop(pinned);
+        // Unpinned now: one more fault can evict it.
+        let _h = store.chunk(5);
+        let _h2 = store.chunk(4);
+        let _h3 = store.chunk(3);
+        assert!(!store.is_resident(0), "LRU victim once unpinned");
+    }
+
+    #[test]
+    fn concurrent_readers_round_trip_distinct_chunks() {
+        let store = store_with_chunks(8, 2);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let store = &store;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let id = (t * 3 + round * 7) % 8;
+                        let h = store.chunk(id);
+                        assert_eq!(h.get(0).network, NetworkId(id as u32));
+                    }
+                });
+            }
+        });
+        let s = store.stats();
+        assert!(s.chunk_decodes > 0, "budget 2 over 8 chunks must fault");
+        assert!(s.peak_pinned_bytes > 0);
+        assert_eq!(store.counters.pinned_bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn window_memo_counts_builds_and_hits() {
+        let ds = big_dataset();
+        let chunked = ChunkedDataset::from_dataset(&ds, tiny_cfg()).unwrap();
+        let n = chunked.n_windows();
+        assert!(n > 1);
+        let walk = |expect_probes: usize| {
+            let mut total = 0;
+            let src = ProbeSource::Chunked(&chunked);
+            src.for_each_view(|v| total += v.dataset().probes.len());
+            assert_eq!(total, expect_probes);
+        };
+        walk(ds.probes.len());
+        walk(ds.probes.len());
+        let s = chunked.stats();
+        assert_eq!(
+            s.window_builds + s.window_hits,
+            2 * n as u64,
+            "two full walks over {n} windows"
+        );
+        // A pinned window is a guaranteed memo hit: re-requesting it must
+        // return the same materialization, not rebuild it.
+        let a = chunked.window(0);
+        let before = chunked.stats();
+        let b = chunked.window(0);
+        let after = chunked.stats();
+        assert!(Arc::ptr_eq(&a, &b), "second request shares the build");
+        assert_eq!(after.window_hits, before.window_hits + 1);
+        assert_eq!(after.window_builds, before.window_builds);
     }
 
     #[test]

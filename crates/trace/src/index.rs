@@ -87,6 +87,9 @@ pub struct DatasetIndex {
     phy_order: Vec<u32>,
     /// Per-PHY range into `phy_order`, indexed by `phy_slot`.
     phy_ranges: [Range<u32>; N_PHYS],
+    /// Probe positions stably sorted by (phy, network); dataset order
+    /// within a group. Shares `phy_ranges` (same PHY split).
+    net_order: Vec<u32>,
     /// Probe positions stably sorted by (phy, network, sender, receiver).
     link_order: Vec<u32>,
     /// Directed links, each a contiguous range of `link_order`, in
@@ -169,6 +172,17 @@ impl DatasetIndex {
         let split = phy_order.partition_point(|&i| phy_slot(ds.probes[i as usize].phy) == 0);
         let phy_ranges = [0..split as u32, split as u32..n as u32];
 
+        // Stable by-(phy, network) permutation: dataset order within each
+        // group. Equal to `phy_order` when the dataset is network-major
+        // (every campaign and window dataset is), which is what makes
+        // per-network parallel folds concatenate back to the global
+        // per-PHY walk byte-identically.
+        let mut net_order = phy_order.clone();
+        net_order.sort_by_key(|&i| {
+            let p = &ds.probes[i as usize];
+            (phy_slot(p.phy), p.network.0)
+        });
+
         // Stable by-link permutation: dataset order within each directed
         // link (the ordering invariant every consumer relies on).
         let key = |i: u32| {
@@ -226,6 +240,7 @@ impl DatasetIndex {
             n_probes: n,
             phy_order,
             phy_ranges,
+            net_order,
             link_order,
             links,
             link_ranges,
@@ -576,10 +591,42 @@ impl<'a> DatasetView<'a> {
     /// no probes for that PHY (an empty group, as the linear filters would
     /// also have produced).
     pub fn network(&self, phy: Phy, network: NetworkId) -> Option<NetworkView<'a>> {
-        self.ix.net_group(phy, network).map(|g| NetworkView {
+        let r = self.ix.net_ranges[phy_slot(phy)].clone();
+        let slice = &self.ix.nets[r.start as usize..r.end as usize];
+        let k = slice
+            .binary_search_by_key(&network.0, |g| g.network.0)
+            .ok()?;
+        let phy_off: u32 = slice[..k].iter().map(|g| g.probes.len() as u32).sum();
+        Some(NetworkView {
             view: *self,
-            group: g,
+            group: &slice[k],
+            phy,
+            phy_off,
         })
+    }
+
+    /// All (PHY, network) groups of one PHY, in network-id order — the
+    /// flat work list intra-kernel parallelism fans out over. For every
+    /// per-network traversal ([`NetworkView::links`], [`NetworkView::entries`],
+    /// [`NetworkView::entries_in_order`], …) concatenating the networks'
+    /// iterations in this order reproduces the corresponding global
+    /// per-PHY traversal exactly, float-accumulation order included.
+    pub fn network_views(&self, phy: Phy) -> Vec<NetworkView<'a>> {
+        let r = self.ix.net_ranges[phy_slot(phy)].clone();
+        let mut off = 0u32;
+        self.ix.nets[r.start as usize..r.end as usize]
+            .iter()
+            .map(|g| {
+                let nv = NetworkView {
+                    view: *self,
+                    group: g,
+                    phy,
+                    phy_off: off,
+                };
+                off += g.probes.len() as u32;
+                nv
+            })
+            .collect()
     }
 
     /// The delivery matrix of one (network, rate) — identical to
@@ -745,6 +792,14 @@ impl<'a> LinkView<'a> {
 pub struct NetworkView<'a> {
     view: DatasetView<'a>,
     group: &'a NetGroup,
+    /// The PHY the group was looked up under.
+    phy: Phy,
+    /// Offset of this network's probes inside the PHY's `phy_order`
+    /// segment. Valid because datasets are network-major: the stable
+    /// phy sort keeps each network's probes a contiguous run, in
+    /// network-id order, so run offsets are the prefix sums of the
+    /// groups' probe counts.
+    phy_off: u32,
 }
 
 impl<'a> NetworkView<'a> {
@@ -785,6 +840,31 @@ impl<'a> NetworkView<'a> {
         self.view.ix.link_order[g.probes.start as usize..g.probes.end as usize]
             .iter()
             .map(move |&i| v.entry(i as usize))
+    }
+
+    /// This network's contiguous run of dataset-order probe positions:
+    /// its segment of the (phy, network)-stable permutation, located by
+    /// the prefix-sum offset of the preceding groups.
+    fn phy_run(&self) -> &'a [u32] {
+        let ix = self.view.ix;
+        let r = ix.phy_ranges[phy_slot(self.phy)].clone();
+        let seg = &ix.net_order[r.start as usize..r.end as usize];
+        &seg[self.phy_off as usize..self.phy_off as usize + self.group.probes.len()]
+    }
+
+    /// The network's probe entries in dataset (stream) order — exactly
+    /// the subsequence [`DatasetView::entries_for_phy`] yields for this
+    /// network, unlike [`NetworkView::entries`] which groups by link.
+    pub fn entries_in_order(&self) -> impl Iterator<Item = ProbeEntry<'a>> + 'a {
+        let v = self.view;
+        self.phy_run().iter().map(move |&i| v.entry(i as usize))
+    }
+
+    /// The network's probe sets in dataset (stream) order (see
+    /// [`NetworkView::entries_in_order`]).
+    pub fn probes_in_order(&self) -> impl Iterator<Item = &'a ProbeSet> + 'a {
+        let ds = self.view.ds;
+        self.phy_run().iter().map(move |&i| &ds.probes[i as usize])
     }
 }
 
@@ -896,6 +976,51 @@ mod tests {
         assert_eq!(e[0].snr_key, 19); // median of {18, 20}
         assert_eq!(e[0].opt.rate, rate(11.0));
         assert_eq!(net.n_reports(), 4);
+    }
+
+    #[test]
+    fn network_views_concatenate_to_global_walks() {
+        let ds = mixed_dataset();
+        let ix = DatasetIndex::build(&ds);
+        let v = DatasetView::new(&ds, &ix);
+        for phy in [Phy::Bg, Phy::Ht] {
+            let nets = v.network_views(phy);
+            // Per-network link iterations concatenate to links_for_phy.
+            let global: Vec<u32> = v.links_for_phy(phy).map(|l| l.link_id()).collect();
+            let concat: Vec<u32> = nets
+                .iter()
+                .flat_map(|nv| nv.links().map(|l| l.link_id()))
+                .collect();
+            assert_eq!(concat, global, "{phy}: link order");
+            // Each network's stream-order entries are that network's
+            // subsequence of the global per-PHY dataset-order walk.
+            for nv in &nets {
+                let direct: Vec<usize> = v
+                    .entries_for_phy(phy)
+                    .filter(|e| e.probe.network == nv.network())
+                    .map(|e| e.pos)
+                    .collect();
+                let run: Vec<usize> = nv.entries_in_order().map(|e| e.pos).collect();
+                assert_eq!(run, direct, "{phy}: net {}", nv.network().0);
+                let probes: Vec<usize> = nv
+                    .probes_in_order()
+                    .map(|p| p.time_s as usize * 10 + p.sender.idx())
+                    .collect();
+                let entries: Vec<usize> = nv
+                    .entries_in_order()
+                    .map(|e| e.probe.time_s as usize * 10 + e.probe.sender.idx())
+                    .collect();
+                assert_eq!(probes, entries);
+            }
+            // `network()` agrees with `network_views` on the offsets.
+            for nv in &nets {
+                let single = v.network(phy, nv.network()).unwrap();
+                assert_eq!(
+                    single.entries_in_order().map(|e| e.pos).collect::<Vec<_>>(),
+                    nv.entries_in_order().map(|e| e.pos).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub mod snrstats;
 pub mod validate;
 
 pub use chunk::{
-    ChunkConfig, ChunkStore, ChunkedDataset, ChunkedDatasetBuilder, ProbeChunk, ProbeSource,
+    ChunkConfig, ChunkHandle, ChunkStore, ChunkStoreStats, ChunkedDataset, ChunkedDatasetBuilder,
+    ProbeChunk, ProbeSource, WindowData,
 };
 pub use client::ClientSample;
 pub use dataset::{Dataset, NetworkMeta};

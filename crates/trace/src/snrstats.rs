@@ -11,9 +11,30 @@
 
 use std::collections::BTreeMap;
 
+use rayon::prelude::*;
+
 use crate::chunk::ProbeSource;
 use crate::dataset::Dataset;
 use crate::ids::{ApId, NetworkId};
+
+/// Splits `0..n` into contiguous ranges for parallel walks whose outputs
+/// concatenate back in index order.
+fn split_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
+    let step = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    (0..n).step_by(step).map(|s| s..(s + step).min(n)).collect()
+}
+
+/// Groups probe indices by network, in `NetworkId` order; indices within a
+/// group stay in dataset order. Per-network outputs concatenated in this
+/// order rebuild exactly what a `BTreeMap` keyed with `NetworkId` leading
+/// would flatten to.
+fn probes_by_network(ds: &Dataset) -> Vec<Vec<u32>> {
+    let mut m: BTreeMap<NetworkId, Vec<u32>> = BTreeMap::new();
+    for (i, p) in ds.probes.iter().enumerate() {
+        m.entry(p.network).or_default().push(i as u32);
+    }
+    m.into_values().collect()
+}
 
 /// Folds a per-window sigma function over a probe source. Every statistic
 /// here flattens a `BTreeMap` keyed with `NetworkId` leading, and windows
@@ -47,23 +68,39 @@ pub fn network_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
 
 /// σ of SNR within each probe set (one value per probe set).
 pub fn probe_set_sigmas(ds: &Dataset) -> Vec<f64> {
-    ds.probes.iter().map(|p| p.snr_stddev()).collect()
+    let parts: Vec<Vec<f64>> = split_ranges(ds.probes.len())
+        .par_iter()
+        .map(|r| {
+            ds.probes[r.clone()]
+                .iter()
+                .map(|p| p.snr_stddev())
+                .collect()
+        })
+        .collect();
+    parts.into_iter().flatten().collect()
 }
 
 /// σ of probe-set SNR over time, per directed link (links with at least two
 /// reports).
 pub fn link_sigmas(ds: &Dataset) -> Vec<f64> {
-    let mut per_link: BTreeMap<(NetworkId, ApId, ApId), Vec<f64>> = BTreeMap::new();
-    for p in &ds.probes {
-        per_link
-            .entry((p.network, p.sender, p.receiver))
-            .or_default()
-            .push(p.snr_db());
-    }
-    per_link
-        .values()
-        .filter_map(|snrs| mesh11_stats::stddev(snrs))
-        .collect()
+    let parts: Vec<Vec<f64>> = probes_by_network(ds)
+        .par_iter()
+        .map(|idxs| {
+            let mut per_link: BTreeMap<(ApId, ApId), Vec<f64>> = BTreeMap::new();
+            for &i in idxs {
+                let p = &ds.probes[i as usize];
+                per_link
+                    .entry((p.sender, p.receiver))
+                    .or_default()
+                    .push(p.snr_db());
+            }
+            per_link
+                .values()
+                .filter_map(|snrs| mesh11_stats::stddev(snrs))
+                .collect()
+        })
+        .collect();
+    parts.into_iter().flatten().collect()
 }
 
 /// σ of the `k` most recent probe-set SNRs per directed link — the paper's
@@ -76,37 +113,47 @@ pub fn link_sigmas(ds: &Dataset) -> Vec<f64> {
 /// time-ordered reports contributes its σ.
 pub fn recent_k_sigmas(ds: &Dataset, k: usize) -> Vec<f64> {
     assert!(k >= 2, "a spread needs at least two values");
-    let mut per_link: BTreeMap<(NetworkId, ApId, ApId), Vec<(f64, f64)>> = BTreeMap::new();
-    for p in &ds.probes {
-        per_link
-            .entry((p.network, p.sender, p.receiver))
-            .or_default()
-            .push((p.time_s, p.snr_db()));
-    }
-    let mut out = Vec::new();
-    for series in per_link.values_mut() {
-        series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-        let snrs: Vec<f64> = series.iter().map(|p| p.1).collect();
-        for w in snrs.windows(k) {
-            if let Some(sd) = mesh11_stats::stddev(w) {
-                out.push(sd);
+    let parts: Vec<Vec<f64>> = probes_by_network(ds)
+        .par_iter()
+        .map(|idxs| {
+            let mut per_link: BTreeMap<(ApId, ApId), Vec<(f64, f64)>> = BTreeMap::new();
+            for &i in idxs {
+                let p = &ds.probes[i as usize];
+                per_link
+                    .entry((p.sender, p.receiver))
+                    .or_default()
+                    .push((p.time_s, p.snr_db()));
             }
-        }
-    }
-    out
+            let mut out = Vec::new();
+            for series in per_link.values_mut() {
+                series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+                let snrs: Vec<f64> = series.iter().map(|p| p.1).collect();
+                for w in snrs.windows(k) {
+                    if let Some(sd) = mesh11_stats::stddev(w) {
+                        out.push(sd);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    parts.into_iter().flatten().collect()
 }
 
 /// σ over all probe-set SNRs within each network (networks with at least two
 /// probe sets).
 pub fn network_sigmas(ds: &Dataset) -> Vec<f64> {
-    let mut per_net: BTreeMap<NetworkId, Vec<f64>> = BTreeMap::new();
-    for p in &ds.probes {
-        per_net.entry(p.network).or_default().push(p.snr_db());
-    }
-    per_net
-        .values()
-        .filter_map(|snrs| mesh11_stats::stddev(snrs))
-        .collect()
+    let parts: Vec<Option<f64>> = probes_by_network(ds)
+        .par_iter()
+        .map(|idxs| {
+            let snrs: Vec<f64> = idxs
+                .iter()
+                .map(|&i| ds.probes[i as usize].snr_db())
+                .collect();
+            mesh11_stats::stddev(&snrs)
+        })
+        .collect();
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

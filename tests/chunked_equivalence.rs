@@ -6,7 +6,9 @@
 use std::collections::BTreeMap;
 
 use mesh11::prelude::*;
-use mesh11::trace::{ChunkConfig, ChunkedDataset};
+use mesh11::trace::{
+    ApId, ChunkConfig, ChunkHandle, ChunkStore, ChunkedDataset, NetworkId, ProbeChunk, RateObs,
+};
 use mesh11_bench::figures::{build, ALL_IDS};
 use mesh11_bench::{DataMode, ReproContext, Scale};
 use proptest::prelude::*;
@@ -32,18 +34,14 @@ fn all_figure_json(ctx: &ReproContext) -> BTreeMap<String, String> {
     out
 }
 
-fn build_figures(mode: DataMode, threads: usize) -> BTreeMap<String, String> {
+fn build_figures(mode: DataMode, threads: usize, faults: FaultPlan) -> BTreeMap<String, String> {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("build pool")
         .install(|| {
-            let (ctx, _) = ReproContext::build_timed_with_mode(
-                Scale::Quick,
-                SEED,
-                FaultPlan::none(),
-                mode.clone(),
-            );
+            let (ctx, _) =
+                ReproContext::build_timed_with_mode(Scale::Quick, SEED, faults, mode.clone());
             if let DataMode::Chunked(_) = mode {
                 let c = ctx.chunked().expect("chunked context");
                 assert!(
@@ -55,31 +53,50 @@ fn build_figures(mode: DataMode, threads: usize) -> BTreeMap<String, String> {
         })
 }
 
+/// Asserts every figure of `got` matches `reference` byte for byte.
+fn assert_same_figures(
+    reference: &BTreeMap<String, String>,
+    got: &BTreeMap<String, String>,
+    label: &str,
+) {
+    assert_eq!(got.len(), reference.len(), "figure set differs ({label})");
+    for (id, json) in reference {
+        assert_eq!(
+            got.get(id).map(String::as_str),
+            Some(json.as_str()),
+            "figure {id} diverges from the in-memory reference ({label})"
+        );
+    }
+}
+
 /// Every figure JSON — all experiments, all panels — is byte-identical
-/// between the in-memory and the forced-spill chunked path, on one thread
-/// and on four.
+/// between the in-memory and the forced-spill chunked path, on one
+/// thread, four, and eight (the parallelized kernels fan out per
+/// network, so this exercises every reduction order).
 #[test]
 fn chunked_figures_byte_identical_to_in_memory() {
-    let reference = build_figures(DataMode::InMemory, 1);
+    let reference = build_figures(DataMode::InMemory, 1, FaultPlan::none());
     assert!(
         reference.len() >= 39,
         "expected the full figure set (29 experiments, 39 panels), got {}",
         reference.len()
     );
-    for threads in [1, 4] {
-        let chunked = build_figures(DataMode::Chunked(tiny_chunks()), threads);
-        assert_eq!(
-            chunked.len(),
-            reference.len(),
-            "figure set differs at {threads} threads"
-        );
-        for (id, json) in &reference {
-            assert_eq!(
-                chunked.get(id).map(String::as_str),
-                Some(json.as_str()),
-                "figure {id} diverges from the in-memory reference at {threads} threads"
-            );
-        }
+    for threads in [1, 4, 8] {
+        let chunked = build_figures(DataMode::Chunked(tiny_chunks()), threads, FaultPlan::none());
+        assert_same_figures(&reference, &chunked, &format!("{threads} threads"));
+    }
+}
+
+/// The same contract under an active fault plan: outages and interference
+/// bursts reshape the probe table, so this catches any spill/parallel
+/// divergence that only appears on irregular per-network data.
+#[test]
+fn faulted_chunked_figures_byte_identical_to_in_memory() {
+    let demo = || FaultPlan::demo(Scale::Quick.config().probe_horizon_s);
+    let reference = build_figures(DataMode::InMemory, 1, demo());
+    for threads in [1, 8] {
+        let chunked = build_figures(DataMode::Chunked(tiny_chunks()), threads, demo());
+        assert_same_figures(&reference, &chunked, &format!("faulted, {threads} threads"));
     }
 }
 
@@ -92,8 +109,74 @@ fn simulate(seed: u64) -> Dataset {
     cfg.run_campaign(&campaign)
 }
 
+/// A chunk whose contents identify it: `k + 1` probe sets, all tagged
+/// with network id `k` — so a handle can prove it still sees chunk `k`
+/// after arbitrary eviction traffic.
+fn tagged_chunk(k: usize) -> ProbeChunk {
+    let mut chunk = ProbeChunk::default();
+    for i in 0..=(k as u32) {
+        chunk.push(&ProbeSet {
+            network: NetworkId(k as u32),
+            phy: Phy::Bg,
+            time_s: f64::from(i),
+            sender: ApId(i % 3),
+            receiver: ApId(3 + i % 3),
+            obs: vec![RateObs {
+                rate: BitRate::bg_mbps(1.0).unwrap(),
+                loss: 0.5,
+                snr_db: 10.0,
+            }],
+        });
+    }
+    chunk
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Live handles pin their chunks: however hard the eviction pressure,
+    /// a pinned chunk stays resident with its contents intact; once the
+    /// pins drop, the store shrinks back within budget and spilled chunks
+    /// decode back correctly.
+    #[test]
+    fn pinned_handles_are_never_evicted(
+        n_chunks in 4usize..20,
+        budget in 2usize..4,
+        pin_stride in 1usize..5,
+        gets in proptest::collection::vec(0usize..64, 1..40),
+    ) {
+        let store = ChunkStore::new(budget, None);
+        for k in 0..n_chunks {
+            prop_assert_eq!(store.insert(tagged_chunk(k)).expect("insert"), k);
+        }
+        let pinned: Vec<(usize, ChunkHandle)> = (0..n_chunks)
+            .step_by(pin_stride)
+            .map(|k| (k, store.chunk(k)))
+            .collect();
+        for &g in &gets {
+            let id = g % n_chunks;
+            let h = store.chunk(id);
+            prop_assert_eq!(h.len(), id + 1);
+            prop_assert_eq!(h.get(0).network, NetworkId(id as u32));
+            drop(h);
+            store.evict_past_budget().expect("evict");
+            for (k, h) in &pinned {
+                prop_assert!(store.is_resident(*k), "pinned chunk {} was evicted", k);
+                prop_assert_eq!(h.len(), *k + 1);
+                prop_assert_eq!(h.get(0).network, NetworkId(*k as u32));
+            }
+            // Only pinned chunks may hold the store over budget.
+            prop_assert!(store.resident_chunks() <= budget.max(pinned.len()));
+        }
+        drop(pinned);
+        store.evict_past_budget().expect("evict");
+        prop_assert!(store.resident_chunks() <= budget);
+        for k in 0..n_chunks {
+            let h = store.chunk(k);
+            prop_assert_eq!(h.len(), k + 1);
+            prop_assert_eq!(h.get(0).network, NetworkId(k as u32));
+        }
+    }
 
     /// Wherever the chunk boundaries land — capacity 1 (every probe its own
     /// chunk) through capacities far larger than the dataset — the stitched
@@ -111,6 +194,7 @@ proptest! {
             resident_chunks: 2,
             spill_dir: None,
             window_probes: window,
+            scale_budget_with_threads: false,
         };
         let chunked = ChunkedDataset::from_dataset(&ds, cfg).expect("chunking succeeds");
         prop_assert_eq!(chunked.n_probes() as usize, ds.probes.len());

@@ -164,26 +164,38 @@ fn figure_json_matches_pre_index_golden_hashes() {
         ("tab4-1", 0xfd138f01427a215d),
     ];
 
-    let ctx = ReproContext::build(Scale::Quick, 42);
-    let mut got: Vec<(String, u64)> = ALL_IDS
-        .iter()
-        .flat_map(|id| build(&ctx, id).expect("known id"))
-        .map(|f| (f.id.clone(), fnv1a64(f.to_json().as_bytes())))
-        .collect();
-    got.sort_by(|a, b| a.0.cmp(&b.0));
+    // One worker and eight: the intra-kernel per-network fan-out must
+    // reproduce the historical bytes — not merely agree with itself —
+    // at any pool width.
+    for threads in [1usize, 8] {
+        let mut got: Vec<(String, u64)> = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool")
+            .install(|| {
+                let ctx = ReproContext::build(Scale::Quick, 42);
+                ALL_IDS
+                    .iter()
+                    .flat_map(|id| build(&ctx, id).expect("known id"))
+                    .map(|f| (f.id.clone(), fnv1a64(f.to_json().as_bytes())))
+                    .collect()
+            });
+        got.sort_by(|a, b| a.0.cmp(&b.0));
 
-    assert_eq!(
-        got.len(),
-        GOLDEN.len(),
-        "figure count changed: {:?}",
-        got.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>()
-    );
-    for ((id, hash), (gold_id, gold_hash)) in got.iter().zip(GOLDEN) {
-        assert_eq!(id, gold_id, "figure id set changed");
         assert_eq!(
-            hash, gold_hash,
-            "figure {id} JSON diverged from the pre-index golden output"
+            got.len(),
+            GOLDEN.len(),
+            "figure count changed: {:?}",
+            got.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>()
         );
+        for ((id, hash), (gold_id, gold_hash)) in got.iter().zip(GOLDEN) {
+            assert_eq!(id, gold_id, "figure id set changed");
+            assert_eq!(
+                hash, gold_hash,
+                "figure {id} JSON diverged from the pre-index golden output \
+                 at {threads} threads"
+            );
+        }
     }
 }
 
