@@ -1,11 +1,18 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper|metro] [--seed N] [--threads N] [--faults]
-//!       [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]
-//!       [--spill-dir DIR] [--out DIR] [--bench-json FILE] [--rows N] [--plot]
-//!       <id>... | --all
+//! repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N]
+//!       [--faults] [--metro-factor N] [--chunked] [--chunk-capacity N]
+//!       [--chunk-budget N] [--spill-dir DIR] [--out DIR] [--bench-json FILE]
+//!       [--rows N] [--plot] <id>... | --all
 //! ```
+//!
+//! `--seeds N` runs seeds `--seed .. --seed+N` as **one** fused batched
+//! campaign (the pair scheduler sees every seed's work list at once), writes
+//! each seed's figures under `out/seed-<s>/`, and aggregates every curve
+//! point across seeds into mean ± 95% t-interval figures under
+//! `out/figures_ci/`. Per-seed and amortized timings land in the timing
+//! JSONs. In-memory scales only.
 //!
 //! Prints each figure as an aligned text table (with the paper-expected
 //! values as `#` notes; add `--plot` for ASCII curve renderings) and writes
@@ -20,16 +27,21 @@
 //! parallelism only reorders who computes what, never what is computed.
 
 use mesh11_bench::figures::{build, ALL_IDS};
-use mesh11_bench::{peak_rss_mb, DataMode, PhaseTimings, ReproContext, Scale};
+use mesh11_bench::{
+    aggregate_ci, group_by_figure, max_relative_halfwidth, peak_rss_mb, DataMode, PhaseTimings,
+    ReproContext, Scale,
+};
+use mesh11_core::report::FigureData;
 use mesh11_trace::ChunkConfig;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 struct Args {
     scale: Scale,
     seed: u64,
+    seeds: usize,
     threads: Option<usize>,
     faults: bool,
     chunked: bool,
@@ -75,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: Scale::Standard,
         seed: 42,
+        seeds: 1,
         threads: None,
         faults: false,
         chunked: false,
@@ -98,6 +111,14 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("bad seed count: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be >= 1".into());
+                }
+                args.seeds = n;
             }
             "--metro-factor" => {
                 let v = it.next().ok_or("--metro-factor needs a value")?;
@@ -143,11 +164,14 @@ fn parse_args() -> Result<Args, String> {
             "--all" => args.ids = ALL_IDS.iter().map(|s| s.to_string()).collect(),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|standard|paper|metro] [--seed N] [--threads N] [--faults]\n\
+                    "usage: repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N] [--faults]\n\
                      \x20            [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]\n\
                      \x20            [--spill-dir DIR] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
                      identical at any value, only wall-clock changes\n\
+                     --seeds N    run N consecutive seeds as one fused batched campaign:\n\
+                     per-seed figures under out/seed-<s>/, cross-seed mean ± 95% CI\n\
+                     figures under out/figures_ci/ (in-memory scales only)\n\
                      --faults     simulate under the built-in demo fault plan (overlapping\n\
                      AP outages + stacked interference bursts), still thread-invariant\n\
                      --metro-factor N  ensemble multiplier for --scale metro (default {})\n\
@@ -177,7 +201,84 @@ fn parse_args() -> Result<Args, String> {
     if args.ids.is_empty() {
         return Err("no experiment ids given (try --all or --help)".into());
     }
+    if args.seeds > 1 && !matches!(args.data_mode(), DataMode::InMemory) {
+        return Err(
+            "--seeds runs the ensemble in-memory; drop the chunk flags (or --scale metro)".into(),
+        );
+    }
     Ok(args)
+}
+
+/// One seed's figure pass: builds every requested figure in parallel,
+/// renders (when `print_tables`) and writes them under `out_dir`.
+struct SeedAnalysis {
+    /// Per-experiment analyze seconds, keyed by experiment id.
+    fig_times: BTreeMap<String, f64>,
+    /// Every figure built, in request order (feeds the CI aggregation).
+    figs: Vec<FigureData>,
+    /// Unknown-id failures.
+    failures: i32,
+    /// Wall-clock of the parallel figure pass.
+    analyze_s: f64,
+}
+
+/// One experiment's build outcome: the figures plus the build seconds,
+/// `None` for an unknown id.
+type BuildOutcome = Option<(Vec<FigureData>, f64)>;
+
+fn analyze_and_emit(
+    ctx: &ReproContext,
+    args: &Args,
+    out_dir: &Path,
+    print_tables: bool,
+) -> SeedAnalysis {
+    // Build every requested figure in parallel. The shared heavy analyses
+    // (lookup tables, triple analysis, mobility report, …) live in
+    // OnceLocks on the context, so concurrent builders compute each one
+    // exactly once and the results carry no thread-count dependence.
+    let t_analyze = Instant::now();
+    let built: Vec<(&String, BuildOutcome)> = args
+        .ids
+        .par_iter()
+        .map(|id| {
+            let t = Instant::now();
+            let figs = build(ctx, id);
+            (id, figs.map(|f| (f, t.elapsed().as_secs_f64())))
+        })
+        .collect();
+    let analyze_s = t_analyze.elapsed().as_secs_f64();
+
+    // Render and write strictly in request order, on one thread.
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let mut failures = 0;
+    let mut fig_times = BTreeMap::new();
+    let mut all_figs = Vec::new();
+    for (id, outcome) in built {
+        let Some((figs, secs)) = outcome else {
+            eprintln!("repro: unknown experiment id '{id}'");
+            failures += 1;
+            continue;
+        };
+        fig_times.insert(id.clone(), secs);
+        for fig in figs {
+            if print_tables {
+                if args.plot {
+                    println!("{}", fig.render_plot(72, 18));
+                }
+                println!("{}", fig.render_table(args.rows));
+            }
+            let path = out_dir.join(format!("{}.json", fig.id));
+            std::fs::write(&path, fig.to_json()).expect("write figure json");
+            eprintln!("# wrote {}", path.display());
+            all_figs.push(fig);
+        }
+    }
+    SeedAnalysis {
+        fig_times,
+        figs: all_figs,
+        failures,
+        analyze_s,
+    }
 }
 
 fn run(args: &Args) -> i32 {
@@ -194,6 +295,9 @@ fn run(args: &Args) -> i32 {
     } else {
         mesh11_sim::FaultPlan::none()
     };
+    if args.seeds > 1 {
+        return run_multi(args, faults, t_total);
+    }
     let mode = args.data_mode();
     if let DataMode::Chunked(cfg) = &mode {
         eprintln!(
@@ -220,43 +324,13 @@ fn run(args: &Args) -> i32 {
         );
     }
 
-    // Build every requested figure in parallel. The shared heavy analyses
-    // (lookup tables, triple analysis, mobility report, …) live in
-    // OnceLocks on the context, so concurrent builders compute each one
-    // exactly once and the results carry no thread-count dependence.
-    let t_analyze = Instant::now();
-    let built: Vec<(&String, Option<(Vec<_>, f64)>)> = args
-        .ids
-        .par_iter()
-        .map(|id| {
-            let t = Instant::now();
-            let figs = build(&ctx, id);
-            (id, figs.map(|f| (f, t.elapsed().as_secs_f64())))
-        })
-        .collect();
-    let analyze_s = t_analyze.elapsed().as_secs_f64();
-
-    // Render and write strictly in request order, on one thread.
-    std::fs::create_dir_all(&args.out).expect("create output dir");
-    let mut failures = 0;
-    let mut fig_times = BTreeMap::new();
-    for (id, outcome) in built {
-        let Some((figs, secs)) = outcome else {
-            eprintln!("repro: unknown experiment id '{id}'");
-            failures += 1;
-            continue;
-        };
-        fig_times.insert(id.clone(), secs);
-        for fig in figs {
-            if args.plot {
-                println!("{}", fig.render_plot(72, 18));
-            }
-            println!("{}", fig.render_table(args.rows));
-            let path = args.out.join(format!("{}.json", fig.id));
-            std::fs::write(&path, fig.to_json()).expect("write figure json");
-            eprintln!("# wrote {}", path.display());
-        }
-    }
+    let analysis = analyze_and_emit(&ctx, args, &args.out, true);
+    let SeedAnalysis {
+        fig_times,
+        failures,
+        analyze_s,
+        ..
+    } = analysis;
 
     let n_probes = ctx.n_probes();
     // Snapshot after analysis so the counters cover the kernels' traffic.
@@ -264,11 +338,15 @@ fn run(args: &Args) -> i32 {
     let timings = PhaseTimings {
         scale: args.scale.label(),
         seed: args.seed,
+        seeds: 1,
         threads: args.threads.unwrap_or(0),
         effective_threads: rayon::current_num_threads(),
         generate_s: build_t.generate_s,
         simulate_s: build_t.simulate_s,
         pairs_simulated: build_t.pairs_simulated,
+        simulate_s_per_seed: build_t.simulate_s,
+        per_seed_pairs: vec![build_t.pairs_simulated],
+        per_seed_analyze_s: vec![analyze_s],
         n_probes,
         reports_per_sec: if build_t.simulate_s > 0.0 {
             n_probes as f64 / build_t.simulate_s
@@ -307,6 +385,111 @@ fn run(args: &Args) -> i32 {
     std::fs::write(&args.bench_json, timings.to_json()).expect("write bench json");
     eprintln!("# wrote {}", args.bench_json.display());
 
+    failures
+}
+
+/// The multi-seed campaign path (`--seeds N`, in-memory only): one fused
+/// batched simulate pass over every seed's pair work list, a per-seed
+/// figure pass into `out/seed-<s>/`, and a cross-seed mean ± 95% CI
+/// aggregation into `out/figures_ci/`.
+fn run_multi(args: &Args, faults: mesh11_sim::FaultPlan, t_total: Instant) -> i32 {
+    let (ctxs, build_t) = ReproContext::build_many_timed(args.scale, args.seed, args.seeds, faults);
+    let n_probes: usize = ctxs.iter().map(|c| c.n_probes()).sum();
+    eprintln!(
+        "# simulated {} seeds × {} networks ({} pairs fused): {} probe sets in {:.1}s ({:.2}s/seed amortized)",
+        args.seeds,
+        ctxs[0].networks().len(),
+        build_t.pairs_simulated,
+        n_probes,
+        build_t.generate_s + build_t.simulate_s,
+        build_t.simulate_s / args.seeds as f64
+    );
+
+    // Per-seed figure passes: tables print once (base seed), JSONs land in
+    // per-seed directories.
+    let mut per_seed_figs = Vec::with_capacity(args.seeds);
+    let mut per_seed_analyze_s = Vec::with_capacity(args.seeds);
+    let mut base_fig_times = BTreeMap::new();
+    let mut failures = 0;
+    for (k, ctx) in ctxs.iter().enumerate() {
+        let seed = args.seed + k as u64;
+        let dir = args.out.join(format!("seed-{seed}"));
+        let a = analyze_and_emit(ctx, args, &dir, k == 0);
+        if k == 0 {
+            base_fig_times = a.fig_times;
+        }
+        failures += a.failures;
+        per_seed_analyze_s.push(a.analyze_s);
+        per_seed_figs.push(a.figs);
+    }
+    let analyze_s: f64 = per_seed_analyze_s.iter().sum();
+
+    // Cross-seed aggregation: every figure id present in ≥ 2 seeds gets a
+    // mean ± 95% t-interval replica under figures_ci/.
+    let ci_dir = args.out.join("figures_ci");
+    std::fs::create_dir_all(&ci_dir).expect("create figures_ci dir");
+    let mut ci_widths: Vec<(String, f64)> = Vec::new();
+    for (id, replicas) in group_by_figure(&per_seed_figs) {
+        let Some(agg) = aggregate_ci(&replicas) else {
+            continue;
+        };
+        let path = ci_dir.join(format!("{id}.json"));
+        std::fs::write(&path, agg.to_json()).expect("write CI figure json");
+        eprintln!("# wrote {}", path.display());
+        if let Some(rel) = max_relative_halfwidth(&agg) {
+            ci_widths.push((id.to_string(), rel));
+        }
+    }
+    ci_widths.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite widths"));
+    for (id, rel) in ci_widths.iter().take(8) {
+        eprintln!("#   widest CI: {id} ±{:.1}% of mean", 100.0 * rel);
+    }
+
+    let chunk = mesh11_trace::ChunkStoreStats::default();
+    let timings = PhaseTimings {
+        scale: args.scale.label(),
+        seed: args.seed,
+        seeds: args.seeds,
+        threads: args.threads.unwrap_or(0),
+        effective_threads: rayon::current_num_threads(),
+        generate_s: build_t.generate_s,
+        simulate_s: build_t.simulate_s,
+        pairs_simulated: build_t.pairs_simulated,
+        simulate_s_per_seed: build_t.simulate_s / args.seeds as f64,
+        per_seed_pairs: build_t.per_seed_pairs.clone(),
+        per_seed_analyze_s,
+        n_probes,
+        reports_per_sec: if build_t.simulate_s > 0.0 {
+            n_probes as f64 / build_t.simulate_s
+        } else {
+            0.0
+        },
+        peak_rss_mb: peak_rss_mb(),
+        data_mode: "in-memory".to_string(),
+        spilled_bytes: 0,
+        client_probe_s: build_t.client_probe_s,
+        clients_simulated: build_t.clients_simulated,
+        analyze_s,
+        analyze_probes_per_sec: if analyze_s > 0.0 {
+            n_probes as f64 / analyze_s
+        } else {
+            0.0
+        },
+        chunk_hits: chunk.chunk_hits,
+        chunk_decodes: chunk.chunk_decodes,
+        chunk_evictions: chunk.chunk_evictions,
+        peak_pinned_bytes: chunk.peak_pinned_bytes,
+        window_hits: chunk.window_hits,
+        window_builds: chunk.window_builds,
+        total_s: t_total.elapsed().as_secs_f64(),
+        figures: base_fig_times,
+    };
+    let path = args.out.join("bench_timings.json");
+    std::fs::write(&path, timings.to_json()).expect("write bench_timings.json");
+    eprintln!("{}", timings.render());
+    eprintln!("# wrote {}", path.display());
+    std::fs::write(&args.bench_json, timings.to_json()).expect("write bench json");
+    eprintln!("# wrote {}", args.bench_json.display());
     failures
 }
 

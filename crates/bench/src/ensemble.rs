@@ -1,0 +1,271 @@
+//! Cross-seed figure aggregation: mean ± 95% t-interval series.
+//!
+//! A multi-seed reproduction run (`repro --seeds N`) produces one
+//! [`FigureData`] per (figure, seed). This module collapses the seed axis:
+//! every curve point becomes the across-seed mean with a two-sided 95%
+//! Student-t interval ([`mesh11_stats::mean_ci95`]), emitted as three
+//! series per input series — the mean and the lower/upper interval
+//! envelopes — under `out/figures_ci/`. With N small (4–16 seeds) the
+//! t multiplier matters: at N = 4 the interval is 1.6× wider than the
+//! normal approximation would claim.
+
+use std::collections::BTreeMap;
+
+use mesh11_core::report::{FigureData, Series};
+use mesh11_stats::mean_ci95;
+
+/// Aggregates one figure's per-seed replicas (same figure id, ≥ 2 seeds)
+/// into a mean ± 95% CI figure. Series are matched by label against the
+/// first replica's series list; point `k` of a series aggregates over the
+/// seeds whose series reaches index `k` (curves may differ in length when
+/// a seed's campaign populates a bin others miss). X coordinates are
+/// averaged the same way so binned curves keep their bin centres — except
+/// on quantile-grid curves (identical y sequence every seed, e.g. CDFs),
+/// where the interval is attached to x instead.
+///
+/// Returns `None` for fewer than two replicas — a one-seed "interval" is
+/// unbounded and not worth emitting.
+pub fn aggregate_ci(replicas: &[&FigureData]) -> Option<FigureData> {
+    if replicas.len() < 2 {
+        return None;
+    }
+    let base = replicas[0];
+    debug_assert!(
+        replicas.iter().all(|f| f.id == base.id),
+        "replicas must share a figure id"
+    );
+    let mut series = Vec::new();
+    for s in &base.series {
+        let runs: Vec<&Series> = replicas
+            .iter()
+            .filter_map(|f| f.series.iter().find(|r| r.label == s.label))
+            .collect();
+        let longest = runs.iter().map(|r| r.points.len()).max().unwrap_or(0);
+        let mut mean_pts = Vec::with_capacity(longest);
+        let mut lo_pts = Vec::with_capacity(longest);
+        let mut hi_pts = Vec::with_capacity(longest);
+        for k in 0..longest {
+            let xs: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.points.get(k))
+                .map(|p| p.0)
+                .collect();
+            let ys: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.points.get(k))
+                .map(|p| p.1)
+                .collect();
+            // Quantile-grid curves (CDFs and percentile sweeps) share the
+            // same y sequence across every seed, so the seed scatter is
+            // horizontal: put the interval on x and keep the grid value.
+            let y_fixed = ys.windows(2).all(|w| w[0] == w[1]);
+            let x_varies = xs.windows(2).any(|w| w[0] != w[1]);
+            if y_fixed && x_varies {
+                let Some((x, half)) = mean_ci95(&xs) else {
+                    continue;
+                };
+                let y = ys[0];
+                mean_pts.push((x, y));
+                if half.is_finite() {
+                    lo_pts.push((x - half, y));
+                    hi_pts.push((x + half, y));
+                }
+                continue;
+            }
+            let x = xs.iter().sum::<f64>() / xs.len() as f64;
+            let Some((y, half)) = mean_ci95(&ys) else {
+                continue;
+            };
+            mean_pts.push((x, y));
+            if half.is_finite() {
+                lo_pts.push((x, y - half));
+                hi_pts.push((x, y + half));
+            }
+        }
+        series.push(Series {
+            label: format!("{} mean", s.label),
+            points: mean_pts,
+        });
+        series.push(Series {
+            label: format!("{} lo95", s.label),
+            points: lo_pts,
+        });
+        series.push(Series {
+            label: format!("{} hi95", s.label),
+            points: hi_pts,
+        });
+    }
+    let mut notes = base.notes.clone();
+    notes.push(format!(
+        "mean ± 95% t-interval across {} seeds; lo95/hi95 are the interval envelopes",
+        replicas.len()
+    ));
+    Some(FigureData {
+        id: base.id.clone(),
+        title: format!("{} (mean ± 95% CI, {} seeds)", base.title, replicas.len()),
+        xlabel: base.xlabel.clone(),
+        ylabel: base.ylabel.clone(),
+        series,
+        notes,
+    })
+}
+
+/// Groups per-seed figure outputs by figure id (seed order preserved) —
+/// the shape [`aggregate_ci`] consumes. Input: each seed's full list of
+/// built figures.
+pub fn group_by_figure(per_seed: &[Vec<FigureData>]) -> BTreeMap<&str, Vec<&FigureData>> {
+    let mut map: BTreeMap<&str, Vec<&FigureData>> = BTreeMap::new();
+    for seed_figs in per_seed {
+        for fig in seed_figs {
+            map.entry(fig.id.as_str()).or_default().push(fig);
+        }
+    }
+    map
+}
+
+/// The maximum relative half-width (`half / |mean|`, on whichever axis
+/// carries the interval) over all finite, nonzero-mean points of an
+/// aggregated figure — the single number the CI summary table reports per
+/// figure. `None` if no point qualifies.
+pub fn max_relative_halfwidth(fig: &FigureData) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for chunk in fig.series.chunks(3) {
+        let [mean_s, lo_s, _hi] = chunk else { continue };
+        if !mean_s.label.ends_with(" mean") {
+            continue;
+        }
+        for (k, &(lo_x, lo_y)) in lo_s.points.iter().enumerate() {
+            let Some(&(mx, my)) = mean_s.points.get(k) else {
+                continue;
+            };
+            for (m, lo) in [(my, lo_y), (mx, lo_x)] {
+                if m != 0.0 && m.is_finite() && lo.is_finite() {
+                    let rel = ((m - lo) / m).abs();
+                    worst = Some(worst.map_or(rel, |w: f64| w.max(rel)));
+                }
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig(id: &str, ys: &[f64]) -> FigureData {
+        FigureData {
+            id: id.into(),
+            title: "T".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series {
+                label: "curve".into(),
+                points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+            }],
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn single_replica_has_no_interval() {
+        let f = fig("fig", &[1.0, 2.0]);
+        assert!(aggregate_ci(&[&f]).is_none());
+        assert!(aggregate_ci(&[]).is_none());
+    }
+
+    #[test]
+    fn aggregates_mean_and_t_interval() {
+        let replicas = [
+            fig("fig3-1", &[1.0, 10.0]),
+            fig("fig3-1", &[2.0, 20.0]),
+            fig("fig3-1", &[3.0, 30.0]),
+            fig("fig3-1", &[4.0, 40.0]),
+        ];
+        let refs: Vec<&FigureData> = replicas.iter().collect();
+        let agg = aggregate_ci(&refs).unwrap();
+        assert_eq!(agg.id, "fig3-1");
+        assert_eq!(agg.series.len(), 3);
+        assert_eq!(agg.series[0].label, "curve mean");
+        assert_eq!(agg.series[1].label, "curve lo95");
+        assert_eq!(agg.series[2].label, "curve hi95");
+        // Point 0: ys = 1..4, mean 2.5, half = 3.182·√(5/3)/2.
+        let (x, m) = agg.series[0].points[0];
+        assert_eq!(x, 0.0);
+        assert!((m - 2.5).abs() < 1e-12);
+        let half = 3.182 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((agg.series[2].points[0].1 - (2.5 + half)).abs() < 1e-12);
+        assert!((agg.series[1].points[0].1 - (2.5 - half)).abs() < 1e-12);
+        // Symmetric envelope around the second point too.
+        let (_, m1) = agg.series[0].points[1];
+        assert!((m1 - 25.0).abs() < 1e-12);
+        assert!(agg.title.contains("4 seeds"));
+        assert!(agg.notes.last().unwrap().contains("4 seeds"));
+        // Relative half-width at point 0 dominates: half/2.5.
+        let rel = max_relative_halfwidth(&agg).unwrap();
+        assert!((rel - half / 2.5).abs() < 1e-9, "rel {rel}");
+    }
+
+    /// CDF replicas share the quantile grid on y; the seed scatter is in
+    /// x, so that's where the interval must land.
+    #[test]
+    fn quantile_grid_curves_get_horizontal_intervals() {
+        let cdf = |xs: &[f64]| FigureData {
+            id: "fig3-1".into(),
+            title: "T".into(),
+            xlabel: "x".into(),
+            ylabel: "CDF".into(),
+            series: vec![Series {
+                label: "curve".into(),
+                points: xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x, i as f64 * 0.5))
+                    .collect(),
+            }],
+            notes: vec![],
+        };
+        let replicas = [cdf(&[1.0, 4.0]), cdf(&[2.0, 6.0]), cdf(&[3.0, 8.0])];
+        let refs: Vec<&FigureData> = replicas.iter().collect();
+        let agg = aggregate_ci(&refs).unwrap();
+        // Point 0: xs = 1..3 mean 2, y stays on the grid at 0.0.
+        assert_eq!(agg.series[0].points[0], (2.0, 0.0));
+        assert_eq!(agg.series[0].points[1].1, 0.5);
+        assert!((agg.series[0].points[1].0 - 6.0).abs() < 1e-12);
+        // Envelopes straddle x, not y.
+        let (lo_x, lo_y) = agg.series[1].points[0];
+        let (hi_x, hi_y) = agg.series[2].points[0];
+        assert_eq!(lo_y, 0.0);
+        assert_eq!(hi_y, 0.0);
+        assert!(lo_x < 2.0 && hi_x > 2.0);
+        assert!((hi_x - 2.0) - (2.0 - lo_x) < 1e-12, "symmetric about mean");
+        assert!(max_relative_halfwidth(&agg).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ragged_series_aggregate_over_available_seeds() {
+        let a = fig("f", &[1.0, 5.0, 9.0]);
+        let b = fig("f", &[3.0, 7.0]); // one point short
+        let refs = [&a, &b];
+        let agg = aggregate_ci(&refs).unwrap();
+        // Point 2 exists in only one seed: mean emitted, no envelope.
+        assert_eq!(agg.series[0].points.len(), 3);
+        assert_eq!(agg.series[0].points[2].1, 9.0);
+        assert_eq!(agg.series[1].points.len(), 2);
+        assert_eq!(agg.series[2].points.len(), 2);
+        assert!((agg.series[0].points[0].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_by_id_in_seed_order() {
+        let per_seed = vec![
+            vec![fig("a", &[1.0]), fig("b", &[2.0])],
+            vec![fig("a", &[3.0]), fig("b", &[4.0])],
+        ];
+        let groups = group_by_figure(&per_seed);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups["a"].len(), 2);
+        assert_eq!(groups["a"][0].series[0].points[0].1, 1.0);
+        assert_eq!(groups["a"][1].series[0].points[0].1, 3.0);
+    }
+}

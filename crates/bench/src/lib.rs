@@ -8,6 +8,9 @@
 //!   [`mesh11_core::report::FigureData`] with the paper-expected values
 //!   recorded as notes. The `repro` binary prints them; `EXPERIMENTS.md`
 //!   records a full run.
+//! * [`ensemble`] — cross-seed aggregation for multi-seed runs
+//!   (`repro --seeds N`): mean ± 95% t-interval series under
+//!   `out/figures_ci/`.
 //! * [`timing`] — the per-phase wall-clock breakdown `repro` prints and
 //!   writes to `out/bench_timings.json`.
 //! * `benches/` — Criterion benchmarks of every analysis kernel (one bench
@@ -16,9 +19,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ensemble;
 pub mod figures;
 pub mod setup;
 pub mod timing;
 
-pub use setup::{DataMode, DataStore, ReproContext, Scale, DEFAULT_METRO_FACTOR};
+pub use ensemble::{aggregate_ci, group_by_figure, max_relative_halfwidth};
+pub use setup::{
+    DataMode, DataStore, MultiBuildTimings, ReproContext, Scale, DEFAULT_METRO_FACTOR,
+};
 pub use timing::{peak_rss_mb, PhaseTimings};

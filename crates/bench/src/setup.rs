@@ -8,7 +8,7 @@ use mesh11_core::bitrate::{LookupTableSet, Scope, StrategyEval, StrategyKind};
 use mesh11_core::mobility::MobilityReport;
 use mesh11_core::routing::improvement::{analyze_dataset_from, OpportunisticAnalysis};
 use mesh11_core::triples::{hidden::TripleAnalysis, range::range_by_rate_from, HearRule};
-use mesh11_phy::{BitRate, CalibratedPhy, Phy, SuccessTable};
+use mesh11_phy::{shared_success_table, BitRate, PerModel, Phy, SuccessTable};
 use mesh11_sim::{ClientProbeTrace, SimConfig};
 use mesh11_topo::{Campaign, CampaignSpec, NetworkSpec};
 use mesh11_trace::{
@@ -44,6 +44,26 @@ pub struct BuildTimings {
     /// Clients the client-probe pass simulated — the unit of its work
     /// list, giving `client_probe_s` a denominator.
     pub clients_simulated: usize,
+}
+
+/// Wall-clock phases of a batched multi-seed build; see
+/// [`ReproContext::build_many_timed`]. Generation and simulation are fused
+/// across seeds (that is the point of batching), so only their ensemble
+/// totals are observable — per-seed work is reported as pair counts.
+#[derive(Debug, Clone)]
+pub struct MultiBuildTimings {
+    /// Campaign generation across all seeds.
+    pub generate_s: f64,
+    /// The one fused simulate pass over every seed's pair work list.
+    pub simulate_s: f64,
+    /// The eager client-probe passes, summed over seeds.
+    pub client_probe_s: f64,
+    /// Pairs simulated across the whole ensemble.
+    pub pairs_simulated: usize,
+    /// Clients simulated across the whole ensemble.
+    pub clients_simulated: usize,
+    /// Pairs simulated per seed, in seed order.
+    pub per_seed_pairs: Vec<usize>,
 }
 
 /// The cached downlink client-probe pass: one trace per covered network.
@@ -193,9 +213,6 @@ pub struct ReproContext {
     /// experiments that need topology ground truth (e.g. client probing)
     /// use it; the paper figures never do.
     campaign: Option<Campaign>,
-    /// One frame-success tabulation for the whole run: the simulate phase
-    /// primes it and the client-probe pass reuses it.
-    success_table: OnceLock<SuccessTable>,
     client_probes: OnceLock<Option<ClientProbePass>>,
     index: OnceLock<DatasetIndex>,
     routing_bg: OnceLock<Vec<OpportunisticAnalysis>>,
@@ -260,13 +277,14 @@ impl ReproContext {
         let campaign = spec.generate();
         let generate_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        // One success table serves the whole run: the campaign simulation
-        // here and the client-probe pass below (its build is simulate-phase
-        // cost, exactly as it was when `run_campaign_counted` built it).
-        let table = SuccessTable::new(&CalibratedPhy::new());
+        // One success table serves the whole process: the shared registry
+        // builds it on first use (that first build lands in simulate-phase
+        // cost, exactly as the per-run build used to) and every later run —
+        // and every other seed of a multi-seed campaign — reuses it.
+        let table = shared_success_table(PerModel::default());
         let (store, stats) = match mode {
             DataMode::InMemory => {
-                let (dataset, stats) = config.run_campaign_counted_with_table(&campaign, &table);
+                let (dataset, stats) = config.run_campaign_counted_with_table(&campaign, table);
                 (DataStore::InMemory(dataset), stats)
             }
             DataMode::Chunked(cfg) => {
@@ -274,7 +292,7 @@ impl ReproContext {
                 let mut io_err: Option<std::io::Error> = None;
                 let stats = config.stream_campaign_with_table(
                     &campaign,
-                    &table,
+                    table,
                     METRO_BATCH_NETWORKS,
                     |part| {
                         if io_err.is_none() {
@@ -295,7 +313,6 @@ impl ReproContext {
         };
         let simulate_s = t1.elapsed().as_secs_f64();
         let this = Self::assemble(store, config, seed, Some(campaign));
-        let _ = this.success_table.set(table);
         // Run the client-probe pass eagerly so its cost lands in the
         // simulate phase (it is simulation), not in whichever figure
         // happens to touch the cache first.
@@ -314,6 +331,61 @@ impl ReproContext {
         )
     }
 
+    /// Builds one context per seed `base_seed .. base_seed + n_seeds` by
+    /// running all the campaigns as **one** flat batched work list through
+    /// [`mesh11_sim::SimConfig::run_campaigns_counted_with_table`], so the
+    /// pair scheduler's tail and all per-run setup amortize across the
+    /// ensemble. Each returned context is byte-identical to
+    /// [`ReproContext::build_timed_with_faults`] at its seed (the runner's
+    /// batching tests pin this). In-memory only: multi-seed campaigns are
+    /// run at quick/standard scales where the ensemble fits residently.
+    pub fn build_many_timed(
+        scale: Scale,
+        base_seed: u64,
+        n_seeds: usize,
+        faults: mesh11_sim::FaultPlan,
+    ) -> (Vec<Self>, MultiBuildTimings) {
+        assert!(n_seeds >= 1, "need at least one seed");
+        let mut config = scale.config();
+        config.faults = faults;
+        let t0 = std::time::Instant::now();
+        let campaigns: Vec<Campaign> = (0..n_seeds)
+            .map(|k| scale.campaign_spec(base_seed + k as u64).generate())
+            .collect();
+        let generate_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let table = shared_success_table(PerModel::default());
+        let refs: Vec<&Campaign> = campaigns.iter().collect();
+        let results = config.run_campaigns_counted_with_table(&refs, table);
+        let simulate_s = t1.elapsed().as_secs_f64();
+        let per_seed_pairs: Vec<usize> = results.iter().map(|(_, s)| s.pairs_simulated).collect();
+        // One eager client-probe pass per seed, as in the single-seed build
+        // (each pass's per-client scheduler is already parallel inside).
+        let t2 = std::time::Instant::now();
+        let mut contexts = Vec::with_capacity(n_seeds);
+        let mut clients_simulated = 0;
+        for (k, ((dataset, _), campaign)) in results.into_iter().zip(campaigns).enumerate() {
+            let ctx = Self::assemble(
+                DataStore::InMemory(dataset),
+                config.clone(),
+                base_seed + k as u64,
+                Some(campaign),
+            );
+            clients_simulated += ctx.client_probes().map_or(0, |p| p.clients_simulated);
+            contexts.push(ctx);
+        }
+        let client_probe_s = t2.elapsed().as_secs_f64();
+        let timings = MultiBuildTimings {
+            generate_s,
+            simulate_s,
+            client_probe_s,
+            pairs_simulated: per_seed_pairs.iter().sum(),
+            clients_simulated,
+            per_seed_pairs,
+        };
+        (contexts, timings)
+    }
+
     /// Wraps an existing dataset (e.g. loaded from disk).
     pub fn from_dataset(dataset: Dataset, config: SimConfig, seed: u64) -> Self {
         Self::assemble(DataStore::InMemory(dataset), config, seed, None)
@@ -330,7 +402,6 @@ impl ReproContext {
             config,
             seed,
             campaign,
-            success_table: OnceLock::new(),
             client_probes: OnceLock::new(),
             index: OnceLock::new(),
             routing_bg: OnceLock::new(),
@@ -444,12 +515,11 @@ impl ReproContext {
             .as_ref()
     }
 
-    /// The run-wide frame-success tabulation. Contexts built by simulation
-    /// inherit the simulate phase's table; dataset-wrapping contexts build
-    /// one on first use.
+    /// The run-wide frame-success tabulation — the process-wide shared
+    /// table (see [`mesh11_phy::shared_success_table`]), built once on
+    /// first use and reused by every context and every seed.
     pub fn success_table(&self) -> &SuccessTable {
-        self.success_table
-            .get_or_init(|| SuccessTable::new(&CalibratedPhy::new()))
+        shared_success_table(PerModel::default())
     }
 
     /// The dataset index — built once on first use and shared by every
@@ -602,6 +672,23 @@ mod tests {
             ctx.strategy_evals_bg().as_ptr(),
             ctx.strategy_evals_bg().as_ptr()
         );
+    }
+
+    #[test]
+    fn multi_seed_build_matches_single_builds() {
+        let (ctxs, t) =
+            ReproContext::build_many_timed(Scale::Quick, 42, 2, mesh11_sim::FaultPlan::none());
+        assert_eq!(ctxs.len(), 2);
+        assert_eq!(t.per_seed_pairs.len(), 2);
+        assert_eq!(t.pairs_simulated, t.per_seed_pairs.iter().sum::<usize>());
+        for (k, ctx) in ctxs.iter().enumerate() {
+            let seed = 42 + k as u64;
+            let (solo, st) = ReproContext::build_timed(Scale::Quick, seed);
+            assert_eq!(ctx.seed, seed);
+            assert_eq!(ctx.dataset(), solo.dataset(), "seed {seed}");
+            assert_eq!(t.per_seed_pairs[k], st.pairs_simulated);
+            assert_eq!(ctx.client_probes(), solo.client_probes(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -13,8 +13,11 @@ pub struct PhaseTimings {
     /// Scale the run used (`"quick"` / `"standard"` / `"paper"` /
     /// `"metro-<factor>"`).
     pub scale: String,
-    /// Campaign seed.
+    /// Campaign seed (the base seed of a multi-seed run).
     pub seed: u64,
+    /// Seeds the run covered (`--seeds`, consecutive from `seed`); 1 for
+    /// single-seed runs.
+    pub seeds: usize,
     /// Thread budget the run executed under (`--threads`, 0 = default).
     pub threads: usize,
     /// Threads rayon actually ran with — what thread-scaling claims are
@@ -27,6 +30,18 @@ pub struct PhaseTimings {
     /// Candidate AP pairs the simulate phase ran — the work-item count of
     /// the global pair scheduler, giving `simulate_s` a denominator.
     pub pairs_simulated: usize,
+    /// Amortized per-seed simulate cost, `simulate_s / seeds` — the number
+    /// the multi-seed batching claim is made against (equals `simulate_s`
+    /// for single-seed runs).
+    pub simulate_s_per_seed: f64,
+    /// Pairs simulated per seed, in seed order (singleton for single-seed
+    /// runs). Multi-seed batching fuses the simulate pass, so per-seed
+    /// wall-clock is unobservable; per-seed work is.
+    pub per_seed_pairs: Vec<usize>,
+    /// Per-seed figure-analysis wall-clock, in seed order (singleton for
+    /// single-seed runs; the analyze phase stays per-seed even when the
+    /// simulate phase is fused).
+    pub per_seed_analyze_s: Vec<f64>,
     /// Probe reports the simulate phase produced.
     pub n_probes: usize,
     /// Simulation throughput: `n_probes / simulate_s`.
@@ -111,6 +126,12 @@ impl PhaseTimings {
             self.analyze_s,
             self.total_s
         );
+        if self.seeds > 1 {
+            s.push_str(&format!(
+                "\n# multi-seed: {} seeds fused, simulate {:.2}s/seed amortized",
+                self.seeds, self.simulate_s_per_seed
+            ));
+        }
         if let Some(rss) = self.peak_rss_mb {
             s.push_str(&format!(
                 "\n# memory: peak RSS {rss:.0} MiB ({}, {} spilled bytes)",
@@ -146,11 +167,15 @@ mod tests {
         let t = PhaseTimings {
             scale: "Quick".into(),
             seed: 42,
+            seeds: 2,
             threads: 0,
             effective_threads: 8,
             generate_s: 0.1,
             simulate_s: 2.0,
             pairs_simulated: 1234,
+            simulate_s_per_seed: 1.0,
+            per_seed_pairs: vec![617, 617],
+            per_seed_analyze_s: vec![0.7, 0.8],
             n_probes: 50_000,
             reports_per_sec: 25_000.0,
             peak_rss_mb: Some(256.0),
@@ -178,6 +203,10 @@ mod tests {
             "generate_s",
             "simulate_s",
             "pairs_simulated",
+            "seeds",
+            "simulate_s_per_seed",
+            "per_seed_pairs",
+            "per_seed_analyze_s",
             "n_probes",
             "reports_per_sec",
             "peak_rss_mb",
@@ -200,6 +229,8 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(t.render().contains("8 threads"));
+        assert!(t.render().contains("2 seeds fused"));
+        assert!(t.render().contains("1.00s/seed"));
         assert!(t.render().contains("1234 pairs"));
         assert!(t.render().contains("321 clients"));
         assert!(t.render().contains("peak RSS 256 MiB"));

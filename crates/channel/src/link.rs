@@ -175,6 +175,37 @@ impl LinkModel {
         }
     }
 
+    /// Batch form of [`LinkModel::sample_advanced`]: fills `out[k]` with a
+    /// fresh sample for direction `forward[k]`, drawing one fade per lane
+    /// in lane order.
+    ///
+    /// RNG consumption and per-lane arithmetic are exactly those of the
+    /// equivalent scalar call sequence, so the filled samples are
+    /// bit-identical to calling [`LinkModel::sample_advanced`] once per
+    /// lane (pinned by a test): the scalar sum associates as
+    /// `(mean + temporal) + fade`, so the per-direction base hoisted here
+    /// preserves the op order. The tick loops of the probe engine use this
+    /// to turn 2·R scalar channel calls per tick into one slab fill whose
+    /// downstream success lookups then run over a contiguous slice.
+    pub fn sample_advanced_slab(&mut self, forward: &[bool], out: &mut [SnrSample]) {
+        assert_eq!(forward.len(), out.len());
+        let base_fwd = self.mean_fwd_db + self.temporal_db;
+        let base_rev = self.mean_rev_db + self.temporal_db;
+        for (o, &fwd) in out.iter_mut().zip(forward) {
+            let fade = self.fade_scale_db * standard_normal(&mut self.rng);
+            let (base, intf) = if fwd {
+                (base_fwd, self.intf_fwd_db)
+            } else {
+                (base_rev, self.intf_rev_db)
+            };
+            let reported = base + fade;
+            *o = SnrSample {
+                reported_db: reported,
+                effective_db: reported - intf,
+            };
+        }
+    }
+
     /// Advances the AR(1) temporal shadowing process to `t_s`. Idempotent
     /// for non-increasing times; normally called implicitly by
     /// [`LinkModel::sample`].
@@ -196,6 +227,48 @@ impl LinkModel {
             }
         }
         self.epoch = target;
+    }
+}
+
+/// An exact N(0, 1) sampler tuned for bulk fade draws — the hottest RNG
+/// call of the client kernel (seven per (tick, AP)). Marsaglia's polar
+/// method produces independent pairs with one `ln`/`sqrt` and no trig (vs
+/// per-draw `ln`+`sqrt`+`cos` in the plain Box–Muller
+/// [`standard_normal`]), and the second value of each pair is kept for the
+/// next call. Same distribution as `standard_normal`, different stream —
+/// callers that switch between them re-key their streams.
+#[derive(Debug, Default, Clone)]
+pub struct PolarNormal {
+    spare: Option<f64>,
+}
+
+impl PolarNormal {
+    /// The next standard-normal draw from `rng`.
+    #[inline]
+    pub fn next(&mut self, rng: &mut SmallRng) -> f64 {
+        use rand::RngExt;
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let x = 2.0 * rng.random::<f64>() - 1.0;
+            let y = 2.0 * rng.random::<f64>() - 1.0;
+            let s = x * x + y * y;
+            if s < 1.0 && s > 0.0 {
+                let k = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(y * k);
+                return x * k;
+            }
+        }
+    }
+
+    /// Fills `out` with consecutive draws — the batch form for lane slabs.
+    /// Draw order (and therefore every value) is identical to calling
+    /// [`PolarNormal::next`] once per lane, pinned by a test.
+    pub fn fill(&mut self, rng: &mut SmallRng, out: &mut [f64]) {
+        for o in out {
+            *o = self.next(rng);
+        }
     }
 }
 
@@ -331,6 +404,72 @@ mod tests {
             let s = l.sample(10.0, true);
             assert!(s.effective_db <= s.reported_db + 1e-12);
         }
+    }
+
+    #[test]
+    fn slab_sampling_is_bit_identical_to_scalar() {
+        // The probe engine swaps its per-(rate, direction) scalar channel
+        // calls for one slab fill per tick; both the RNG stream and every
+        // reported/effective value must match bit for bit or datasets move.
+        for seed in [3u64, 42, 1009] {
+            let mut scalar = nominal_link(seed, 22.0);
+            let mut slab = nominal_link(seed, 22.0);
+            // Alternate directions like the engine's per-rate fwd/rev walk,
+            // across several ticks and temporal epochs.
+            let dirs: Vec<bool> = (0..14).map(|k| k % 2 == 0).collect();
+            let mut out = vec![
+                SnrSample {
+                    reported_db: 0.0,
+                    effective_db: 0.0
+                };
+                dirs.len()
+            ];
+            for tick in 0..50 {
+                let t = tick as f64 * 40.0;
+                scalar.advance_to(t);
+                slab.advance_to(t);
+                slab.sample_advanced_slab(&dirs, &mut out);
+                for (&fwd, &got) in dirs.iter().zip(&out) {
+                    let want = scalar.sample_advanced(fwd);
+                    assert_eq!(
+                        (got.reported_db.to_bits(), got.effective_db.to_bits()),
+                        (want.reported_db.to_bits(), want.effective_db.to_bits()),
+                        "seed {seed} t {t} fwd {fwd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polar_fill_is_bit_identical_to_next() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        let mut gen_a = PolarNormal::default();
+        let mut gen_b = PolarNormal::default();
+        // Odd widths force the spare to straddle fill boundaries.
+        for width in [1usize, 3, 8, 64, 511] {
+            let mut out = vec![0.0; width];
+            gen_a.fill(&mut rng_a, &mut out);
+            for &got in &out {
+                assert_eq!(got.to_bits(), gen_b.next(&mut rng_b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn polar_normal_is_standard_normal() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut g = PolarNormal::default();
+        let xs: Vec<f64> = (0..40_000).map(|_| g.next(&mut rng)).collect();
+        let m = mesh11_stats::mean(&xs).unwrap();
+        let s = stddev(&xs).unwrap();
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((s - 1.0).abs() < 0.02, "sd {s}");
     }
 
     #[test]

@@ -37,14 +37,26 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         "paper" | "full" => SimConfig::paper(),
         _ => SimConfig::quick(),
     };
-    eprintln!(
-        "simulating {} networks at scale '{}' (seed {}) …",
-        spec.len(),
-        args.scale,
-        args.seed
-    );
-    let campaign = spec.generate();
-    let dataset = cfg.run_campaign(&campaign);
+    let dataset = if args.seeds > 1 {
+        eprintln!(
+            "simulating {} networks × {} seeds at scale '{}' (seeds {}..{}) …",
+            spec.len(),
+            args.seeds,
+            args.scale,
+            spec.seed,
+            spec.seed + args.seeds as u64 - 1
+        );
+        simulate_ensemble(&spec, &cfg, args.seeds)
+    } else {
+        eprintln!(
+            "simulating {} networks at scale '{}' (seed {}) …",
+            spec.len(),
+            args.scale,
+            args.seed
+        );
+        let campaign = spec.generate();
+        cfg.run_campaign(&campaign)
+    };
     if args.json {
         dataset
             .save_json(&args.out)
@@ -60,6 +72,37 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         dataset.clients.len()
     );
     Ok(())
+}
+
+/// Runs `n_seeds` consecutive-seed replicas of `base` as one fused batched
+/// campaign and merges them into a single dataset: seed `base.seed + k`
+/// occupies network ids `k·n .. (k+1)·n`. Each replica's rows are
+/// byte-identical to a standalone `simulate --seed base.seed+k` run (only
+/// the ids shift), so downstream analyses see the ensemble as one larger
+/// campaign.
+fn simulate_ensemble(base: &CampaignSpec, cfg: &SimConfig, n_seeds: usize) -> Dataset {
+    let campaigns: Vec<_> = (0..n_seeds as u64)
+        .map(|k| {
+            let mut spec = base.clone();
+            spec.seed = base.seed + k;
+            spec.generate()
+        })
+        .collect();
+    let refs: Vec<&mesh11_topo::Campaign> = campaigns.iter().collect();
+    let table = mesh11_phy::shared_success_table(mesh11_phy::PerModel::default());
+    let n_networks = base.len() as u32;
+    let mut merged = Dataset::default();
+    for (k, (mut dataset, _)) in cfg
+        .run_campaigns_counted_with_table(&refs, table)
+        .into_iter()
+        .enumerate()
+    {
+        dataset.offset_network_ids(k as u32 * n_networks);
+        merged.merge(dataset);
+    }
+    merged.probe_horizon_s = cfg.probe_horizon_s;
+    merged.client_horizon_s = cfg.client_horizon_s;
+    merged
 }
 
 /// `mesh11 inspect FILE`

@@ -1,7 +1,7 @@
 //! `mesh11` — the toolkit's command-line face.
 //!
 //! ```text
-//! mesh11 simulate --seed 42 --scale standard --out dataset.m11t [--json] [--spec campaign.json]
+//! mesh11 simulate --seed 42 --scale standard --out dataset.m11t [--seeds N] [--json] [--spec campaign.json]
 //! mesh11 inspect  dataset.m11t
 //! mesh11 analyze  dataset.m11t [bitrate|routing|triples|mobility|all]
 //! mesh11 figures  dataset.m11t <experiment-id>... | --all
@@ -20,7 +20,7 @@ mod commands;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mesh11 simulate [--seed N] [--scale quick|standard|paper] [--networks N] [--spec FILE] [--json] --out FILE\n  mesh11 inspect FILE\n  mesh11 analyze FILE [bitrate|routing|triples|mobility|all]\n  mesh11 figures FILE <experiment-id>... | --all"
+        "usage:\n  mesh11 simulate [--seed N] [--seeds N] [--scale quick|standard|paper] [--networks N] [--spec FILE] [--json] --out FILE\n  mesh11 inspect FILE\n  mesh11 analyze FILE [bitrate|routing|triples|mobility|all]\n  mesh11 figures FILE <experiment-id>... | --all"
     );
     std::process::exit(2)
 }
@@ -73,6 +73,10 @@ pub fn load_dataset(path: &Path) -> Result<mesh11_trace::Dataset, String> {
 /// Parsed `simulate` flags.
 pub struct SimulateArgs {
     pub seed: u64,
+    /// Seeds to run (consecutive from `seed`) as one fused batched
+    /// campaign; each seed's replica networks land in a disjoint id range
+    /// of the merged dataset.
+    pub seeds: usize,
     pub scale: String,
     pub networks: Option<usize>,
     pub json: bool,
@@ -87,6 +91,7 @@ impl SimulateArgs {
         let mut out = None;
         let mut parsed = SimulateArgs {
             seed: 42,
+            seeds: 1,
             scale: "quick".into(),
             networks: None,
             json: false,
@@ -102,6 +107,16 @@ impl SimulateArgs {
                         .ok_or("--seed needs a value")?
                         .parse()
                         .map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--seeds" => {
+                    parsed.seeds = it
+                        .next()
+                        .ok_or("--seeds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed count: {e}"))?;
+                    if parsed.seeds == 0 {
+                        return Err("--seeds must be >= 1".into());
+                    }
                 }
                 "--scale" => {
                     parsed.scale = it.next().ok_or("--scale needs a value")?.clone();
@@ -150,6 +165,8 @@ mod tests {
         let a = SimulateArgs::parse(&args(&[
             "--seed",
             "7",
+            "--seeds",
+            "3",
             "--scale",
             "standard",
             "--networks",
@@ -160,6 +177,7 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(a.seed, 7);
+        assert_eq!(a.seeds, 3);
         assert_eq!(a.scale, "standard");
         assert_eq!(a.networks, Some(5));
         assert!(a.json);
@@ -170,6 +188,7 @@ mod tests {
         assert!(SimulateArgs::parse(&args(&[])).is_err(), "missing --out");
         assert!(SimulateArgs::parse(&args(&["--seed"])).is_err());
         assert!(SimulateArgs::parse(&args(&["--seed", "x", "--out", "f"])).is_err());
+        assert!(SimulateArgs::parse(&args(&["--seeds", "0", "--out", "f"])).is_err());
         assert!(SimulateArgs::parse(&args(&["--bogus", "--out", "f"])).is_err());
     }
 
@@ -211,6 +230,51 @@ mod tests {
         assert_eq!(ds.networks.len(), 4);
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&spec_path).ok();
+    }
+
+    /// `--seeds N` must be exactly the concatenation of N standalone
+    /// single-seed runs with ids shifted into disjoint ranges — the fused
+    /// scheduler is an execution detail, not a semantic one.
+    #[test]
+    fn multi_seed_simulate_matches_offset_single_runs() {
+        let dir = std::env::temp_dir().join("mesh11-cli-seeds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ens_path = dir.join("ens.m11t");
+        crate::commands::simulate(&args(&[
+            "--seed",
+            "5",
+            "--seeds",
+            "2",
+            "--networks",
+            "3",
+            "--out",
+            ens_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let merged = load_dataset(&ens_path).unwrap();
+        assert_eq!(merged.networks.len(), 6);
+
+        let mut expect = mesh11_trace::Dataset::default();
+        for k in 0u32..2 {
+            let single_path = dir.join(format!("s{k}.m11t"));
+            crate::commands::simulate(&args(&[
+                "--seed",
+                &(5 + k).to_string(),
+                "--networks",
+                "3",
+                "--out",
+                single_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let mut single = load_dataset(&single_path).unwrap();
+            expect.probe_horizon_s = single.probe_horizon_s;
+            expect.client_horizon_s = single.client_horizon_s;
+            single.offset_network_ids(k * 3);
+            expect.merge(single);
+            std::fs::remove_file(&single_path).ok();
+        }
+        assert_eq!(merged, expect);
+        std::fs::remove_file(&ens_path).ok();
     }
 
     #[test]

@@ -291,6 +291,30 @@ pub fn ber(rate: BitRate, snr_linear: f64) -> f64 {
     }
 }
 
+/// Batch form of [`ber`]: fills `out[k]` with `ber(rate, snr_linear[k])`.
+///
+/// The rate-class dispatch in [`modulation_of`] — two nested matches per
+/// scalar call — is hoisted out of the lane loop, so the slab walks the
+/// uncoded curve and union bound back to back over a contiguous slice.
+/// Each lane performs exactly the scalar call's operations in the scalar
+/// call's order, so results are bit-identical (pinned by a test).
+pub fn ber_slab(rate: BitRate, snr_linear: &[f64], out: &mut [f64]) {
+    assert_eq!(snr_linear.len(), out.len());
+    let (modulation, coding) = modulation_of(rate);
+    match coding {
+        Some(c) => {
+            for (o, &snr) in out.iter_mut().zip(snr_linear) {
+                *o = coded_ber(uncoded_ber(modulation, snr), c);
+            }
+        }
+        None => {
+            for (o, &snr) in out.iter_mut().zip(snr_linear) {
+                *o = uncoded_ber(modulation, snr);
+            }
+        }
+    }
+}
+
 /// Convenience: dB → linear power ratio.
 pub fn db_to_linear(db: f64) -> f64 {
     10f64.powf(db / 10.0)
@@ -429,6 +453,24 @@ mod tests {
         assert!(event_error_prob(10, 0.5) > 0.1);
         // More errors required => less likely.
         assert!(event_error_prob(12, 0.01) < event_error_prob(10, 0.01));
+    }
+
+    #[test]
+    fn ber_slab_is_bit_identical_to_scalar() {
+        let snrs: Vec<f64> = (-250..=500)
+            .map(|db10| db_to_linear(db10 as f64 / 10.0))
+            .collect();
+        for &r in BG_ALL.iter().chain(HT_ALL) {
+            for width in [1usize, 8, 64, 512] {
+                for chunk in snrs.chunks(width) {
+                    let mut out = vec![0.0; chunk.len()];
+                    ber_slab(r, chunk, &mut out);
+                    for (&snr, &got) in chunk.iter().zip(&out) {
+                        assert_eq!(got.to_bits(), ber(r, snr).to_bits(), "{r} @ snr={snr}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

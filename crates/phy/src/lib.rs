@@ -46,5 +46,8 @@ pub mod math;
 pub mod per;
 pub mod rate;
 
-pub use per::{CalibratedPhy, CompactRow, PerModel, RateRow, SuccessTable, DEFAULT_FRAME_BYTES};
+pub use per::{
+    shared_success_table, CalibratedPhy, CompactRow, PerModel, RateRow, SuccessTable,
+    DEFAULT_FRAME_BYTES,
+};
 pub use rate::{BitRate, Phy, RateClass};

@@ -16,6 +16,7 @@
 use crate::ber::{ber, db_to_linear};
 use crate::rate::{BitRate, Phy};
 use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, OnceLock};
 
 /// Probe/data frame size used throughout the toolkit (bytes).
 ///
@@ -318,6 +319,11 @@ impl SuccessTable {
     }
 }
 
+/// Lanes per inner chunk of the batch success kernels: one 512-byte
+/// position buffer, L1-resident, long enough to amortize the loop overhead
+/// and keep the vectorized position pass's stores streaming.
+const SLAB_CHUNK: usize = 64;
+
 /// One rate's slice of a [`SuccessTable`]: the success grid plus the bin
 /// parameters, resolved once so the per-frame query is a pure array walk.
 /// Produces bit-identical results to [`SuccessTable::success`] (which now
@@ -345,6 +351,43 @@ impl RateRow<'_> {
         let i = pos.floor() as usize;
         let frac = pos - i as f64;
         grid[i] * (1.0 - frac) + grid[i + 1] * frac
+    }
+
+    /// Batch form of [`RateRow::success`]: fills `out[k]` with
+    /// `success(snrs[k])` for a whole lane slab.
+    ///
+    /// The inner loop is branchless — the out-of-range early returns of the
+    /// scalar path become a `clamp` on the grid position plus an index
+    /// `min` — so the compiler can unroll and vectorize it, and mixed
+    /// saturated/transition lanes pay no mispredict. Bit-identical to the
+    /// scalar path (pinned by tests): a clamped position of exactly `0.0`
+    /// lerps to `grid[0]·1.0 + grid[1]·0.0 = grid[0]`, and a position of
+    /// exactly `max` lands on `i = len−2, frac = 1.0`, which lerps to
+    /// `grid[len−2]·0.0 + grid[len−1]·1.0 = grid[len−1]` — both exact
+    /// because the grid cells are non-negative finite probabilities. No
+    /// `mul_add` in the lerp: FMA rounds differently than the scalar
+    /// `a·(1−f) + b·f`.
+    #[inline]
+    pub fn success_slab(&self, snrs: &[f64], out: &mut [f64]) {
+        assert_eq!(snrs.len(), out.len());
+        let grid = self.grid;
+        let max = (grid.len() - 1) as f64;
+        let top = grid.len() - 2;
+        // Two passes over cache-sized chunks: the position pass is pure
+        // lane arithmetic (sub / div / clamp) the compiler vectorizes; the
+        // gather pass does the data-dependent grid loads. Per-element math
+        // and order are unchanged, so the split keeps the bit-identity.
+        let mut pos_buf = [0.0f64; SLAB_CHUNK];
+        for (snr_c, out_c) in snrs.chunks(SLAB_CHUNK).zip(out.chunks_mut(SLAB_CHUNK)) {
+            for (p, &snr) in pos_buf.iter_mut().zip(snr_c) {
+                *p = ((snr - self.lo_db) / self.step_db).clamp(0.0, max);
+            }
+            for (o, &pos) in out_c.iter_mut().zip(&pos_buf) {
+                let i = (pos as usize).min(top);
+                let frac = pos - i as f64;
+                *o = grid[i] * (1.0 - frac) + grid[i + 1] * frac;
+            }
+        }
     }
 
     /// An owned, cache-compact copy of this row: see [`CompactRow`].
@@ -423,6 +466,66 @@ impl CompactRow {
         let frac = pos - i as f64;
         self.band[i - self.lo] * (1.0 - frac) + self.band[i - self.lo + 1] * frac
     }
+
+    /// Batch form of [`CompactRow::success`], branchless like
+    /// [`RateRow::success_slab`] and bit-identical to the scalar path
+    /// (pinned by tests).
+    ///
+    /// The saturated-head/tail early returns collapse into a clamp of the
+    /// grid position onto `[lo, hi]`: a query in the flat-0 head clamps to
+    /// `pos = lo`, whose lerp is exactly `band[0] = 0.0`; one in the flat-1
+    /// tail clamps to `pos = hi`, which lands on `i = hi−1, frac = 1.0` and
+    /// lerps to exactly `band[hi−lo] = 1.0`. When a run is empty (`lo = 0`
+    /// or `hi = max_pos`) the clamp degenerates to the scalar edge clamp
+    /// and returns `edge0`/`edge1` the same way.
+    #[inline]
+    pub fn success_slab(&self, snrs: &[f64], out: &mut [f64]) {
+        assert_eq!(snrs.len(), out.len());
+        let band = &self.band[..];
+        let lo_f = self.lo as f64;
+        let hi_f = self.hi as f64;
+        let top = self.hi - 1;
+        // Chunked two-pass like [`RateRow::success_slab`]: vectorizable
+        // position arithmetic first, data-dependent band loads second.
+        let mut pos_buf = [0.0f64; SLAB_CHUNK];
+        for (snr_c, out_c) in snrs.chunks(SLAB_CHUNK).zip(out.chunks_mut(SLAB_CHUNK)) {
+            for (p, &snr) in pos_buf.iter_mut().zip(snr_c) {
+                *p = ((snr - self.lo_db) / self.step_db).clamp(lo_f, hi_f);
+            }
+            for (o, &pos) in out_c.iter_mut().zip(&pos_buf) {
+                let i = (pos as usize).min(top);
+                let frac = pos - i as f64;
+                *o = band[i - self.lo] * (1.0 - frac) + band[i - self.lo + 1] * frac;
+            }
+        }
+    }
+}
+
+/// Process-wide [`SuccessTable`] registry for default-calibrated PHYs,
+/// keyed by the frame model `(frame_bytes, with_preamble)`.
+///
+/// Table construction bisects and tabulates ~8000 coded-BER curves
+/// (milliseconds); every campaign, client pass, and bench setup used to
+/// rebuild an identical table. The registry builds each distinct model's
+/// table once per process and hands out `&'static` references, so callers
+/// can also share the borrow across threads without an `Arc`. The common
+/// default model sits behind a dedicated `OnceLock` fast path; other models
+/// go through a small mutexed list (a handful of entries at most — bench
+/// ablations — so a linear scan beats a map).
+pub fn shared_success_table(model: PerModel) -> &'static SuccessTable {
+    static DEFAULT: OnceLock<SuccessTable> = OnceLock::new();
+    static EXTRA: Mutex<Vec<(PerModel, &'static SuccessTable)>> = Mutex::new(Vec::new());
+    if model == PerModel::default() {
+        return DEFAULT.get_or_init(|| SuccessTable::new(&CalibratedPhy::new()));
+    }
+    let mut reg = EXTRA.lock().expect("success-table registry poisoned");
+    if let Some(&(_, t)) = reg.iter().find(|(m, _)| *m == model) {
+        return t;
+    }
+    let phy = CalibratedPhy::with_model(model, default_sensitivity_db);
+    let t: &'static SuccessTable = Box::leak(Box::new(SuccessTable::new(&phy)));
+    reg.push((model, t));
+    t
 }
 
 /// SNR (dB) at which the *raw* payload success crosses 0.5, by bisection.
@@ -641,6 +744,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn success_slab_is_bit_identical_to_scalar() {
+        // The batch kernel feeds the same RNG coin comparisons as the
+        // scalar path; a single ULP of drift anywhere — saturated head,
+        // transition band, saturated tail, clamped out-of-range — changes
+        // datasets. Sweep off-grid points spanning all of those regions,
+        // at several slab widths including ragged tails.
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        for &r in BG_PROBED.iter().chain(HT_ALL) {
+            let row = table.rate_row(r);
+            let compact = row.compact();
+            let snrs: Vec<f64> = (-720..=1520).map(|s| s as f64 / 20.0 + 0.0173).collect();
+            for width in [1usize, 7, 8, 64, 512] {
+                for chunk in snrs.chunks(width) {
+                    let mut out = vec![0.0; chunk.len()];
+                    row.success_slab(chunk, &mut out);
+                    for (&snr, &got) in chunk.iter().zip(&out) {
+                        assert_eq!(got.to_bits(), row.success(snr).to_bits(), "{r} @ {snr}");
+                    }
+                    compact.success_slab(chunk, &mut out);
+                    for (&snr, &got) in chunk.iter().zip(&out) {
+                        assert_eq!(
+                            got.to_bits(),
+                            compact.success(snr).to_bits(),
+                            "compact {r} @ {snr}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_success_table_matches_fresh_and_is_cached() {
+        let fresh = SuccessTable::new(&CalibratedPhy::new());
+        let shared = shared_success_table(PerModel::default());
+        for &r in BG_PROBED.iter().chain(HT_ALL) {
+            for snr10 in (-320..=720).step_by(13) {
+                let snr = snr10 as f64 / 10.0 + 0.037;
+                assert_eq!(
+                    shared.success(r, snr).to_bits(),
+                    fresh.success(r, snr).to_bits(),
+                    "{r} @ {snr}"
+                );
+            }
+        }
+        // Same model → same allocation, both for the default fast path and
+        // the registry list.
+        assert!(std::ptr::eq(
+            shared,
+            shared_success_table(PerModel::default())
+        ));
+        let short = PerModel {
+            frame_bytes: 256,
+            with_preamble: true,
+        };
+        assert!(std::ptr::eq(
+            shared_success_table(short),
+            shared_success_table(short)
+        ));
+        assert!(!std::ptr::eq(shared, shared_success_table(short)));
     }
 
     #[test]

@@ -36,7 +36,8 @@
 use std::collections::BTreeSet;
 
 use mesh11_channel::pathloss::distance;
-use mesh11_phy::{BitRate, CalibratedPhy, CompactRow, Phy, SuccessTable};
+use mesh11_channel::PolarNormal;
+use mesh11_phy::{BitRate, CompactRow, Phy, SuccessTable};
 use mesh11_stats::dist::{derive_seed, derive_seed_str, standard_normal};
 use mesh11_topo::NetworkSpec;
 use mesh11_trace::{ApId, ProbeSet, RateObs};
@@ -123,36 +124,6 @@ fn prep_network(spec: &NetworkSpec, cfg: &SimConfig) -> NetPrep {
     }
 }
 
-/// An exact N(0, 1) sampler tuned for the fade draws — the kernel's hottest
-/// RNG call (seven per (tick, AP)). Marsaglia's polar method produces
-/// independent pairs with one `ln`/`sqrt` and no trig (vs per-draw
-/// `ln`+`sqrt`+`cos` in the plain Box–Muller [`standard_normal`]), and the
-/// second value of each pair is kept for the next call. Same distribution,
-/// different stream — fine here, since re-keying already changed this
-/// module's draws and equivalence is checked statistically.
-#[derive(Default)]
-struct FadeGen {
-    spare: Option<f64>,
-}
-
-impl FadeGen {
-    fn next(&mut self, rng: &mut SmallRng) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
-            let x = 2.0 * rng.random::<f64>() - 1.0;
-            let y = 2.0 * rng.random::<f64>() - 1.0;
-            let s = x * x + y * y;
-            if s < 1.0 && s > 0.0 {
-                let k = (-2.0 * s.ln() / s).sqrt();
-                self.spare = Some(y * k);
-                return x * k;
-            }
-        }
-    }
-}
-
 /// Recomputes the per-AP mean SNRs at `pos` and the list of APs above the
 /// measurement gate. Static clients call this once; walkers once per tick.
 fn refresh_gate(
@@ -193,7 +164,9 @@ fn simulate_one_client(
     let n_aps = spec.size();
     let ci = client.id.0 as usize;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut fades = FadeGen::default();
+    // Marsaglia-polar N(0,1) — the kernel's hottest RNG call (seven per
+    // (tick, AP)); shared with the channel crate's batch fade kernels.
+    let mut fades = PolarNormal::default();
     let fade_sigma = spec.params.fade_sigma_db;
     let mut state = MobilityState::new(client.home);
     let slots = probe_slots(cfg.window_s, cfg.probe_interval_s);
@@ -306,9 +279,8 @@ fn classify(population: &[ClientSpec], n_aps: usize) -> (BTreeSet<u32>, BTreeSet
 /// Simulates downlink (AP → client) probes over the client horizon for one
 /// network's b/g radio.
 pub fn simulate_client_probes(spec: &NetworkSpec, cfg: &SimConfig) -> ClientProbeTrace {
-    let calibrated = CalibratedPhy::new();
-    let table = SuccessTable::new(&calibrated);
-    simulate_client_probes_with_table(spec, cfg, &table)
+    let table = mesh11_phy::shared_success_table(mesh11_phy::PerModel::default());
+    simulate_client_probes_with_table(spec, cfg, table)
 }
 
 /// As [`simulate_client_probes`], with a caller-provided success table
@@ -534,6 +506,7 @@ pub(crate) mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mesh11_phy::CalibratedPhy;
     use mesh11_topo::CampaignSpec;
     use proptest::prelude::*;
 

@@ -26,7 +26,7 @@
 //! `LossWindow` + naive-fault-scan engine), which the equivalence tests
 //! pin — including the RNG draw order, so outputs are byte-identical.
 
-use mesh11_channel::{LinkModel, RadioHardware};
+use mesh11_channel::{LinkModel, RadioHardware, SnrSample};
 use mesh11_phy::{BitRate, Phy, RateRow, SuccessTable};
 use mesh11_stats::dist::{derive_seed, derive_seed_str};
 use mesh11_topo::NetworkSpec;
@@ -112,9 +112,8 @@ pub(crate) fn coin_base(seed: u64, phy: Phy) -> u64 {
 /// Simulates the probe pipeline of one network radio and returns its probe
 /// sets in time order.
 pub fn simulate_probes(spec: &NetworkSpec, phy: Phy, cfg: &SimConfig) -> Vec<ProbeSet> {
-    let calibrated = mesh11_phy::CalibratedPhy::new();
-    let table = SuccessTable::new(&calibrated);
-    simulate_probes_with_table(spec, phy, cfg, &table)
+    let table = mesh11_phy::shared_success_table(mesh11_phy::PerModel::default());
+    simulate_probes_with_table(spec, phy, cfg, table)
 }
 
 /// As [`simulate_probes`], with a caller-provided success table (the
@@ -175,6 +174,26 @@ pub(crate) fn simulate_pair(
 
     let mut out: Vec<ProbeSet> = Vec::new();
     let mut obs_buf: Vec<RateObs> = Vec::with_capacity(rates.len());
+    // Per-tick lane slabs, hoisted across the whole timeline: lane
+    // `2·ri + dir` carries rate `ri`, forward (0) or reverse (1). The lane
+    // order equals the scalar loop's draw order (fwd₀, rev₀, fwd₁, …), so
+    // filling a slab consumes each RNG stream in exactly the scalar
+    // sequence; fades (link RNG) and coins (pair RNG) are independent
+    // streams, so draining one fully before the other cannot change either
+    // stream's values — the per-lane outputs stay bit-identical while the
+    // success lookups run branchless over contiguous memory.
+    let lanes = 2 * rows.len();
+    let dirs: Vec<bool> = (0..lanes).map(|k| k % 2 == 0).collect();
+    let mut snr_slab = vec![
+        SnrSample {
+            reported_db: 0.0,
+            effective_db: 0.0,
+        };
+        lanes
+    ];
+    let mut eff_slab = vec![0.0f64; lanes];
+    let mut p_slab = vec![0.0f64; lanes];
+    let mut coin_slab = vec![0.0f64; lanes];
     // `t` accumulates additively (it is the reported time and must stay
     // bit-identical across refactors); `tick` is the integer slot index
     // keying the ring windows.
@@ -204,31 +223,42 @@ pub(crate) fn simulate_pair(
         // would change the AR(1) catch-up draws across long outages).
         if a_up && b_up {
             link.advance_to(t);
-        }
-        for (ri, row) in rows.iter().enumerate() {
-            // a broadcasts; b (if alive) records the scheduled outcome.
-            if b_up {
-                let mut received = false;
-                let mut reported = 0.0;
-                if a_up {
-                    let s = link.sample_advanced(true);
-                    let p = row.success(s.effective_db - burst);
-                    received = rng.random::<f64>() < p;
-                    reported = s.reported_db;
-                }
-                win.record(FWD, ri, received, reported);
+            // Slab pass over the tick's 2·R frames: all fades, then all
+            // success lookups, then all coins, then the records — each
+            // stage in lane order, so both RNG streams see the scalar
+            // draw sequence (see the slab comment above).
+            link.sample_advanced_slab(&dirs, &mut snr_slab);
+            for (e, s) in eff_slab.iter_mut().zip(&snr_slab) {
+                *e = s.effective_db - burst;
             }
-            // b broadcasts; a records.
-            if a_up {
-                let mut received = false;
-                let mut reported = 0.0;
+            for (ri, row) in rows.iter().enumerate() {
+                let k = 2 * ri;
+                row.success_slab(&eff_slab[k..k + 2], &mut p_slab[k..k + 2]);
+            }
+            for c in coin_slab.iter_mut() {
+                *c = rng.random::<f64>();
+            }
+            for ri in 0..rows.len() {
+                let k = 2 * ri;
+                win.record(FWD, ri, coin_slab[k] < p_slab[k], snr_slab[k].reported_db);
+                win.record(
+                    REV,
+                    ri,
+                    coin_slab[k + 1] < p_slab[k + 1],
+                    snr_slab[k + 1].reported_db,
+                );
+            }
+        } else {
+            // One end down: nothing is sampled (the sender or the whole
+            // channel is dead), but a live receiver still records the
+            // scheduled miss so its loss window advances.
+            for ri in 0..rows.len() {
                 if b_up {
-                    let s = link.sample_advanced(false);
-                    let p = row.success(s.effective_db - burst);
-                    received = rng.random::<f64>() < p;
-                    reported = s.reported_db;
+                    win.record(FWD, ri, false, 0.0);
                 }
-                win.record(REV, ri, received, reported);
+                if a_up {
+                    win.record(REV, ri, false, 0.0);
+                }
             }
         }
 

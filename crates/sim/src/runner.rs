@@ -11,7 +11,7 @@
 //! exact k-way merge (the crate-private `merge` module) instead of a full
 //! re-sort.
 
-use mesh11_phy::{CalibratedPhy, Phy, RateRow, SuccessTable};
+use mesh11_phy::{Phy, RateRow, SuccessTable};
 use mesh11_topo::{Campaign, NetworkSpec};
 use mesh11_trace::{Dataset, NetworkMeta, ProbeSet};
 use rayon::prelude::*;
@@ -44,9 +44,8 @@ impl SimConfig {
     /// Simulates one network (all its radios, probes and clients) into a
     /// single-network dataset.
     pub fn run_network(&self, spec: &NetworkSpec) -> Dataset {
-        let phy = CalibratedPhy::new();
-        let table = SuccessTable::new(&phy);
-        self.run_network_with_table(spec, &table)
+        let table = mesh11_phy::shared_success_table(mesh11_phy::PerModel::default());
+        self.run_network_with_table(spec, table)
     }
 
     /// As [`SimConfig::run_network`] with a shared success table.
@@ -87,9 +86,8 @@ impl SimConfig {
 
     /// As [`SimConfig::run_campaign`], also returning run counters.
     pub fn run_campaign_counted(&self, campaign: &Campaign) -> (Dataset, CampaignRunStats) {
-        let phy_model = CalibratedPhy::new();
-        let table = SuccessTable::new(&phy_model);
-        self.run_campaign_counted_with_table(campaign, &table)
+        let table = mesh11_phy::shared_success_table(mesh11_phy::PerModel::default());
+        self.run_campaign_counted_with_table(campaign, table)
     }
 
     /// As [`SimConfig::run_campaign_counted`] with a caller-provided
@@ -115,6 +113,45 @@ impl SimConfig {
             merged.merge(part);
         }
         (merged, stats)
+    }
+
+    /// Runs several campaigns — in practice one per seed of a multi-seed
+    /// ensemble — as **one** flat `(campaign, network, radio, pair)` work
+    /// list through the same three-pass scheduler, then splits the parts
+    /// back per campaign positionally.
+    ///
+    /// Every pair timeline is keyed only by its own spec's
+    /// `(seed, phy, a, b)` (the batching tests pin this), so each returned
+    /// dataset is byte-identical to running its campaign alone with
+    /// [`SimConfig::run_campaign_counted_with_table`] — but the scheduler
+    /// sees `N×` the work items, so the long tail of the largest network's
+    /// pairs overlaps across seeds instead of serializing once per seed,
+    /// and discovery, table, and thread-pool setup amortize across the
+    /// ensemble.
+    pub fn run_campaigns_counted_with_table(
+        &self,
+        campaigns: &[&Campaign],
+        table: &SuccessTable,
+    ) -> Vec<(Dataset, CampaignRunStats)> {
+        let refs: Vec<&NetworkSpec> = campaigns.iter().flat_map(|c| c.networks.iter()).collect();
+        let (parts, pair_counts) = self.run_spec_refs_with_table(&refs, table);
+        let mut out = Vec::with_capacity(campaigns.len());
+        let mut parts_iter = parts.into_iter();
+        let mut counts_iter = pair_counts.into_iter();
+        for campaign in campaigns {
+            let mut merged = Dataset {
+                probe_horizon_s: self.probe_horizon_s,
+                client_horizon_s: self.client_horizon_s,
+                ..Dataset::default()
+            };
+            let mut stats = CampaignRunStats::default();
+            for _ in 0..campaign.networks.len() {
+                merged.merge(parts_iter.next().expect("one part per network"));
+                stats.pairs_simulated += counts_iter.next().expect("one count per network");
+            }
+            out.push((merged, stats));
+        }
+        out
     }
 
     /// Streams a campaign's per-network datasets into `sink`, in network-id
@@ -150,6 +187,23 @@ impl SimConfig {
         specs: &[NetworkSpec],
         table: &SuccessTable,
     ) -> (Vec<Dataset>, CampaignRunStats) {
+        let refs: Vec<&NetworkSpec> = specs.iter().collect();
+        let (parts, pair_counts) = self.run_spec_refs_with_table(&refs, table);
+        let stats = CampaignRunStats {
+            pairs_simulated: pair_counts.iter().sum(),
+        };
+        (parts, stats)
+    }
+
+    /// [`SimConfig::run_specs_with_table`] by reference — the multi-seed
+    /// path concatenates several campaigns' spec lists without cloning
+    /// specs — returning the per-spec candidate-pair counts alongside the
+    /// parts so callers can attribute work per campaign.
+    fn run_spec_refs_with_table(
+        &self,
+        specs: &[&NetworkSpec],
+        table: &SuccessTable,
+    ) -> (Vec<Dataset>, Vec<usize>) {
         let rows_bg: Vec<RateRow<'_>> = Phy::Bg
             .probed_rates()
             .iter()
@@ -170,7 +224,7 @@ impl SimConfig {
         let plans: Vec<RadioPlan> = radio_jobs
             .par_iter()
             .map(|&(network, phy)| {
-                let spec = &specs[network];
+                let spec = specs[network];
                 RadioPlan {
                     network,
                     phy,
@@ -189,14 +243,15 @@ impl SimConfig {
             .enumerate()
             .flat_map(|(pi, plan)| (0..plan.pairs.len()).map(move |qi| (pi, qi)))
             .collect();
-        let stats = CampaignRunStats {
-            pairs_simulated: items.len(),
-        };
+        let mut pair_counts = vec![0usize; specs.len()];
+        for plan in &plans {
+            pair_counts[plan.network] += plan.pairs.len();
+        }
         let streams: Vec<Vec<ProbeSet>> = items
             .par_iter()
             .map(|&(pi, qi)| {
                 let plan = &plans[pi];
-                let spec = &specs[plan.network];
+                let spec = specs[plan.network];
                 let rows = match plan.phy {
                     Phy::Bg => &rows_bg,
                     Phy::Ht => &rows_ht,
@@ -217,7 +272,7 @@ impl SimConfig {
         // Pass 3: client traces, one job per network.
         let client_parts: Vec<_> = specs
             .par_iter()
-            .map(|spec| simulate_clients(spec, self))
+            .map(|&spec| simulate_clients(spec, self))
             .collect();
 
         // Assembly: slice the stream list back into per-network groups
@@ -225,7 +280,7 @@ impl SimConfig {
         let mut parts = Vec::with_capacity(specs.len());
         let mut stream_iter = streams.into_iter();
         let mut plan_iter = plans.iter().peekable();
-        for (ni, (spec, clients)) in specs.iter().zip(client_parts).enumerate() {
+        for (ni, (&spec, clients)) in specs.iter().zip(client_parts).enumerate() {
             let mut net_streams: Vec<Vec<ProbeSet>> = Vec::new();
             while let Some(plan) = plan_iter.peek() {
                 if plan.network != ni {
@@ -244,7 +299,7 @@ impl SimConfig {
                 client_horizon_s: self.client_horizon_s,
             });
         }
-        (parts, stats)
+        (parts, pair_counts)
     }
 }
 
@@ -261,7 +316,7 @@ fn network_meta(spec: &NetworkSpec) -> NetworkMeta {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh11_phy::Phy;
+    use mesh11_phy::{CalibratedPhy, Phy};
     use mesh11_topo::CampaignSpec;
 
     #[test]
@@ -355,6 +410,38 @@ mod tests {
             assert_eq!(parts, campaign.networks.len());
             assert_eq!(merged, expected, "batch size {batch}");
             assert_eq!(stats.pairs_simulated, one_shot_stats.pairs_simulated);
+        }
+    }
+
+    /// Fusing N campaigns into one flat work list must not perturb any
+    /// campaign's output: batch sizes 1, 3, and N all reproduce the
+    /// one-shot per-campaign datasets and pair counts exactly.
+    #[test]
+    fn fused_multi_campaign_matches_per_campaign_runs() {
+        let campaigns: Vec<Campaign> = [(11u64, 3usize), (12, 5), (13, 4), (14, 2), (15, 3)]
+            .iter()
+            .map(|&(seed, n)| CampaignSpec::scaled(seed, n).generate())
+            .collect();
+        let mut cfg = SimConfig::quick();
+        cfg.probe_horizon_s = 1_200.0;
+        cfg.client_horizon_s = 600.0;
+        let phy = CalibratedPhy::new();
+        let table = SuccessTable::new(&phy);
+        let solo: Vec<_> = campaigns
+            .iter()
+            .map(|c| cfg.run_campaign_counted_with_table(c, &table))
+            .collect();
+        for batch in [1usize, 3, 5] {
+            let mut fused = Vec::new();
+            for chunk in campaigns.chunks(batch) {
+                let refs: Vec<&Campaign> = chunk.iter().collect();
+                fused.extend(cfg.run_campaigns_counted_with_table(&refs, &table));
+            }
+            assert_eq!(fused.len(), solo.len());
+            for (k, (got, want)) in fused.iter().zip(&solo).enumerate() {
+                assert_eq!(got.1, want.1, "batch {batch}, campaign {k}: stats");
+                assert_eq!(got.0, want.0, "batch {batch}, campaign {k}: dataset");
+            }
         }
     }
 

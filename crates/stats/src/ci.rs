@@ -1,0 +1,98 @@
+//! Small-sample confidence intervals for multi-seed ensembles.
+//!
+//! The repro harness runs N seeds of every figure and reports each curve
+//! point as `mean ± t·s/√N` across seeds. N is small (4–16 in practice),
+//! so the normal 1.96 would understate the interval badly — at N = 4 the
+//! correct multiplier is 3.18. The two-sided 95% Student-t critical values
+//! are tabulated exactly for the df range an ensemble can reach; beyond the
+//! table the t distribution is within half a percent of normal and the
+//! asymptotic value is used.
+
+/// Two-sided 95% Student-t critical value (the 0.975 quantile) for `df`
+/// degrees of freedom. `df = 0` (a single seed: no spread estimate) returns
+/// infinity — a one-point "interval" is unbounded, and callers treat it as
+/// "no interval".
+pub fn t_crit_975(df: usize) -> f64 {
+    /// 0.975 quantiles for df 1..=30 (standard table, 3 decimals).
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        _ => 1.960,
+    }
+}
+
+/// Mean and 95% t-interval half-width of a sample: `(mean, t·s/√n)`.
+/// `None` for an empty sample; a single observation yields an infinite
+/// half-width (see [`t_crit_975`]).
+pub fn mean_ci95(values: &[f64]) -> Option<(f64, f64)> {
+    let mean = crate::mean(values)?;
+    if values.len() < 2 {
+        return Some((mean, f64::INFINITY));
+    }
+    let sd = crate::stddev(values)?;
+    let half = t_crit_975(values.len() - 1) * sd / (values.len() as f64).sqrt();
+    Some((mean, half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_edges() {
+        assert!(t_crit_975(0).is_infinite());
+        assert_eq!(t_crit_975(1), 12.706);
+        assert_eq!(t_crit_975(3), 3.182);
+        assert_eq!(t_crit_975(30), 2.042);
+        assert_eq!(t_crit_975(31), 1.960);
+        assert_eq!(t_crit_975(10_000), 1.960);
+        // Monotone non-increasing in df.
+        for df in 1..40 {
+            assert!(t_crit_975(df + 1) <= t_crit_975(df), "df {df}");
+        }
+    }
+
+    #[test]
+    fn mean_ci_matches_hand_computation() {
+        assert_eq!(mean_ci95(&[]), None);
+        let (m, h) = mean_ci95(&[3.0]).unwrap();
+        assert_eq!(m, 3.0);
+        assert!(h.is_infinite());
+        // n = 4: mean 2.5, s = √(5/3), half = 3.182·s/2.
+        let (m, h) = mean_ci95(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+        let s = (5.0f64 / 3.0).sqrt();
+        assert!((h - 3.182 * s / 2.0).abs() < 1e-12, "half {h}");
+        // Identical values → zero-width interval.
+        let (_, h) = mean_ci95(&[7.0; 8]).unwrap();
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn coverage_is_roughly_95_percent() {
+        // Draw many n=6 N(0,1) samples; the t-interval should cover the
+        // true mean (0) ~95% of the time.
+        use crate::dist::derive_seed;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut covered = 0;
+        let trials = 2_000;
+        for i in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(derive_seed(777, i));
+            let xs: Vec<f64> = (0..6)
+                .map(|_| crate::dist::standard_normal(&mut rng))
+                .collect();
+            let (m, h) = mean_ci95(&xs).unwrap();
+            if (m - 0.0).abs() <= h {
+                covered += 1;
+            }
+        }
+        let frac = covered as f64 / trials as f64;
+        assert!((0.93..=0.97).contains(&frac), "coverage {frac}");
+    }
+}

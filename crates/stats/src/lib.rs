@@ -35,6 +35,7 @@
 
 pub mod binned;
 pub mod cdf;
+pub mod ci;
 pub mod correlation;
 pub mod dist;
 pub mod histogram;
@@ -42,6 +43,7 @@ pub mod summary;
 
 pub use binned::BinnedStats;
 pub use cdf::Cdf;
+pub use ci::{mean_ci95, t_crit_975};
 pub use correlation::{pearson, spearman};
 pub use dist::{Dist, DrawExt};
 pub use histogram::Histogram;

@@ -108,6 +108,24 @@ impl Dataset {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
+    /// Shifts every network id in the dataset — metadata, probe reports,
+    /// and client samples — up by `by`. Multi-seed ensembles use this to
+    /// tag each seed's replica networks into a disjoint id range (seed `k`
+    /// of an `n`-network campaign occupies ids `k·n .. (k+1)·n`) so
+    /// per-seed datasets can [`Dataset::merge`] into one ensemble dataset,
+    /// or stream in ascending-id order through a shared chunked builder.
+    pub fn offset_network_ids(&mut self, by: u32) {
+        for m in &mut self.networks {
+            m.id = NetworkId(m.id.0 + by);
+        }
+        for p in &mut self.probes {
+            p.network = NetworkId(p.network.0 + by);
+        }
+        for c in &mut self.clients {
+            c.network = NetworkId(c.network.0 + by);
+        }
+    }
+
     /// Merges another dataset (disjoint networks) into this one. Network ids
     /// must already be globally unique — the campaign runner guarantees it.
     ///
@@ -233,19 +251,38 @@ mod tests {
         let mut a = tiny_dataset();
         let mut b = tiny_dataset();
         // Shift b's network ids to be disjoint.
-        for m in &mut b.networks {
-            m.id = NetworkId(m.id.0 + 2);
-        }
-        for p in &mut b.probes {
-            p.network = NetworkId(p.network.0 + 2);
-        }
-        for c in &mut b.clients {
-            c.network = NetworkId(c.network.0 + 2);
-        }
+        b.offset_network_ids(2);
         a.merge(b);
         assert_eq!(a.networks.len(), 4);
         assert_eq!(a.probes.len(), 6);
         assert_eq!(a.meta(NetworkId(3)).unwrap().n_aps, 7);
+    }
+
+    #[test]
+    fn offset_network_ids_retags_everything_and_nothing_else() {
+        let orig = tiny_dataset();
+        let mut shifted = orig.clone();
+        shifted.offset_network_ids(5);
+        assert_eq!(
+            shifted.networks.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert!(shifted.probes.iter().all(|p| p.network.0 >= 5));
+        assert!(shifted.clients.iter().all(|c| c.network.0 >= 5));
+        // Only the tags moved: shifting back reproduces the original
+        // byte for byte (payloads, times, and order untouched).
+        shifted.offset_network_ids(0); // no-op
+        let mut back = shifted.clone();
+        for m in &mut back.networks {
+            m.id = NetworkId(m.id.0 - 5);
+        }
+        for p in &mut back.probes {
+            p.network = NetworkId(p.network.0 - 5);
+        }
+        for c in &mut back.clients {
+            c.network = NetworkId(c.network.0 - 5);
+        }
+        assert_eq!(back, orig);
     }
 
     /// The documented invalidation contract: indexing after a merge gives
