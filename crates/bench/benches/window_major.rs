@@ -1,0 +1,76 @@
+//! Kernel-major vs window-major scheduling of the fused analysis pass,
+//! over the same kernel set: one probe-source walk **per kernel** (each
+//! kernel re-materializing windows as it goes) against **one** shared
+//! window walk folding every kernel while the window is resident. Three
+//! data shapes: the in-memory quick dataset (windows are free — the
+//! schedules should tie), the quick dataset forced through tiny spilled
+//! chunks (window rebuilds hit the decoder), and a metro-2 chunked
+//! ensemble (the headline case). Run with
+//! `cargo bench -p mesh11-bench window_major`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh11_bench::{fused, DataMode, FusedOutputs, FusedRunner, ReproContext, Scale};
+use mesh11_trace::{fold_windows, ChunkConfig, ProbeSource};
+use std::hint::black_box;
+
+const SEED: u64 = 42;
+
+fn build_ctx(scale: Scale, mode: DataMode) -> ReproContext {
+    ReproContext::build_timed_with_mode(scale, SEED, mesh11_sim::FaultPlan::none(), mode).0
+}
+
+/// The kernel-major schedule: every fused kernel gets its own full walk
+/// over the source, then pass B runs as usual. Byte-identical outputs to
+/// [`fused::run_fused`] — only the window traffic differs.
+fn run_kernel_major(src: &ProbeSource<'_>) -> FusedOutputs {
+    let mut runner = FusedRunner::new();
+    {
+        let mut kernels = runner.kernels();
+        for k in kernels.iter_mut() {
+            fold_windows(src, std::slice::from_mut(k));
+        }
+    }
+    runner.finish(src)
+}
+
+fn bench_schedules(c: &mut Criterion, label: &str, ctx: &ReproContext) {
+    c.bench_function(&format!("window_major/{label}-kernel-major"), |b| {
+        b.iter(|| black_box(run_kernel_major(&ctx.probe_source())))
+    });
+    c.bench_function(&format!("window_major/{label}-window-major"), |b| {
+        b.iter(|| black_box(fused::run_fused(&ctx.probe_source())))
+    });
+}
+
+/// Fully resident quick dataset: no window cost, schedules should tie.
+fn quick(c: &mut Criterion) {
+    let ctx = build_ctx(Scale::Quick, DataMode::InMemory);
+    bench_schedules(c, "quick", &ctx);
+}
+
+/// Quick dataset through tiny spilled chunks: kernel-major re-decodes
+/// spilled chunks per kernel, window-major decodes each window once.
+fn forced_spill(c: &mut Criterion) {
+    let ctx = build_ctx(Scale::Quick, DataMode::Chunked(ChunkConfig::tiny()));
+    assert!(
+        ctx.chunked().expect("chunked").spilled_bytes() > 0,
+        "tiny budget must force spilling"
+    );
+    bench_schedules(c, "spill", &ctx);
+}
+
+/// The headline case: metro-2 chunked ensemble under the default config.
+fn metro2(c: &mut Criterion) {
+    let ctx = build_ctx(
+        Scale::Metro { factor: 2 },
+        DataMode::Chunked(ChunkConfig::default()),
+    );
+    bench_schedules(c, "metro2", &ctx);
+}
+
+criterion_group! {
+    name = window_major;
+    config = Criterion::default().sample_size(10);
+    targets = quick, forced_spill, metro2
+}
+criterion_main!(window_major);

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N]
 //!       [--faults] [--metro-factor N] [--chunked] [--chunk-capacity N]
-//!       [--chunk-budget N] [--spill-dir DIR] [--out DIR] [--bench-json FILE]
+//!       [--chunk-budget N] [--spill-dir DIR] [--streaming]
+//!       [--window-major] [--kernel-major] [--out DIR] [--bench-json FILE]
 //!       [--rows N] [--plot] <id>... | --all
 //! ```
 //!
@@ -13,6 +14,13 @@
 //! point across seeds into mean ± 95% t-interval figures under
 //! `out/figures_ci/`. Per-seed and amortized timings land in the timing
 //! JSONs. In-memory scales only.
+//!
+//! `--streaming` (implies `--chunked`) overlaps analysis with simulation:
+//! sealed dataset parts feed a bounded channel whose consumer folds every
+//! registered kernel over each part while later networks still simulate.
+//! `--window-major` / `--kernel-major` force the analysis schedule
+//! (default: window-major when chunked, kernel-major in-memory); figures
+//! are byte-identical either way.
 //!
 //! Prints each figure as an aligned text table (with the paper-expected
 //! values as `#` notes; add `--plot` for ASCII curve renderings) and writes
@@ -28,8 +36,8 @@
 
 use mesh11_bench::figures::{build, ALL_IDS};
 use mesh11_bench::{
-    aggregate_ci, group_by_figure, max_relative_halfwidth, peak_rss_mb, DataMode, PhaseTimings,
-    ReproContext, Scale,
+    aggregate_ci, group_by_figure, max_relative_halfwidth, peak_rss_mb, AnalysisMode, DataMode,
+    PhaseTimings, ReproContext, Scale,
 };
 use mesh11_core::report::FigureData;
 use mesh11_trace::ChunkConfig;
@@ -48,6 +56,8 @@ struct Args {
     chunk_capacity: Option<usize>,
     chunk_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    streaming: bool,
+    analysis_mode: Option<AnalysisMode>,
     out: PathBuf,
     bench_json: PathBuf,
     rows: usize,
@@ -60,6 +70,7 @@ impl Args {
     /// overridden to chunked when any chunk flag is given.
     fn data_mode(&self) -> DataMode {
         let chunk_flags = self.chunked
+            || self.streaming
             || self.chunk_capacity.is_some()
             || self.chunk_budget.is_some()
             || self.spill_dir.is_some();
@@ -94,6 +105,8 @@ fn parse_args() -> Result<Args, String> {
         chunk_capacity: None,
         chunk_budget: None,
         spill_dir: None,
+        streaming: false,
+        analysis_mode: None,
         out: PathBuf::from("out"),
         bench_json: PathBuf::from("BENCH_repro.json"),
         rows: 16,
@@ -129,6 +142,19 @@ fn parse_args() -> Result<Args, String> {
                 metro_factor = Some(n);
             }
             "--chunked" => args.chunked = true,
+            "--streaming" => args.streaming = true,
+            "--window-major" => {
+                if args.analysis_mode == Some(AnalysisMode::KernelMajor) {
+                    return Err("--window-major conflicts with --kernel-major".into());
+                }
+                args.analysis_mode = Some(AnalysisMode::WindowMajor);
+            }
+            "--kernel-major" => {
+                if args.analysis_mode == Some(AnalysisMode::WindowMajor) {
+                    return Err("--kernel-major conflicts with --window-major".into());
+                }
+                args.analysis_mode = Some(AnalysisMode::KernelMajor);
+            }
             "--chunk-capacity" => {
                 let v = it.next().ok_or("--chunk-capacity needs a value")?;
                 args.chunk_capacity =
@@ -166,7 +192,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N] [--faults]\n\
                      \x20            [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]\n\
-                     \x20            [--spill-dir DIR] [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
+                     \x20            [--spill-dir DIR] [--streaming] [--window-major] [--kernel-major]\n\
+                     \x20            [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
                      identical at any value, only wall-clock changes\n\
                      --seeds N    run N consecutive seeds as one fused batched campaign:\n\
@@ -176,6 +203,11 @@ fn parse_args() -> Result<Args, String> {
                      AP outages + stacked interference bursts), still thread-invariant\n\
                      --metro-factor N  ensemble multiplier for --scale metro (default {})\n\
                      --chunked    stream probes through the spill-able chunk store at any scale\n\
+                     --streaming  overlap analysis with simulation: fold kernels over sealed\n\
+                     parts while later networks still simulate (implies --chunked)\n\
+                     --window-major  materialize each window once, fold every kernel over it\n\
+                     (default when chunked); byte-identical to kernel-major\n\
+                     --kernel-major  one probe-source walk per kernel (default in-memory)\n\
                      --chunk-capacity N  probe sets per chunk (default {})\n\
                      --chunk-budget N    resident chunks before spilling (default {})\n\
                      --spill-dir DIR     where cold chunks spill (default: system temp dir)\n\
@@ -204,6 +236,12 @@ fn parse_args() -> Result<Args, String> {
     if args.seeds > 1 && !matches!(args.data_mode(), DataMode::InMemory) {
         return Err(
             "--seeds runs the ensemble in-memory; drop the chunk flags (or --scale metro)".into(),
+        );
+    }
+    if args.streaming && args.analysis_mode.is_some() {
+        return Err(
+            "--streaming already folds window-major during simulation; drop the schedule flag"
+                .into(),
         );
     }
     Ok(args)
@@ -305,7 +343,18 @@ fn run(args: &Args) -> i32 {
             cfg.chunk_capacity, cfg.resident_chunks
         );
     }
-    let (ctx, build_t) = ReproContext::build_timed_with_mode(args.scale, args.seed, faults, mode);
+    let (mut ctx, build_t) = if args.streaming {
+        let DataMode::Chunked(cfg) = mode else {
+            unreachable!("--streaming implies a chunked data mode")
+        };
+        eprintln!("# streaming: analysis consumer folds sealed parts while simulation continues");
+        ReproContext::build_timed_streaming(args.scale, args.seed, faults, cfg)
+    } else {
+        ReproContext::build_timed_with_mode(args.scale, args.seed, faults, mode)
+    };
+    if let Some(schedule) = args.analysis_mode {
+        ctx.set_analysis_mode(schedule);
+    }
     eprintln!(
         "# simulated {} networks / {} APs ({} pairs): {} probe sets, {} client samples in {:.1}s",
         ctx.networks().len(),
@@ -328,13 +377,17 @@ fn run(args: &Args) -> i32 {
     let SeedAnalysis {
         fig_times,
         failures,
-        analyze_s,
+        analyze_s: figure_s,
         ..
     } = analysis;
+    // For streaming runs the figure pass is only the tail of analysis: the
+    // fold work already ran inside the simulate wall.
+    let analyze_s = figure_s + build_t.stream_analyze_s;
 
     let n_probes = ctx.n_probes();
     // Snapshot after analysis so the counters cover the kernels' traffic.
-    let chunk = ctx.chunk_stats();
+    // In-memory runs have no chunk store; their counters are null, not 0.
+    let chunk = ctx.chunked().map(|_| ctx.chunk_stats());
     let timings = PhaseTimings {
         scale: args.scale.label(),
         seed: args.seed,
@@ -347,6 +400,8 @@ fn run(args: &Args) -> i32 {
         simulate_s_per_seed: build_t.simulate_s,
         per_seed_pairs: vec![build_t.pairs_simulated],
         per_seed_analyze_s: vec![analyze_s],
+        analyze_s_per_seed: analyze_s,
+        analyze_s_per_seed_ci95: None,
         n_probes,
         reports_per_sec: if build_t.simulate_s > 0.0 {
             n_probes as f64 / build_t.simulate_s
@@ -367,12 +422,15 @@ fn run(args: &Args) -> i32 {
         } else {
             0.0
         },
-        chunk_hits: chunk.chunk_hits,
-        chunk_decodes: chunk.chunk_decodes,
-        chunk_evictions: chunk.chunk_evictions,
-        peak_pinned_bytes: chunk.peak_pinned_bytes,
-        window_hits: chunk.window_hits,
-        window_builds: chunk.window_builds,
+        stream_analyze_s: args.streaming.then_some(build_t.stream_analyze_s),
+        chunk_hits: chunk.as_ref().map(|c| c.chunk_hits),
+        chunk_decodes: chunk.as_ref().map(|c| c.chunk_decodes),
+        chunk_evictions: chunk.as_ref().map(|c| c.chunk_evictions),
+        peak_pinned_bytes: chunk.as_ref().map(|c| c.peak_pinned_bytes),
+        window_hits: chunk.as_ref().map(|c| c.window_hits),
+        window_builds: chunk.as_ref().map(|c| c.window_builds),
+        window_evictions: chunk.as_ref().map(|c| c.window_evictions),
+        n_windows: ctx.chunked().map(|c| c.n_windows() as u64),
         total_s: t_total.elapsed().as_secs_f64(),
         figures: fig_times,
     };
@@ -445,7 +503,14 @@ fn run_multi(args: &Args, faults: mesh11_sim::FaultPlan, t_total: Instant) -> i3
         eprintln!("#   widest CI: {id} ±{:.1}% of mean", 100.0 * rel);
     }
 
-    let chunk = mesh11_trace::ChunkStoreStats::default();
+    // Per-seed analyze spread, mirroring `simulate_s_per_seed`: a mean plus
+    // a 95% Student-t half-width once ≥ 2 seeds ran (the n=1 half-width is
+    // infinite, which JSON cannot carry — map it to `None`).
+    let (analyze_s_per_seed, analyze_s_per_seed_ci95) =
+        match mesh11_stats::mean_ci95(&per_seed_analyze_s) {
+            Some((mean, half)) => (mean, half.is_finite().then_some(half)),
+            None => (0.0, None),
+        };
     let timings = PhaseTimings {
         scale: args.scale.label(),
         seed: args.seed,
@@ -458,6 +523,8 @@ fn run_multi(args: &Args, faults: mesh11_sim::FaultPlan, t_total: Instant) -> i3
         simulate_s_per_seed: build_t.simulate_s / args.seeds as f64,
         per_seed_pairs: build_t.per_seed_pairs.clone(),
         per_seed_analyze_s,
+        analyze_s_per_seed,
+        analyze_s_per_seed_ci95,
         n_probes,
         reports_per_sec: if build_t.simulate_s > 0.0 {
             n_probes as f64 / build_t.simulate_s
@@ -475,12 +542,15 @@ fn run_multi(args: &Args, faults: mesh11_sim::FaultPlan, t_total: Instant) -> i3
         } else {
             0.0
         },
-        chunk_hits: chunk.chunk_hits,
-        chunk_decodes: chunk.chunk_decodes,
-        chunk_evictions: chunk.chunk_evictions,
-        peak_pinned_bytes: chunk.peak_pinned_bytes,
-        window_hits: chunk.window_hits,
-        window_builds: chunk.window_builds,
+        stream_analyze_s: None,
+        chunk_hits: None,
+        chunk_decodes: None,
+        chunk_evictions: None,
+        peak_pinned_bytes: None,
+        window_hits: None,
+        window_builds: None,
+        window_evictions: None,
+        n_windows: None,
         total_s: t_total.elapsed().as_secs_f64(),
         figures: base_fig_times,
     };

@@ -6,12 +6,11 @@
 //! substrate is a calibrated simulator, not the Meraki testbed); the
 //! *orderings, medians, and crossovers* are.
 
-use mesh11_core::bitrate::{Scope, SnrThroughputCurves, ThroughputPenalty};
+use mesh11_core::bitrate::Scope;
 use mesh11_core::report::{FigureData, Series};
-use mesh11_core::routing::asymmetry::asymmetry_by_rate_from;
 use mesh11_core::routing::improvement::{improvement_by_network_size, improvement_by_path_length};
 use mesh11_core::routing::EtxVariant;
-use mesh11_core::triples::{range::normalized_range_by_env, range_change_by_rate, HearRule};
+use mesh11_core::triples::{range::normalized_range_by_env, range_change_by_rate};
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::Cdf;
 use mesh11_trace::{EnvLabel, NetworkId};
@@ -97,10 +96,8 @@ fn cdf_series(label: &str, values: &[f64]) -> Option<Series> {
 /// Fig 3.1 — CDFs of SNR standard deviation within probe sets, per link,
 /// and per network.
 pub fn fig3_1(ctx: &ReproContext) -> FigureData {
-    let src = ctx.probe_source();
-    let sets = mesh11_trace::snrstats::probe_set_sigmas_from(&src);
-    let links = mesh11_trace::snrstats::link_sigmas_from(&src);
-    let nets = mesh11_trace::snrstats::network_sigmas_from(&src);
+    let sigmas = ctx.snr_sigmas();
+    let (sets, links, nets) = (&sigmas.sets, &sigmas.links, &sigmas.nets);
     let under5 = sets.iter().filter(|&&s| s < 5.0).count() as f64 / sets.len().max(1) as f64;
     let mut fig = FigureData::new(
         "fig3-1",
@@ -115,19 +112,15 @@ pub fn fig3_1(ctx: &ReproContext) -> FigureData {
     ));
     // The paper's unpictured robustness note: σ of the k most recent SNRs
     // on a link is comparable to the within-set σ for small k.
-    let recent3 = mesh11_trace::snrstats::recent_k_sigmas_from(&src, 3);
+    let recent3 = &sigmas.recent;
     if let (Some(set_med), Some(recent_med)) =
-        (mesh11_stats::median(&sets), mesh11_stats::median(&recent3))
+        (mesh11_stats::median(sets), mesh11_stats::median(recent3))
     {
         fig.notes.push(format!(
             "measured: median sigma of 3 most recent link SNRs {recent_med:.2} dB vs within-set {set_med:.2} dB (paper: comparable)"
         ));
     }
-    for (label, vals) in [
-        ("Probe Sets", &sets),
-        ("Links", &links),
-        ("Networks", &nets),
-    ] {
+    for (label, vals) in [("Probe Sets", sets), ("Links", links), ("Networks", nets)] {
         if let Some(s) = cdf_series(label, vals) {
             fig = fig.with_series(s);
         }
@@ -225,10 +218,7 @@ pub fn fig4_4(ctx: &ReproContext) -> Vec<FigureData> {
             )
             .with_note("paper: Link ~ AP >> Network ~ Global (b/g); exact-pick ~90% b/g, ~75% n");
             for scope in Scope::ALL {
-                let p = ThroughputPenalty::evaluate_from(
-                    &ctx.probe_source(),
-                    ctx.lookup_tables(scope, phy),
-                );
+                let p = ctx.penalty(scope, phy);
                 fig.notes.push(format!(
                     "measured {}: exact pick {:.1}%, mean loss {:.2} Mbit/s",
                     scope.name(),
@@ -259,7 +249,7 @@ pub fn fig4_5(ctx: &ReproContext) -> Vec<FigureData> {
     ]
     .into_iter()
     .map(|(phy, suffix, name, expect)| {
-        let curves = SnrThroughputCurves::build_from(&ctx.probe_source(), phy);
+        let curves = ctx.snr_curves(phy);
         let mut fig = FigureData::new(
             format!("fig4-5{suffix}"),
             format!("Correlation between SNR and throughput ({name} medians)"),
@@ -404,7 +394,7 @@ pub fn fig5_1(ctx: &ReproContext) -> Vec<FigureData> {
 
 /// Fig 5.2 — CDF of link asymmetry ratios per rate (b/g).
 pub fn fig5_2(ctx: &ReproContext) -> FigureData {
-    let by_rate = asymmetry_by_rate_from(&ctx.probe_source(), Phy::Bg);
+    let by_rate = ctx.asymmetry_bg();
     let mut fig = FigureData::new(
         "fig5-2",
         "Link asymmetry (forward/reverse delivery ratio)",
@@ -412,7 +402,7 @@ pub fn fig5_2(ctx: &ReproContext) -> FigureData {
         "CDF",
     )
     .with_note("paper: real but modest spread, stable across rates");
-    for (rate, vals) in &by_rate {
+    for (rate, vals) in by_rate {
         if let Some(s) = cdf_series(&rate.to_string(), vals) {
             fig = fig.with_series(s);
         }
@@ -717,15 +707,7 @@ pub fn fig1_1(ctx: &ReproContext) -> FigureData {
 /// ext-adapt — rate-adaptation replay (DESIGN.md §8): achieved throughput
 /// per adapter with a 10% full-probing airtime charge.
 pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::bitrate::{simulate_adapters_from, AdapterKind};
-    let kinds = [
-        AdapterKind::Oracle,
-        AdapterKind::SnrTable { top_k: 1 },
-        AdapterKind::SnrTable { top_k: 2 },
-        AdapterKind::EwmaProbing { alpha: 0.3 },
-        AdapterKind::Fixed(BitRate::bg_mbps(11.0).expect("11 Mbit/s exists")),
-    ];
-    let out = simulate_adapters_from(&ctx.probe_source(), Phy::Bg, &kinds, 0.10);
+    let out = ctx.adapters_ext();
     let mut fig = FigureData::new(
         "ext-adapt",
         "Rate-adaptation replay (b/g, 10% probing overhead)",
@@ -754,17 +736,10 @@ pub fn ext_adapt(ctx: &ReproContext) -> FigureData {
 /// network.
 pub fn ext_cap(ctx: &ReproContext) -> FigureData {
     use mesh11_core::routing::ablation::improvement_vs_cap;
-    let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let meta = ctx
-        .meta_dataset()
-        .networks_with_at_least(5)
-        .filter(|m| m.radios.contains(&Phy::Bg))
-        .max_by_key(|m| m.n_aps)
+    let cap = ctx
+        .cap_ext()
         .expect("campaigns include a ≥5-AP b/g network");
-    let m = ctx
-        .probe_source()
-        .delivery_matrix(Phy::Bg, meta.id, one, meta.n_aps);
-    let rows = improvement_vs_cap(&m, &[1, 2, 3, 4, 8, usize::MAX]);
+    let rows = improvement_vs_cap(&cap.matrix, &[1, 2, 3, 4, 8, usize::MAX]);
     let pts: Vec<(f64, f64)> = rows
         .iter()
         .map(|&(cap, v)| ((cap.min(16)) as f64, v))
@@ -773,7 +748,7 @@ pub fn ext_cap(ctx: &ReproContext) -> FigureData {
         "ext-cap",
         format!(
             "Opportunistic gain vs forwarder cap ({} APs, 1 Mbit/s)",
-            meta.n_aps
+            cap.n_aps
         ),
         "candidate cap (∞ plotted at 16)",
         "mean improvement over ETX1",
@@ -784,15 +759,7 @@ pub fn ext_cap(ctx: &ReproContext) -> FigureData {
 
 /// ext-sweep — hidden-triple threshold sweep at 1 Mbit/s.
 pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::triples::sweep::threshold_sweep_from;
-    let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let rows = threshold_sweep_from(
-        &ctx.probe_source(),
-        Phy::Bg,
-        one,
-        &[0.05, 0.10, 0.20, 0.30, 0.50],
-        HearRule::Mean,
-    );
+    let rows = ctx.sweep_ext();
     let pts: Vec<(f64, f64)> = rows
         .iter()
         .filter_map(|&(t, med)| med.map(|m| (t, m)))
@@ -810,8 +777,7 @@ pub fn ext_sweep(ctx: &ReproContext) -> FigureData {
 /// ext-stability — per-link optimal-rate churn and SNR drift (§4.6
 /// diagnostics).
 pub fn ext_stability(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::bitrate::link_stability_from;
-    let s = link_stability_from(&ctx.probe_source(), Phy::Bg);
+    let s = ctx.stability_bg();
     let mut fig = FigureData::new(
         "ext-stability",
         "Temporal stability of the per-link optimum (802.11b/g)",
@@ -844,9 +810,7 @@ pub fn ext_stability(ctx: &ReproContext) -> FigureData {
 /// ext-diversity — §5.2.2's unpictured result: improvement vs the source's
 /// forwarding-candidate count.
 pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::routing::diversity::analyze_diversity_from;
-    let one = BitRate::bg_mbps(1.0).expect("1 Mbit/s exists");
-    let rows = analyze_diversity_from(&ctx.probe_source(), Phy::Bg, one, 5, EtxVariant::Etx1);
+    let rows = ctx.diversity_ext();
     FigureData::new(
         "ext-diversity",
         "Improvement vs path diversity (1 Mbit/s, ETX1)",
@@ -866,8 +830,7 @@ pub fn ext_diversity(ctx: &ReproContext) -> FigureData {
 
 /// ext-ett — multi-rate ETT vs best single-rate ETX1 path speedups.
 pub fn ext_ett(ctx: &ReproContext) -> FigureData {
-    use mesh11_core::routing::ett::analyze_ett_from;
-    let analyses = analyze_ett_from(&ctx.probe_source(), Phy::Bg, 5);
+    let analyses = ctx.ett_bg();
     let speedups: Vec<f64> = analyses.iter().flat_map(|a| a.speedups()).collect();
     let mut fig = FigureData::new(
         "ext-ett",

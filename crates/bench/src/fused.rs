@@ -1,0 +1,392 @@
+//! The window-major fused analysis pass.
+//!
+//! Kernel-major analysis walks the probe source once *per kernel*: a
+//! chunked run re-materializes every window once per heavy analysis
+//! (~14× at metro scale). This module inverts the loop. **Pass A** drives
+//! every table-independent fold kernel — and the eight lookup-table
+//! builds — through a single [`fold_windows`] walk, so each window is
+//! decoded exactly once (`window_builds == n_windows`). **Pass B** then
+//! scores the finished tables: penalties need completed tables, so they
+//! cannot ride in pass A; on a chunked store they share one raw-chunk walk
+//! ([`ThroughputPenalty::evaluate_batch_chunked`]) that never builds a
+//! window at all.
+//!
+//! Byte identity with the kernel-major oracle follows from the fold
+//! contract (`crates/trace/src/fold.rs`): each kernel's single partial is
+//! threaded sequentially through the windows in network order, which is
+//! exactly the accumulation sequence of its solo `run_fold` walk.
+//!
+//! [`FusedRunner`] exposes the in-flight form of the same pass for the
+//! streaming build: the simulate/analyze overlap consumer folds each
+//! sealed part as it arrives, then finishes against the completed chunk
+//! store.
+
+use std::collections::BTreeMap;
+
+use mesh11_core::bitrate::adaptation::AdaptationKernel;
+use mesh11_core::bitrate::correlation::CurvesKernel;
+use mesh11_core::bitrate::lookup::TableBuildKernel;
+use mesh11_core::bitrate::stability::StabilityKernel;
+use mesh11_core::bitrate::strategy::StrategyKernel;
+use mesh11_core::bitrate::{
+    AdaptationOutcome, AdapterKind, LinkStability, LookupTableSet, Scope, SnrThroughputCurves,
+    StrategyEval, StrategyKind, ThroughputPenalty,
+};
+use mesh11_core::routing::asymmetry::AsymmetryKernel;
+use mesh11_core::routing::diversity::DiversityKernel;
+use mesh11_core::routing::ett::{EttAnalysis, EttKernel};
+use mesh11_core::routing::improvement::{OpportunisticAnalysis, RoutingKernel};
+use mesh11_core::routing::EtxVariant;
+use mesh11_core::triples::hidden::TripleKernel;
+use mesh11_core::triples::range::RangeKernel;
+use mesh11_core::triples::sweep::SweepKernel;
+use mesh11_core::triples::{HearRule, TripleAnalysis};
+use mesh11_phy::{BitRate, Phy};
+use mesh11_trace::snrstats::{SigmaKernel, SigmaKind};
+use mesh11_trace::{
+    fold_windows, DatasetView, DeliveryMatrix, FoldKernel, NetworkId, ProbeSource, Running,
+    WindowFold,
+};
+
+use crate::setup::{lookup_slot, TRIPLE_THRESHOLD};
+
+/// Minimum APs for a network to join the §5 routing population.
+pub(crate) const ROUTING_MIN_APS: usize = 5;
+/// Probing-airtime charge of the `ext-adapt` replay.
+pub(crate) const EXT_ADAPT_OVERHEAD: f64 = 0.10;
+/// Hearing thresholds swept by `ext-sweep`.
+pub(crate) const EXT_SWEEP_THRESHOLDS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.50];
+/// The recent-SNR run length of Fig 3.1's robustness note.
+pub(crate) const SIGMA_RECENT_K: usize = 3;
+
+/// The 1 Mbit/s b/g rate shared by the §5/§6 extension figures.
+pub(crate) fn one_mbps() -> BitRate {
+    BitRate::bg_mbps(1.0).expect("1 Mbit/s exists")
+}
+
+/// The adapter roster of the `ext-adapt` replay, in output order.
+pub(crate) fn ext_adapt_kinds() -> Vec<AdapterKind> {
+    vec![
+        AdapterKind::Oracle,
+        AdapterKind::SnrTable { top_k: 1 },
+        AdapterKind::SnrTable { top_k: 2 },
+        AdapterKind::EwmaProbing { alpha: 0.3 },
+        AdapterKind::Fixed(BitRate::bg_mbps(11.0).expect("11 Mbit/s exists")),
+    ]
+}
+
+/// The Fig 3.1 sigma populations, bundled so one accessor serves all four.
+#[derive(Debug, Clone, Default)]
+pub struct SnrSigmas {
+    /// σ within each probe set.
+    pub sets: Vec<f64>,
+    /// σ of each link's probe-set SNRs over time.
+    pub links: Vec<f64>,
+    /// σ of each length-`SIGMA_RECENT_K` run of a link's recent SNRs.
+    pub recent: Vec<f64>,
+    /// σ over every probe-set SNR of a network.
+    pub nets: Vec<f64>,
+}
+
+/// The `ext-cap` input: the delivery matrix of the largest ≥5-AP b/g
+/// network at 1 Mbit/s, tagged with the network it came from.
+#[derive(Debug, Clone)]
+pub struct CapMatrix {
+    /// The chosen network.
+    pub network: NetworkId,
+    /// Its AP count.
+    pub n_aps: usize,
+    /// Its delivery matrix at 1 Mbit/s.
+    pub matrix: DeliveryMatrix,
+}
+
+/// Tracks the largest qualifying b/g network across the window walk and
+/// keeps its delivery matrix. Replacing on `n_aps >= best` replicates
+/// `Iterator::max_by_key`'s last-max-wins over the id-ordered metas, and
+/// computing the matrix from the resident window view avoids the extra
+/// window build `ProbeSource::delivery_matrix` would cost on a chunked
+/// store.
+#[derive(Debug, Clone, Copy)]
+struct CapKernel;
+
+impl FoldKernel for CapKernel {
+    type Partial = Option<CapMatrix>;
+    type Output = Option<CapMatrix>;
+
+    fn init(&self) -> Self::Partial {
+        None
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut Self::Partial) {
+        // `max_by_key` keeps the *last* maximum, so the window's winner is
+        // its last network with the maximal qualifying AP count; only that
+        // one needs a delivery matrix (the matrix depends only on the
+        // winner's own window, so skipping the losers changes no bytes).
+        let mut winner: Option<&mesh11_trace::NetworkMeta> = None;
+        for m in &view.dataset().networks {
+            if m.n_aps < ROUTING_MIN_APS || !m.radios.contains(&Phy::Bg) {
+                continue;
+            }
+            if partial.as_ref().is_some_and(|best| m.n_aps < best.n_aps)
+                || winner.is_some_and(|w| m.n_aps < w.n_aps)
+            {
+                continue;
+            }
+            winner = Some(m);
+        }
+        if let Some(m) = winner {
+            *partial = Some(CapMatrix {
+                network: m.id,
+                n_aps: m.n_aps,
+                matrix: view.delivery_matrix(Phy::Bg, m.id, one_mbps(), m.n_aps),
+            });
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        // Later windows hold later network ids: `from` wins ties.
+        if let Some(b) = from {
+            if into.as_ref().is_none_or(|a| b.n_aps >= a.n_aps) {
+                *into = Some(b);
+            }
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// Every shared heavy analysis, produced by one fused pass.
+pub struct FusedOutputs {
+    /// Fig 3.1 sigma populations.
+    pub sigmas: SnrSigmas,
+    /// §4 lookup tables, indexed by `lookup_slot(scope, phy)`.
+    pub tables: [LookupTableSet; 8],
+    /// Fig 4.4 penalties, indexed by `lookup_slot(scope, phy)`.
+    pub penalties: [ThroughputPenalty; 8],
+    /// Fig 4.5 SNR↔throughput curves, `[Bg, Ht]`.
+    pub curves: [SnrThroughputCurves; 2],
+    /// Fig 4.6 / Table 4.1 online-strategy evaluations (b/g).
+    pub strategy_bg: Vec<StrategyEval>,
+    /// §5 routing analyses (b/g, ≥5 APs).
+    pub routing_bg: Vec<OpportunisticAnalysis>,
+    /// Fig 5.2 asymmetry pools per rate (b/g).
+    pub asymmetry_bg: BTreeMap<BitRate, Vec<f64>>,
+    /// §6 hidden-triple analysis (b/g, 10% threshold).
+    pub triples_bg: TripleAnalysis,
+    /// §6 per-(network, rate) ranges (b/g).
+    pub ranges_bg: BTreeMap<(NetworkId, BitRate), usize>,
+    /// `ext-adapt` outcomes.
+    pub adapters_ext: Vec<AdaptationOutcome>,
+    /// `ext-sweep` rows.
+    pub sweep_ext: Vec<(f64, Option<f64>)>,
+    /// `ext-stability` churn/drift report (b/g).
+    pub stability_bg: LinkStability,
+    /// `ext-diversity` rows.
+    pub diversity_ext: Vec<(usize, f64, f64, usize)>,
+    /// `ext-ett` analyses (b/g, ≥5 APs).
+    pub ett_bg: Vec<EttAnalysis>,
+    /// `ext-cap` delivery matrix, when a qualifying network exists.
+    pub cap_ext: Option<CapMatrix>,
+}
+
+/// The in-flight state of the fused pass: every pass-A kernel paired with
+/// its partial, ready to fold window views as they become resident.
+pub struct FusedRunner {
+    sig_sets: Running<SigmaKernel>,
+    sig_links: Running<SigmaKernel>,
+    sig_recent: Running<SigmaKernel>,
+    sig_nets: Running<SigmaKernel>,
+    tables: Vec<Running<TableBuildKernel>>,
+    curves_bg: Running<CurvesKernel>,
+    curves_ht: Running<CurvesKernel>,
+    strategy_bg: Running<StrategyKernel>,
+    routing_bg: Running<RoutingKernel>,
+    asymmetry_bg: Running<AsymmetryKernel>,
+    triples_bg: Running<TripleKernel>,
+    ranges_bg: Running<RangeKernel>,
+    adapters: Running<AdaptationKernel>,
+    sweep: Running<SweepKernel>,
+    stability_bg: Running<StabilityKernel>,
+    diversity: Running<DiversityKernel>,
+    ett_bg: Running<EttKernel>,
+    cap: Running<CapKernel>,
+}
+
+impl Default for FusedRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FusedRunner {
+    /// Starts every pass-A kernel with a fresh partial.
+    pub fn new() -> Self {
+        // Table slots in lookup_slot order: (Global..Link) × (Bg, Ht).
+        let mut tables = Vec::with_capacity(8);
+        for scope in Scope::ALL {
+            for phy in [Phy::Bg, Phy::Ht] {
+                debug_assert_eq!(tables.len(), lookup_slot(scope, phy));
+                tables.push(Running::new(TableBuildKernel { scope, phy }));
+            }
+        }
+        Self {
+            sig_sets: Running::new(SigmaKernel(SigmaKind::ProbeSet)),
+            sig_links: Running::new(SigmaKernel(SigmaKind::Link)),
+            sig_recent: Running::new(SigmaKernel(SigmaKind::RecentK(SIGMA_RECENT_K))),
+            sig_nets: Running::new(SigmaKernel(SigmaKind::Network)),
+            tables,
+            curves_bg: Running::new(CurvesKernel { phy: Phy::Bg }),
+            curves_ht: Running::new(CurvesKernel { phy: Phy::Ht }),
+            strategy_bg: Running::new(StrategyKernel {
+                phy: Phy::Bg,
+                kinds: StrategyKind::ALL.to_vec(),
+            }),
+            routing_bg: Running::new(RoutingKernel {
+                phy: Phy::Bg,
+                min_aps: ROUTING_MIN_APS,
+            }),
+            asymmetry_bg: Running::new(AsymmetryKernel { phy: Phy::Bg }),
+            triples_bg: Running::new(TripleKernel {
+                phy: Phy::Bg,
+                threshold: TRIPLE_THRESHOLD,
+                rule: HearRule::Mean,
+            }),
+            ranges_bg: Running::new(RangeKernel {
+                phy: Phy::Bg,
+                threshold: TRIPLE_THRESHOLD,
+                rule: HearRule::Mean,
+            }),
+            adapters: Running::new(AdaptationKernel {
+                phy: Phy::Bg,
+                kinds: ext_adapt_kinds(),
+                overhead: EXT_ADAPT_OVERHEAD,
+            }),
+            sweep: Running::new(SweepKernel {
+                phy: Phy::Bg,
+                rate: one_mbps(),
+                thresholds: EXT_SWEEP_THRESHOLDS.to_vec(),
+                rule: HearRule::Mean,
+            }),
+            stability_bg: Running::new(StabilityKernel { phy: Phy::Bg }),
+            diversity: Running::new(DiversityKernel {
+                phy: Phy::Bg,
+                rate: one_mbps(),
+                min_aps: ROUTING_MIN_APS,
+                variant: EtxVariant::Etx1,
+            }),
+            ett_bg: Running::new(EttKernel {
+                phy: Phy::Bg,
+                min_aps: ROUTING_MIN_APS,
+            }),
+            cap: Running::new(CapKernel),
+        }
+    }
+
+    /// Every kernel as an object-safe running fold. The window-major
+    /// schedule drives them all through one window walk
+    /// ([`mesh11_trace::fold_windows`]); a kernel-major harness (see
+    /// `benches/window_major.rs`) can instead walk the source once per
+    /// kernel to measure what the shared walk saves.
+    pub fn kernels(&mut self) -> Vec<&mut dyn WindowFold> {
+        let mut ks: Vec<&mut dyn WindowFold> = vec![
+            &mut self.sig_sets,
+            &mut self.sig_links,
+            &mut self.sig_recent,
+            &mut self.sig_nets,
+            &mut self.curves_bg,
+            &mut self.curves_ht,
+            &mut self.strategy_bg,
+            &mut self.routing_bg,
+            &mut self.asymmetry_bg,
+            &mut self.triples_bg,
+            &mut self.ranges_bg,
+            &mut self.adapters,
+            &mut self.sweep,
+            &mut self.stability_bg,
+            &mut self.diversity,
+            &mut self.ett_bg,
+            &mut self.cap,
+        ];
+        ks.extend(self.tables.iter_mut().map(|t| t as &mut dyn WindowFold));
+        ks
+    }
+
+    /// Folds one network-aligned view (a resident chunk window, or one
+    /// sealed streaming part) into every kernel. Views must arrive in
+    /// network-id order — that is the byte-identity contract.
+    pub fn fold_view(&mut self, view: DatasetView<'_>) {
+        use rayon::prelude::*;
+        let mut kernels = self.kernels();
+        kernels.par_iter_mut().for_each(|k| k.fold_window(view));
+    }
+
+    /// Finishes pass A and runs pass B (penalties) against `src`, which
+    /// must cover exactly the probes this runner folded.
+    pub fn finish(self, src: &ProbeSource<'_>) -> FusedOutputs {
+        let sigmas = SnrSigmas {
+            sets: self.sig_sets.finish(),
+            links: self.sig_links.finish(),
+            recent: self.sig_recent.finish(),
+            nets: self.sig_nets.finish(),
+        };
+        let tables: [LookupTableSet; 8] = self
+            .tables
+            .into_iter()
+            .map(Running::finish)
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("eight table slots"));
+        let penalties = evaluate_penalties(src, &tables);
+        FusedOutputs {
+            sigmas,
+            tables,
+            penalties,
+            curves: [self.curves_bg.finish(), self.curves_ht.finish()],
+            strategy_bg: self.strategy_bg.finish(),
+            routing_bg: self.routing_bg.finish(),
+            asymmetry_bg: self.asymmetry_bg.finish(),
+            triples_bg: self.triples_bg.finish(),
+            ranges_bg: self.ranges_bg.finish(),
+            adapters_ext: self.adapters.finish(),
+            sweep_ext: self.sweep.finish(),
+            stability_bg: self.stability_bg.finish(),
+            diversity_ext: self.diversity.finish(),
+            ett_bg: self.ett_bg.finish(),
+            cap_ext: self.cap.finish(),
+        }
+    }
+}
+
+/// Pass B: one penalty per table, in `lookup_slot` order. On a chunked
+/// store all eight share a single raw-chunk walk (zero window builds); on
+/// a resident view each table scores the whole view directly.
+fn evaluate_penalties(
+    src: &ProbeSource<'_>,
+    tables: &[LookupTableSet; 8],
+) -> [ThroughputPenalty; 8] {
+    let out: Vec<ThroughputPenalty> = match src {
+        ProbeSource::Chunked(c) => {
+            let refs: Vec<&LookupTableSet> = tables.iter().collect();
+            ThroughputPenalty::evaluate_batch_chunked(c, &refs)
+        }
+        ProbeSource::Whole(_) => tables
+            .iter()
+            .map(|t| ThroughputPenalty::evaluate_from(src, t))
+            .collect(),
+    };
+    out.try_into()
+        .unwrap_or_else(|_| unreachable!("eight penalty slots"))
+}
+
+/// Runs the fused pass to completion over a probe source: one window walk
+/// for pass A, then pass B against the finished tables.
+pub fn run_fused(src: &ProbeSource<'_>) -> FusedOutputs {
+    let mut runner = FusedRunner::new();
+    {
+        let mut kernels = runner.kernels();
+        fold_windows(src, &mut kernels);
+    }
+    runner.finish(src)
+}

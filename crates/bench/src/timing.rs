@@ -42,6 +42,12 @@ pub struct PhaseTimings {
     /// single-seed runs; the analyze phase stays per-seed even when the
     /// simulate phase is fused).
     pub per_seed_analyze_s: Vec<f64>,
+    /// Mean per-seed analyze wall-clock — the analyze-phase counterpart of
+    /// `simulate_s_per_seed` (equals `analyze_s` for single-seed runs).
+    pub analyze_s_per_seed: f64,
+    /// 95% Student-t half-width of `analyze_s_per_seed`; `None` for
+    /// single-seed runs (a half-width needs ≥2 seeds).
+    pub analyze_s_per_seed_ci95: Option<f64>,
     /// Probe reports the simulate phase produced.
     pub n_probes: usize,
     /// Simulation throughput: `n_probes / simulate_s`.
@@ -60,23 +66,37 @@ pub struct PhaseTimings {
     /// its per-client scheduler, giving `client_probe_s` a denominator.
     pub clients_simulated: usize,
     /// All figure building, wall-clock. Figures run concurrently, so this
-    /// is smaller than the sum of the per-figure entries.
+    /// is smaller than the sum of the per-figure entries. For streaming
+    /// runs this also carries the overlap consumer's analysis seconds
+    /// (`stream_analyze_s`), so `total_s < simulate_s + analyze_s` is the
+    /// machine-checkable signature of phase overlap.
     pub analyze_s: f64,
     /// Analysis throughput: `n_probes / analyze_s` — the analyze-phase
     /// counterpart of `reports_per_sec`.
     pub analyze_probes_per_sec: f64,
-    /// Chunk fetches served from a resident chunk (0 when fully resident).
-    pub chunk_hits: u64,
+    /// Analysis seconds the streaming build spent folding parts inside the
+    /// simulate wall (plus the fused finish). `None` for two-phase runs.
+    pub stream_analyze_s: Option<f64>,
+    /// Chunk fetches served from a resident chunk. The chunk-store
+    /// counters are `None` (JSON `null`) for in-memory runs, where a zero
+    /// would be misleading rather than measured.
+    pub chunk_hits: Option<u64>,
     /// Chunk fetches that decoded from the spill file.
-    pub chunk_decodes: u64,
+    pub chunk_decodes: Option<u64>,
     /// Chunks evicted from the resident set.
-    pub chunk_evictions: u64,
+    pub chunk_evictions: Option<u64>,
     /// High-water mark of bytes pinned live by chunk handles.
-    pub peak_pinned_bytes: u64,
+    pub peak_pinned_bytes: Option<u64>,
     /// Window requests served from the materialized-window memo.
-    pub window_hits: u64,
-    /// Windows materialized (chunk-span decode + index build).
-    pub window_builds: u64,
+    pub window_hits: Option<u64>,
+    /// Windows materialized (chunk-span decode + index build). Equals
+    /// `n_windows` for a window-major chunked run — the fused pass's
+    /// headline invariant.
+    pub window_builds: Option<u64>,
+    /// Materialized windows dropped from the memo.
+    pub window_evictions: Option<u64>,
+    /// Windows the chunk store partitions the ensemble into.
+    pub n_windows: Option<u64>,
     /// End-to-end wall-clock, including table rendering and JSON output.
     pub total_s: f64,
     /// Per-experiment analyze seconds, keyed by experiment id. Each entry
@@ -128,8 +148,18 @@ impl PhaseTimings {
         );
         if self.seeds > 1 {
             s.push_str(&format!(
-                "\n# multi-seed: {} seeds fused, simulate {:.2}s/seed amortized",
-                self.seeds, self.simulate_s_per_seed
+                "\n# multi-seed: {} seeds fused, simulate {:.2}s/seed amortized, analyze {:.2}s/seed{}",
+                self.seeds,
+                self.simulate_s_per_seed,
+                self.analyze_s_per_seed,
+                self.analyze_s_per_seed_ci95
+                    .map(|h| format!(" (±{h:.2}s)"))
+                    .unwrap_or_default()
+            ));
+        }
+        if let Some(overlap) = self.stream_analyze_s {
+            s.push_str(&format!(
+                "\n# streaming: {overlap:.2}s of analysis overlapped with simulation"
             ));
         }
         if let Some(rss) = self.peak_rss_mb {
@@ -140,13 +170,15 @@ impl PhaseTimings {
         }
         if self.data_mode == "chunked" {
             s.push_str(&format!(
-                "\n# chunk store: {} hits / {} decodes / {} evictions, {} peak pinned bytes, windows {} hits / {} builds",
-                self.chunk_hits,
-                self.chunk_decodes,
-                self.chunk_evictions,
-                self.peak_pinned_bytes,
-                self.window_hits,
-                self.window_builds
+                "\n# chunk store: {} hits / {} decodes / {} evictions, {} peak pinned bytes, windows {} hits / {} builds / {} evictions ({} windows)",
+                self.chunk_hits.unwrap_or(0),
+                self.chunk_decodes.unwrap_or(0),
+                self.chunk_evictions.unwrap_or(0),
+                self.peak_pinned_bytes.unwrap_or(0),
+                self.window_hits.unwrap_or(0),
+                self.window_builds.unwrap_or(0),
+                self.window_evictions.unwrap_or(0),
+                self.n_windows.unwrap_or(0)
             ));
         }
         let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
@@ -176,6 +208,8 @@ mod tests {
             simulate_s_per_seed: 1.0,
             per_seed_pairs: vec![617, 617],
             per_seed_analyze_s: vec![0.7, 0.8],
+            analyze_s_per_seed: 0.75,
+            analyze_s_per_seed_ci95: Some(0.12),
             n_probes: 50_000,
             reports_per_sec: 25_000.0,
             peak_rss_mb: Some(256.0),
@@ -185,12 +219,15 @@ mod tests {
             clients_simulated: 321,
             analyze_s: 1.5,
             analyze_probes_per_sec: 33_333.3,
-            chunk_hits: 120,
-            chunk_decodes: 40,
-            chunk_evictions: 30,
-            peak_pinned_bytes: 1 << 20,
-            window_hits: 9,
-            window_builds: 7,
+            stream_analyze_s: Some(0.9),
+            chunk_hits: Some(120),
+            chunk_decodes: Some(40),
+            chunk_evictions: Some(30),
+            peak_pinned_bytes: Some(1 << 20),
+            window_hits: Some(9),
+            window_builds: Some(7),
+            window_evictions: Some(2),
+            n_windows: Some(7),
             total_s: 3.7,
             figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
         };
@@ -222,6 +259,11 @@ mod tests {
             "peak_pinned_bytes",
             "window_hits",
             "window_builds",
+            "window_evictions",
+            "n_windows",
+            "analyze_s_per_seed",
+            "analyze_s_per_seed_ci95",
+            "stream_analyze_s",
             "total_s",
             "figures",
             "fig4-1",
@@ -231,10 +273,62 @@ mod tests {
         assert!(t.render().contains("8 threads"));
         assert!(t.render().contains("2 seeds fused"));
         assert!(t.render().contains("1.00s/seed"));
+        assert!(t.render().contains("analyze 0.75s/seed (±0.12s)"));
         assert!(t.render().contains("1234 pairs"));
         assert!(t.render().contains("321 clients"));
         assert!(t.render().contains("peak RSS 256 MiB"));
         assert!(t.render().contains("120 hits / 40 decodes / 30 evictions"));
+        assert!(t.render().contains("0.90s of analysis overlapped"));
+    }
+
+    #[test]
+    fn in_memory_counters_serialize_as_null() {
+        let t = PhaseTimings {
+            scale: "quick".into(),
+            seed: 1,
+            seeds: 1,
+            threads: 0,
+            effective_threads: 1,
+            generate_s: 0.0,
+            simulate_s: 1.0,
+            pairs_simulated: 1,
+            simulate_s_per_seed: 1.0,
+            per_seed_pairs: vec![1],
+            per_seed_analyze_s: vec![0.5],
+            analyze_s_per_seed: 0.5,
+            analyze_s_per_seed_ci95: None,
+            n_probes: 1,
+            reports_per_sec: 1.0,
+            peak_rss_mb: None,
+            data_mode: "in-memory".into(),
+            spilled_bytes: 0,
+            client_probe_s: 0.0,
+            clients_simulated: 0,
+            analyze_s: 0.5,
+            analyze_probes_per_sec: 2.0,
+            stream_analyze_s: None,
+            chunk_hits: None,
+            chunk_decodes: None,
+            chunk_evictions: None,
+            peak_pinned_bytes: None,
+            window_hits: None,
+            window_builds: None,
+            window_evictions: None,
+            n_windows: None,
+            total_s: 1.5,
+            figures: BTreeMap::new(),
+        };
+        let json = t.to_json();
+        // No fabricated zeros: the chunk counters must be null in-memory.
+        assert!(
+            json.contains("\"chunk_hits\": null") || json.contains("\"chunk_hits\":null"),
+            "chunk_hits should be null, got {json}"
+        );
+        assert!(
+            json.contains("\"window_builds\": null") || json.contains("\"window_builds\":null"),
+            "window_builds should be null, got {json}"
+        );
+        assert!(!t.render().contains("chunk store"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
+use mesh11_trace::{DatasetView, FoldKernel, ProbeEntry, ProbeSource};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -166,16 +166,112 @@ pub fn simulate_adapters(
     simulate_adapters_from(&ProbeSource::Whole(view), phy, kinds, overhead)
 }
 
-/// [`simulate_adapters`] over a whole or chunked source. The per-kind
+/// The fold-style form of [`simulate_adapters_from`]. The per-kind
 /// throughput sums are floating-point and order-sensitive; links live whole
-/// inside windows and windows preserve the sorted link order, so the sums
-/// accumulate in exactly the monolithic sequence.
+/// inside windows and windows preserve the sorted link order, so threading
+/// one partial through the windows in order accumulates each sum in exactly
+/// the monolithic sequence.
 ///
-/// Parallelism is per adapter kind: each kind replays the whole source on
-/// its own thread, keeping every kind's accumulation a single continuous
-/// sequential sum (per-window partials would re-associate the float sums).
-/// Concurrent kinds share decoded windows through the chunk store's memo,
-/// so the source is walked once, not `kinds.len()` times.
+/// Within a window, parallelism is per adapter kind: each kind replays the
+/// window's links on its own thread, keeping every kind's accumulation a
+/// single continuous sequential sum. `merge` re-associates the float sums
+/// and is therefore only bit-exact for the scheduler's sequential threading
+/// (which never calls it) — documented, not load-bearing.
+#[derive(Debug, Clone)]
+pub struct AdaptationKernel {
+    /// PHY replayed.
+    pub phy: Phy,
+    /// Adapters evaluated, in output order.
+    pub kinds: Vec<AdapterKind>,
+    /// Goodput fraction consumed by probing all rates once per interval.
+    pub overhead: f64,
+}
+
+impl FoldKernel for AdaptationKernel {
+    type Partial = Vec<(u64, f64, f64)>;
+    type Output = Vec<AdaptationOutcome>;
+
+    fn init(&self) -> Self::Partial {
+        self.kinds.iter().map(|_| (0u64, 0.0f64, 0.0f64)).collect()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut Self::Partial) {
+        let phy = self.phy;
+        // Per-link time-ordered streams, extracted once and shared by every
+        // kind. The per-kind scores are floating-point sums over links, so
+        // the iteration order must be fixed for the outcome to be
+        // byte-reproducible: the view's link groups come sorted by
+        // (network, sender, receiver), the same ascending order the
+        // pre-index BTreeMap grouping produced.
+        let per_link: Vec<Vec<ProbeEntry<'_>>> = view
+            .links_for_phy(phy)
+            .map(|link| {
+                let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
+                sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+                sets
+            })
+            .collect();
+        // Pair each kind with its running accumulator so the per-kind sums
+        // keep accumulating *in place* across windows (re-associating them
+        // through per-window temporaries would perturb the float results).
+        let mut work: Vec<(&AdapterKind, &mut (u64, f64, f64))> =
+            self.kinds.iter().zip(partial.iter_mut()).collect();
+        work.par_iter_mut().for_each(|(kind, acc)| {
+            let (decisions, sum_thr, sum_oracle) = &mut **acc;
+            for sets in &per_link {
+                let mut state = AdapterState::default();
+                for (i, set) in sets.iter().enumerate() {
+                    if i > 0 {
+                        let pick = state.decide(kind, phy, set);
+                        let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                        *sum_thr += got;
+                        *sum_oracle += set.opt.throughput_mbps();
+                        *decisions += 1;
+                    }
+                    state.learn(kind, set);
+                }
+            }
+        });
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        for ((d, t, o), (fd, ft, fo)) in into.iter_mut().zip(from) {
+            *d += fd;
+            *t += ft;
+            *o += fo;
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Vec<AdaptationOutcome> {
+        let n_rates = self.phy.probed_rates().len();
+        self.kinds
+            .iter()
+            .zip(partial)
+            .map(|(kind, (decisions, sum_thr, sum_oracle))| {
+                let mean = if decisions == 0 {
+                    0.0
+                } else {
+                    sum_thr / decisions as f64
+                };
+                let charge = self.overhead * kind.rates_probed(n_rates) as f64 / n_rates as f64;
+                AdaptationOutcome {
+                    kind: *kind,
+                    decisions,
+                    mean_throughput_mbps: mean,
+                    net_throughput_mbps: mean * (1.0 - charge),
+                    fraction_of_oracle: if sum_oracle > 0.0 {
+                        sum_thr / sum_oracle
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// [`simulate_adapters`] over a whole or chunked source; see
+/// [`AdaptationKernel`] for the ordering argument.
 pub fn simulate_adapters_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -183,68 +279,14 @@ pub fn simulate_adapters_from(
     overhead: f64,
 ) -> Vec<AdaptationOutcome> {
     assert!((0.0..1.0).contains(&overhead), "overhead is a fraction");
-    let n_rates = phy.probed_rates().len();
-    let partials: Vec<(u64, f64, f64)> = kinds
-        .par_iter()
-        .map(|kind| {
-            let mut decisions = 0u64;
-            let mut sum_thr = 0.0f64;
-            let mut sum_oracle = 0.0f64;
-            src.for_each_view(|view| {
-                // Per-link time-ordered streams. The per-kind scores are
-                // floating-point sums over links, so the iteration order
-                // must be fixed for the outcome to be byte-reproducible:
-                // the view's link groups come sorted by (network, sender,
-                // receiver), the same ascending order the pre-index
-                // BTreeMap grouping produced.
-                let per_link: Vec<Vec<ProbeEntry<'_>>> = view
-                    .links_for_phy(phy)
-                    .map(|link| {
-                        let mut sets: Vec<ProbeEntry<'_>> = link.entries().collect();
-                        sets.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
-                        sets
-                    })
-                    .collect();
-                for sets in &per_link {
-                    let mut state = AdapterState::default();
-                    for (i, set) in sets.iter().enumerate() {
-                        if i > 0 {
-                            let pick = state.decide(kind, phy, set);
-                            let got = set.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
-                            sum_thr += got;
-                            sum_oracle += set.opt.throughput_mbps();
-                            decisions += 1;
-                        }
-                        state.learn(kind, set);
-                    }
-                }
-            });
-            (decisions, sum_thr, sum_oracle)
-        })
-        .collect();
-    kinds
-        .iter()
-        .zip(partials)
-        .map(|(kind, (decisions, sum_thr, sum_oracle))| {
-            let mean = if decisions == 0 {
-                0.0
-            } else {
-                sum_thr / decisions as f64
-            };
-            let charge = overhead * kind.rates_probed(n_rates) as f64 / n_rates as f64;
-            AdaptationOutcome {
-                kind: *kind,
-                decisions,
-                mean_throughput_mbps: mean,
-                net_throughput_mbps: mean * (1.0 - charge),
-                fraction_of_oracle: if sum_oracle > 0.0 {
-                    sum_thr / sum_oracle
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect()
+    mesh11_trace::run_fold(
+        src,
+        &AdaptationKernel {
+            phy,
+            kinds: kinds.to_vec(),
+            overhead,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -10,8 +10,91 @@ use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::{pearson, spearman, BinnedStats};
-use mesh11_trace::{DatasetView, ProbeSource};
+use mesh11_trace::{DatasetView, FoldKernel, ProbeSource};
 use rayon::prelude::*;
+
+/// The fold-style form of [`SnrThroughputCurves::build_from`].
+#[derive(Debug, Clone, Copy)]
+pub struct CurvesKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+}
+
+/// The in-flight state of a [`CurvesKernel`] fold.
+#[derive(Debug, Default)]
+pub struct CurvesPartial {
+    per_rate: BTreeMap<BitRate, BinnedStats>,
+    snr: Vec<f64>,
+    thr: Vec<f64>,
+}
+
+impl FoldKernel for CurvesKernel {
+    type Partial = CurvesPartial;
+    type Output = SnrThroughputCurves;
+
+    fn init(&self) -> CurvesPartial {
+        CurvesPartial::default()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut CurvesPartial) {
+        let ix = view.index();
+        let nets = view.network_views(self.phy);
+        type Per = (Vec<(BitRate, BinnedStats)>, Vec<f64>, Vec<f64>);
+        let partials: Vec<Per> = nets
+            .par_iter()
+            .map(|nv| {
+                // A PHY probes at most a dozen rates, so a first-seen-order
+                // vec with a linear scan beats a tree lookup per
+                // observation. Distinct rates feed distinct accumulators,
+                // so iteration order never touches any bin's contents.
+                let mut rates: Vec<(BitRate, BinnedStats)> = Vec::new();
+                let mut s = Vec::new();
+                let mut t = Vec::new();
+                for e in nv.entries_in_order() {
+                    let key = e.snr_key;
+                    let obs = ix.obs(e.pos);
+                    for (k, &rate) in obs.rates.iter().enumerate() {
+                        let stats = match rates.iter_mut().find(|(r, _)| *r == rate) {
+                            Some((_, stats)) => stats,
+                            None => {
+                                rates.push((rate, BinnedStats::new()));
+                                &mut rates.last_mut().expect("just pushed").1
+                            }
+                        };
+                        stats.push(key, obs.thr_mbps[k]);
+                        s.push(key as f64);
+                        t.push(obs.thr_mbps[k]);
+                    }
+                }
+                (rates, s, t)
+            })
+            .collect();
+        for (rates, s, t) in partials {
+            for (rate, stats) in rates {
+                partial.per_rate.entry(rate).or_default().merge(stats);
+            }
+            partial.snr.extend(s);
+            partial.thr.extend(t);
+        }
+    }
+
+    fn merge(&self, into: &mut CurvesPartial, from: CurvesPartial) {
+        for (rate, stats) in from.per_rate {
+            into.per_rate.entry(rate).or_default().merge(stats);
+        }
+        into.snr.extend(from.snr);
+        into.thr.extend(from.thr);
+    }
+
+    fn finish(&self, partial: CurvesPartial) -> SnrThroughputCurves {
+        SnrThroughputCurves {
+            phy: self.phy,
+            per_rate: partial.per_rate,
+            snr: partial.snr,
+            thr: partial.thr,
+        }
+    }
+}
 
 /// Per-rate binned SNR → throughput statistics.
 #[derive(Debug, Clone)]
@@ -41,45 +124,7 @@ impl SnrThroughputCurves {
     /// and bin pushes in network order rebuilds the sequential sequence
     /// exactly (datasets are network-major).
     pub fn build_from(src: &ProbeSource<'_>, phy: Phy) -> Self {
-        let mut per_rate: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
-        let mut snr = Vec::new();
-        let mut thr = Vec::new();
-        src.for_each_view(|view| {
-            let ix = view.index();
-            let nets = view.network_views(phy);
-            type Partial = (BTreeMap<BitRate, BinnedStats>, Vec<f64>, Vec<f64>);
-            let partials: Vec<Partial> = nets
-                .par_iter()
-                .map(|nv| {
-                    let mut rates: BTreeMap<BitRate, BinnedStats> = BTreeMap::new();
-                    let mut s = Vec::new();
-                    let mut t = Vec::new();
-                    for e in nv.entries_in_order() {
-                        let key = e.snr_key;
-                        let obs = ix.obs(e.pos);
-                        for (k, &rate) in obs.rates.iter().enumerate() {
-                            rates.entry(rate).or_default().push(key, obs.thr_mbps[k]);
-                            s.push(key as f64);
-                            t.push(obs.thr_mbps[k]);
-                        }
-                    }
-                    (rates, s, t)
-                })
-                .collect();
-            for (rates, s, t) in partials {
-                for (rate, stats) in rates {
-                    per_rate.entry(rate).or_default().merge(stats);
-                }
-                snr.extend(s);
-                thr.extend(t);
-            }
-        });
-        Self {
-            phy,
-            per_rate,
-            snr,
-            thr,
-        }
+        mesh11_trace::run_fold(src, &CurvesKernel { phy })
     }
 
     /// The envelope the paper's Fig 4.5 eye traces: per SNR bin, the best

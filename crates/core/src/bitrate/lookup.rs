@@ -53,12 +53,89 @@ fn key_of(scope: Scope, probe: &ProbeSet) -> Key {
 /// How often each rate was optimal at one (key, SNR) cell.
 type RateCounts = BTreeMap<BitRate, u32>;
 
+/// The fold-style form of [`LookupTableSet::build_from`]. The partial is a
+/// whole table set whose cells are commutative integer counts, so `merge`
+/// is exact here — cross-window parallel training is safe for this kernel
+/// (the window-major scheduler still drives it sequentially).
+#[derive(Debug, Clone, Copy)]
+pub struct TableBuildKernel {
+    /// Training scope.
+    pub scope: Scope,
+    /// PHY to train on.
+    pub phy: Phy,
+}
+
+impl mesh11_trace::FoldKernel for TableBuildKernel {
+    type Partial = LookupTableSet;
+    type Output = LookupTableSet;
+
+    fn init(&self) -> LookupTableSet {
+        LookupTableSet {
+            scope: self.scope,
+            phy: self.phy,
+            tables: HashMap::new(),
+            winners: None,
+        }
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut LookupTableSet) {
+        let nets = view.network_views(self.phy);
+        let scope = self.scope;
+        let partials: Vec<HashMap<Key, BTreeMap<i64, RateCounts>>> = nets
+            .par_iter()
+            .map(|nv| {
+                let mut t: HashMap<Key, BTreeMap<i64, RateCounts>> = HashMap::new();
+                for e in nv.entries_in_order() {
+                    *t.entry(key_of(scope, e.probe))
+                        .or_default()
+                        .entry(e.snr_key)
+                        .or_default()
+                        .entry(e.opt.rate)
+                        .or_insert(0) += 1;
+                }
+                t
+            })
+            .collect();
+        for t in partials {
+            for (key, snr_map) in t {
+                let dst = partial.tables.entry(key).or_default();
+                for (snr, counts) in snr_map {
+                    let cell = dst.entry(snr).or_default();
+                    for (rate, c) in counts {
+                        *cell.entry(rate).or_insert(0) += c;
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge(&self, into: &mut LookupTableSet, from: LookupTableSet) {
+        for (key, snr_map) in from.tables {
+            let dst = into.tables.entry(key).or_default();
+            for (snr, counts) in snr_map {
+                let cell = dst.entry(snr).or_default();
+                for (rate, c) in counts {
+                    *cell.entry(rate).or_insert(0) += c;
+                }
+            }
+        }
+    }
+
+    fn finish(&self, mut partial: LookupTableSet) -> LookupTableSet {
+        partial.seal();
+        partial
+    }
+}
+
 /// A set of SNR → optimal-rate frequency tables at one scope, for one PHY.
 #[derive(Debug, Clone)]
 pub struct LookupTableSet {
     scope: Scope,
     phy: Phy,
     tables: HashMap<Key, BTreeMap<i64, RateCounts>>,
+    /// Sealed per-cell argmaxes: one flat hash probe per prediction instead
+    /// of two map walks plus a count scan. `None` while still training.
+    winners: Option<HashMap<(Key, i64), BitRate>>,
 }
 
 impl LookupTableSet {
@@ -75,46 +152,13 @@ impl LookupTableSet {
     /// flat per-network work list: counts are integers and addition
     /// commutes, so the parallel merge cannot change any cell.
     pub fn build_from(src: &ProbeSource<'_>, scope: Scope, phy: Phy) -> Self {
-        let mut set = Self {
-            scope,
-            phy,
-            tables: HashMap::new(),
-        };
-        src.for_each_view(|view| {
-            let nets = view.network_views(phy);
-            let partials: Vec<HashMap<Key, BTreeMap<i64, RateCounts>>> = nets
-                .par_iter()
-                .map(|nv| {
-                    let mut t: HashMap<Key, BTreeMap<i64, RateCounts>> = HashMap::new();
-                    for e in nv.entries_in_order() {
-                        *t.entry(key_of(scope, e.probe))
-                            .or_default()
-                            .entry(e.snr_key)
-                            .or_default()
-                            .entry(e.opt.rate)
-                            .or_insert(0) += 1;
-                    }
-                    t
-                })
-                .collect();
-            for t in partials {
-                for (key, snr_map) in t {
-                    let dst = set.tables.entry(key).or_default();
-                    for (snr, counts) in snr_map {
-                        let cell = dst.entry(snr).or_default();
-                        for (rate, c) in counts {
-                            *cell.entry(rate).or_insert(0) += c;
-                        }
-                    }
-                }
-            }
-        });
-        set
+        mesh11_trace::run_fold(src, &TableBuildKernel { scope, phy })
     }
 
     /// Adds one probe set's `P_opt` observation.
     pub fn train(&mut self, probe: &ProbeSet) {
         debug_assert_eq!(probe.phy, self.phy);
+        self.winners = None; // counts change ⇒ cached argmaxes are stale
         let key = self.key_for(probe);
         *self
             .tables
@@ -150,11 +194,37 @@ impl LookupTableSet {
     /// `predict` with the SNR key already known (the indexed scans pass the
     /// precomputed column instead of re-deriving the median).
     fn predict_keyed(&self, key: Key, snr: i64) -> Option<BitRate> {
-        let counts = self.tables.get(&key)?.get(&snr)?;
+        if let Some(winners) = &self.winners {
+            return winners.get(&(key, snr)).copied();
+        }
+        Self::cell_winner(self.tables.get(&key)?.get(&snr)?)
+    }
+
+    /// The most frequently optimal rate of one cell; ties break toward the
+    /// lower rate. Cells are never empty, so `None` can't happen for a cell
+    /// that exists — which is why [`LookupTableSet::seal`]'s flat map misses
+    /// exactly when the nested lookups would have.
+    fn cell_winner(counts: &RateCounts) -> Option<BitRate> {
         counts
             .iter()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(&rate, _)| rate)
+    }
+
+    /// Precomputes every cell's winning rate into one flat map, turning
+    /// each subsequent prediction into a single hash probe. Idempotent;
+    /// [`LookupTableSet::train`] invalidates the cache. Called by the
+    /// build kernel's `finish`, so every built table set arrives sealed.
+    pub fn seal(&mut self) {
+        let mut winners = HashMap::new();
+        for (&key, table) in &self.tables {
+            for (&snr, counts) in table {
+                if let Some(rate) = Self::cell_winner(counts) {
+                    winners.insert((key, snr), rate);
+                }
+            }
+        }
+        self.winners = Some(winners);
     }
 
     /// The `k` most frequently optimal rates at a probe set's cell — the
@@ -378,6 +448,7 @@ mod tests {
             scope: Scope::Global,
             phy: Phy::Bg,
             tables: HashMap::new(),
+            winners: None,
         };
         for _ in 0..3 {
             t.train(&probe(0, 0, 1, 15.0, r(12.0)));
@@ -429,6 +500,7 @@ mod tests {
             scope: Scope::Global,
             phy: Phy::Bg,
             tables: HashMap::new(),
+            winners: None,
         };
         for _ in 0..5 {
             t.train(&probe(0, 0, 1, 15.0, r(24.0)));

@@ -7,10 +7,67 @@
 
 use mesh11_phy::Phy;
 use mesh11_stats::Cdf;
-use mesh11_trace::{DatasetView, ProbeSource};
+use mesh11_trace::{ChunkedDataset, DatasetView, FoldKernel, ProbeSource};
 use rayon::prelude::*;
 
 use crate::bitrate::lookup::{LookupTableSet, Scope};
+
+/// The fold-style form of [`ThroughputPenalty::evaluate_from`]: needs a
+/// **completed** table set, so in a fused window-major pass it runs in a
+/// second phase after the table-building folds finish.
+#[derive(Debug, Clone, Copy)]
+pub struct PenaltyKernel<'t> {
+    /// The trained tables the kernel scores against.
+    pub table: &'t LookupTableSet,
+}
+
+impl FoldKernel for PenaltyKernel<'_> {
+    type Partial = (Vec<f64>, usize);
+    type Output = ThroughputPenalty;
+
+    fn init(&self) -> Self::Partial {
+        (Vec::new(), 0)
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut Self::Partial) {
+        let nets = view.network_views(self.table.phy());
+        let partials: Vec<(Vec<f64>, usize)> = nets
+            .par_iter()
+            .map(|nv| {
+                let mut d = Vec::new();
+                let mut unp = 0usize;
+                for e in nv.entries_in_order() {
+                    let Some(pick) = self.table.predict_entry(&e) else {
+                        unp += 1;
+                        continue;
+                    };
+                    let best = e.opt.throughput_mbps();
+                    let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                    d.push((best - got).max(0.0));
+                }
+                (d, unp)
+            })
+            .collect();
+        for (d, unp) in partials {
+            partial.0.extend(d);
+            partial.1 += unp;
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.0.extend(from.0);
+        into.1 += from.1;
+    }
+
+    fn finish(&self, partial: Self::Partial) -> ThroughputPenalty {
+        ThroughputPenalty {
+            scope: self.table.scope(),
+            phy: self.table.phy(),
+            diffs_mbps: partial.0,
+            unpredicted: partial.1,
+        }
+    }
+}
 
 /// Throughput-difference distribution for one scope.
 #[derive(Debug, Clone)]
@@ -40,38 +97,70 @@ impl ThroughputPenalty {
     /// in network order rebuilds the sequential vector element for
     /// element (datasets are network-major).
     pub fn evaluate_from(src: &ProbeSource<'_>, table: &LookupTableSet) -> Self {
-        let mut diffs = Vec::new();
-        let mut unpredicted = 0usize;
-        src.for_each_view(|view| {
-            let nets = view.network_views(table.phy());
-            let partials: Vec<(Vec<f64>, usize)> = nets
-                .par_iter()
-                .map(|nv| {
-                    let mut d = Vec::new();
-                    let mut unp = 0usize;
-                    for e in nv.entries_in_order() {
-                        let Some(pick) = table.predict_entry(&e) else {
-                            unp += 1;
+        mesh11_trace::run_fold(src, &PenaltyKernel { table })
+    }
+
+    /// Evaluates several trained table sets in **one** walk over the raw
+    /// chunk store, never materializing a window (no index build, no
+    /// `window_builds` traffic): per network, in id order, each probe set
+    /// is scored against every table whose PHY matches.
+    ///
+    /// Byte-identical to per-table [`ThroughputPenalty::evaluate_from`]:
+    /// a window walk visits each (phy, network)'s entries in stream order
+    /// filtered by PHY (the index permutations are stable sorts over
+    /// network-major, time-sorted data), which is exactly the order the raw
+    /// chunk walk yields; and [`LookupTableSet::predict`] re-derives the
+    /// same `snr_key`/`optimal` the index precomputes.
+    pub fn evaluate_batch_chunked(
+        chunked: &ChunkedDataset,
+        tables: &[&LookupTableSet],
+    ) -> Vec<Self> {
+        let n_networks = chunked.shell().networks.len();
+        // One (diffs, unpredicted) partial per (network, table); the fan-out
+        // is per network, and concatenating per-network partials in network
+        // order rebuilds each table's sequential diff vector exactly.
+        let net_ids: Vec<usize> = (0..n_networks).collect();
+        let per_net: Vec<Vec<(Vec<f64>, usize)>> = net_ids
+            .par_iter()
+            .map(|&net| {
+                let mut partials: Vec<(Vec<f64>, usize)> =
+                    tables.iter().map(|_| (Vec::new(), 0)).collect();
+                chunked.for_each_network_probe(net, |p| {
+                    for (k, table) in tables.iter().enumerate() {
+                        if table.phy() != p.phy {
+                            continue;
+                        }
+                        let (d, unp) = &mut partials[k];
+                        let Some(pick) = table.predict(p) else {
+                            *unp += 1;
                             continue;
                         };
-                        let best = e.opt.throughput_mbps();
-                        let got = e.probe.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
+                        let best = p.optimal().throughput_mbps();
+                        let got = p.obs_for(pick).map_or(0.0, |o| o.throughput_mbps());
                         d.push((best - got).max(0.0));
                     }
-                    (d, unp)
-                })
-                .collect();
-            for (d, unp) in partials {
-                diffs.extend(d);
-                unpredicted += unp;
-            }
-        });
-        Self {
-            scope: table.scope(),
-            phy: table.phy(),
-            diffs_mbps: diffs,
-            unpredicted,
-        }
+                });
+                partials
+            })
+            .collect();
+        tables
+            .iter()
+            .enumerate()
+            .map(|(k, table)| {
+                let mut diffs = Vec::new();
+                let mut unpredicted = 0usize;
+                for net in &per_net {
+                    diffs.extend_from_slice(&net[k].0);
+                    unpredicted += net[k].1;
+                }
+                Self {
+                    scope: table.scope(),
+                    phy: table.phy(),
+                    diffs_mbps: diffs,
+                    unpredicted,
+                }
+            })
+            .collect()
     }
 
     /// Convenience: build the table at `scope` then evaluate.

@@ -14,7 +14,7 @@
 //!   report-to-report wander.
 
 use mesh11_phy::Phy;
-use mesh11_trace::{DatasetView, ProbeEntry, ProbeSource};
+use mesh11_trace::{DatasetView, FoldKernel, ProbeEntry, ProbeSource};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -57,21 +57,41 @@ pub fn link_stability(view: DatasetView<'_>, phy: Phy) -> LinkStability {
     link_stability_from(&ProbeSource::Whole(view), phy)
 }
 
-/// [`link_stability`] over a whole or chunked source: the per-link vectors
+/// The fold-style form of [`link_stability_from`]: the per-link vectors
 /// fill in the same sorted link order either way. The link walk fans out
 /// per network; each link's drift sum stays a single sequential
 /// accumulation, the pooled pair counts are integers, and concatenating
 /// per-network link vectors in network order rebuilds the sorted global
 /// link order (links sort by network first).
-pub fn link_stability_from(src: &ProbeSource<'_>, phy: Phy) -> LinkStability {
-    let mut churn_per_link = Vec::new();
-    let mut snr_drift_per_link = Vec::new();
-    let mut same = (0u64, 0u64); // (changed, total)
-    let mut diff = (0u64, 0u64);
-    src.for_each_view(|view| {
-        let nets = view.network_views(phy);
-        type Partial = (Vec<f64>, Vec<f64>, (u64, u64), (u64, u64));
-        let partials: Vec<Partial> = nets
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+}
+
+/// In-flight state of a [`StabilityKernel`] fold: per-link churn and drift
+/// vectors plus the pooled `(changed, total)` pair counters for the
+/// same-SNR and diff-SNR buckets.
+#[derive(Debug, Default)]
+pub struct StabilityPartial {
+    churn_per_link: Vec<f64>,
+    snr_drift_per_link: Vec<f64>,
+    same: (u64, u64),
+    diff: (u64, u64),
+}
+
+impl FoldKernel for StabilityKernel {
+    type Partial = StabilityPartial;
+    type Output = LinkStability;
+
+    fn init(&self) -> StabilityPartial {
+        StabilityPartial::default()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut StabilityPartial) {
+        let nets = view.network_views(self.phy);
+        type Per = (Vec<f64>, Vec<f64>, (u64, u64), (u64, u64));
+        let partials: Vec<Per> = nets
             .par_iter()
             .map(|nv| {
                 let mut churn = Vec::new();
@@ -107,30 +127,54 @@ pub fn link_stability_from(src: &ProbeSource<'_>, phy: Phy) -> LinkStability {
             })
             .collect();
         for (churn, drift_v, s, d) in partials {
-            churn_per_link.extend(churn);
-            snr_drift_per_link.extend(drift_v);
-            same.0 += s.0;
-            same.1 += s.1;
-            diff.0 += d.0;
-            diff.1 += d.1;
+            partial.churn_per_link.extend(churn);
+            partial.snr_drift_per_link.extend(drift_v);
+            partial.same.0 += s.0;
+            partial.same.1 += s.1;
+            partial.diff.0 += d.0;
+            partial.diff.1 += d.1;
         }
-    });
-    LinkStability {
-        links: churn_per_link.len(),
-        churn_per_link,
-        snr_drift_per_link,
-        churn_same_snr: if same.1 > 0 {
-            same.0 as f64 / same.1 as f64
-        } else {
-            0.0
-        },
-        churn_diff_snr: if diff.1 > 0 {
-            diff.0 as f64 / diff.1 as f64
-        } else {
-            0.0
-        },
-        pairs: (same.1, diff.1),
     }
+
+    fn merge(&self, into: &mut StabilityPartial, from: StabilityPartial) {
+        into.churn_per_link.extend(from.churn_per_link);
+        into.snr_drift_per_link.extend(from.snr_drift_per_link);
+        into.same.0 += from.same.0;
+        into.same.1 += from.same.1;
+        into.diff.0 += from.diff.0;
+        into.diff.1 += from.diff.1;
+    }
+
+    fn finish(&self, partial: StabilityPartial) -> LinkStability {
+        let StabilityPartial {
+            churn_per_link,
+            snr_drift_per_link,
+            same,
+            diff,
+        } = partial;
+        LinkStability {
+            links: churn_per_link.len(),
+            churn_per_link,
+            snr_drift_per_link,
+            churn_same_snr: if same.1 > 0 {
+                same.0 as f64 / same.1 as f64
+            } else {
+                0.0
+            },
+            churn_diff_snr: if diff.1 > 0 {
+                diff.0 as f64 / diff.1 as f64
+            } else {
+                0.0
+            },
+            pairs: (same.1, diff.1),
+        }
+    }
+}
+
+/// [`link_stability`] over a whole or chunked source; see
+/// [`StabilityKernel`] for the ordering argument.
+pub fn link_stability_from(src: &ProbeSource<'_>, phy: Phy) -> LinkStability {
+    mesh11_trace::run_fold(src, &StabilityKernel { phy })
 }
 
 #[cfg(test)]

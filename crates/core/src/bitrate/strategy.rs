@@ -164,8 +164,8 @@ pub fn evaluate_strategies(
 
 /// Per-kind accumulator of [`evaluate_strategies_from`], fed one window at
 /// a time.
-#[derive(Default)]
-struct StrategyAcc {
+#[derive(Debug, Default)]
+pub struct StrategyAcc {
     acc: BinnedStats,
     updates: u64,
     stored: u64,
@@ -173,21 +173,32 @@ struct StrategyAcc {
     correct: u64,
 }
 
-/// [`evaluate_strategies`] over a whole or chunked source. Each link lives
+/// The fold-style form of [`evaluate_strategies_from`]. Each link lives
 /// entirely inside one window (windows are whole networks) and windows walk
 /// links in the same sorted order as the monolithic pass, so every per-kind
 /// accumulator sees an identical push sequence. The replay fans out over a
 /// flat per-network work list; per-network accumulators merge back in
 /// network order, which reproduces the sequential per-bin push order
 /// exactly (links are sorted network-major).
-pub fn evaluate_strategies_from(
-    src: &ProbeSource<'_>,
-    phy: Phy,
-    kinds: &[StrategyKind],
-) -> Vec<StrategyEval> {
-    let mut accs: Vec<StrategyAcc> = kinds.iter().map(|_| StrategyAcc::default()).collect();
-    src.for_each_view(|view| {
-        let nets = view.network_views(phy);
+#[derive(Debug, Clone)]
+pub struct StrategyKernel {
+    /// PHY to replay.
+    pub phy: Phy,
+    /// Strategies to evaluate, in output order.
+    pub kinds: Vec<StrategyKind>,
+}
+
+impl mesh11_trace::FoldKernel for StrategyKernel {
+    type Partial = Vec<StrategyAcc>;
+    type Output = Vec<StrategyEval>;
+
+    fn init(&self) -> Self::Partial {
+        self.kinds.iter().map(|_| StrategyAcc::default()).collect()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, accs: &mut Self::Partial) {
+        let kinds = &self.kinds;
+        let nets = view.network_views(self.phy);
         let partials: Vec<Vec<StrategyAcc>> = nets
             .par_iter()
             .map(|nv| {
@@ -233,19 +244,48 @@ pub fn evaluate_strategies_from(
                 a.correct += l.correct;
             }
         }
-    });
-    kinds
-        .iter()
-        .zip(accs)
-        .map(|(&kind, a)| StrategyEval {
-            kind,
-            accuracy_by_history: a.acc,
-            updates: a.updates,
-            stored_points: a.stored,
-            predictions: a.predictions,
-            correct: a.correct,
-        })
-        .collect()
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        for (a, l) in into.iter_mut().zip(from) {
+            a.acc.merge(l.acc);
+            a.updates += l.updates;
+            a.stored += l.stored;
+            a.predictions += l.predictions;
+            a.correct += l.correct;
+        }
+    }
+
+    fn finish(&self, accs: Self::Partial) -> Vec<StrategyEval> {
+        self.kinds
+            .iter()
+            .zip(accs)
+            .map(|(&kind, a)| StrategyEval {
+                kind,
+                accuracy_by_history: a.acc,
+                updates: a.updates,
+                stored_points: a.stored,
+                predictions: a.predictions,
+                correct: a.correct,
+            })
+            .collect()
+    }
+}
+
+/// [`evaluate_strategies`] over a whole or chunked source; see
+/// [`StrategyKernel`] for the ordering argument.
+pub fn evaluate_strategies_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    kinds: &[StrategyKind],
+) -> Vec<StrategyEval> {
+    mesh11_trace::run_fold(
+        src,
+        &StrategyKernel {
+            phy,
+            kinds: kinds.to_vec(),
+        },
+    )
 }
 
 #[cfg(test)]

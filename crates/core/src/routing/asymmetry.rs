@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, ProbeSource};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, FoldKernel, ProbeSource};
 use rayon::prelude::*;
 
 use crate::routing::etx::MIN_DELIVERY;
@@ -36,13 +36,26 @@ pub fn asymmetry_by_rate(view: DatasetView<'_>, phy: Phy) -> BTreeMap<BitRate, V
     asymmetry_by_rate_from(&ProbeSource::Whole(view), phy)
 }
 
-/// [`asymmetry_by_rate`] over a whole or chunked source: each rate's pool
+/// The fold-style form of [`asymmetry_by_rate_from`]: each rate's pool
 /// extends in network-id order either way. Networks are analyzed in
 /// parallel; extending each rate's pool from the per-network partials in
 /// network order rebuilds the sequential pools exactly.
-pub fn asymmetry_by_rate_from(src: &ProbeSource<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
-    let mut out: BTreeMap<BitRate, Vec<f64>> = BTreeMap::new();
-    src.for_each_view(|view| {
+#[derive(Debug, Clone, Copy)]
+pub struct AsymmetryKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+}
+
+impl FoldKernel for AsymmetryKernel {
+    type Partial = BTreeMap<BitRate, Vec<f64>>;
+    type Output = BTreeMap<BitRate, Vec<f64>>;
+
+    fn init(&self) -> Self::Partial {
+        BTreeMap::new()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, out: &mut Self::Partial) {
+        let phy = self.phy;
         let metas: Vec<_> = view
             .networks()
             .iter()
@@ -62,8 +75,23 @@ pub fn asymmetry_by_rate_from(src: &ProbeSource<'_>, phy: Phy) -> BTreeMap<BitRa
                 out.entry(rate).or_default().extend(ratios);
             }
         }
-    });
-    out
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        for (rate, ratios) in from {
+            into.entry(rate).or_default().extend(ratios);
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// [`asymmetry_by_rate`] over a whole or chunked source; see
+/// [`AsymmetryKernel`] for the ordering argument.
+pub fn asymmetry_by_rate_from(src: &ProbeSource<'_>, phy: Phy) -> BTreeMap<BitRate, Vec<f64>> {
+    mesh11_trace::run_fold(src, &AsymmetryKernel { phy })
 }
 
 #[cfg(test)]

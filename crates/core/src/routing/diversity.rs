@@ -85,9 +85,56 @@ pub fn analyze_diversity(
     )
 }
 
-/// [`analyze_diversity`] over a whole or chunked source: the pooled
+/// The fold-style form of [`analyze_diversity_from`]: the pooled
 /// `(matrix, analysis)` list builds in network-id order either way before
-/// the single reduction.
+/// the single reduction in `finish`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiversityKernel {
+    /// PHY analyzed.
+    pub phy: mesh11_phy::Phy,
+    /// Rate whose delivery matrix is analyzed.
+    pub rate: mesh11_phy::BitRate,
+    /// Minimum APs for a network to join the population (§5 uses 5).
+    pub min_aps: usize,
+    /// ETX variant scoring the improvement.
+    pub variant: EtxVariant,
+}
+
+impl mesh11_trace::FoldKernel for DiversityKernel {
+    type Partial = Vec<(DeliveryMatrix, OpportunisticAnalysis)>;
+    type Output = Vec<(usize, f64, f64, usize)>;
+
+    fn init(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn fold(&self, view: mesh11_trace::DatasetView<'_>, pairs: &mut Self::Partial) {
+        let metas: Vec<_> = view
+            .networks_with_at_least(self.min_aps)
+            .filter(|meta| meta.radios.contains(&self.phy))
+            .collect();
+        let built: Vec<(DeliveryMatrix, OpportunisticAnalysis)> = metas
+            .par_iter()
+            .map(|meta| {
+                let m = view.delivery_matrix(self.phy, meta.id, self.rate, meta.n_aps);
+                let a = OpportunisticAnalysis::compute(&m);
+                (m, a)
+            })
+            .collect();
+        pairs.extend(built);
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.extend(from);
+    }
+
+    fn finish(&self, pairs: Self::Partial) -> Self::Output {
+        improvement_by_diversity(&pairs, self.variant)
+    }
+}
+
+/// [`analyze_diversity`] over a whole or chunked source; see
+/// [`DiversityKernel`] for the ordering argument.
 pub fn analyze_diversity_from(
     src: &mesh11_trace::ProbeSource<'_>,
     phy: mesh11_phy::Phy,
@@ -95,23 +142,15 @@ pub fn analyze_diversity_from(
     min_aps: usize,
     variant: EtxVariant,
 ) -> Vec<(usize, f64, f64, usize)> {
-    let mut pairs = Vec::new();
-    src.for_each_view(|view| {
-        let metas: Vec<_> = view
-            .networks_with_at_least(min_aps)
-            .filter(|meta| meta.radios.contains(&phy))
-            .collect();
-        let built: Vec<(DeliveryMatrix, OpportunisticAnalysis)> = metas
-            .par_iter()
-            .map(|meta| {
-                let m = view.delivery_matrix(phy, meta.id, rate, meta.n_aps);
-                let a = OpportunisticAnalysis::compute(&m);
-                (m, a)
-            })
-            .collect();
-        pairs.extend(built);
-    });
-    improvement_by_diversity(&pairs, variant)
+    mesh11_trace::run_fold(
+        src,
+        &DiversityKernel {
+            phy,
+            rate,
+            min_aps,
+            variant,
+        },
+    )
 }
 
 #[cfg(test)]

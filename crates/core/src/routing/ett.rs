@@ -17,7 +17,7 @@
 //! in time, per source–destination pair.
 
 use mesh11_phy::{airtime::frame_time_us, BitRate, Phy};
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, FoldKernel, NetworkId, ProbeSource};
 use rayon::prelude::*;
 
 use crate::routing::etx::MIN_DELIVERY;
@@ -140,26 +140,54 @@ pub fn analyze_ett(view: DatasetView<'_>, phy: Phy, min_aps: usize) -> Vec<EttAn
     analyze_ett_from(&ProbeSource::Whole(view), phy, min_aps)
 }
 
-/// [`analyze_ett`] over a whole or chunked source: one entry per network in
+/// The fold-style form of [`analyze_ett_from`]: one entry per network in
 /// id order, identical either way. Networks are analyzed in parallel; the
 /// order-preserving collect keeps the id-ordered output.
-pub fn analyze_ett_from(src: &ProbeSource<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
-    let mut out = Vec::new();
-    src.for_each_view(|view| {
+#[derive(Debug, Clone, Copy)]
+pub struct EttKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Minimum APs for a network to join the population.
+    pub min_aps: usize,
+}
+
+impl FoldKernel for EttKernel {
+    type Partial = Vec<EttAnalysis>;
+    type Output = Vec<EttAnalysis>;
+
+    fn init(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, out: &mut Self::Partial) {
         let metas: Vec<_> = view
-            .networks_with_at_least(min_aps)
-            .filter(|meta| meta.radios.contains(&phy))
+            .networks_with_at_least(self.min_aps)
+            .filter(|meta| meta.radios.contains(&self.phy))
             .collect();
         let analyses: Vec<EttAnalysis> = metas
             .par_iter()
             .map(|meta| {
-                let matrices = view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps);
+                let matrices =
+                    view.delivery_stack(self.phy, meta.id, self.phy.probed_rates(), meta.n_aps);
                 EttAnalysis::compute(&matrices)
             })
             .collect();
         out.extend(analyses);
-    });
-    out
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.extend(from);
+    }
+
+    fn finish(&self, out: Self::Partial) -> Self::Output {
+        out
+    }
+}
+
+/// [`analyze_ett`] over a whole or chunked source; see [`EttKernel`] for
+/// the ordering argument.
+pub fn analyze_ett_from(src: &ProbeSource<'_>, phy: Phy, min_aps: usize) -> Vec<EttAnalysis> {
+    mesh11_trace::run_fold(src, &EttKernel { phy, min_aps })
 }
 
 #[cfg(test)]

@@ -29,6 +29,14 @@ pub struct ExorTable {
     cost: Vec<f64>,
 }
 
+/// Per-destination scratch buffers, reused across the whole table build.
+struct Scratch {
+    dist: Vec<f64>,
+    order: Vec<usize>,
+    rank: Vec<u32>,
+    cands: Vec<(usize, f64)>,
+}
+
 impl ExorTable {
     /// Computes opportunistic costs, ordering candidates by the given ETX
     /// variant's shortest paths (the paper uses the same metric for routing
@@ -36,47 +44,84 @@ impl ExorTable {
     /// ETX1 ordering is the physically sensible default).
     pub fn compute(m: &DeliveryMatrix, ordering: &PathTable, _variant: EtxVariant) -> Self {
         let n = m.n_aps();
+        // Usable outgoing neighbours of each source, in ascending-id order
+        // — shared by every destination so the O(n) delivery scan per
+        // (s, d) pair collapses to one scan per source.
+        let nbrs: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .filter(|&v| v != s)
+                    .filter_map(|v| {
+                        let p = m.get(ApId(s as u32), ApId(v as u32));
+                        (p >= MIN_DELIVERY).then_some((v, p))
+                    })
+                    .collect()
+            })
+            .collect();
         let mut cost = vec![f64::INFINITY; n * n];
+        // Scratch buffers reused across destinations (and the candidate
+        // buffer across sources): the per-(s, d) allocations were the
+        // hottest malloc traffic in the §5 pipeline.
+        let mut scratch = Scratch {
+            dist: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            rank: vec![0; n],
+            cands: Vec::new(),
+        };
         for d in 0..n {
-            Self::one_destination(m, ordering, d, n, &mut cost);
+            Self::one_destination(&nbrs, ordering, d, n, &mut cost, &mut scratch);
         }
         Self { n, cost }
     }
 
     fn one_destination(
-        m: &DeliveryMatrix,
+        nbrs: &[Vec<(usize, f64)>],
         ordering: &PathTable,
         d: usize,
         n: usize,
         cost: &mut [f64],
+        scratch: &mut Scratch,
     ) {
-        let dist = |s: usize| ordering.cost(ApId(s as u32), ApId(d as u32));
+        let Scratch {
+            dist,
+            order,
+            rank,
+            cands,
+        } = scratch;
+        // One contiguous copy of the ETX-to-d column: the hot filter below
+        // reads it n·deg times, and the path table stores it strided.
+        for (s, slot) in dist.iter_mut().enumerate() {
+            *slot = ordering.cost(ApId(s as u32), ApId(d as u32));
+        }
         // Ascending ETX-to-d; unreachable nodes sort last and stay ∞.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| dist(a).partial_cmp(&dist(b)).expect("no NaN costs"));
+        order.clear();
+        order.extend(0..n);
+        order.sort_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("no NaN costs"));
+        // rank[v] = position of v in `order`. Sorting candidates by rank
+        // is the same order the dist comparator produced (stable sort put
+        // dist ties in ascending id, matching the neighbour lists), with
+        // an integer key instead of a float comparator.
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r as u32;
+        }
 
         cost[d * n + d] = 0.0;
-        for &s in &order {
-            if s == d || !dist(s).is_finite() {
+        for &s in order.iter() {
+            if s == d || !dist[s].is_finite() {
                 continue;
             }
             // Candidates: usable neighbours strictly closer to d.
-            let mut cands: Vec<(usize, f64)> = (0..n)
-                .filter(|&v| v != s)
-                .filter_map(|v| {
-                    let p = m.get(ApId(s as u32), ApId(v as u32));
-                    (p >= MIN_DELIVERY && dist(v) < dist(s)).then_some((v, p))
-                })
-                .collect();
+            cands.clear();
+            cands.extend(nbrs[s].iter().copied().filter(|&(v, _)| dist[v] < dist[s]));
             if cands.is_empty() {
                 // §5.1: no closer node ⇒ ExOR(s→d) = ETX(s→d).
-                cost[s * n + d] = dist(s);
+                cost[s * n + d] = dist[s];
                 continue;
             }
-            cands.sort_by(|a, b| dist(a.0).partial_cmp(&dist(b.0)).expect("no NaN costs"));
+            cands.sort_by_key(|&(v, _)| rank[v]);
             let mut numer = 0.0;
             let mut none_heard = 1.0;
-            for &(v, p) in &cands {
+            for &(v, p) in cands.iter() {
                 let r_v = p * none_heard;
                 numer += r_v * cost[v * n + d];
                 none_heard *= 1.0 - p;

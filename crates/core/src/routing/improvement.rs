@@ -7,7 +7,7 @@
 
 use mesh11_phy::{BitRate, Phy};
 use mesh11_stats::BinnedStats;
-use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, NetworkId, ProbeSource};
+use mesh11_trace::{ApId, DatasetView, DeliveryMatrix, FoldKernel, NetworkId, ProbeSource};
 use rayon::prelude::*;
 
 use crate::routing::etx::EtxVariant;
@@ -121,35 +121,62 @@ pub fn analyze_dataset(
     analyze_dataset_from(&ProbeSource::Whole(view), phy, min_aps)
 }
 
-/// [`analyze_dataset`] over a whole or chunked source: one entry per
+/// The fold-style form of [`analyze_dataset_from`]: one entry per
 /// (network, rate) in network-id order, identical either way. Networks
 /// are analyzed in parallel; the order-preserving collect plus in-order
 /// flatten keeps the (network, rate) output order.
-pub fn analyze_dataset_from(
-    src: &ProbeSource<'_>,
-    phy: Phy,
-    min_aps: usize,
-) -> Vec<OpportunisticAnalysis> {
-    let mut out = Vec::new();
-    src.for_each_view(|view| {
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Minimum APs for a network to join the population (§5 uses 5).
+    pub min_aps: usize,
+}
+
+impl FoldKernel for RoutingKernel {
+    type Partial = Vec<OpportunisticAnalysis>;
+    type Output = Vec<OpportunisticAnalysis>;
+
+    fn init(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, out: &mut Self::Partial) {
         let metas: Vec<_> = view
-            .networks_with_at_least(min_aps)
-            .filter(|meta| meta.radios.contains(&phy))
+            .networks_with_at_least(self.min_aps)
+            .filter(|meta| meta.radios.contains(&self.phy))
             .collect();
         let per_net: Vec<Vec<OpportunisticAnalysis>> = metas
             .par_iter()
             .map(|meta| {
                 // One pass over this network's indexed probes for all rates
                 // at once.
-                view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                view.delivery_stack(self.phy, meta.id, self.phy.probed_rates(), meta.n_aps)
                     .iter()
                     .map(OpportunisticAnalysis::compute)
                     .collect()
             })
             .collect();
         out.extend(per_net.into_iter().flatten());
-    });
-    out
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.extend(from);
+    }
+
+    fn finish(&self, out: Self::Partial) -> Self::Output {
+        out
+    }
+}
+
+/// [`analyze_dataset`] over a whole or chunked source; see
+/// [`RoutingKernel`] for the ordering argument.
+pub fn analyze_dataset_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    min_aps: usize,
+) -> Vec<OpportunisticAnalysis> {
+    mesh11_trace::run_fold(src, &RoutingKernel { phy, min_aps })
 }
 
 /// Fig 5.4: median and maximum improvement by ETX1 path length, pooled over

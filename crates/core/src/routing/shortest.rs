@@ -59,31 +59,52 @@ impl PathTable {
     /// Computes shortest paths over an arbitrary directed link-cost
     /// function (`None` = no usable link). This is how the ETT metric and
     /// the ablations reuse the machinery.
+    ///
+    /// Each directed link is evaluated exactly once, into adjacency lists
+    /// the per-source Dijkstras then share: mesh delivery matrices are
+    /// sparse (most AP pairs can't hear each other, especially at high
+    /// rates), so relaxing only usable edges beats re-scanning all `n`
+    /// candidates per pop — and re-evaluating `link` `n` times per pair.
+    /// Lists are built in ascending-`v` order, the same order the dense
+    /// scan relaxed in, so results are bit-identical.
     pub fn compute_with(n: usize, link: impl Fn(usize, usize) -> Option<f64>) -> Self {
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (u, out) in adj.iter_mut().enumerate() {
+            for v in 0..n {
+                if v == u {
+                    continue;
+                }
+                if let Some(w) = link(u, v) {
+                    debug_assert!(w >= 0.0, "negative link cost");
+                    out.push((v as u32, w));
+                }
+            }
+        }
         let mut cost = vec![f64::INFINITY; n * n];
         let mut hops = vec![u32::MAX; n * n];
+        let mut heap = BinaryHeap::new(); // one allocation shared by all sources
         for s in 0..n {
             Self::dijkstra(
-                n,
-                &link,
+                &adj,
                 s,
                 &mut cost[s * n..(s + 1) * n],
                 &mut hops[s * n..(s + 1) * n],
+                &mut heap,
             );
         }
         Self { n, cost, hops }
     }
 
     fn dijkstra(
-        n: usize,
-        link: &impl Fn(usize, usize) -> Option<f64>,
+        adj: &[Vec<(u32, f64)>],
         src: usize,
         cost: &mut [f64],
         hops: &mut [u32],
+        heap: &mut BinaryHeap<HeapItem>,
     ) {
         cost[src] = 0.0;
         hops[src] = 0;
-        let mut heap = BinaryHeap::new();
+        heap.clear();
         heap.push(HeapItem {
             cost: 0.0,
             node: src,
@@ -92,14 +113,8 @@ impl PathTable {
             if c > cost[u] {
                 continue; // stale entry
             }
-            for v in 0..n {
-                if v == u {
-                    continue;
-                }
-                let Some(w) = link(u, v) else {
-                    continue;
-                };
-                debug_assert!(w >= 0.0, "negative link cost");
+            for &(v, w) in &adj[u] {
+                let v = v as usize;
                 let next = c + w;
                 if next < cost[v] - 1e-15 {
                     cost[v] = next;

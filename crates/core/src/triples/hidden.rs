@@ -5,7 +5,7 @@
 //! `N(B) ∧ ¬N(A) ∧ {C > A}` — one AND-NOT-MASK-POPCOUNT sweep per (B, A).
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{DatasetView, EnvLabel, NetworkId, ProbeSource};
+use mesh11_trace::{DatasetView, EnvLabel, FoldKernel, NetworkId, ProbeSource};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -82,39 +82,17 @@ impl TripleAnalysis {
         Self::run_from(&ProbeSource::Whole(view), phy, threshold, rule)
     }
 
-    /// [`TripleAnalysis::run`] over a whole or chunked source: the per-
-    /// network map keys are disjoint across windows, so the merged map is
-    /// identical either way. Networks are counted in parallel; the keys
-    /// are disjoint across networks too, and the `BTreeMap` orders itself,
-    /// so the merged map is insertion-order independent.
+    /// [`TripleAnalysis::run`] over a whole or chunked source; see
+    /// [`TripleKernel`] for the ordering argument.
     pub fn run_from(src: &ProbeSource<'_>, phy: Phy, threshold: f64, rule: HearRule) -> Self {
-        let mut per_network = BTreeMap::new();
-        src.for_each_view(|view| {
-            let metas: Vec<_> = view
-                .networks()
-                .iter()
-                .filter(|meta| meta.radios.contains(&phy) && meta.n_aps >= 3)
-                .collect();
-            type Row = ((NetworkId, BitRate), (EnvLabel, TripleCounts));
-            let partials: Vec<Vec<Row>> = metas
-                .par_iter()
-                .map(|meta| {
-                    view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
-                        .iter()
-                        .map(|m| {
-                            let g = HearingGraph::build(m, threshold, rule);
-                            ((meta.id, m.rate), (meta.env, count_triples(&g)))
-                        })
-                        .collect()
-                })
-                .collect();
-            per_network.extend(partials.into_iter().flatten());
-        });
-        Self {
-            threshold,
-            rule,
-            per_network,
-        }
+        mesh11_trace::run_fold(
+            src,
+            &TripleKernel {
+                phy,
+                threshold,
+                rule,
+            },
+        )
     }
 
     /// Fig 6.1's sample at one rate: each network's hidden fraction
@@ -132,6 +110,65 @@ impl TripleAnalysis {
     /// Median hidden fraction at a rate (the §6.1 "about 15%" statistic).
     pub fn median_fraction(&self, rate: BitRate, env: Option<EnvLabel>) -> Option<f64> {
         mesh11_stats::median(&self.fractions(rate, env))
+    }
+}
+
+/// The fold-style form of [`TripleAnalysis::run_from`]: the per-network
+/// map keys are disjoint across windows, so the merged map is identical
+/// either way. Networks are counted in parallel; the keys are disjoint
+/// across networks too, and the `BTreeMap` orders itself, so the merged
+/// map is insertion-order independent.
+#[derive(Debug, Clone, Copy)]
+pub struct TripleKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Threshold on the hearing statistic (paper: 0.10).
+    pub threshold: f64,
+    /// Hearing rule used.
+    pub rule: HearRule,
+}
+
+impl FoldKernel for TripleKernel {
+    type Partial = BTreeMap<(NetworkId, BitRate), (EnvLabel, TripleCounts)>;
+    type Output = TripleAnalysis;
+
+    fn init(&self) -> Self::Partial {
+        BTreeMap::new()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, per_network: &mut Self::Partial) {
+        let phy = self.phy;
+        let metas: Vec<_> = view
+            .networks()
+            .iter()
+            .filter(|meta| meta.radios.contains(&phy) && meta.n_aps >= 3)
+            .collect();
+        type Row = ((NetworkId, BitRate), (EnvLabel, TripleCounts));
+        let partials: Vec<Vec<Row>> = metas
+            .par_iter()
+            .map(|meta| {
+                view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
+                    .iter()
+                    .map(|m| {
+                        let g = HearingGraph::build(m, self.threshold, self.rule);
+                        ((meta.id, m.rate), (meta.env, count_triples(&g)))
+                    })
+                    .collect()
+            })
+            .collect();
+        per_network.extend(partials.into_iter().flatten());
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.extend(from);
+    }
+
+    fn finish(&self, per_network: Self::Partial) -> TripleAnalysis {
+        TripleAnalysis {
+            threshold: self.threshold,
+            rule: self.rule,
+            per_network,
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{Dataset, DatasetView, EnvLabel, NetworkId, ProbeSource};
+use mesh11_trace::{Dataset, DatasetView, EnvLabel, FoldKernel, NetworkId, ProbeSource};
 use rayon::prelude::*;
 
 use crate::triples::hearing::{HearRule, HearingGraph};
@@ -23,18 +23,30 @@ pub fn range_by_rate(
     range_by_rate_from(&ProbeSource::Whole(view), phy, threshold, rule)
 }
 
-/// [`range_by_rate`] over a whole or chunked source: per-(network, rate)
+/// The fold-style form of [`range_by_rate_from`]: per-(network, rate)
 /// keys are disjoint across windows. Networks are measured in parallel;
 /// the keys are disjoint across networks too, so the self-ordering map is
 /// insertion-order independent.
-pub fn range_by_rate_from(
-    src: &ProbeSource<'_>,
-    phy: Phy,
-    threshold: f64,
-    rule: HearRule,
-) -> BTreeMap<(NetworkId, BitRate), usize> {
-    let mut out = BTreeMap::new();
-    src.for_each_view(|view| {
+#[derive(Debug, Clone, Copy)]
+pub struct RangeKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Threshold on the hearing statistic.
+    pub threshold: f64,
+    /// Hearing rule used.
+    pub rule: HearRule,
+}
+
+impl FoldKernel for RangeKernel {
+    type Partial = BTreeMap<(NetworkId, BitRate), usize>;
+    type Output = BTreeMap<(NetworkId, BitRate), usize>;
+
+    fn init(&self) -> Self::Partial {
+        BTreeMap::new()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, out: &mut Self::Partial) {
+        let phy = self.phy;
         let metas: Vec<_> = view
             .networks()
             .iter()
@@ -46,15 +58,40 @@ pub fn range_by_rate_from(
                 view.delivery_stack(phy, meta.id, phy.probed_rates(), meta.n_aps)
                     .iter()
                     .map(|m| {
-                        let g = HearingGraph::build(m, threshold, rule);
+                        let g = HearingGraph::build(m, self.threshold, self.rule);
                         ((meta.id, m.rate), g.edge_count())
                     })
                     .collect()
             })
             .collect();
         out.extend(partials.into_iter().flatten());
-    });
-    out
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        into.extend(from);
+    }
+
+    fn finish(&self, out: Self::Partial) -> Self::Output {
+        out
+    }
+}
+
+/// [`range_by_rate`] over a whole or chunked source; see [`RangeKernel`]
+/// for the ordering argument.
+pub fn range_by_rate_from(
+    src: &ProbeSource<'_>,
+    phy: Phy,
+    threshold: f64,
+    rule: HearRule,
+) -> BTreeMap<(NetworkId, BitRate), usize> {
+    mesh11_trace::run_fold(
+        src,
+        &RangeKernel {
+            phy,
+            threshold,
+            rule,
+        },
+    )
 }
 
 /// Fig 6.2's sample: per rate, each network's `range(rate) / range(base)`,

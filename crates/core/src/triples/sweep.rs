@@ -4,12 +4,18 @@
 //! results do not change significantly as the threshold varies". These
 //! helpers make that claim (and the hearing-rule choice) checkable.
 
+use std::collections::BTreeMap;
+
 use mesh11_phy::{BitRate, Phy};
-use mesh11_trace::{DatasetView, ProbeSource};
+use mesh11_trace::{DatasetView, EnvLabel, FoldKernel, NetworkId, ProbeSource};
 use rayon::prelude::*;
 
 use crate::triples::hearing::HearRule;
-use crate::triples::hidden::TripleAnalysis;
+use crate::triples::hidden::{TripleAnalysis, TripleCounts, TripleKernel};
+
+/// One threshold's per-(network, rate) triple tallies — the per-window
+/// partial a [`TripleKernel`] folds into.
+type TripleTallies = BTreeMap<(NetworkId, BitRate), (EnvLabel, TripleCounts)>;
 
 /// Median hidden-triple fraction at `rate` for each threshold.
 pub fn threshold_sweep(
@@ -22,9 +28,74 @@ pub fn threshold_sweep(
     threshold_sweep_from(&ProbeSource::Whole(view), phy, rate, thresholds, rule)
 }
 
-/// [`threshold_sweep`] over a whole or chunked source. Thresholds run in
-/// parallel — each is an independent full analysis, and concurrent walks
-/// share decoded windows through the chunk store's memo.
+/// The fold-style form of [`threshold_sweep_from`]: **all** thresholds fold
+/// per resident window (the sweep is threshold-major only within a window),
+/// so a chunked walk materializes each window once instead of once per
+/// threshold. Per-threshold partials are per-(network, rate) maps with
+/// disjoint keys across windows, so the merged maps are identical to the
+/// per-threshold independent walks.
+#[derive(Debug, Clone)]
+pub struct SweepKernel {
+    /// PHY analyzed.
+    pub phy: Phy,
+    /// Rate whose median hidden fraction is reported.
+    pub rate: BitRate,
+    /// Thresholds swept, in output order.
+    pub thresholds: Vec<f64>,
+    /// Hearing rule used.
+    pub rule: HearRule,
+}
+
+impl FoldKernel for SweepKernel {
+    type Partial = Vec<TripleTallies>;
+    type Output = Vec<(f64, Option<f64>)>;
+
+    fn init(&self) -> Self::Partial {
+        self.thresholds.iter().map(|_| BTreeMap::new()).collect()
+    }
+
+    fn fold(&self, view: DatasetView<'_>, partial: &mut Self::Partial) {
+        let mut work: Vec<(f64, &mut TripleTallies)> = self
+            .thresholds
+            .iter()
+            .copied()
+            .zip(partial.iter_mut())
+            .collect();
+        work.par_iter_mut().for_each(|(t, per_network)| {
+            let kernel = TripleKernel {
+                phy: self.phy,
+                threshold: *t,
+                rule: self.rule,
+            };
+            kernel.fold(view, per_network);
+        });
+    }
+
+    fn merge(&self, into: &mut Self::Partial, from: Self::Partial) {
+        for (a, b) in into.iter_mut().zip(from) {
+            a.extend(b);
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        self.thresholds
+            .iter()
+            .zip(partial)
+            .map(|(&t, per_network)| {
+                let kernel = TripleKernel {
+                    phy: self.phy,
+                    threshold: t,
+                    rule: self.rule,
+                };
+                let analysis = kernel.finish(per_network);
+                (t, analysis.median_fraction(self.rate, None))
+            })
+            .collect()
+    }
+}
+
+/// [`threshold_sweep`] over a whole or chunked source; see [`SweepKernel`]
+/// for the ordering argument.
 pub fn threshold_sweep_from(
     src: &ProbeSource<'_>,
     phy: Phy,
@@ -32,13 +103,15 @@ pub fn threshold_sweep_from(
     thresholds: &[f64],
     rule: HearRule,
 ) -> Vec<(f64, Option<f64>)> {
-    thresholds
-        .par_iter()
-        .map(|&t| {
-            let analysis = TripleAnalysis::run_from(src, phy, t, rule);
-            (t, analysis.median_fraction(rate, None))
-        })
-        .collect()
+    mesh11_trace::run_fold(
+        src,
+        &SweepKernel {
+            phy,
+            rate,
+            thresholds: thresholds.to_vec(),
+            rule,
+        },
+    )
 }
 
 /// Median hidden-triple fraction at `rate` under each hearing rule.

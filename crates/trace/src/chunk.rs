@@ -347,6 +347,7 @@ struct Counters {
     peak_pinned_bytes: AtomicU64,
     window_hits: AtomicU64,
     window_builds: AtomicU64,
+    window_evictions: AtomicU64,
 }
 
 impl Counters {
@@ -372,6 +373,9 @@ pub struct ChunkStoreStats {
     pub window_hits: u64,
     /// Windows materialized (chunk-span decode + index build).
     pub window_builds: u64,
+    /// Materialized windows dropped from the cache (each later re-request
+    /// is a fresh `window_builds`).
+    pub window_evictions: u64,
 }
 
 /// A pinned, decoded chunk. Dereferences to [`ProbeChunk`]; while any
@@ -641,6 +645,7 @@ impl ChunkStore {
             peak_pinned_bytes: c.peak_pinned_bytes.load(Ordering::Relaxed),
             window_hits: c.window_hits.load(Ordering::Relaxed),
             window_builds: c.window_builds.load(Ordering::Relaxed),
+            window_evictions: c.window_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -980,6 +985,10 @@ impl ChunkedDataset {
             }
             *g = None;
             self.wcache.resident.fetch_sub(1, Ordering::Relaxed);
+            self.store
+                .counters
+                .window_evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -1013,6 +1022,29 @@ impl ChunkedDataset {
             clients: Vec::new(),
             probe_horizon_s: self.shell.probe_horizon_s,
             client_horizon_s: self.shell.client_horizon_s,
+        }
+    }
+
+    /// Walks network `net`'s probe sets in stream order, straight off the
+    /// raw chunk sequence — no window materialization, no index build (the
+    /// handles count as chunk hits/decodes, never as `window_builds`).
+    /// Stream order within a network is `(time, phy, sender, receiver)`-
+    /// sorted, so filtering by PHY on the fly reproduces exactly the order
+    /// an indexed per-(phy, network) walk yields.
+    pub fn for_each_network_probe(&self, net: usize, mut f: impl FnMut(&ProbeSet)) {
+        let p0 = self.net_probe_off[net] as usize;
+        let p1 = self.net_probe_off[net + 1] as usize;
+        if p1 <= p0 {
+            return;
+        }
+        let cap = self.chunk_capacity;
+        for ci in (p0 / cap)..=((p1 - 1) / cap) {
+            let chunk = self.store.chunk(ci);
+            let lo = p0.saturating_sub(ci * cap);
+            let hi = (p1 - ci * cap).min(chunk.len());
+            for i in lo..hi {
+                f(&chunk.get(i));
+            }
         }
     }
 }

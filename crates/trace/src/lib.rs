@@ -35,6 +35,7 @@ pub mod chunk;
 pub mod client;
 pub mod codec;
 pub mod dataset;
+pub mod fold;
 pub mod ids;
 pub mod index;
 pub mod matrix;
@@ -49,6 +50,7 @@ pub use chunk::{
 };
 pub use client::ClientSample;
 pub use dataset::{Dataset, NetworkMeta};
+pub use fold::{fold_windows, run_fold, FoldKernel, Running, WindowFold};
 pub use ids::{ApId, ClientId, EnvLabel, NetworkId};
 pub use index::{
     DatasetIndex, DatasetView, IndexStitcher, LinkRange, LinkView, NetRange, NetworkView,

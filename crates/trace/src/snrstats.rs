@@ -36,34 +36,72 @@ fn probes_by_network(ds: &Dataset) -> Vec<Vec<u32>> {
     m.into_values().collect()
 }
 
-/// Folds a per-window sigma function over a probe source. Every statistic
-/// here flattens a `BTreeMap` keyed with `NetworkId` leading, and windows
-/// are consecutive network runs, so per-window outputs concatenate to
-/// exactly the whole-dataset output.
-fn fold_sigmas(src: &ProbeSource<'_>, f: impl Fn(&Dataset) -> Vec<f64>) -> Vec<f64> {
-    let mut out = Vec::new();
-    src.for_each_view(|v| out.extend(f(v.dataset())));
-    out
+/// Which of the Fig 3.1 spreads a [`SigmaKernel`] extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigmaKind {
+    /// σ within each probe set.
+    ProbeSet,
+    /// σ of each link's probe-set SNRs over time.
+    Link,
+    /// σ of each length-`k` run of a link's most recent SNRs.
+    RecentK(usize),
+    /// σ over every probe-set SNR of a network.
+    Network,
+}
+
+/// The fold-style form of the Fig 3.1 sigma extraction: every spread here
+/// flattens a `BTreeMap` keyed with `NetworkId` leading, and windows are
+/// consecutive network runs, so per-window outputs concatenate to exactly
+/// the whole-dataset output (the partial is order-insensitive up to the
+/// window order the scheduler already guarantees).
+#[derive(Debug, Clone, Copy)]
+pub struct SigmaKernel(pub SigmaKind);
+
+impl crate::fold::FoldKernel for SigmaKernel {
+    type Partial = Vec<f64>;
+    type Output = Vec<f64>;
+
+    fn init(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn fold(&self, view: crate::index::DatasetView<'_>, partial: &mut Vec<f64>) {
+        let ds = view.dataset();
+        partial.extend(match self.0 {
+            SigmaKind::ProbeSet => probe_set_sigmas(ds),
+            SigmaKind::Link => link_sigmas(ds),
+            SigmaKind::RecentK(k) => recent_k_sigmas(ds, k),
+            SigmaKind::Network => network_sigmas(ds),
+        });
+    }
+
+    fn merge(&self, into: &mut Vec<f64>, from: Vec<f64>) {
+        into.extend(from);
+    }
+
+    fn finish(&self, partial: Vec<f64>) -> Vec<f64> {
+        partial
+    }
 }
 
 /// [`probe_set_sigmas`] over a whole or chunked source.
 pub fn probe_set_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
-    fold_sigmas(src, probe_set_sigmas)
+    crate::fold::run_fold(src, &SigmaKernel(SigmaKind::ProbeSet))
 }
 
 /// [`link_sigmas`] over a whole or chunked source.
 pub fn link_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
-    fold_sigmas(src, link_sigmas)
+    crate::fold::run_fold(src, &SigmaKernel(SigmaKind::Link))
 }
 
 /// [`recent_k_sigmas`] over a whole or chunked source.
 pub fn recent_k_sigmas_from(src: &ProbeSource<'_>, k: usize) -> Vec<f64> {
-    fold_sigmas(src, |ds| recent_k_sigmas(ds, k))
+    crate::fold::run_fold(src, &SigmaKernel(SigmaKind::RecentK(k)))
 }
 
 /// [`network_sigmas`] over a whole or chunked source.
 pub fn network_sigmas_from(src: &ProbeSource<'_>) -> Vec<f64> {
-    fold_sigmas(src, network_sigmas)
+    crate::fold::run_fold(src, &SigmaKernel(SigmaKind::Network))
 }
 
 /// σ of SNR within each probe set (one value per probe set).

@@ -1,0 +1,103 @@
+//! The window-major scheduling contract: folding every kernel over each
+//! resident window exactly once must produce figure JSON byte-identical to
+//! the kernel-major schedule (one probe-source walk per kernel) — wherever
+//! the window boundaries fall, at any thread count, clean or faulted.
+
+use std::collections::BTreeMap;
+
+use mesh11::prelude::*;
+use mesh11::trace::ChunkConfig;
+use mesh11_bench::figures::{build, ALL_IDS};
+use mesh11_bench::{AnalysisMode, DataMode, ReproContext, Scale};
+use proptest::prelude::*;
+
+const SEED: u64 = 13;
+
+/// Renders every figure of every experiment id to JSON, keyed by figure id.
+fn all_figure_json(ctx: &ReproContext) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for id in ALL_IDS {
+        let figs = build(ctx, id).unwrap_or_else(|| panic!("unknown id {id}"));
+        for f in figs {
+            let prev = out.insert(f.id.clone(), f.to_json());
+            assert!(prev.is_none(), "duplicate figure id {}", f.id);
+        }
+    }
+    out
+}
+
+/// Builds a quick-scale chunked context under `schedule` and renders all
+/// figures, on a dedicated pool of `threads` workers.
+fn figures_under(
+    cfg: ChunkConfig,
+    schedule: AnalysisMode,
+    threads: usize,
+    faults: FaultPlan,
+) -> BTreeMap<String, String> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool")
+        .install(|| {
+            let (mut ctx, _) = ReproContext::build_timed_with_mode(
+                Scale::Quick,
+                SEED,
+                faults,
+                DataMode::Chunked(cfg),
+            );
+            ctx.set_analysis_mode(schedule);
+            all_figure_json(&ctx)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Adversarial window placement: for window sizes from one probe set
+    /// per window up to thousands (crossing network and chunk boundaries
+    /// at arbitrary offsets), the window-major schedule's figures are
+    /// byte-for-byte the kernel-major schedule's — single-threaded and
+    /// fanned out, with and without an active fault plan.
+    #[test]
+    fn window_major_matches_kernel_major(
+        window in 1usize..4_000,
+        capacity in 64usize..1_024,
+        four_threads in proptest::bool::ANY,
+        faulted in proptest::bool::ANY,
+    ) {
+        let cfg = ChunkConfig {
+            chunk_capacity: capacity,
+            resident_chunks: 2,
+            spill_dir: None,
+            window_probes: window,
+            scale_budget_with_threads: false,
+        };
+        let threads = if four_threads { 4 } else { 1 };
+        let faults = || {
+            if faulted {
+                FaultPlan::demo(Scale::Quick.config().probe_horizon_s)
+            } else {
+                FaultPlan::none()
+            }
+        };
+        // Kernel-major on one thread is the oracle: the pre-window-major
+        // schedule, pinned by the goldens.
+        let reference = figures_under(cfg.clone(), AnalysisMode::KernelMajor, 1, faults());
+        prop_assert!(reference.len() >= 39, "expected the full figure set");
+        let got = figures_under(cfg, AnalysisMode::WindowMajor, threads, faults());
+        prop_assert_eq!(got.len(), reference.len(), "figure set differs");
+        for (id, json) in &reference {
+            let g = got.get(id).map(String::as_str);
+            prop_assert_eq!(
+                g,
+                Some(json.as_str()),
+                "figure {} diverges (window={}, capacity={}, threads={}, faulted={})",
+                id,
+                window,
+                capacity,
+                threads,
+                faulted
+            );
+        }
+    }
+}

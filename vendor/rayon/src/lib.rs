@@ -6,7 +6,10 @@
 //! [`current_num_threads`]. Work is distributed over `std::thread::scope`
 //! workers pulling items off a shared atomic index — no work stealing,
 //! which is adequate for the coarse-grained tasks (whole networks, AP
-//! pairs, figure builders) this repo parallelizes.
+//! pairs, figure builders) this repo parallelizes. Nested `par_iter`
+//! calls reached from inside a worker run inline: the outer level owns
+//! the thread budget, so a second layer of spawned workers would only
+//! oversubscribe the machine.
 //!
 //! Determinism contract: `collect` returns results in input order no
 //! matter how items were scheduled, so callers see identical output at
@@ -22,7 +25,9 @@ use std::sync::Mutex;
 
 /// The usual glob import: `use rayon::prelude::*;`.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, Map, ParIter};
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, Map, ParIter, ParIterMut,
+    };
 }
 
 thread_local! {
@@ -30,6 +35,14 @@ thread_local! {
     /// and inherited by worker threads, so nested `par_iter` calls stay
     /// inside the installed budget.
     static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Set on worker threads for the duration of their run loop. A
+    /// `par_iter` reached from inside a worker runs inline: the outer
+    /// level already owns the thread budget, and spawning another layer
+    /// of workers per nested call oversubscribes the machine instead of
+    /// helping (upstream rayon work-steals across levels; this stand-in
+    /// spawns, so one level is the budget).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Number of threads `par_iter` will use on this thread right now.
@@ -58,7 +71,7 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = current_num_threads().min(len).max(1);
-    if threads <= 1 || len <= 1 {
+    if threads <= 1 || len <= 1 || IN_WORKER.with(Cell::get) {
         return (0..len).map(f).collect();
     }
     let next = AtomicUsize::new(0);
@@ -68,6 +81,7 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 POOL_OVERRIDE.with(|c| c.set(Some(budget)));
+                IN_WORKER.with(|c| c.set(true));
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= len {
@@ -149,6 +163,51 @@ where
     {
         let Map { items, f } = self;
         C::from_ordered(run_indexed(items.len(), |i| f(&items[i])))
+    }
+}
+
+/// Entry point providing `.par_iter_mut()` on slices and `Vec`s.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over mutably borrowed items.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            slots: self.iter_mut().map(Mutex::new).collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Parallel iterator over mutable borrows. Each item is pre-wrapped in its
+/// own mutex so safe code can hand disjoint `&mut T`s to scoped workers;
+/// every slot is claimed by exactly one worker, so the locks never contend.
+pub struct ParIterMut<'a, T> {
+    slots: Vec<Mutex<&'a mut T>>,
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Runs `f` on every item in parallel (unspecified order).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let slots = self.slots;
+        run_indexed(slots.len(), |i| {
+            let mut guard = slots[i].lock().expect("item slot poisoned");
+            f(&mut guard);
+        });
     }
 }
 
@@ -249,6 +308,16 @@ mod tests {
     }
 
     #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut xs: Vec<u64> = (0..500).collect();
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(xs, (1..=500).collect::<Vec<u64>>());
+        let mut none: Vec<u64> = Vec::new();
+        none.par_iter_mut().for_each(|x| *x += 1);
+        assert!(none.is_empty());
+    }
+
+    #[test]
     fn install_overrides_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         let (inside, nested) = pool.install(|| {
@@ -261,6 +330,28 @@ mod tests {
         assert_eq!(inside, 3);
         assert!(nested.iter().all(|&n| n == 3), "workers inherit budget");
         assert_eq!(POOL_OVERRIDE.with(Cell::get), None, "override restored");
+    }
+
+    #[test]
+    fn nested_par_iter_runs_inline_on_workers() {
+        // A par_iter reached from inside a worker must not spawn another
+        // layer: every nested item runs on the worker's own thread.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inline_per_outer: Vec<bool> = pool.install(|| {
+            vec![(); 4]
+                .par_iter()
+                .map(|()| {
+                    let me = std::thread::current().id();
+                    vec![(); 8]
+                        .par_iter()
+                        .map(|()| std::thread::current().id())
+                        .collect::<Vec<_>>()
+                        .iter()
+                        .all(|&id| id == me)
+                })
+                .collect()
+        });
+        assert!(inline_per_outer.iter().all(|&b| b));
     }
 
     #[test]
