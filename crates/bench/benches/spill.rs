@@ -1,0 +1,88 @@
+//! Spill codec v1 vs v2: frame encode and decode throughput on real
+//! simulated probe chunks, and the end-to-end forced-spill window fold
+//! with the window-ahead prefetcher off vs on. Run with
+//! `cargo bench -p mesh11-bench spill`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mesh11_bench::{fused, DataMode, ReproContext, Scale};
+use mesh11_trace::{ChunkConfig, ProbeChunk, SpillCodec};
+use std::hint::black_box;
+
+const SEED: u64 = 42;
+
+/// One chunk holding every probe of the quick-scale dataset — the
+/// realistic column shapes (monotone times, quantized losses, Gaussian
+/// SNRs) the codec was designed against.
+fn quick_chunk() -> ProbeChunk {
+    let ctx = ReproContext::build_timed_with_mode(
+        Scale::Quick,
+        SEED,
+        mesh11_sim::FaultPlan::none(),
+        DataMode::InMemory,
+    )
+    .0;
+    let ds = ctx.dataset();
+    let mut chunk = ProbeChunk::with_capacity(ds.probes.len());
+    for p in &ds.probes {
+        chunk.push(p);
+    }
+    chunk
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let chunk = quick_chunk();
+    let raw_bytes = chunk.v1_encoded_len();
+    let mut g = c.benchmark_group("spill/codec");
+    g.throughput(Throughput::Bytes(raw_bytes));
+    for codec in [SpillCodec::V1, SpillCodec::V2] {
+        let label = format!("{codec:?}").to_lowercase();
+        g.bench_function(&format!("encode-{label}"), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                chunk.encode_with(codec, &mut buf);
+                black_box(buf.len())
+            })
+        });
+        let mut frame = Vec::new();
+        chunk.encode_with(codec, &mut frame);
+        eprintln!(
+            "# spill/codec {label}: {} -> {} bytes ({:.3}x)",
+            raw_bytes,
+            frame.len(),
+            frame.len() as f64 / raw_bytes as f64
+        );
+        g.bench_function(&format!("decode-{label}"), |b| {
+            b.iter(|| black_box(ProbeChunk::decode_any(&frame).expect("frame decodes")))
+        });
+    }
+    g.finish();
+}
+
+/// The fused analysis fold over a forced-spill chunked quick dataset,
+/// prefetch off vs on — the wall-clock claim behind the prefetcher.
+fn forced_spill_fold(c: &mut Criterion) {
+    for (label, depth) in [("prefetch-off", 0usize), ("prefetch-on", 2)] {
+        let cfg = ChunkConfig {
+            prefetch_depth: depth,
+            ..ChunkConfig::tiny()
+        };
+        let ctx = ReproContext::build_timed_with_mode(
+            Scale::Quick,
+            SEED,
+            mesh11_sim::FaultPlan::none(),
+            DataMode::Chunked(cfg),
+        )
+        .0;
+        assert!(
+            ctx.chunked().expect("chunked").spilled_bytes() > 0,
+            "tiny budget must force spilling"
+        );
+        c.bench_function(&format!("spill/fold-{label}"), |b| {
+            b.iter(|| black_box(fused::run_fused(&ctx.probe_source())))
+        });
+    }
+}
+
+criterion_group!(benches, codec_throughput, forced_spill_fold);
+criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N]
 //!       [--faults] [--metro-factor N] [--chunked] [--chunk-capacity N]
-//!       [--chunk-budget N] [--spill-dir DIR] [--streaming]
+//!       [--chunk-budget N] [--spill-codec v1|v2] [--prefetch-depth N]
+//!       [--spill-dir DIR] [--streaming]
 //!       [--window-major] [--kernel-major] [--out DIR] [--bench-json FILE]
 //!       [--rows N] [--plot] <id>... | --all
 //! ```
@@ -40,7 +41,7 @@ use mesh11_bench::{
     PhaseTimings, ReproContext, Scale,
 };
 use mesh11_core::report::FigureData;
-use mesh11_trace::ChunkConfig;
+use mesh11_trace::{ChunkConfig, SpillCodec};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -55,6 +56,8 @@ struct Args {
     chunked: bool,
     chunk_capacity: Option<usize>,
     chunk_budget: Option<usize>,
+    spill_codec: Option<SpillCodec>,
+    prefetch_depth: Option<usize>,
     spill_dir: Option<PathBuf>,
     streaming: bool,
     analysis_mode: Option<AnalysisMode>,
@@ -73,6 +76,8 @@ impl Args {
             || self.streaming
             || self.chunk_capacity.is_some()
             || self.chunk_budget.is_some()
+            || self.spill_codec.is_some()
+            || self.prefetch_depth.is_some()
             || self.spill_dir.is_some();
         match (self.scale.data_mode(), chunk_flags) {
             (DataMode::InMemory, false) => DataMode::InMemory,
@@ -86,6 +91,12 @@ impl Args {
                 }
                 if let Some(budget) = self.chunk_budget {
                     cfg.resident_chunks = budget;
+                }
+                if let Some(codec) = self.spill_codec {
+                    cfg.spill_codec = codec;
+                }
+                if let Some(depth) = self.prefetch_depth {
+                    cfg.prefetch_depth = depth;
                 }
                 cfg.spill_dir.clone_from(&self.spill_dir);
                 DataMode::Chunked(cfg)
@@ -104,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         chunked: false,
         chunk_capacity: None,
         chunk_budget: None,
+        spill_codec: None,
+        prefetch_depth: None,
         spill_dir: None,
         streaming: false,
         analysis_mode: None,
@@ -164,6 +177,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--chunk-budget needs a value")?;
                 args.chunk_budget = Some(v.parse().map_err(|e| format!("bad chunk budget: {e}"))?);
             }
+            "--spill-codec" => {
+                let v = it.next().ok_or("--spill-codec needs a value")?;
+                args.spill_codec =
+                    Some(SpillCodec::parse(&v).ok_or(format!("bad spill codec '{v}' (v1|v2)"))?);
+            }
+            "--prefetch-depth" => {
+                let v = it.next().ok_or("--prefetch-depth needs a value")?;
+                args.prefetch_depth =
+                    Some(v.parse().map_err(|e| format!("bad prefetch depth: {e}"))?);
+            }
             "--spill-dir" => {
                 args.spill_dir = Some(PathBuf::from(it.next().ok_or("--spill-dir needs a value")?));
             }
@@ -192,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--scale quick|standard|paper|metro] [--seed N] [--seeds N] [--threads N] [--faults]\n\
                      \x20            [--metro-factor N] [--chunked] [--chunk-capacity N] [--chunk-budget N]\n\
+                     \x20            [--spill-codec v1|v2] [--prefetch-depth N]\n\
                      \x20            [--spill-dir DIR] [--streaming] [--window-major] [--kernel-major]\n\
                      \x20            [--out DIR] [--bench-json FILE] [--rows N] [--plot] <id>... | --all\n\
                      --threads N  cap the worker pool (default: all cores); results are\n\
@@ -210,12 +234,17 @@ fn parse_args() -> Result<Args, String> {
                      --kernel-major  one probe-source walk per kernel (default in-memory)\n\
                      --chunk-capacity N  probe sets per chunk (default {})\n\
                      --chunk-budget N    resident chunks before spilling (default {})\n\
+                     --spill-codec v1|v2  spill frame encoding: raw columns (v1) or\n\
+                     per-column compression + checksum (v2, default)\n\
+                     --prefetch-depth N  windows of read-ahead by the background\n\
+                     prefetch thread (default {}; 0 disables it)\n\
                      --spill-dir DIR     where cold chunks spill (default: system temp dir)\n\
                      --bench-json FILE  where to write the per-phase timing JSON\n\
                      (default: BENCH_repro.json in the working directory)\nids: {}",
                     mesh11_bench::DEFAULT_METRO_FACTOR,
                     ChunkConfig::default().chunk_capacity,
                     ChunkConfig::default().resident_chunks,
+                    ChunkConfig::default().prefetch_depth,
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -431,6 +460,12 @@ fn run(args: &Args) -> i32 {
         window_builds: chunk.as_ref().map(|c| c.window_builds),
         window_evictions: chunk.as_ref().map(|c| c.window_evictions),
         n_windows: ctx.chunked().map(|c| c.n_windows() as u64),
+        prefetch_hits: chunk.as_ref().map(|c| c.prefetch_hits),
+        prefetch_wasted: chunk.as_ref().map(|c| c.prefetch_wasted),
+        over_budget_events: chunk.as_ref().map(|c| c.over_budget_events),
+        decode_s: chunk.as_ref().map(|c| c.decode_ns as f64 / 1e9),
+        spill_raw_bytes: chunk.as_ref().map(|c| c.spill_raw_bytes),
+        spill_encoded_bytes: chunk.as_ref().map(|c| c.spill_encoded_bytes),
         total_s: t_total.elapsed().as_secs_f64(),
         figures: fig_times,
     };
@@ -551,6 +586,12 @@ fn run_multi(args: &Args, faults: mesh11_sim::FaultPlan, t_total: Instant) -> i3
         window_builds: None,
         window_evictions: None,
         n_windows: None,
+        prefetch_hits: None,
+        prefetch_wasted: None,
+        over_budget_events: None,
+        decode_s: None,
+        spill_raw_bytes: None,
+        spill_encoded_bytes: None,
         total_s: t_total.elapsed().as_secs_f64(),
         figures: base_fig_times,
     };

@@ -97,6 +97,21 @@ pub struct PhaseTimings {
     pub window_evictions: Option<u64>,
     /// Windows the chunk store partitions the ensemble into.
     pub n_windows: Option<u64>,
+    /// Consumer chunk fetches that found the chunk already warm from the
+    /// window-ahead prefetch thread.
+    pub prefetch_hits: Option<u64>,
+    /// Chunks prefetched but never consumed (wasted read-ahead I/O).
+    pub prefetch_wasted: Option<u64>,
+    /// Times eviction ran over budget with every chunk pinned or
+    /// contended (sustained growth = budget too small).
+    pub over_budget_events: Option<u64>,
+    /// Seconds spent decoding spill frames, summed across all threads.
+    pub decode_s: Option<f64>,
+    /// Uncompressed (v1-equivalent) bytes of every chunk ever spilled.
+    pub spill_raw_bytes: Option<u64>,
+    /// Bytes actually written to the spill file;
+    /// `spill_encoded_bytes / spill_raw_bytes` is the codec-v2 ratio.
+    pub spill_encoded_bytes: Option<u64>,
     /// End-to-end wall-clock, including table rendering and JSON output.
     pub total_s: f64,
     /// Per-experiment analyze seconds, keyed by experiment id. Each entry
@@ -180,6 +195,18 @@ impl PhaseTimings {
                 self.window_evictions.unwrap_or(0),
                 self.n_windows.unwrap_or(0)
             ));
+            if self.spill_raw_bytes.unwrap_or(0) > 0 {
+                let raw = self.spill_raw_bytes.unwrap_or(0);
+                let enc = self.spill_encoded_bytes.unwrap_or(0);
+                s.push_str(&format!(
+                    "\n# spill codec: {enc} / {raw} bytes ({:.2}x), decode {:.2}s, prefetch {} hits / {} wasted, {} over-budget events",
+                    enc as f64 / raw as f64,
+                    self.decode_s.unwrap_or(0.0),
+                    self.prefetch_hits.unwrap_or(0),
+                    self.prefetch_wasted.unwrap_or(0),
+                    self.over_budget_events.unwrap_or(0)
+                ));
+            }
         }
         let mut slowest: Vec<(&String, &f64)> = self.figures.iter().collect();
         slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite timings"));
@@ -228,6 +255,12 @@ mod tests {
             window_builds: Some(7),
             window_evictions: Some(2),
             n_windows: Some(7),
+            prefetch_hits: Some(25),
+            prefetch_wasted: Some(3),
+            over_budget_events: Some(1),
+            decode_s: Some(0.08),
+            spill_raw_bytes: Some(10_000),
+            spill_encoded_bytes: Some(5_500),
             total_s: 3.7,
             figures: BTreeMap::from([("fig4-1".to_string(), 0.25)]),
         };
@@ -261,6 +294,12 @@ mod tests {
             "window_builds",
             "window_evictions",
             "n_windows",
+            "prefetch_hits",
+            "prefetch_wasted",
+            "over_budget_events",
+            "decode_s",
+            "spill_raw_bytes",
+            "spill_encoded_bytes",
             "analyze_s_per_seed",
             "analyze_s_per_seed_ci95",
             "stream_analyze_s",
@@ -278,6 +317,8 @@ mod tests {
         assert!(t.render().contains("321 clients"));
         assert!(t.render().contains("peak RSS 256 MiB"));
         assert!(t.render().contains("120 hits / 40 decodes / 30 evictions"));
+        assert!(t.render().contains("5500 / 10000 bytes (0.55x)"));
+        assert!(t.render().contains("prefetch 25 hits / 3 wasted"));
         assert!(t.render().contains("0.90s of analysis overlapped"));
     }
 
@@ -315,6 +356,12 @@ mod tests {
             window_builds: None,
             window_evictions: None,
             n_windows: None,
+            prefetch_hits: None,
+            prefetch_wasted: None,
+            over_budget_events: None,
+            decode_s: None,
+            spill_raw_bytes: None,
+            spill_encoded_bytes: None,
             total_s: 1.5,
             figures: BTreeMap::new(),
         };

@@ -273,6 +273,417 @@ pub fn decode(mut buf: Bytes) -> io::Result<Dataset> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Spill codec v2 column primitives (used by the chunk spill frames in
+// `crate::chunk`)
+// ---------------------------------------------------------------------------
+//
+// Each column is written as `[tag u8][payload]`, so the decoder needs no
+// out-of-band schema and one frame can mix encodings as the data dictates:
+//
+//   COL_RAW    little-endian values — exactly the v1 layout
+//   COL_DELTA  first value as a varint, then zigzag varints of successive
+//              deltas (f64 columns delta their IEEE bit patterns) — wins on
+//              monotone columns: report times, `obs_off` prefix tables
+//   COL_PACK   `min` + bit width + LSB-first packed `value - min` — wins on
+//              small-domain integer columns: network/AP ids, phy/rate tags
+//   COL_DICT   sorted value dictionary + bit-packed indices — wins on
+//              quantized f64 columns (windowed loss is `k/n` over ≤ ~20
+//              probes); continuous columns (SNR) fall back to COL_RAW
+//
+// Encoders compute every candidate's exact size and keep the smallest, so
+// the choice is deterministic per column and invisible to the decoder.
+
+pub(crate) const COL_RAW: u8 = 0;
+pub(crate) const COL_DELTA: u8 = 1;
+pub(crate) const COL_PACK: u8 = 2;
+pub(crate) const COL_DICT: u8 = 3;
+
+/// Dictionary candidates stop growing past this many distinct values: the
+/// scan cost stops paying for itself and RAW/DELTA win on size anyway.
+const DICT_MAX: usize = 1024;
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit = more).
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Encoded size of `v` as a varint, without writing it.
+pub(crate) fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Reads one varint, advancing `buf`. Rejects truncation and anything that
+/// overflows a `u64`.
+pub(crate) fn get_varint(buf: &mut &[u8]) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some((&b, rest)) = buf.split_first() else {
+            return Err(bad("truncated varint".into()));
+        };
+        *buf = rest;
+        if shift == 63 && b > 1 {
+            return Err(bad("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(bad("varint too long".into()));
+        }
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value (small
+/// magnitudes of either sign stay small).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// FNV-1a 64-bit hash — the spill-frame checksum. Not cryptographic; it
+/// guards scratch-file integrity (truncation, bit rot, torn writes), not
+/// adversaries.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Bits needed to represent `v` (0 for 0).
+fn bits_for(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Packs `width`-bit residuals LSB-first into whole bytes.
+fn pack_bits(buf: &mut Vec<u8>, residuals: impl Iterator<Item = u64>, width: usize) {
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u64;
+    let mut nbits = 0;
+    for r in residuals {
+        acc |= r << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            buf.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        buf.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Unpacks `n` `width`-bit values LSB-first from `bytes` (length already
+/// validated by the caller).
+fn unpack_bits(bytes: &[u8], n: usize, width: usize) -> Vec<u64> {
+    let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+    let mut acc = 0u64;
+    let mut nbits = 0;
+    let mut it = bytes.iter();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        while nbits < width {
+            acc |= u64::from(*it.next().expect("caller validated length")) << nbits;
+            nbits += 8;
+        }
+        out.push(acc & mask);
+        acc >>= width;
+        nbits -= width;
+    }
+    out
+}
+
+/// Takes `n` bytes off the front of `buf`, or errors on truncation.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> io::Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(bad(format!(
+            "truncated column: need {n}, have {}",
+            buf.len()
+        )));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+/// Appends a u32 column as `[tag][payload]`, keeping the smallest of RAW,
+/// DELTA, and PACK.
+pub(crate) fn put_u32_col(buf: &mut Vec<u8>, vals: &[u32]) {
+    let raw = 4 * vals.len();
+    let mut best = (COL_RAW, raw);
+    if let (Some(&min), Some(&max)) = (vals.iter().min(), vals.iter().max()) {
+        let width = bits_for(u64::from(max - min));
+        let pack = 5 + (vals.len() * width).div_ceil(8);
+        let mut delta = varint_len(u64::from(vals[0]));
+        for w in vals.windows(2) {
+            delta += varint_len(zigzag(i64::from(w[1]) - i64::from(w[0])));
+        }
+        if delta < best.1 {
+            best = (COL_DELTA, delta);
+        }
+        if pack < best.1 {
+            best = (COL_PACK, pack);
+        }
+    }
+    buf.push(best.0);
+    match best.0 {
+        COL_DELTA => {
+            put_varint(buf, u64::from(vals[0]));
+            for w in vals.windows(2) {
+                put_varint(buf, zigzag(i64::from(w[1]) - i64::from(w[0])));
+            }
+        }
+        COL_PACK => {
+            let min = *vals.iter().min().expect("non-empty");
+            let max = *vals.iter().max().expect("non-empty");
+            let width = bits_for(u64::from(max - min));
+            buf.extend_from_slice(&min.to_le_bytes());
+            buf.push(width as u8);
+            pack_bits(buf, vals.iter().map(|&v| u64::from(v - min)), width);
+        }
+        _ => {
+            for &v in vals {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Reads a u32 column of `n` values written by [`put_u32_col`].
+pub(crate) fn get_u32_col(buf: &mut &[u8], n: usize) -> io::Result<Vec<u32>> {
+    let tag = take(buf, 1)?[0];
+    match tag {
+        COL_RAW => {
+            let raw = take(buf, 4 * n)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+                .collect())
+        }
+        COL_DELTA => {
+            let mut out = Vec::with_capacity(n);
+            if n > 0 {
+                let first = u32::try_from(get_varint(buf)?)
+                    .map_err(|_| bad("u32 delta column: first value out of range".into()))?;
+                out.push(first);
+                let mut prev = i64::from(first);
+                for _ in 1..n {
+                    let d = unzigzag(get_varint(buf)?);
+                    let v = prev
+                        .checked_add(d)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| bad("u32 delta column: value out of range".into()))?;
+                    out.push(v);
+                    prev = i64::from(v);
+                }
+            }
+            Ok(out)
+        }
+        COL_PACK => {
+            let head = take(buf, 5)?;
+            let min = u32::from_le_bytes(head[..4].try_into().expect("5-byte head"));
+            let width = head[4] as usize;
+            if width > 32 {
+                return Err(bad(format!("u32 pack column: width {width} > 32")));
+            }
+            let packed = take(buf, (n * width).div_ceil(8))?;
+            unpack_bits(packed, n, width)
+                .into_iter()
+                .map(|r| {
+                    u32::try_from(r)
+                        .ok()
+                        .and_then(|r| min.checked_add(r))
+                        .ok_or_else(|| bad("u32 pack column: value overflows".into()))
+                })
+                .collect()
+        }
+        other => Err(bad(format!("unknown u32 column tag {other}"))),
+    }
+}
+
+/// Appends a u8 column as `[tag][payload]`, keeping the smaller of RAW and
+/// PACK.
+pub(crate) fn put_u8_col(buf: &mut Vec<u8>, vals: &[u8]) {
+    let raw = vals.len();
+    if let (Some(&min), Some(&max)) = (vals.iter().min(), vals.iter().max()) {
+        let width = bits_for(u64::from(max - min));
+        let pack = 2 + (vals.len() * width).div_ceil(8);
+        if pack < raw {
+            buf.push(COL_PACK);
+            buf.push(min);
+            buf.push(width as u8);
+            pack_bits(buf, vals.iter().map(|&v| u64::from(v - min)), width);
+            return;
+        }
+    }
+    buf.push(COL_RAW);
+    buf.extend_from_slice(vals);
+}
+
+/// Reads a u8 column of `n` values written by [`put_u8_col`].
+pub(crate) fn get_u8_col(buf: &mut &[u8], n: usize) -> io::Result<Vec<u8>> {
+    let tag = take(buf, 1)?[0];
+    match tag {
+        COL_RAW => Ok(take(buf, n)?.to_vec()),
+        COL_PACK => {
+            let head = take(buf, 2)?;
+            let (min, width) = (head[0], head[1] as usize);
+            if width > 8 {
+                return Err(bad(format!("u8 pack column: width {width} > 8")));
+            }
+            let packed = take(buf, (n * width).div_ceil(8))?;
+            unpack_bits(packed, n, width)
+                .into_iter()
+                .map(|r| {
+                    u8::try_from(r)
+                        .ok()
+                        .and_then(|r| min.checked_add(r))
+                        .ok_or_else(|| bad("u8 pack column: value overflows".into()))
+                })
+                .collect()
+        }
+        other => Err(bad(format!("unknown u8 column tag {other}"))),
+    }
+}
+
+/// Appends an f64 column as `[tag][payload]`, keeping the smallest of RAW,
+/// DELTA (over IEEE bit patterns — exact for every value including NaN),
+/// and DICT (sorted bit-pattern dictionary + packed indices — wins on
+/// quantized columns like windowed loss).
+pub(crate) fn put_f64_col(buf: &mut Vec<u8>, vals: &[f64]) {
+    let raw = 8 * vals.len();
+    let mut best = (COL_RAW, raw);
+    let mut dict: Option<Vec<u64>> = None;
+    if !vals.is_empty() {
+        let mut delta = varint_len(vals[0].to_bits());
+        for w in vals.windows(2) {
+            delta += varint_len(zigzag(w[1].to_bits().wrapping_sub(w[0].to_bits()) as i64));
+        }
+        if delta < best.1 {
+            best = (COL_DELTA, delta);
+        }
+        let mut set = std::collections::BTreeSet::new();
+        for &v in vals {
+            set.insert(v.to_bits());
+            if set.len() > DICT_MAX {
+                break;
+            }
+        }
+        if set.len() <= DICT_MAX {
+            let d: Vec<u64> = set.into_iter().collect();
+            let width = bits_for(d.len() as u64 - 1);
+            let size =
+                varint_len(d.len() as u64) + 8 * d.len() + 1 + (vals.len() * width).div_ceil(8);
+            if size < best.1 {
+                best = (COL_DICT, size);
+                dict = Some(d);
+            }
+        }
+    }
+    buf.push(best.0);
+    match best.0 {
+        COL_DELTA => {
+            put_varint(buf, vals[0].to_bits());
+            for w in vals.windows(2) {
+                put_varint(
+                    buf,
+                    zigzag(w[1].to_bits().wrapping_sub(w[0].to_bits()) as i64),
+                );
+            }
+        }
+        COL_DICT => {
+            let d = dict.expect("dict candidate won");
+            let width = bits_for(d.len() as u64 - 1);
+            put_varint(buf, d.len() as u64);
+            for &bits in &d {
+                buf.extend_from_slice(&bits.to_le_bytes());
+            }
+            buf.push(width as u8);
+            let idx_of = |v: f64| d.binary_search(&v.to_bits()).expect("value in dict") as u64;
+            pack_bits(buf, vals.iter().map(|&v| idx_of(v)), width);
+        }
+        _ => {
+            for &v in vals {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Reads an f64 column of `n` values written by [`put_f64_col`].
+pub(crate) fn get_f64_col(buf: &mut &[u8], n: usize) -> io::Result<Vec<f64>> {
+    let tag = take(buf, 1)?[0];
+    match tag {
+        COL_RAW => {
+            let raw = take(buf, 8 * n)?;
+            Ok(raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+                .collect())
+        }
+        COL_DELTA => {
+            let mut out = Vec::with_capacity(n);
+            if n > 0 {
+                let mut prev = get_varint(buf)?;
+                out.push(f64::from_bits(prev));
+                for _ in 1..n {
+                    let d = unzigzag(get_varint(buf)?);
+                    prev = prev.wrapping_add(d as u64);
+                    out.push(f64::from_bits(prev));
+                }
+            }
+            Ok(out)
+        }
+        COL_DICT => {
+            let d = get_varint(buf)? as usize;
+            if d == 0 || d > DICT_MAX {
+                return Err(bad(format!("f64 dict column: implausible dict size {d}")));
+            }
+            let dict_bytes = take(buf, 8 * d)?;
+            let dict: Vec<f64> = dict_bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+                .collect();
+            let width = take(buf, 1)?[0] as usize;
+            if width > 32 {
+                return Err(bad(format!("f64 dict column: width {width} > 32")));
+            }
+            let packed = take(buf, (n * width).div_ceil(8))?;
+            unpack_bits(packed, n, width)
+                .into_iter()
+                .map(|i| {
+                    dict.get(i as usize)
+                        .copied()
+                        .ok_or_else(|| bad(format!("f64 dict column: index {i} out of range")))
+                })
+                .collect()
+        }
+        other => Err(bad(format!("unknown f64 column tag {other}"))),
+    }
+}
+
 /// Writes the binary form to a file through a streaming writer — the full
 /// serialized buffer is never materialized.
 pub fn save(ds: &Dataset, path: &std::path::Path) -> io::Result<()> {
@@ -415,5 +826,175 @@ mod tests {
         let bin = encode(&ds).len();
         let json = serde_json::to_vec(&ds).unwrap().len();
         assert!(bin * 2 < json, "binary {bin} vs json {json}");
+    }
+
+    // -- spill codec v2 column primitives --
+
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v));
+            let mut r = buf.as_slice();
+            assert_eq!(get_varint(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(get_varint(&mut r).is_err(), "prefix {cut}");
+        }
+        // 11 continuation bytes: more than a u64 can hold.
+        let long = [0x80u8; 11];
+        assert!(get_varint(&mut &long[..]).is_err());
+        // 10th byte with payload bits above bit 63.
+        let over = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert!(get_varint(&mut &over[..]).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn small_domain_u32_column_bit_packs() {
+        let vals: Vec<u32> = (0..4096).map(|i| 1000 + (i % 7)).collect();
+        let mut buf = Vec::new();
+        put_u32_col(&mut buf, &vals);
+        assert_eq!(buf[0], COL_PACK);
+        // 3-bit residuals: ~0.375 bytes per value instead of 4.
+        assert!(buf.len() < vals.len(), "packed {} bytes", buf.len());
+        let mut r = buf.as_slice();
+        assert_eq!(get_u32_col(&mut r, vals.len()).unwrap(), vals);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn monotone_u32_column_deltas() {
+        // A prefix table with small increments: delta varints win.
+        let mut vals = vec![0u32];
+        for i in 0..2000u32 {
+            vals.push(vals.last().unwrap() + 8 + (i % 5));
+        }
+        let mut buf = Vec::new();
+        put_u32_col(&mut buf, &vals);
+        assert_eq!(buf[0], COL_DELTA);
+        assert!(buf.len() < 2 * vals.len(), "delta {} bytes", buf.len());
+        let mut r = buf.as_slice();
+        assert_eq!(get_u32_col(&mut r, vals.len()).unwrap(), vals);
+    }
+
+    #[test]
+    fn quantized_f64_column_uses_dictionary() {
+        // Windowed loss shape: k/20 fractions, few distinct values.
+        let vals: Vec<f64> = (0..8192).map(|i| (i % 21) as f64 / 20.0).collect();
+        let mut buf = Vec::new();
+        put_f64_col(&mut buf, &vals);
+        assert_eq!(buf[0], COL_DICT);
+        assert!(
+            buf.len() < vals.len(),
+            "dict column {} bytes for {} values",
+            buf.len(),
+            vals.len()
+        );
+        let mut r = buf.as_slice();
+        let back = get_f64_col(&mut r, vals.len()).unwrap();
+        assert!(back
+            .iter()
+            .zip(&vals)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn continuous_f64_column_stays_raw() {
+        // Pseudo-continuous values (distinct mantissas): RAW must win.
+        let vals: Vec<f64> = (0..2048)
+            .map(|i| (i as f64).sin() * 40.0 + 1e-9 * i as f64)
+            .collect();
+        let mut buf = Vec::new();
+        put_f64_col(&mut buf, &vals);
+        assert_eq!(buf[0], COL_RAW);
+        assert_eq!(buf.len(), 1 + 8 * vals.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u32_col_round_trips(vals in proptest::collection::vec(0u32..=u32::MAX, 0..300)) {
+            let mut buf = Vec::new();
+            put_u32_col(&mut buf, &vals);
+            let mut r = buf.as_slice();
+            prop_assert_eq!(get_u32_col(&mut r, vals.len()).unwrap(), vals);
+            prop_assert!(r.is_empty(), "column over-reads or under-writes");
+        }
+
+        #[test]
+        fn prop_u8_col_round_trips(vals in proptest::collection::vec(0u8..=u8::MAX, 0..300)) {
+            let mut buf = Vec::new();
+            put_u8_col(&mut buf, &vals);
+            let mut r = buf.as_slice();
+            prop_assert_eq!(get_u8_col(&mut r, vals.len()).unwrap(), vals);
+            prop_assert!(r.is_empty());
+        }
+
+        #[test]
+        fn prop_f64_col_round_trips_bits(bits in proptest::collection::vec(0u64..=u64::MAX, 0..300)) {
+            // Arbitrary bit patterns: NaNs, infinities, subnormals — the
+            // column must round-trip every one exactly.
+            let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+            let mut buf = Vec::new();
+            put_f64_col(&mut buf, &vals);
+            let mut r = buf.as_slice();
+            let back = get_f64_col(&mut r, vals.len()).unwrap();
+            prop_assert!(r.is_empty());
+            prop_assert_eq!(back.len(), vals.len());
+            for (a, b) in back.iter().zip(&vals) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_monotone_f64_col_round_trips(
+            start in -1.0e6f64..1.0e6,
+            steps in proptest::collection::vec(0.0f64..400.0, 0..300),
+        ) {
+            // The report-time shape: non-decreasing ramps (DELTA territory).
+            let mut t = start;
+            let mut vals = vec![t];
+            for s in steps {
+                t += s;
+                vals.push(t);
+            }
+            let mut buf = Vec::new();
+            put_f64_col(&mut buf, &vals);
+            let mut r = buf.as_slice();
+            let back = get_f64_col(&mut r, vals.len()).unwrap();
+            for (a, b) in back.iter().zip(&vals) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_column_truncation_rejected(vals in proptest::collection::vec(0u32..=u32::MAX, 1..100)) {
+            let mut buf = Vec::new();
+            put_u32_col(&mut buf, &vals);
+            for cut in 0..buf.len() {
+                let mut r = &buf[..cut];
+                prop_assert!(get_u32_col(&mut r, vals.len()).is_err(), "prefix {} decoded", cut);
+            }
+        }
     }
 }

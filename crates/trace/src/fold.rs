@@ -182,9 +182,8 @@ mod tests {
         let cfg = ChunkConfig {
             chunk_capacity: 16,
             resident_chunks: 2,
-            spill_dir: None,
             window_probes: 50,
-            scale_budget_with_threads: false,
+            ..ChunkConfig::tiny()
         };
         let chunked = ChunkedDataset::from_dataset(&ds, cfg).expect("chunk");
         let n_windows = chunked.n_windows();

@@ -68,9 +68,9 @@ proptest! {
         let cfg = ChunkConfig {
             chunk_capacity: capacity,
             resident_chunks: 2,
-            spill_dir: None,
             window_probes: window,
-            scale_budget_with_threads: false,
+            prefetch_depth: 2,
+            ..ChunkConfig::tiny()
         };
         let threads = if four_threads { 4 } else { 1 };
         let faults = || {
